@@ -1,0 +1,21 @@
+"""F10 — quality vs replication factor k (Figure 10).
+
+Expected shape: accuracy increases with k with diminishing returns;
+the closed-form DP matches Monte-Carlo simulation.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_and_print
+
+
+def test_figure10_replication(benchmark, bench_scale):
+    table = run_and_print(benchmark, "F10", bench_scale)
+    accuracy = table.column("expected accuracy")
+    assert accuracy == sorted(accuracy)  # monotone in k
+    gains = table.column("marginal gain of k-th worker")
+    assert gains[1] >= gains[-1] - 1e-9  # diminishing
+    for expected, simulated in zip(
+        accuracy, table.column("simulated accuracy")
+    ):
+        assert expected == pytest.approx(simulated, abs=0.05)

@@ -1,0 +1,15 @@
+"""F11 — skill-distribution sensitivity (Figure 11).
+
+Expected shape: MBA (flow) dominates both single-sided baselines on
+every distribution; its relative edge grows with skew.
+"""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_figure11_distributions(benchmark, bench_scale):
+    table = run_and_print(benchmark, "F11", bench_scale)
+    for row in table.rows:
+        values = dict(zip(table.header, row))
+        assert values["flow"] >= values["quality-only"] - 1e-9
+        assert values["flow"] >= values["worker-only"] - 1e-9

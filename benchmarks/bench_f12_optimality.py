@@ -1,0 +1,22 @@
+"""F12 — empirical approximation ratios vs exact optimum (Figure 12).
+
+Expected shape: flow == optimum on linear instances; greedy well above
+its 1/2 worst-case bound (typically > 0.9); local search >= greedy.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_and_print
+
+
+def test_figure12_optimality(benchmark, bench_scale):
+    table = run_and_print(benchmark, "F12", bench_scale)
+    by_solver = {
+        row[0]: dict(zip(table.header, row)) for row in table.rows
+    }
+    assert by_solver["flow"]["min ratio"] == pytest.approx(1.0, abs=1e-6)
+    assert by_solver["greedy"]["min ratio"] >= 0.5 - 1e-9
+    assert by_solver["greedy"]["mean ratio"] >= 0.9
+    assert by_solver["local-search"]["mean ratio"] >= (
+        by_solver["greedy"]["mean ratio"] - 1e-9
+    )

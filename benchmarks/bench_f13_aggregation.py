@@ -1,0 +1,17 @@
+"""F13 — aggregation method ablation (Figure 13).
+
+Expected shape: weighted/Dawid-Skene >= majority, with the gap growing
+as worker-skill skew grows.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_and_print
+
+
+def test_figure13_aggregation(benchmark, bench_scale):
+    table = run_and_print(benchmark, "F13", bench_scale)
+    majority = np.array(table.column("majority"))
+    weighted = np.array(table.column("weighted"))
+    # On average over the skew settings, knowing worker accuracies helps.
+    assert weighted.mean() >= majority.mean() - 0.03

@@ -1,0 +1,17 @@
+"""F14 — combiner ablation (Figure 14).
+
+Expected shape: linear maximizes the (0.5-weighted) total; egalitarian
+minimizes the side gap.
+"""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_figure14_combiners(benchmark, bench_scale):
+    table = run_and_print(benchmark, "F14", bench_scale)
+    by_combiner = {
+        row[0]: dict(zip(table.header, row)) for row in table.rows
+    }
+    assert by_combiner["linear(0.5)"]["combined (linear 0.5)"] >= (
+        by_combiner["egalitarian"]["combined (linear 0.5)"] - 1e-9
+    )

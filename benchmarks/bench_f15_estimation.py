@@ -1,0 +1,21 @@
+"""F15 — skill-estimation ablation (added by this reproduction).
+
+Expected shape: estimated planning trails the oracle; the gap narrows
+as answer history accumulates.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_and_print
+
+
+def test_figure15_estimation(benchmark, bench_scale):
+    table = run_and_print(benchmark, "F15", bench_scale)
+    oracle = np.array(table.column("oracle"))
+    estimated = np.array(table.column("estimated"))
+    assert (estimated <= oracle + 1e-6).all()
+    # Learning must not lose ground: late rounds within 5 % of the
+    # oracle of where early rounds were.
+    half = len(estimated) // 2
+    slack = 0.05 * oracle.mean()
+    assert estimated[half:].mean() >= estimated[:half].mean() - slack

@@ -1,0 +1,21 @@
+"""F16 — side-constraint ablation (the title's "general settings").
+
+Expected shape: every constraint costs benefit; the combination costs
+the most; diversity is the cheapest of the three.
+"""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_figure16_constraints(benchmark, bench_scale):
+    table = run_and_print(benchmark, "F16", bench_scale)
+    ratios = dict(
+        zip(table.column("constraint"), table.column("vs unconstrained"))
+    )
+    assert ratios["none"] == 1.0
+    for name, ratio in ratios.items():
+        assert ratio <= 1.0 + 1e-9, name
+    assert ratios["all three"] <= min(
+        ratios["budget(60%)"], ratios["min-accuracy(0.7)"],
+        ratios["diversity(1/cat)"],
+    ) + 1e-9

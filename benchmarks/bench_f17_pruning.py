@@ -1,0 +1,19 @@
+"""F17 — top-k candidate-pruning ablation.
+
+Expected shape: value ratio increases monotonically in k, approaching
+1; runtime grows with k but stays far below the exact flow solve.
+"""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_figure17_pruning(benchmark, bench_scale):
+    table = run_and_print(benchmark, "F17", bench_scale)
+    ratios = table.column("value ratio")
+    assert all(b >= a - 0.02 for a, b in zip(ratios, ratios[1:]))
+    assert ratios[-1] >= 0.9
+    # Pruned runtime beats the flow solve at every k measured.
+    for runtime, flow_runtime in zip(
+        table.column("runtime (s)"), table.column("flow runtime (s)")
+    ):
+        assert runtime <= flow_runtime

@@ -1,0 +1,19 @@
+"""F18 — stability/benefit frontier for incremental re-assignment.
+
+Expected shape: edge retention is non-decreasing in the stability
+bonus; combined benefit is non-increasing; bonus 0 recovers the plain
+re-solve.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_and_print
+
+
+def test_figure18_stability(benchmark, bench_scale):
+    table = run_and_print(benchmark, "F18", bench_scale)
+    retention = table.column("edge retention")
+    benefit = table.column("combined benefit")
+    assert all(b >= a - 1e-9 for a, b in zip(retention, retention[1:]))
+    assert all(b <= a + 1e-9 for a, b in zip(benefit, benefit[1:]))
+    assert table.column("vs re-solve")[0] == pytest.approx(1.0, abs=1e-9)

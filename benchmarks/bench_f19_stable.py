@@ -1,0 +1,18 @@
+"""F19 — deferred acceptance vs MBA solvers.
+
+Expected shape: stable-matching has zero blocking pairs; flow gets the
+highest combined benefit and tolerates some blocking pairs; random is
+dominated on both axes.
+"""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_figure19_stable(benchmark, bench_scale):
+    table = run_and_print(benchmark, "F19", bench_scale)
+    rows = {row[0]: dict(zip(table.header, row)) for row in table.rows}
+    assert rows["stable-matching"]["blocking pairs"] == 0
+    assert rows["flow"]["combined benefit"] >= (
+        rows["stable-matching"]["combined benefit"] - 1e-9
+    )
+    assert rows["random"]["blocking pairs"] >= rows["flow"]["blocking pairs"]

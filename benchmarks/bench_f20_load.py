@@ -1,0 +1,22 @@
+"""F20 — continuous-time load sweep on the event-driven simulator.
+
+Expected shape: fill rate rises with worker supply for both policies;
+once supply is ample the threshold policy matches fill rate while
+earning a higher mean benefit per assignment (selectivity pays).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_and_print
+
+
+def test_figure20_load(benchmark, bench_scale):
+    table = run_and_print(benchmark, "F20", bench_scale)
+    greedy_fill = table.column("greedy fill")
+    # Fill rate (weakly) increases with supply.
+    assert greedy_fill[-1] >= greedy_fill[0] - 0.05
+    # At the highest supply ratio, threshold's mean benefit >= greedy's.
+    g = table.column("greedy mean benefit")[-1]
+    t = table.column("threshold mean benefit")[-1]
+    if not (np.isnan(g) or np.isnan(t)):
+        assert t >= g - 0.05

@@ -1,0 +1,20 @@
+"""F21 — pricing ablation: as-posted vs surplus-optimized payments.
+
+Expected shape: optimized pricing turns the requester surplus positive
+at every reservation level, at the cost of worker-side benefit (the
+tension MBA exists to manage); the optimized price rises with worker
+reservations.
+"""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_figure21_pricing(benchmark, bench_scale):
+    table = run_and_print(benchmark, "F21", bench_scale)
+    posted = table.column("posted surplus")
+    repriced = table.column("repriced surplus")
+    for p, r in zip(posted, repriced):
+        assert r >= p - 1e-9
+    # Optimized prices track worker reservations upward.
+    mean_pay = table.column("repriced mean pay")
+    assert mean_pay[-1] >= mean_pay[0]

@@ -1,0 +1,16 @@
+"""F22 — benefit-scale normalization ablation.
+
+Expected shape: on the scale-skewed upwork-like market, the requester's
+share of total side benefit sits far below parity with raw scales at
+every lambda; normalization moves it toward 0.5.
+"""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_figure22_normalization(benchmark, bench_scale):
+    table = run_and_print(benchmark, "F22", bench_scale)
+    raw = table.column("raw req share")
+    normalized = table.column("normalized req share")
+    for r, n in zip(raw, normalized):
+        assert abs(n - 0.5) <= abs(r - 0.5) + 0.02

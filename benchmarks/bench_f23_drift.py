@@ -1,0 +1,22 @@
+"""F23 — learning-by-doing skill drift.
+
+Expected shape: repeated practice specializes the assigned workers, so
+per-round requester benefit rises substantially over the run for every
+non-random policy; meanwhile *population mean* skill falls slightly —
+the idle majority's rust outweighs the practiced minority's growth.
+Specialization, not uplift, is what drift buys.
+"""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_figure23_drift(benchmark, bench_scale):
+    table = run_and_print(benchmark, "F23", bench_scale)
+    for row in table.rows:
+        values = dict(zip(table.header, row))
+        # Training effect: final-round benefit well above round 0.
+        assert values["req benefit final"] >= (
+            1.1 * values["req benefit r0"]
+        )
+        # Skills remain in the model's invariant band.
+        assert 0.0 <= values["mean skill final"] <= 1.0

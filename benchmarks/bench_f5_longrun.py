@@ -1,0 +1,28 @@
+"""F5 — long-run outcomes over rounds (Figure 5).
+
+Expected shape — the paper's headline mechanism: quality-only starts
+with the higher per-round requester benefit (it cherry-picks accurate
+workers, even onto edges that lose those workers money); its workforce
+churns, its answer volume shrinks, and MBA overtakes it — the
+crossover.  MBA also ends with the healthier worker pool.
+"""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_figure5_longrun(benchmark, bench_scale):
+    table = run_and_print(benchmark, "F5", bench_scale)
+    mba_req = table.column("mba req benefit")
+    qo_req = table.column("qo req benefit")
+    mba_part = table.column("mba participation")
+    qo_part = table.column("qo participation")
+    # Round 0: quality-only leads on requester benefit.
+    assert qo_req[0] >= mba_req[0] - 1e-9
+    # MBA ends with at least as healthy a worker pool.
+    assert mba_part[-1] >= qo_part[-1] - 0.02
+    # The crossover: by the final rounds MBA's requester benefit is at
+    # least on par (strictly above at full scale).
+    tail = max(len(mba_req) // 5, 1)
+    mba_tail = sum(mba_req[-tail:]) / tail
+    qo_tail = sum(qo_req[-tail:]) / tail
+    assert mba_tail >= qo_tail - 0.05 * abs(qo_tail)

@@ -1,0 +1,15 @@
+"""F6 — the lambda trade-off knob (Figure 6).
+
+Expected shape: requester benefit weakly increases in lambda, worker
+benefit weakly decreases; the frontier is concave.
+"""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_figure6_lambda(benchmark, bench_scale):
+    table = run_and_print(benchmark, "F6", bench_scale)
+    requester = table.column("requester benefit")
+    worker = table.column("worker benefit")
+    assert requester[-1] >= requester[0] - 1e-9
+    assert worker[-1] <= worker[0] + 1e-9

@@ -1,0 +1,15 @@
+"""F7 — runtime scalability in |W| (Figure 7).
+
+Expected shape: flow grows superlinearly, greedy ~n log n, online
+linear per arrival; reported as raw seconds per size.
+"""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_figure7_scale_workers(benchmark, bench_scale):
+    table = run_and_print(benchmark, "F7", bench_scale)
+    assert len(table.rows) == 5
+    # Runtime columns are non-negative.
+    for solver in ("flow", "greedy", "online-greedy", "round-robin"):
+        assert all(t >= 0.0 for t in table.column(solver))

@@ -1,0 +1,8 @@
+"""F8 — runtime scalability in |T| (Figure 8)."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_figure8_scale_tasks(benchmark, bench_scale):
+    table = run_and_print(benchmark, "F8", bench_scale)
+    assert len(table.rows) == 5

@@ -1,0 +1,30 @@
+"""F9 — online vs offline competitive ratio (Figure 9).
+
+Expected shape: all online algorithms earn a meaningful fraction of the
+offline optimum under random order; the micro-batching solver's ratio
+climbs toward 1 as the batch window grows (batch(1) coincides with
+online greedy).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_and_print
+
+
+def test_figure9_online(benchmark, bench_scale):
+    table = run_and_print(benchmark, "F9", bench_scale)
+    for name in ("online-greedy", "online-two-phase"):
+        ratios = [r for r in table.column(name) if not np.isnan(r)]
+        assert ratios, name
+        assert all(0.0 <= r <= 1.0 + 1e-9 for r in ratios)
+        assert np.mean(ratios) >= 0.4
+    # Batch sweep: ratio weakly climbs with the window.
+    b1 = np.array(table.column("batch(1)"))
+    b5 = np.array(table.column("batch(5)"))
+    b20 = np.array(table.column("batch(20)"))
+    valid = ~np.isnan(b1)
+    assert (b5[valid] >= b1[valid] - 0.03).all()
+    assert (b20[valid] >= b5[valid] - 0.03).all()
+    # batch(1) is online greedy by construction.
+    greedy = np.array(table.column("online-greedy"))
+    assert np.allclose(b1[valid], greedy[valid], atol=1e-9)

@@ -1,0 +1,8 @@
+"""T1 — workload statistics (Table 1)."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_table1_datasets(benchmark, bench_scale):
+    table = run_and_print(benchmark, "T1", bench_scale)
+    assert len(table.rows) == 4

@@ -1,0 +1,16 @@
+"""T2 — effectiveness: total mutual benefit by solver (Table 2).
+
+Expected shape: flow >= greedy within ~5 %; both beat the single-sided
+baselines; random is the floor.
+"""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_table2_effectiveness(benchmark, bench_scale):
+    table = run_and_print(benchmark, "T2", bench_scale)
+    for row in table.rows:
+        values = dict(zip(table.header, row))
+        assert values["flow"] >= values["random"] - 1e-9
+        assert values["flow"] >= values["quality-only"] - 1e-9
+        assert values["flow"] >= values["worker-only"] - 1e-9

@@ -1,0 +1,15 @@
+"""T3 — single-round aggregated answer accuracy by solver (Table 3).
+
+Expected shape: quality-only leads on round-1 accuracy by a small
+margin; MBA (flow) stays within a few points; random trails.
+"""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_table3_quality(benchmark, bench_scale):
+    table = run_and_print(benchmark, "T3", bench_scale)
+    for row in table.rows:
+        values = dict(zip(table.header, row))
+        # Intelligent assignment beats random on realized accuracy.
+        assert values["flow"] >= values["random"] - 0.1

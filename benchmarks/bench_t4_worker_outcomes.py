@@ -1,0 +1,26 @@
+"""T4 — worker-side outcomes: benefit, Gini, participation (Table 4).
+
+Expected shape: in the tight-margin market, the worker-blind
+quality-only policy delivers the lowest worker benefit among the
+optimizing solvers and pays for it in participation after 20 rounds;
+worker-only and MBA keep markedly more of the pool.  (Random retains
+many workers by spreading thin — but T2/T3 show what that costs.)
+"""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_table4_worker_outcomes(benchmark, bench_scale):
+    table = run_and_print(benchmark, "T4", bench_scale)
+    values = {
+        row[0]: dict(zip(table.header, row)) for row in table.rows
+    }
+    assert values["worker-only"]["worker benefit"] >= (
+        values["quality-only"]["worker benefit"] - 1e-9
+    )
+    assert values["flow"]["worker benefit"] >= (
+        values["quality-only"]["worker benefit"] - 1e-9
+    )
+    assert values["flow"]["participation@20"] >= (
+        values["quality-only"]["participation@20"] - 0.05
+    )

@@ -1,0 +1,41 @@
+"""Benchmark configuration.
+
+Each benchmark module regenerates one table/figure of the evaluation
+(see DESIGN.md §3).  Benchmarks run the experiment through
+pytest-benchmark (so runtime is recorded) and print the rendered table
+so ``pytest benchmarks/ --benchmark-only -s`` reproduces the paper's
+output rows.
+
+``BENCH_SCALE`` trades fidelity for wall-clock: 1.0 reruns the sizes
+recorded in EXPERIMENTS.md; the default keeps the whole suite around a
+minute.  Override with ``REPRO_BENCH_SCALE=1.0``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+def run_and_print(benchmark, experiment_id: str, scale: float, seed: int = 0):
+    """Benchmark one experiment and print its table once."""
+    from repro.eval.experiments import run_experiment
+
+    table = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id,),
+        kwargs={"scale": scale, "seed": seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table.render())
+    return table

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Regenerate every table/figure of the evaluation at full scale.
+
+Prints each experiment's table and the wall-clock it took; this is the
+script whose output EXPERIMENTS.md records.
+
+Usage:
+    python benchmarks/run_all.py [--scale 1.0] [--seed 0] [--only T2,F9]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.eval.experiments import EXPERIMENTS, run_experiment
+from repro.utils.timer import Timer
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--only",
+        type=str,
+        default="",
+        help="comma-separated experiment ids (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    selected = (
+        [x.strip() for x in args.only.split(",") if x.strip()]
+        if args.only
+        else sorted(EXPERIMENTS, key=lambda k: (k[0] != "T", int(k[1:])))
+    )
+    unknown = [x for x in selected if x not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+        return 2
+
+    for experiment_id in selected:
+        with Timer() as timer:
+            table = run_experiment(
+                experiment_id, scale=args.scale, seed=args.seed
+            )
+        print(f"=== {experiment_id} ({timer.elapsed:.1f}s) " + "=" * 40)
+        print(table.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Combiner comparison: what "mutual benefit" should mean.
+
+The same market solved under four definitions of the mutual objective:
+
+* linear (lambda = 0.5)  — maximize the sum of both sides;
+* egalitarian            — maximize the worse-off side (max-min);
+* Nash                   — maximize the product of the sides;
+* coverage               — submodular committee quality + worker value,
+                           solved by lazy greedy.
+
+Each produces a different balance.  The table reports both sides'
+totals, the side gap, and realized answer accuracy so the trade-offs
+are concrete.
+
+Run:  python examples/benefit_tradeoff.py
+"""
+
+from repro import (
+    CoverageObjective,
+    EgalitarianCombiner,
+    LinearCombiner,
+    MBAProblem,
+    NashCombiner,
+    get_solver,
+    uniform_market,
+)
+from repro.core.fairness import side_gap
+from repro.crowd.aggregation import majority_vote
+from repro.crowd.answer_model import simulate_answers
+
+
+def realized_accuracy(market, assignment, seed=5):
+    answers = simulate_answers(market, list(assignment.edges), seed=seed)
+    labels = majority_vote(answers, seed=seed)
+    scored = [labels[t] == truth for t, truth in answers.truths.items()]
+    return sum(scored) / len(scored) if scored else float("nan")
+
+
+def main() -> None:
+    market = uniform_market(n_workers=80, n_tasks=40, seed=13)
+    print(f"market: {market}\n")
+
+    runs = []
+
+    for name, combiner, solver_name, kwargs in (
+        ("linear(0.5)", LinearCombiner(0.5), "flow", {}),
+        ("egalitarian", EgalitarianCombiner(), "local-search", {}),
+        ("nash", NashCombiner(), "local-search", {}),
+    ):
+        problem = MBAProblem(market, combiner=combiner)
+        assignment = get_solver(solver_name, **kwargs).solve(problem, seed=0)
+        runs.append((name, problem, assignment))
+
+    # Coverage: submodular quality objective via lazy greedy.
+    problem = MBAProblem(market, combiner=LinearCombiner(0.5))
+    greedy = get_solver(
+        "greedy", objective_factory=lambda p: CoverageObjective(p, lam=0.5)
+    )
+    runs.append(("coverage", problem, greedy.solve(problem, seed=0)))
+
+    header = (
+        f"{'objective':>12s} | {'requester':>9s} | {'worker':>8s} | "
+        f"{'side gap':>8s} | {'accuracy':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, problem, assignment in runs:
+        print(
+            f"{name:>12s} | {assignment.requester_total():9.2f} | "
+            f"{assignment.worker_total():8.2f} | "
+            f"{side_gap(assignment):8.3f} | "
+            f"{realized_accuracy(market, assignment):8.3f}"
+        )
+
+    print(
+        "\nEgalitarian/Nash shrink the gap between the sides at some cost "
+        "in total value; the coverage objective shifts replication toward "
+        "tasks where extra answers still buy accuracy."
+    )
+
+
+if __name__ == "__main__":
+    main()

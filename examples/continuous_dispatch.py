@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Continuous-time dispatch: tasks with deadlines, workers with sessions.
+
+The event-driven simulator models the asynchronous reality: tasks are
+posted at Poisson rate with a hard deadline, workers log in for short
+sessions, and the dispatcher must decide *at each login/posting
+instant*.  Two policies:
+
+* greedy     — hand every worker the best open tasks immediately;
+* threshold  — hold out for high-benefit matches while a task is young,
+               relax the bar as its deadline approaches.
+
+The sweep over worker supply shows the regimes: when workers are
+scarce, take anything; when they are plentiful, selectivity buys
+benefit at no fill-rate cost.
+
+Run:  python examples/continuous_dispatch.py
+"""
+
+from repro import zipf_market
+from repro.sim.events import EventSimConfig, EventSimulation
+
+
+def main() -> None:
+    market = zipf_market(n_workers=60, n_tasks=30, seed=41)
+    print(f"market: {market}\n")
+
+    header = (
+        f"{'supply':>6s} | {'policy':>9s} | {'posted':>6s} {'filled':>6s} "
+        f"{'expired':>7s} | {'fill %':>6s} | {'mean wait':>9s} | "
+        f"{'benefit/assign':>14s}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for ratio in (0.25, 0.5, 1.0, 2.0, 4.0):
+        for policy in ("greedy", "threshold"):
+            config = EventSimConfig(
+                horizon=150.0,
+                task_rate=2.0,
+                worker_rate=2.0 * ratio,
+                deadline=8.0,
+                session_length=4.0,
+                policy=policy,
+                threshold_start=0.5,
+            )
+            result = EventSimulation(market, config).run(seed=5)
+            mean_benefit = (
+                result.combined_benefit / len(result.assignments)
+                if result.assignments
+                else float("nan")
+            )
+            print(
+                f"{ratio:6.2f} | {policy:>9s} | {result.posted_tasks:6d} "
+                f"{len(result.assignments):6d} {result.expired_tasks:7d} | "
+                f"{100 * result.fill_rate:5.1f}% | "
+                f"{result.mean_waiting_time:9.2f} | {mean_benefit:14.3f}"
+            )
+
+    print(
+        "\nReading: under-supplied markets cannot afford selectivity; "
+        "over-supplied markets can, and the threshold policy converts the "
+        "slack into better matches."
+    )
+
+
+if __name__ == "__main__":
+    main()

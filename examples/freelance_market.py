@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Freelance marketplace scenario: the lambda trade-off frontier.
+
+Models an Upwork-like market (one freelancer per job, specialist
+skills, real reservation wages) and sweeps the mutual-benefit knob
+lambda from 0 (pure worker welfare) to 1 (pure client value).  The
+printed frontier shows what the platform gives up on one side to gain
+on the other, plus the fairness profile (Gini of worker benefit, and
+the fraction of freelancers who got any job at all).
+
+Run:  python examples/freelance_market.py
+"""
+
+import numpy as np
+
+from repro import LinearCombiner, MBAProblem, get_solver
+from repro.core.fairness import assigned_fraction, benefit_gini
+from repro.datagen.traces import upwork_like_market
+
+
+def main() -> None:
+    market = upwork_like_market(n_workers=120, n_tasks=50, seed=23)
+    print(f"market: {market}\n")
+
+    header = (
+        f"{'lambda':>6s} | {'client value':>12s} | {'worker value':>12s} | "
+        f"{'gini':>6s} | {'hired %':>7s}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    solver = get_solver("flow")
+    for lam in np.linspace(0.0, 1.0, 11):
+        problem = MBAProblem(market, combiner=LinearCombiner(float(lam)))
+        assignment = solver.solve(problem, seed=0)
+        print(
+            f"{lam:6.1f} | {assignment.requester_total():12.2f} | "
+            f"{assignment.worker_total():12.2f} | "
+            f"{benefit_gini(assignment):6.3f} | "
+            f"{100 * assigned_fraction(assignment):6.1f}%"
+        )
+
+    print(
+        "\nReading the frontier: moving lambda from 0 to 1 transfers value "
+        "from freelancers to clients; the knee of the curve is where a "
+        "platform operator wants to sit."
+    )
+
+
+if __name__ == "__main__":
+    main()

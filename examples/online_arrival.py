@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Online arrival scenario: assigning workers as they show up.
+
+Real platforms cannot wait for the whole worker pool: workers arrive,
+must be given tasks immediately, and leave.  This example streams a
+worker population through the two online solvers and compares them to
+the clairvoyant offline optimum:
+
+* ``online-greedy`` — each arrival takes its best remaining tasks;
+* ``online-two-phase`` — observes the first half of arrivals, prices
+  each task by its earnings in the sample's optimal matching, then only
+  sells a task to later arrivals who beat its price.
+
+Run:  python examples/online_arrival.py
+"""
+
+import numpy as np
+
+from repro import LinearCombiner, MBAProblem, get_solver, zipf_market
+from repro.market.arrivals import BatchArrivals, PoissonArrivals
+
+
+def main() -> None:
+    market = zipf_market(n_workers=150, n_tasks=60, seed=31)
+    problem = MBAProblem(market, combiner=LinearCombiner(0.5))
+
+    offline = get_solver("flow").solve(problem, seed=0)
+    offline_value = offline.combined_total()
+    print(f"offline optimum (flow): {offline_value:.2f}\n")
+
+    print(f"{'solver':>18s} {'arrivals':>18s} {'value':>9s} {'ratio':>7s}")
+    arrival_processes = {
+        "poisson": PoissonArrivals(rate=5.0),
+        "batch(10)": BatchArrivals(batch_size=10),
+    }
+    for arrival_name, arrivals in arrival_processes.items():
+        for solver_name in ("online-greedy", "online-two-phase"):
+            values = []
+            for seed in range(10):
+                solver = get_solver(solver_name, arrivals=arrivals)
+                assignment = solver.solve(problem, seed=seed)
+                values.append(assignment.combined_total())
+            mean_value = float(np.mean(values))
+            print(
+                f"{solver_name:>18s} {arrival_name:>18s} "
+                f"{mean_value:9.2f} {mean_value / offline_value:7.3f}"
+            )
+
+    print(
+        "\nTwo-phase pricing trades a slightly thinner sample phase for "
+        "far better decisions on the remaining arrivals; under the "
+        "random-order model it recovers most of the offline value."
+    )
+
+
+if __name__ == "__main__":
+    main()

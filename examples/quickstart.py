@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: one assignment round, end to end.
+
+Generates a synthetic bipartite labor market, solves the mutual benefit
+aware assignment with the flow-optimal solver, compares it against the
+quality-only baseline, simulates the workers' answers, and aggregates
+them — the full pipeline in ~60 lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    LinearCombiner,
+    MBAProblem,
+    get_solver,
+    uniform_market,
+)
+from repro.crowd.aggregation import majority_vote
+from repro.crowd.answer_model import simulate_answers
+
+
+def main() -> None:
+    # 1. A market: 100 workers, 40 tasks, seeded for reproducibility.
+    market = uniform_market(n_workers=100, n_tasks=40, seed=7)
+    print(market)
+
+    # 2. The MBA problem with the lambda = 0.5 linear combiner: both
+    #    sides' benefits weighted equally.
+    problem = MBAProblem(market, combiner=LinearCombiner(lam=0.5))
+
+    # 3. Solve with the flow-optimal solver and the quality-only
+    #    baseline the paper argues against.
+    for solver_name in ("flow", "quality-only", "random"):
+        assignment = get_solver(solver_name).solve(problem, seed=0)
+
+        # 4. Simulate what actually happens: workers answer, answers
+        #    are aggregated by majority vote, accuracy is scored.
+        answers = simulate_answers(market, list(assignment.edges), seed=1)
+        labels = majority_vote(answers, seed=1)
+        correct = [
+            labels[task] == truth for task, truth in answers.truths.items()
+        ]
+        accuracy = sum(correct) / len(correct) if correct else float("nan")
+
+        print(
+            f"{solver_name:>13s}: {len(assignment):3d} edges | "
+            f"requester benefit {assignment.requester_total():7.2f} | "
+            f"worker benefit {assignment.worker_total():7.2f} | "
+            f"answer accuracy {accuracy:.3f}"
+        )
+
+    print(
+        "\nThe mutual-benefit (flow) assignment trades a little requester "
+        "benefit for a much better worker outcome — the paper's point."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Skill-learning scenario: assigning without knowing who is good.
+
+A real platform does not know worker accuracies — it must learn them
+from answers.  This example runs the full estimate → assign → answer →
+update loop:
+
+* the planner starts from a Beta(7, 3) prior (everyone looks like a
+  0.70 worker);
+* each round, 20 % of tasks are gold (truth revealed), the rest teach
+  through aggregated labels (only committees of >= 3, to avoid
+  self-confirmation);
+* the oracle planner (true skills known) runs alongside for reference.
+
+Watch the estimation error fall and the benefit gap to the oracle
+close.
+
+Run:  python examples/skill_learning.py
+"""
+
+import dataclasses
+
+from repro import Scenario, Simulation, uniform_market
+from repro.crowd.estimation import BetaSkillEstimator
+
+
+def main() -> None:
+    market = uniform_market(n_workers=80, n_tasks=40, seed=19)
+    print(f"market: {market}\n")
+    n_rounds = 15
+
+    oracle = Simulation(
+        Scenario(
+            market=market, solver_name="flow", n_rounds=n_rounds,
+            retention=None,
+        )
+    ).run(seed=2)
+
+    estimated = Simulation(
+        Scenario(
+            market=market, solver_name="flow", n_rounds=n_rounds,
+            retention=None, estimator=BetaSkillEstimator(),
+            gold_fraction=0.2,
+        )
+    ).run(seed=2)
+
+    print(f"{'round':>5s} {'oracle benefit':>14s} {'estimated':>10s} "
+          f"{'gap %':>6s}")
+    for r in range(n_rounds):
+        o = oracle.rounds[r].combined_benefit
+        e = estimated.rounds[r].combined_benefit
+        gap = 100 * (o - e) / o if o > 0 else float("nan")
+        print(f"{r:5d} {o:14.2f} {e:10.2f} {gap:6.2f}")
+
+    # Show what the estimator itself learns, standalone.
+    print("\nstandalone estimator convergence on worker 0, category 0:")
+    estimator = BetaSkillEstimator()
+    worker = market.workers[0]
+    truth = float(worker.skills[0])
+    import numpy as np
+
+    rng = np.random.default_rng(7)
+    for n_observations in (0, 5, 20, 80, 320):
+        while estimator.observations(worker.worker_id, 0) < n_observations:
+            correct = bool(rng.random() < truth)
+            estimator.record(worker.worker_id, 0, correct)
+        estimate = estimator.estimate(worker.worker_id, 0)
+        low, high = estimator.credible_interval(worker.worker_id, 0)
+        print(
+            f"  after {n_observations:3d} answers: estimate "
+            f"{estimate:.3f} in [{low:.3f}, {high:.3f}]  (truth {truth:.3f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+"""repro — Mutual Benefit Aware Task Assignment in a Bipartite Labor Market.
+
+A from-scratch reproduction of Zheng & Chen, ICDE 2016.  The public API
+covers the full pipeline::
+
+    from repro import (
+        uniform_market, MBAProblem, LinearCombiner, get_solver,
+        Simulation, Scenario,
+    )
+
+    market = uniform_market(n_workers=100, n_tasks=50, seed=7)
+    problem = MBAProblem(market, combiner=LinearCombiner(lam=0.5))
+    assignment = get_solver("flow").solve(problem)
+    print(assignment.requester_total(), assignment.worker_total())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduced evaluation.
+"""
+
+from repro.benefit import (
+    BenefitMatrices,
+    EgalitarianCombiner,
+    LinearCombiner,
+    MutualCombiner,
+    NashCombiner,
+    NetRewardBenefit,
+    NormalizedBenefit,
+    QualityGainBenefit,
+    build_benefit_matrices,
+    make_combiner,
+    normalized_problem,
+)
+from repro.core import (
+    Assignment,
+    AssignmentReport,
+    CoverageObjective,
+    LinearObjective,
+    MBAProblem,
+    analyze,
+    get_solver,
+    list_solvers,
+)
+from repro.io import load_market, save_market
+from repro.datagen import (
+    SyntheticConfig,
+    amt_like_market,
+    generate_market,
+    uniform_market,
+    upwork_like_market,
+    zipf_market,
+)
+from repro.errors import (
+    ConfigurationError,
+    InfeasibleError,
+    ReproError,
+    SolverError,
+    ValidationError,
+)
+from repro.market import (
+    CategoryTaxonomy,
+    LaborMarket,
+    Requester,
+    RetentionModel,
+    Task,
+    Worker,
+)
+from repro.sim import Scenario, Simulation, SimulationResult
+from repro.types import Combiner
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assignment",
+    "AssignmentReport",
+    "BenefitMatrices",
+    "CategoryTaxonomy",
+    "Combiner",
+    "ConfigurationError",
+    "CoverageObjective",
+    "EgalitarianCombiner",
+    "InfeasibleError",
+    "LaborMarket",
+    "LinearCombiner",
+    "LinearObjective",
+    "MBAProblem",
+    "MutualCombiner",
+    "NashCombiner",
+    "NetRewardBenefit",
+    "NormalizedBenefit",
+    "QualityGainBenefit",
+    "ReproError",
+    "Requester",
+    "RetentionModel",
+    "Scenario",
+    "Simulation",
+    "SimulationResult",
+    "SolverError",
+    "SyntheticConfig",
+    "Task",
+    "ValidationError",
+    "Worker",
+    "amt_like_market",
+    "analyze",
+    "build_benefit_matrices",
+    "generate_market",
+    "get_solver",
+    "list_solvers",
+    "load_market",
+    "make_combiner",
+    "normalized_problem",
+    "save_market",
+    "uniform_market",
+    "upwork_like_market",
+    "zipf_market",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Benefit models: how much each side gains from an edge (worker, task).
+
+The requester side values *quality* (the worker's marginal contribution
+to the task's aggregated-answer accuracy); the worker side values
+*payment minus effort cost plus interest match*.  The
+:mod:`repro.benefit.mutual` module combines the two sides into the
+objective the core solvers maximize.
+"""
+
+from repro.benefit.base import BenefitModel
+from repro.benefit.matrices import BenefitMatrices, build_benefit_matrices
+from repro.benefit.mutual import (
+    EgalitarianCombiner,
+    LinearCombiner,
+    MutualCombiner,
+    NashCombiner,
+    make_combiner,
+)
+from repro.benefit.normalization import NormalizedBenefit, normalized_problem
+from repro.benefit.requester_benefit import QualityGainBenefit
+from repro.benefit.worker_benefit import NetRewardBenefit
+
+__all__ = [
+    "BenefitMatrices",
+    "BenefitModel",
+    "EgalitarianCombiner",
+    "LinearCombiner",
+    "MutualCombiner",
+    "NashCombiner",
+    "NetRewardBenefit",
+    "NormalizedBenefit",
+    "QualityGainBenefit",
+    "build_benefit_matrices",
+    "make_combiner",
+    "normalized_problem",
+]

@@ -1,0 +1,31 @@
+"""The benefit-model interface.
+
+A benefit model maps a whole market to a dense ``(n_workers, n_tasks)``
+matrix in one vectorized call.  Per-edge scalar access exists for
+readability in examples and tests but solvers always use the matrix.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.market.market import LaborMarket
+
+
+class BenefitModel(abc.ABC):
+    """Maps a market to a per-edge benefit matrix for one side."""
+
+    @abc.abstractmethod
+    def matrix(self, market: LaborMarket) -> np.ndarray:
+        """Dense ``(n_workers, n_tasks)`` benefit matrix.
+
+        Entries may be negative (an edge can be net-harmful for a
+        side); solvers treat negative mutual benefit as "leave
+        unassigned".
+        """
+
+    def edge(self, market: LaborMarket, worker_index: int, task_index: int) -> float:
+        """Benefit of a single edge; convenience wrapper over matrix()."""
+        return float(self.matrix(market)[worker_index, task_index])

@@ -1,0 +1,93 @@
+"""One-call construction of all benefit matrices for a market.
+
+Solvers consume a :class:`BenefitMatrices` bundle — the requester
+matrix, the worker matrix, and the combined per-edge matrix under a
+chosen combiner — so that the expensive vectorized computation happens
+exactly once per market snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.benefit.base import BenefitModel
+from repro.benefit.mutual import LinearCombiner, MutualCombiner
+from repro.benefit.requester_benefit import QualityGainBenefit
+from repro.benefit.worker_benefit import NetRewardBenefit
+from repro.errors import ValidationError
+from repro.market.market import LaborMarket
+
+
+@dataclass(frozen=True)
+class BenefitMatrices:
+    """All per-edge benefit views of one market snapshot.
+
+    Attributes
+    ----------
+    requester:
+        ``(n_workers, n_tasks)`` requester-side benefit.
+    worker:
+        ``(n_workers, n_tasks)`` worker-side benefit.
+    combined:
+        Per-edge combined score under the chosen combiner (exact for
+        the linear combiner, a surrogate otherwise).
+    combiner:
+        The combiner that produced ``combined``.
+    """
+
+    requester: np.ndarray
+    worker: np.ndarray
+    combined: np.ndarray
+    combiner: MutualCombiner
+
+    def __post_init__(self) -> None:
+        if not (
+            self.requester.shape == self.worker.shape == self.combined.shape
+        ):
+            raise ValidationError(
+                "benefit matrices must share one shape, got "
+                f"{self.requester.shape}, {self.worker.shape}, "
+                f"{self.combined.shape}"
+            )
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.requester.shape  # type: ignore[return-value]
+
+    def side_totals(self, edges: list[tuple[int, int]]) -> tuple[float, float]:
+        """(requester_total, worker_total) over a set of edges."""
+        req = sum(float(self.requester[i, j]) for i, j in edges)
+        wrk = sum(float(self.worker[i, j]) for i, j in edges)
+        return req, wrk
+
+    def combined_total(self, edges: list[tuple[int, int]]) -> float:
+        """Combined objective of a set of edges under the combiner."""
+        req, wrk = self.side_totals(edges)
+        return self.combiner.total(req, wrk)
+
+
+def build_benefit_matrices(
+    market: LaborMarket,
+    combiner: MutualCombiner | None = None,
+    requester_model: BenefitModel | None = None,
+    worker_model: BenefitModel | None = None,
+) -> BenefitMatrices:
+    """Build the matrix bundle with the library defaults.
+
+    Defaults: :class:`QualityGainBenefit`, :class:`NetRewardBenefit`,
+    and a λ=0.5 :class:`LinearCombiner` — the configuration every
+    example starts from.
+    """
+    combiner = combiner if combiner is not None else LinearCombiner(0.5)
+    requester_model = (
+        requester_model if requester_model is not None else QualityGainBenefit()
+    )
+    worker_model = worker_model if worker_model is not None else NetRewardBenefit()
+    requester = requester_model.matrix(market)
+    worker = worker_model.matrix(market)
+    combined = combiner.edge_matrix(requester, worker)
+    return BenefitMatrices(
+        requester=requester, worker=worker, combined=combined, combiner=combiner
+    )

@@ -1,0 +1,121 @@
+"""Mutual-benefit combiners: turning two side matrices into one objective.
+
+A combiner exposes two views:
+
+* :meth:`edge_matrix` — a per-edge score matrix, when the combined
+  objective decomposes additively over edges (the ``linear`` combiner).
+  Flow-based solvers need this.
+* :meth:`total` — the combined value of a *whole* assignment given the
+  two side totals.  Every combiner supports this; the non-linear ones
+  (egalitarian, Nash) are only optimizable through it, which is why the
+  greedy/local-search solvers exist.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.types import Combiner
+from repro.utils.validation import check_fraction
+
+
+class MutualCombiner(abc.ABC):
+    """Combines requester-side and worker-side benefit into one number."""
+
+    #: Whether :meth:`edge_matrix` returns an exact edge decomposition
+    #: of :meth:`total` (True only for the linear combiner).
+    decomposes_over_edges: bool = False
+
+    @abc.abstractmethod
+    def total(self, requester_total: float, worker_total: float) -> float:
+        """Combined objective value from the two side totals."""
+
+    def edge_matrix(
+        self, requester: np.ndarray, worker: np.ndarray
+    ) -> np.ndarray:
+        """A per-edge surrogate score matrix.
+
+        For non-decomposing combiners this is a *heuristic* guide (the
+        unweighted sum); solvers that rely on exactness must check
+        :attr:`decomposes_over_edges`.
+        """
+        return np.asarray(requester) + np.asarray(worker)
+
+
+class LinearCombiner(MutualCombiner):
+    """``lam * B_req + (1 - lam) * B_wrk`` — the paper's primary objective.
+
+    ``lam`` (λ) is the requester-vs-worker trade-off knob swept in
+    experiment F6.  λ=1 recovers quality-only assignment, λ=0 a pure
+    worker-welfare assignment.
+    """
+
+    decomposes_over_edges = True
+
+    def __init__(self, lam: float = 0.5) -> None:
+        self.lam = check_fraction("lam", lam)
+
+    def total(self, requester_total: float, worker_total: float) -> float:
+        return self.lam * requester_total + (1.0 - self.lam) * worker_total
+
+    def edge_matrix(
+        self, requester: np.ndarray, worker: np.ndarray
+    ) -> np.ndarray:
+        return self.lam * np.asarray(requester) + (1.0 - self.lam) * np.asarray(worker)
+
+    def __repr__(self) -> str:
+        return f"LinearCombiner(lam={self.lam})"
+
+
+class EgalitarianCombiner(MutualCombiner):
+    """``min(B_req, B_wrk)`` — max-min fairness between the two sides.
+
+    Optimizing this keeps neither side far ahead; used in the combiner
+    ablation (F14) to show the linear objective can starve one side.
+    """
+
+    def total(self, requester_total: float, worker_total: float) -> float:
+        return min(requester_total, worker_total)
+
+    def __repr__(self) -> str:
+        return "EgalitarianCombiner()"
+
+
+class NashCombiner(MutualCombiner):
+    """``log B_req + log B_wrk`` — the Nash bargaining objective.
+
+    Defined only when both side totals are positive; non-positive
+    totals map to ``-inf`` so any assignment giving both sides positive
+    benefit dominates one that zeroes a side out.
+    """
+
+    def total(self, requester_total: float, worker_total: float) -> float:
+        if requester_total <= 0 or worker_total <= 0:
+            return -math.inf
+        return math.log(requester_total) + math.log(worker_total)
+
+    def __repr__(self) -> str:
+        return "NashCombiner()"
+
+
+def make_combiner(kind: Combiner | str, lam: float = 0.5) -> MutualCombiner:
+    """Factory from the :class:`repro.types.Combiner` enum (or its value).
+
+    ``Combiner.COVERAGE`` deliberately has no combiner object — the
+    coverage objective is set-valued and lives in
+    :class:`repro.core.objective.CoverageObjective`.
+    """
+    kind = Combiner(kind) if not isinstance(kind, Combiner) else kind
+    if kind is Combiner.LINEAR:
+        return LinearCombiner(lam)
+    if kind is Combiner.EGALITARIAN:
+        return EgalitarianCombiner()
+    if kind is Combiner.NASH:
+        return NashCombiner()
+    raise ValidationError(
+        f"combiner {kind} has no per-edge combiner; use CoverageObjective"
+    )

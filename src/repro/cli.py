@@ -1,0 +1,244 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the operational surface a platform engineer needs:
+
+* ``generate`` — materialize a workload to a JSON market file;
+* ``solve`` — load a market, run a solver, report both sides' totals
+  (optionally saving the assignment);
+* ``simulate`` — run the round-based simulation and print per-round
+  metrics;
+* ``experiment`` — run one of the registered evaluation experiments
+  and print its table (and, for figure-type results, an ASCII chart).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.benefit.mutual import LinearCombiner
+from repro.core.problem import MBAProblem
+from repro.core.solvers import get_solver, list_solvers
+from repro.datagen.traces import workload_registry
+from repro.errors import ReproError
+from repro.eval.experiments import EXPERIMENTS, run_experiment
+from repro.io import (
+    assignment_to_dict,
+    load_market,
+    save_market,
+)
+from repro.market.retention import RetentionModel
+from repro.sim.engine import Simulation
+from repro.sim.scenario import Scenario
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mutual benefit aware task assignment (ICDE 2016 repro)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a workload market JSON"
+    )
+    generate.add_argument(
+        "workload", choices=sorted(workload_registry()),
+    )
+    generate.add_argument("output", help="output JSON path")
+    generate.add_argument("--workers", type=int, default=100)
+    generate.add_argument("--tasks", type=int, default=50)
+    generate.add_argument("--seed", type=int, default=0)
+
+    solve = commands.add_parser("solve", help="assign a saved market")
+    solve.add_argument("market", help="market JSON path")
+    solve.add_argument("--solver", default="flow", choices=list_solvers())
+    solve.add_argument("--lam", type=float, default=0.5)
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument("--output", help="write the assignment JSON here")
+    solve.add_argument(
+        "--report", action="store_true",
+        help="print the full diagnostic report",
+    )
+
+    simulate = commands.add_parser(
+        "simulate", help="run the round-based simulation"
+    )
+    simulate.add_argument("market", help="market JSON path")
+    simulate.add_argument("--solver", default="flow", choices=list_solvers())
+    simulate.add_argument("--rounds", type=int, default=10)
+    simulate.add_argument("--lam", type=float, default=0.5)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--no-retention", action="store_true",
+        help="disable worker churn",
+    )
+
+    experiment = commands.add_parser(
+        "experiment", help="run a registered evaluation experiment"
+    )
+    experiment.add_argument("id", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--scale", type=float, default=1.0)
+    experiment.add_argument("--seed", type=int, default=0)
+
+    compare = commands.add_parser(
+        "compare",
+        help="compare solvers over seeded instances with CIs + sign test",
+    )
+    compare.add_argument(
+        "solvers", nargs="+",
+        help="registered solver names; first is the baseline",
+    )
+    compare.add_argument(
+        "--workload", default="synthetic-uniform",
+        choices=sorted(workload_registry()),
+    )
+    compare.add_argument("--workers", type=int, default=60)
+    compare.add_argument("--tasks", type=int, default=30)
+    compare.add_argument("--instances", type=int, default=20)
+    compare.add_argument("--lam", type=float, default=0.5)
+    compare.add_argument("--seed", type=int, default=0)
+
+    events = commands.add_parser(
+        "events", help="run the event-driven continuous-time simulation"
+    )
+    events.add_argument("market", help="market JSON path")
+    events.add_argument("--horizon", type=float, default=100.0)
+    events.add_argument("--task-rate", type=float, default=1.0)
+    events.add_argument("--worker-rate", type=float, default=1.0)
+    events.add_argument("--deadline", type=float, default=10.0)
+    events.add_argument("--session", type=float, default=5.0)
+    events.add_argument(
+        "--policy", default="greedy", choices=("greedy", "threshold")
+    )
+    events.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    make = workload_registry()[args.workload]
+    market = make(n_workers=args.workers, n_tasks=args.tasks, seed=args.seed)
+    save_market(market, args.output)
+    print(f"wrote {market} to {args.output}")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    market = load_market(args.market)
+    problem = MBAProblem(market, combiner=LinearCombiner(args.lam))
+    assignment = get_solver(args.solver).solve(problem, seed=args.seed)
+    print(
+        f"{args.solver}: {len(assignment)} edges | "
+        f"requester {assignment.requester_total():.3f} | "
+        f"worker {assignment.worker_total():.3f} | "
+        f"combined {assignment.combined_total():.3f}"
+    )
+    if args.report:
+        from repro.core.analysis import analyze
+
+        print()
+        print(analyze(assignment).render())
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(assignment_to_dict(assignment), handle, indent=2)
+        print(f"wrote assignment to {args.output}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    market = load_market(args.market)
+    scenario = Scenario(
+        market=market,
+        solver_name=args.solver,
+        combiner=LinearCombiner(args.lam),
+        n_rounds=args.rounds,
+        retention=None if args.no_retention else RetentionModel(),
+    )
+    result = Simulation(scenario).run(seed=args.seed)
+    print(
+        f"{'round':>5s} {'active':>6s} {'edges':>5s} {'accuracy':>8s} "
+        f"{'participation':>13s}"
+    )
+    for r in result.rounds:
+        print(
+            f"{r.round_index:5d} {r.n_active_workers:6d} "
+            f"{r.n_assigned_edges:5d} {r.aggregated_accuracy:8.3f} "
+            f"{r.participation_rate:13.3f}"
+        )
+    print(
+        f"\nmean accuracy {result.mean_accuracy:.3f}, final participation "
+        f"{result.final_participation:.3f}"
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    table = run_experiment(args.id, scale=args.scale, seed=args.seed)
+    print(table.render())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.eval.significance import compare_solvers
+
+    make = workload_registry()[args.workload]
+
+    def factory(rng):
+        return make(n_workers=args.workers, n_tasks=args.tasks, seed=rng)
+
+    table, _comparisons = compare_solvers(
+        factory,
+        args.solvers,
+        n_instances=args.instances,
+        lam=args.lam,
+        seed=args.seed,
+    )
+    print(table.render())
+    return 0
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    from repro.sim.events import EventSimConfig, EventSimulation
+
+    market = load_market(args.market)
+    config = EventSimConfig(
+        horizon=args.horizon,
+        task_rate=args.task_rate,
+        worker_rate=args.worker_rate,
+        deadline=args.deadline,
+        session_length=args.session,
+        policy=args.policy,
+    )
+    result = EventSimulation(market, config).run(seed=args.seed)
+    print(
+        f"posted {result.posted_tasks} | filled {len(result.assignments)} "
+        f"({100 * result.fill_rate:.1f}%) | expired {result.expired_tasks}"
+    )
+    print(
+        f"combined benefit {result.combined_benefit:.3f} | mean wait "
+        f"{result.mean_waiting_time:.2f}"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "solve": _cmd_solve,
+        "simulate": _cmd_simulate,
+        "experiment": _cmd_experiment,
+        "compare": _cmd_compare,
+        "events": _cmd_events,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

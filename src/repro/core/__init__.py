@@ -1,0 +1,43 @@
+"""The paper's primary contribution: mutual benefit aware assignment.
+
+* :mod:`problem` — the MBA problem instance (market + benefit models +
+  combiner) with validation and feasibility checking;
+* :mod:`assignment` — the immutable assignment result with per-side
+  accounting;
+* :mod:`objective` — objective evaluation: the additive (linear) view
+  and the submodular coverage view;
+* :mod:`fairness` — distributional measures over worker benefit;
+* :mod:`solvers` — the solver registry: exact, flow-optimal, greedy,
+  local search, online, and the single-sided baselines.
+"""
+
+from repro.core.analysis import AssignmentReport, analyze
+from repro.core.assignment import Assignment
+from repro.core.constraints import (
+    BudgetConstraint,
+    CategoryDiversityConstraint,
+    ConstrainedGreedySolver,
+    Constraint,
+    MinAccuracyConstraint,
+)
+from repro.core.objective import CoverageObjective, LinearObjective, Objective
+from repro.core.problem import MBAProblem
+from repro.core.solvers import SOLVER_REGISTRY, get_solver, list_solvers
+
+__all__ = [
+    "Assignment",
+    "AssignmentReport",
+    "BudgetConstraint",
+    "CategoryDiversityConstraint",
+    "ConstrainedGreedySolver",
+    "Constraint",
+    "CoverageObjective",
+    "LinearObjective",
+    "MBAProblem",
+    "MinAccuracyConstraint",
+    "Objective",
+    "SOLVER_REGISTRY",
+    "analyze",
+    "get_solver",
+    "list_solvers",
+]

@@ -1,0 +1,128 @@
+"""Assignment diagnostics: the report an operator reads after a solve.
+
+Summarizes an assignment from every stakeholder's angle — totals,
+per-category utilization, worker load distribution, the benefit
+decomposition, and the unfilled demand — as a structured object and as
+rendered text.  Examples and the CLI use it; tests lock the accounting
+identities (shares sum to 1, loads sum to edge count, etc.).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.fairness import assigned_fraction, benefit_gini, side_gap
+from repro.utils.stats import Summary
+
+
+@dataclass(frozen=True)
+class CategoryUtilization:
+    """Demand vs supply vs filled for one task category."""
+
+    category: str
+    n_tasks: int
+    demand: int
+    filled: int
+
+    @property
+    def fill_rate(self) -> float:
+        return self.filled / self.demand if self.demand else 0.0
+
+
+@dataclass(frozen=True)
+class AssignmentReport:
+    """Full diagnostic snapshot of one assignment."""
+
+    solver: str
+    n_edges: int
+    coverage: float
+    requester_total: float
+    worker_total: float
+    combined_total: float
+    side_gap: float
+    benefit_gini: float
+    assigned_worker_fraction: float
+    worker_load: Summary
+    categories: list[CategoryUtilization] = field(default_factory=list)
+    top_workers: list[tuple[int, float]] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [
+            f"assignment report — solver {self.solver!r}",
+            f"  edges {self.n_edges} | demand coverage "
+            f"{100 * self.coverage:.1f}%",
+            f"  requester {self.requester_total:.3f} | worker "
+            f"{self.worker_total:.3f} | combined {self.combined_total:.3f}",
+            f"  side gap {self.side_gap:.3f} | worker-benefit gini "
+            f"{self.benefit_gini:.3f} | workers assigned "
+            f"{100 * self.assigned_worker_fraction:.1f}%",
+            f"  load/worker: mean {self.worker_load.mean:.2f}, max "
+            f"{self.worker_load.maximum:.0f}",
+            "  category utilization:",
+        ]
+        for cat in self.categories:
+            lines.append(
+                f"    {cat.category:<22s} tasks {cat.n_tasks:4d}  "
+                f"demand {cat.demand:4d}  filled {cat.filled:4d}  "
+                f"({100 * cat.fill_rate:5.1f}%)"
+            )
+        if self.top_workers:
+            lines.append("  top workers by benefit:")
+            for worker_id, benefit in self.top_workers:
+                lines.append(f"    worker {worker_id:<6d} {benefit:8.3f}")
+        return "\n".join(lines)
+
+
+def analyze(assignment: Assignment, top_n: int = 5) -> AssignmentReport:
+    """Build the diagnostic report for an assignment."""
+    problem = assignment.problem
+    market = problem.market
+
+    by_task = assignment.workers_per_task()
+    demand_by_category: Counter[int] = Counter()
+    tasks_by_category: Counter[int] = Counter()
+    filled_by_category: Counter[int] = Counter()
+    for j, task in enumerate(market.tasks):
+        tasks_by_category[task.category] += 1
+        demand_by_category[task.category] += task.replication
+        filled_by_category[task.category] += len(by_task.get(j, []))
+    categories = [
+        CategoryUtilization(
+            category=market.taxonomy.name_of(category),
+            n_tasks=tasks_by_category[category],
+            demand=demand_by_category[category],
+            filled=filled_by_category[category],
+        )
+        for category in sorted(tasks_by_category)
+    ]
+
+    loads = Counter(i for i, _j in assignment.edges)
+    load_values = [loads.get(i, 0) for i in range(market.n_workers)]
+
+    per_worker = assignment.per_worker_benefit()
+    top_workers = sorted(
+        (
+            (market.workers[i].worker_id, benefit)
+            for i, benefit in per_worker.items()
+        ),
+        key=lambda pair: -pair[1],
+    )[:top_n]
+
+    return AssignmentReport(
+        solver=assignment.solver_name,
+        n_edges=len(assignment),
+        coverage=assignment.coverage(),
+        requester_total=assignment.requester_total(),
+        worker_total=assignment.worker_total(),
+        combined_total=assignment.combined_total(),
+        side_gap=side_gap(assignment),
+        benefit_gini=benefit_gini(assignment),
+        assigned_worker_fraction=assigned_fraction(assignment),
+        worker_load=Summary.of(np.array(load_values, dtype=float)),
+        categories=categories,
+        top_workers=top_workers,
+    )

@@ -1,0 +1,60 @@
+"""Distributional fairness measures over worker outcomes.
+
+The abstract's "workers' willingness to participate" has two
+observable proxies: how much benefit workers receive and how evenly it
+is spread.  These functions summarize an assignment from the worker
+population's point of view; experiment T4 reports them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.utils.stats import gini
+
+
+def worker_benefit_vector(assignment: Assignment) -> np.ndarray:
+    """Per-worker benefit across *all* active workers (unassigned → 0)."""
+    problem = assignment.problem
+    per_worker = assignment.per_worker_benefit()
+    active = [
+        i for i in range(problem.n_workers) if problem.is_worker_active(i)
+    ]
+    return np.array([per_worker.get(i, 0.0) for i in active], dtype=float)
+
+
+def benefit_gini(assignment: Assignment) -> float:
+    """Gini of non-negative worker benefit (negatives clipped to 0).
+
+    Clipping keeps the coefficient well-defined; a worker with negative
+    benefit is no better off than an unassigned one for inequality
+    purposes.
+    """
+    vector = np.clip(worker_benefit_vector(assignment), 0.0, None)
+    return gini(vector)
+
+
+def assigned_fraction(assignment: Assignment) -> float:
+    """Fraction of active workers who received at least one task."""
+    problem = assignment.problem
+    active = sum(
+        problem.is_worker_active(i) for i in range(problem.n_workers)
+    )
+    if active == 0:
+        return 0.0
+    return len(assignment.tasks_per_worker()) / active
+
+
+def side_gap(assignment: Assignment) -> float:
+    """|requester_total − worker_total| normalized by their sum.
+
+    0 means perfectly balanced sides, 1 means one side got everything.
+    Undefined (returns 0) when both totals are non-positive.
+    """
+    req = assignment.requester_total()
+    wrk = assignment.worker_total()
+    denom = abs(req) + abs(wrk)
+    if denom <= 0:
+        return 0.0
+    return abs(req - wrk) / denom

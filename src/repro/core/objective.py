@@ -1,0 +1,133 @@
+"""Objective functions over edge sets.
+
+Two views of "how good is this assignment":
+
+* :class:`LinearObjective` — the combined benefit decomposes over
+  edges.  Exact for the linear combiner; for egalitarian/Nash the total
+  is still exact (computed from side totals) but the *marginal* value
+  of an edge depends on the current set.
+* :class:`CoverageObjective` — the realistic quality model: a task's
+  requester-side value is its payment times the committee quality under
+  the knows/guesses model
+  (:func:`repro.crowd.quality.knowledge_coverage_quality`), which is
+  **monotone submodular** in the assigned worker set and whose
+  singleton value coincides with the linear surrogate.  Together with
+  the additive worker part, feasible sets form a partition matroid and
+  lazy greedy earns its 1/2 guarantee.
+
+Both expose ``value(edges)`` and ``marginal(edges, new_edge)`` — the
+two operations every solver needs.
+
+Why not optimize majority-vote accuracy directly?  It is *not*
+submodular: with a fair-coin tie break, growing a committee from odd to
+even size gains ~nothing while even to odd gains a lot, so marginal
+gains oscillate and greedy has no guarantee.  The knows/guesses
+coverage quality is the standard submodular planning surrogate; the
+simulator still realizes answers and scores them with true
+majority-vote aggregation, and experiment F10 quantifies the gap
+between planned (coverage) and realized (majority-vote) quality.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.problem import MBAProblem
+from repro.crowd.quality import knowledge_coverage_quality
+from repro.errors import ValidationError
+from repro.types import Edge
+
+
+class Objective(abc.ABC):
+    """Set function over assignment edges."""
+
+    def __init__(self, problem: MBAProblem) -> None:
+        self.problem = problem
+
+    @abc.abstractmethod
+    def value(self, edges: list[Edge]) -> float:
+        """Objective value of a whole edge set."""
+
+    def marginal(self, edges: list[Edge], new_edge: Edge) -> float:
+        """Gain from adding ``new_edge`` to ``edges``.
+
+        Default implementation is the difference of two ``value`` calls;
+        subclasses override with incremental formulas where available.
+        """
+        if new_edge in edges:
+            raise ValidationError(f"edge {new_edge} already present")
+        return self.value(list(edges) + [new_edge]) - self.value(edges)
+
+
+class LinearObjective(Objective):
+    """Combined benefit from the problem's combiner over side totals.
+
+    For the linear combiner this is additive in edges and ``marginal``
+    is a single matrix lookup.
+    """
+
+    def value(self, edges: list[Edge]) -> float:
+        return self.problem.benefits.combined_total(edges)
+
+    def marginal(self, edges: list[Edge], new_edge: Edge) -> float:
+        if new_edge in edges:
+            raise ValidationError(f"edge {new_edge} already present")
+        if self.problem.combiner.decomposes_over_edges:
+            i, j = new_edge
+            return float(self.problem.benefits.combined[i, j])
+        return super().marginal(edges, new_edge)
+
+
+class CoverageObjective(Objective):
+    """Submodular quality + linear worker benefit.
+
+    ``value(S) = lam * sum_t pay_t * Q(S_t)
+               + (1 - lam) * sum_(i,j) in S workerBenefit[i, j]``
+
+    where ``Q`` is the knows/guesses coverage quality of the worker set
+    assigned to each task.  The requester part is monotone submodular
+    per task; the worker part is additive (and may be negative), so the
+    whole objective is submodular over the partition-matroid feasible
+    sets, and non-monotone only through the worker part.
+    """
+
+    def __init__(self, problem: MBAProblem, lam: float = 0.5) -> None:
+        super().__init__(problem)
+        if not 0.0 <= lam <= 1.0:
+            raise ValidationError(f"lam must lie in [0, 1], got {lam}")
+        self.lam = lam
+        self._accuracy = problem.market.accuracy_matrix()
+        self._payments = problem.market.task_payments()
+
+    def task_quality(self, task_index: int, worker_indices: list[int]) -> float:
+        """Normalized committee quality in [0, 1) for one task."""
+        accuracies = [self._accuracy[i, task_index] for i in worker_indices]
+        return knowledge_coverage_quality(accuracies)
+
+    def value(self, edges: list[Edge]) -> float:
+        by_task: dict[int, list[int]] = {}
+        worker_part = 0.0
+        worker_matrix = self.problem.benefits.worker
+        for worker_index, task_index in edges:
+            by_task.setdefault(task_index, []).append(worker_index)
+            worker_part += float(worker_matrix[worker_index, task_index])
+        requester_part = sum(
+            float(self._payments[task_index])
+            * self.task_quality(task_index, worker_indices)
+            for task_index, worker_indices in by_task.items()
+        )
+        return self.lam * requester_part + (1.0 - self.lam) * worker_part
+
+    def marginal(self, edges: list[Edge], new_edge: Edge) -> float:
+        """Incremental: only the affected task's quality is recomputed."""
+        if new_edge in edges:
+            raise ValidationError(f"edge {new_edge} already present")
+        worker_index, task_index = new_edge
+        committee = [i for i, j in edges if j == task_index]
+        before = self.task_quality(task_index, committee)
+        after = self.task_quality(task_index, committee + [worker_index])
+        requester_gain = float(self._payments[task_index]) * (after - before)
+        worker_gain = float(
+            self.problem.benefits.worker[worker_index, task_index]
+        )
+        return self.lam * requester_gain + (1.0 - self.lam) * worker_gain

@@ -1,0 +1,133 @@
+"""The MBA (mutual benefit aware) task-assignment problem instance.
+
+An :class:`MBAProblem` bundles a market snapshot with the benefit
+models and the combiner, materializes the benefit matrices once, and
+offers feasibility checks.  Solvers take an ``MBAProblem`` and return
+an :class:`repro.core.assignment.Assignment`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.benefit.base import BenefitModel
+from repro.benefit.matrices import BenefitMatrices, build_benefit_matrices
+from repro.benefit.mutual import LinearCombiner, MutualCombiner
+from repro.errors import InfeasibleError, ValidationError
+from repro.market.market import LaborMarket
+from repro.matching.hopcroft_karp import hopcroft_karp
+
+
+class MBAProblem:
+    """One assignment round's full problem statement.
+
+    Parameters
+    ----------
+    market:
+        The market snapshot (only *active* workers are assignable).
+    combiner:
+        Mutual-benefit combiner; defaults to λ=0.5 linear.
+    requester_model / worker_model:
+        Side benefit models; library defaults when omitted.
+    """
+
+    def __init__(
+        self,
+        market: LaborMarket,
+        combiner: MutualCombiner | None = None,
+        requester_model: BenefitModel | None = None,
+        worker_model: BenefitModel | None = None,
+    ) -> None:
+        if market.n_workers == 0:
+            raise ValidationError("market has no workers")
+        if market.n_tasks == 0:
+            raise ValidationError("market has no tasks")
+        self.market = market
+        self.combiner = combiner if combiner is not None else LinearCombiner(0.5)
+        self.benefits: BenefitMatrices = build_benefit_matrices(
+            market,
+            combiner=self.combiner,
+            requester_model=requester_model,
+            worker_model=worker_model,
+        )
+        self._active = np.array([w.active for w in market.workers], dtype=bool)
+
+    # -- capacities ------------------------------------------------------
+
+    @property
+    def n_workers(self) -> int:
+        return self.market.n_workers
+
+    @property
+    def n_tasks(self) -> int:
+        return self.market.n_tasks
+
+    def worker_capacities(self) -> np.ndarray:
+        """Capacities with inactive workers zeroed out."""
+        caps = self.market.worker_capacities().copy()
+        caps[~self._active] = 0
+        return caps
+
+    def task_capacities(self) -> np.ndarray:
+        return self.market.task_replications()
+
+    def is_worker_active(self, worker_index: int) -> bool:
+        return bool(self._active[worker_index])
+
+    # -- feasibility -----------------------------------------------------
+
+    def max_assignable(self) -> int:
+        """Maximum number of (worker, task) pairs any assignment can have.
+
+        Computed by maximum-cardinality matching on the
+        capacity-expanded graph restricted to positive-combined-benefit
+        edges; useful for sanity-checking replication demands.
+        """
+        caps_w = self.worker_capacities()
+        caps_t = self.task_capacities()
+        left_slots: list[int] = []
+        for i in range(self.n_workers):
+            left_slots.extend([i] * int(caps_w[i]))
+        right_slots: list[int] = []
+        for j in range(self.n_tasks):
+            right_slots.extend([j] * int(caps_t[j]))
+        if not left_slots or not right_slots:
+            return 0
+        right_of_task: dict[int, list[int]] = {}
+        for slot, j in enumerate(right_slots):
+            right_of_task.setdefault(j, []).append(slot)
+        positive = self.benefits.combined > 0
+        adjacency = [
+            [
+                slot
+                for j in range(self.n_tasks)
+                if positive[i, j]
+                for slot in right_of_task.get(j, [])
+            ]
+            for i in left_slots
+        ]
+        size, _left, _right = hopcroft_karp(
+            len(left_slots), len(right_slots), adjacency
+        )
+        return size
+
+    def require_nonempty_feasible(self) -> None:
+        """Raise :class:`InfeasibleError` if no positive edge exists."""
+        caps_w = self.worker_capacities()
+        caps_t = self.task_capacities()
+        usable = (
+            (self.benefits.combined > 0)
+            & (caps_w[:, np.newaxis] > 0)
+            & (caps_t[np.newaxis, :] > 0)
+        )
+        if not usable.any():
+            raise InfeasibleError(
+                "no edge with positive combined benefit between an active "
+                "worker with capacity and a task with replication quota"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"MBAProblem(workers={self.n_workers}, tasks={self.n_tasks}, "
+            f"combiner={self.combiner!r})"
+        )

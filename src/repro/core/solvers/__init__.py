@@ -1,0 +1,77 @@
+"""Solver registry for MBA task assignment.
+
+Registered names (use :func:`get_solver`):
+
+========================  ====================================================
+``flow``                  exact for additive objectives, via min-cost flow
+``greedy``                lazy greedy on any objective (1/2 guarantee on
+                          submodular + partition matroid)
+``local-search``          greedy followed by swap-based improvement
+``exact``                 branch-and-bound optimum, small instances only
+``online-greedy``         workers arrive online, greedy per arrival
+``online-two-phase``      sample-and-price online algorithm
+``auction``               decentralizable ε-scaling auction (exact when a
+                          side is unit-capacity)
+``online-batch``          micro-batching: per-window optimal assignment
+``budgeted-flow``         Lagrangian bisection under a global payment cap
+``pruned-greedy``         scalable greedy on top-k pruned candidates
+``incremental-flow``      stability-biased flow for cross-round re-solves
+``constrained-greedy``    greedy honouring budget/qualification/diversity
+                          constraints (see :mod:`repro.core.constraints`)
+``stable-matching``       Gale–Shapley deferred acceptance baseline (zero
+                          blocking pairs under the induced preferences)
+``quality-only``          baseline: requester side only (λ=1)
+``worker-only``           baseline: worker side only (λ=0)
+``random``                baseline: random feasible positive edges
+``round-robin``           baseline: tasks take turns picking workers
+========================  ====================================================
+"""
+
+from repro.core.solvers.auction_solver import AuctionSolver
+from repro.core.solvers.base import (
+    SOLVER_REGISTRY,
+    Solver,
+    get_solver,
+    list_solvers,
+    register_solver,
+)
+from repro.core.solvers.batched import OnlineBatchSolver
+from repro.core.solvers.budgeted import BudgetedFlowSolver
+from repro.core.solvers.baselines import (
+    QualityOnlySolver,
+    RandomSolver,
+    RoundRobinSolver,
+    WorkerOnlySolver,
+)
+from repro.core.solvers.exact import ExactSolver
+from repro.core.solvers.flow import FlowSolver
+from repro.core.solvers.greedy import GreedySolver
+from repro.core.solvers.incremental import IncrementalFlowSolver
+from repro.core.solvers.local_search import LocalSearchSolver
+from repro.core.solvers.online import OnlineGreedySolver, OnlineTwoPhaseSolver
+from repro.core.solvers.pruned import PrunedGreedySolver
+from repro.core.solvers.stable import StableMatchingSolver
+
+__all__ = [
+    "AuctionSolver",
+    "BudgetedFlowSolver",
+    "ExactSolver",
+    "FlowSolver",
+    "GreedySolver",
+    "IncrementalFlowSolver",
+    "LocalSearchSolver",
+    "OnlineBatchSolver",
+    "OnlineGreedySolver",
+    "OnlineTwoPhaseSolver",
+    "PrunedGreedySolver",
+    "QualityOnlySolver",
+    "RandomSolver",
+    "RoundRobinSolver",
+    "SOLVER_REGISTRY",
+    "Solver",
+    "StableMatchingSolver",
+    "WorkerOnlySolver",
+    "get_solver",
+    "list_solvers",
+    "register_solver",
+]

@@ -1,0 +1,123 @@
+"""Auction-based assignment solver.
+
+Reduces the capacitated MBA assignment to a *unit* assignment by
+expanding each worker into ``capacity`` bidder copies and each task
+into ``replication`` slot copies, then runs Bertsekas' ε-scaling
+auction (:func:`repro.matching.auction.auction_assignment`).
+
+The expansion solves a relaxation: two copies of worker ``i`` may both
+grab copies of task ``j`` (a worker answering a task twice), which the
+real problem forbids.  That only arises when *both* the worker's
+capacity and the task's replication exceed 1; the solver repairs it by
+keeping one copy of each duplicated pair and greedily refilling the
+freed capacity with the best unused positive edges.  Consequences,
+locked by tests:
+
+* **exact** whenever every worker capacity is 1 or every task
+  replication is 1 (the expansion is then duplicate-free);
+* otherwise a high-quality approximation (within a few percent of the
+  flow optimum on random instances).
+
+Why keep it?  The auction is the *decentralized* algorithm — bidders
+act on local prices — which is how one shards assignment across
+machines, and it cross-validates the flow reduction at whole-solver
+level on the exact cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.problem import MBAProblem
+from repro.core.solvers.base import Solver, register_solver
+from repro.matching.auction import auction_assignment
+from repro.utils.rng import SeedLike
+
+
+@register_solver("auction")
+class AuctionSolver(Solver):
+    """ε-scaling auction on the capacity-expanded unit assignment."""
+
+    def solve(self, problem: MBAProblem, seed: SeedLike = None) -> Assignment:
+        combined = problem.benefits.combined
+        caps_w = problem.worker_capacities()
+        caps_t = problem.task_capacities()
+
+        bidders: list[int] = []
+        for i in range(problem.n_workers):
+            bidders.extend([i] * int(caps_w[i]))
+        slots: list[int] = []
+        for j in range(problem.n_tasks):
+            slots.extend([j] * int(caps_t[j]))
+        if not bidders or not slots:
+            return self._finish(problem, [])
+
+        clipped = np.maximum(combined, 0.0)
+        values = clipped[np.ix_(bidders, slots)].astype(float)
+        if float(values.max()) == 0.0:
+            return self._finish(problem, [])
+
+        # Auction needs n_rows <= n_cols; pad with zero-value dummy
+        # slots (meaning "stay unassigned") when bidders outnumber
+        # slots.
+        n_b, n_s = values.shape
+        if n_b > n_s:
+            padded = np.zeros((n_b, n_b))
+            padded[:, :n_s] = values
+            values = padded
+
+        assignment, _total = auction_assignment(values)
+
+        # Collect picks, dropping zero-value and duplicate (i, j) pairs.
+        edges: list[tuple[int, int]] = []
+        seen: set[tuple[int, int]] = set()
+        load_w = np.zeros(problem.n_workers, dtype=int)
+        load_t = np.zeros(problem.n_tasks, dtype=int)
+        for bidder_position, slot_position in enumerate(assignment):
+            if slot_position < 0 or slot_position >= n_s:
+                continue
+            i = bidders[bidder_position]
+            j = slots[slot_position]
+            if values[bidder_position, slot_position] <= 0:
+                continue
+            if (i, j) in seen:
+                continue  # duplicate pair: repaired below by refill
+            seen.add((i, j))
+            load_w[i] += 1
+            load_t[j] += 1
+            edges.append((i, j))
+
+        # Greedy refill of capacity freed by dropped duplicates.
+        spare_w = caps_w - load_w
+        spare_t = caps_t - load_t
+        if spare_w.sum() > 0 and spare_t.sum() > 0:
+            candidates = sorted(
+                (
+                    (float(combined[i, j]), i, j)
+                    for i in range(problem.n_workers)
+                    if spare_w[i] > 0
+                    for j in range(problem.n_tasks)
+                    if spare_t[j] > 0
+                    and combined[i, j] > 0
+                    and (i, j) not in seen
+                ),
+                reverse=True,
+            )
+            for _value, i, j in candidates:
+                if spare_w[i] > 0 and spare_t[j] > 0:
+                    spare_w[i] -= 1
+                    spare_t[j] -= 1
+                    seen.add((i, j))
+                    edges.append((i, j))
+        return self._finish(problem, edges)
+
+    @staticmethod
+    def exact_for_problem(problem: MBAProblem) -> bool:
+        """True when the expansion is duplicate-free, hence optimal."""
+        if not problem.combiner.decomposes_over_edges:
+            return False
+        return (
+            bool((problem.worker_capacities() <= 1).all())
+            or bool((problem.task_capacities() <= 1).all())
+        )

@@ -1,0 +1,69 @@
+"""Solver interface and registry."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.assignment import Assignment
+from repro.core.problem import MBAProblem
+from repro.errors import UnknownSolverError
+from repro.utils.rng import SeedLike
+
+SOLVER_REGISTRY: dict[str, type["Solver"]] = {}
+
+
+def register_solver(name: str):
+    """Class decorator adding a solver to the registry under ``name``."""
+
+    def decorator(cls: type["Solver"]) -> type["Solver"]:
+        cls.name = name
+        SOLVER_REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def get_solver(name: str, **kwargs) -> "Solver":
+    """Instantiate a registered solver by name."""
+    try:
+        cls = SOLVER_REGISTRY[name]
+    except KeyError:
+        raise UnknownSolverError(name, list(SOLVER_REGISTRY)) from None
+    return cls(**kwargs)
+
+
+def list_solvers() -> list[str]:
+    """Sorted names of all registered solvers."""
+    return sorted(SOLVER_REGISTRY)
+
+
+class Solver(abc.ABC):
+    """Produces an :class:`Assignment` for an :class:`MBAProblem`.
+
+    Solvers must be stateless across calls (construct-once, solve-many)
+    and deterministic given the same ``seed``.
+    """
+
+    name: str = "unnamed"
+
+    @abc.abstractmethod
+    def solve(self, problem: MBAProblem, seed: SeedLike = None) -> Assignment:
+        """Solve one problem instance."""
+
+    def observe_round(
+        self, problem: MBAProblem, assignment: Assignment
+    ) -> None:
+        """Hook: the simulator reports each round's final assignment.
+
+        Default is a no-op.  History-aware solvers (e.g. the
+        incremental flow solver) override this to carry state — such
+        as the previous round's edges — into the next ``solve`` call.
+        The contract that solvers are deterministic *given the same
+        observation history* still holds.
+        """
+
+    def _finish(
+        self, problem: MBAProblem, edges: list[tuple[int, int]]
+    ) -> Assignment:
+        """Wrap raw edges into a validated Assignment tagged with our name."""
+        return Assignment(problem, edges, solver_name=self.name)

@@ -1,0 +1,126 @@
+"""Exact branch-and-bound solver for small instances.
+
+Explores edge-inclusion decisions in decreasing-surrogate-gain order.
+Pruning combines three ingredients:
+
+* **greedy warm start** — the incumbent starts at the greedy solution,
+  so the bound has something to beat from node one;
+* **sorted-prefix bound** — candidates are sorted by surrogate gain,
+  so the best ``R`` additions available from position ``k`` are exactly
+  ``gains[k : k + R]``; for linear objectives the surrogate equals the
+  marginal and for the coverage objective the singleton surrogate
+  upper-bounds every later marginal (submodularity), so the prefix sum
+  is a valid optimistic completion;
+* **capacity cap** — ``R`` is capped by the total remaining worker
+  capacity and task replication, which the relaxation above would
+  otherwise ignore.
+
+Still exponential in the worst case; guarded by an explicit
+instance-size limit so it cannot be misused in a sweep.  Its role is
+ground truth: experiment F12 compares greedy/flow output against it,
+and tests cross-validate the flow solver on linear instances.
+
+The bound argument requires the surrogate to upper-bound marginal
+gains, which holds for :class:`LinearObjective` under a decomposing
+combiner and for :class:`CoverageObjective`; pairing this solver with
+the egalitarian/Nash combiners is unsupported.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.objective import LinearObjective, Objective
+from repro.core.problem import MBAProblem
+from repro.core.solvers.base import Solver, register_solver
+from repro.core.solvers.greedy import GreedySolver
+from repro.errors import ValidationError
+from repro.utils.rng import SeedLike
+
+
+@register_solver("exact")
+class ExactSolver(Solver):
+    """Branch-and-bound optimum; refuses instances above ``max_edges``."""
+
+    def __init__(self, objective_factory=None, max_edges: int = 120) -> None:
+        self._objective_factory = (
+            objective_factory if objective_factory is not None else LinearObjective
+        )
+        self.max_edges = max_edges
+
+    def solve(self, problem: MBAProblem, seed: SeedLike = None) -> Assignment:
+        objective: Objective = self._objective_factory(problem)
+        caps_w = problem.worker_capacities()
+        caps_t = problem.task_capacities()
+        combined = problem.benefits.combined
+
+        candidates = [
+            (float(combined[i, j]), i, j)
+            for i in range(problem.n_workers)
+            if caps_w[i] > 0
+            for j in range(problem.n_tasks)
+            if caps_t[j] > 0 and combined[i, j] > 0
+        ]
+        if len(candidates) > self.max_edges:
+            raise ValidationError(
+                f"exact solver limited to {self.max_edges} candidate edges, "
+                f"instance has {len(candidates)}; use 'flow' or 'greedy'"
+            )
+        candidates.sort(reverse=True)
+        gains = np.array([g for g, _i, _j in candidates])
+        # prefix[k] = sum of the k largest gains; the best R additions
+        # from position k onward are gains[k : k + R] because the list
+        # is sorted descending.
+        prefix = np.concatenate(([0.0], np.cumsum(gains)))
+
+        # Warm start: greedy gives a strong incumbent for pruning.
+        warm = GreedySolver(self._objective_factory).solve(problem, seed)
+        best_edges = list(warm.edges)
+        best_value = objective.value(best_edges)
+        empty_value = objective.value([])
+        if empty_value > best_value:
+            best_value = empty_value
+            best_edges = []
+
+        remaining_w = caps_w.copy()
+        remaining_t = caps_t.copy()
+        current: list[tuple[int, int]] = []
+        n_candidates = len(candidates)
+
+        def bound_from(k: int) -> float:
+            slots = min(
+                int(remaining_w.sum()),
+                int(remaining_t.sum()),
+                n_candidates - k,
+            )
+            if slots <= 0:
+                return 0.0
+            return float(prefix[k + slots] - prefix[k])
+
+        def recurse(k: int, current_value: float) -> None:
+            nonlocal best_value, best_edges
+            if current_value > best_value + 1e-12:
+                best_value = current_value
+                best_edges = list(current)
+            if k == n_candidates:
+                return
+            if current_value + bound_from(k) <= best_value + 1e-12:
+                return
+            _gain, i, j = candidates[k]
+            # Branch 1: include (i, j) if capacity remains.
+            if remaining_w[i] > 0 and remaining_t[j] > 0:
+                marginal = objective.marginal(current, (i, j))
+                if marginal > 0:
+                    current.append((i, j))
+                    remaining_w[i] -= 1
+                    remaining_t[j] -= 1
+                    recurse(k + 1, current_value + marginal)
+                    current.pop()
+                    remaining_w[i] += 1
+                    remaining_t[j] += 1
+            # Branch 2: exclude.
+            recurse(k + 1, current_value)
+
+        recurse(0, empty_value)
+        return self._finish(problem, best_edges)

@@ -1,0 +1,34 @@
+"""The flow-optimal solver for additive (linear-combiner) objectives.
+
+Reduces the capacitated assignment to maximum-weight b-matching (see
+:mod:`repro.matching.b_matching`) on the combined per-edge matrix.
+Exact when the combiner decomposes over edges; for non-decomposing
+combiners it optimizes the per-edge surrogate and is a strong
+heuristic, which the solver flags via :attr:`exact_for_problem`.
+"""
+
+from __future__ import annotations
+
+from repro.core.assignment import Assignment
+from repro.core.problem import MBAProblem
+from repro.core.solvers.base import Solver, register_solver
+from repro.matching.b_matching import max_weight_b_matching
+from repro.utils.rng import SeedLike
+
+
+@register_solver("flow")
+class FlowSolver(Solver):
+    """Min-cost-flow based optimal assignment for additive objectives."""
+
+    def solve(self, problem: MBAProblem, seed: SeedLike = None) -> Assignment:
+        edges, _total = max_weight_b_matching(
+            problem.benefits.combined,
+            problem.worker_capacities(),
+            problem.task_capacities(),
+        )
+        return self._finish(problem, edges)
+
+    @staticmethod
+    def exact_for_problem(problem: MBAProblem) -> bool:
+        """True when this solver's output is provably optimal."""
+        return problem.combiner.decomposes_over_edges

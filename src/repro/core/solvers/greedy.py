@@ -1,0 +1,96 @@
+"""Lazy greedy for arbitrary (notably submodular) objectives.
+
+Classic accelerated greedy: keep every candidate edge in a max-heap
+keyed by its *last known* marginal gain; pop, recompute against the
+current solution, and either take the edge (if its fresh gain still
+beats the heap top) or push it back with the fresh key.  For submodular
+objectives gains only shrink as the solution grows, so a stale key is
+an upper bound and laziness is exact.  Over a partition matroid (worker
+capacities × task replications) greedy guarantees 1/2 of the optimum;
+experiment F12 measures the real gap (typically > 0.9).
+
+For the linear combiner an edge's marginal gain never changes, so lazy
+greedy degenerates into "sort edges by weight and take greedily" —
+correct, and fast.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.core.assignment import Assignment
+from repro.core.objective import LinearObjective, Objective
+from repro.core.problem import MBAProblem
+from repro.core.solvers.base import Solver, register_solver
+from repro.utils.rng import SeedLike
+
+
+@register_solver("greedy")
+class GreedySolver(Solver):
+    """Lazy greedy over the problem's objective.
+
+    Parameters
+    ----------
+    objective_factory:
+        Callable ``problem -> Objective``; defaults to
+        :class:`LinearObjective` (the combiner's own objective).  Pass
+        ``lambda p: CoverageObjective(p, lam)`` for the submodular
+        quality model.
+    min_gain:
+        Stop when the best available marginal gain falls to or below
+        this threshold (0 keeps only strictly beneficial edges).
+    """
+
+    def __init__(self, objective_factory=None, min_gain: float = 0.0) -> None:
+        self._objective_factory = (
+            objective_factory if objective_factory is not None else LinearObjective
+        )
+        self.min_gain = min_gain
+
+    def solve(self, problem: MBAProblem, seed: SeedLike = None) -> Assignment:
+        objective: Objective = self._objective_factory(problem)
+        caps_w = problem.worker_capacities().copy()
+        caps_t = problem.task_capacities().copy()
+        combined = problem.benefits.combined
+        additive = (
+            isinstance(objective, LinearObjective)
+            and problem.combiner.decomposes_over_edges
+        )
+
+        # Seed the heap with singleton surrogate gains; for submodular
+        # objectives these upper-bound all later marginals.
+        counter = itertools.count()
+        heap: list[tuple[float, int, int, int]] = []
+        for i in range(problem.n_workers):
+            if caps_w[i] <= 0:
+                continue
+            for j in range(problem.n_tasks):
+                if caps_t[j] <= 0:
+                    continue
+                gain = float(combined[i, j])
+                if gain > self.min_gain:
+                    heapq.heappush(heap, (-gain, next(counter), i, j))
+
+        chosen: list[tuple[int, int]] = []
+        chosen_set: set[tuple[int, int]] = set()
+        while heap:
+            neg_gain, _tie, i, j = heapq.heappop(heap)
+            if caps_w[i] <= 0 or caps_t[j] <= 0 or (i, j) in chosen_set:
+                continue
+            if additive:
+                gain = -neg_gain
+            else:
+                gain = objective.marginal(chosen, (i, j))
+                if gain <= self.min_gain:
+                    continue
+                if heap and -heap[0][0] > gain + 1e-12:
+                    # Something else may now be better; re-queue with
+                    # the fresh key and look again.
+                    heapq.heappush(heap, (-gain, next(counter), i, j))
+                    continue
+            chosen.append((i, j))
+            chosen_set.add((i, j))
+            caps_w[i] -= 1
+            caps_t[j] -= 1
+        return self._finish(problem, chosen)

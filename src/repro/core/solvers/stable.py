@@ -1,0 +1,46 @@
+"""Stable-matching solver: deferred acceptance as an MBA baseline.
+
+Preferences are induced by the benefit matrices (workers rank tasks by
+worker-side benefit, tasks rank workers by requester-side benefit), so
+"stable" here means: no worker-task pair exists that both sides would
+rather have than their current match.  Matching theory's notion of
+mutual agreeability, put side by side with the paper's utilitarian
+mutual-benefit objective in experiment F19.
+"""
+
+from __future__ import annotations
+
+from repro.core.assignment import Assignment
+from repro.core.problem import MBAProblem
+from repro.core.solvers.base import Solver, register_solver
+from repro.matching.stable import blocking_pairs, deferred_acceptance
+from repro.utils.rng import SeedLike
+
+
+@register_solver("stable-matching")
+class StableMatchingSolver(Solver):
+    """Worker-proposing deferred acceptance on induced preferences."""
+
+    def solve(self, problem: MBAProblem, seed: SeedLike = None) -> Assignment:
+        edges = deferred_acceptance(
+            problem.benefits.worker,
+            problem.benefits.requester,
+            problem.worker_capacities(),
+            problem.task_capacities(),
+        )
+        return self._finish(problem, edges)
+
+    @staticmethod
+    def count_blocking_pairs(
+        problem: MBAProblem, assignment: Assignment
+    ) -> int:
+        """Blocking pairs of any assignment under the induced preferences."""
+        return len(
+            blocking_pairs(
+                list(assignment.edges),
+                problem.benefits.worker,
+                problem.benefits.requester,
+                problem.worker_capacities(),
+                problem.task_capacities(),
+            )
+        )

@@ -1,0 +1,18 @@
+"""Answer aggregation: majority, weighted, Dawid–Skene (one/two-coin), GLAD."""
+
+from repro.crowd.aggregation.dawid_skene import DawidSkeneResult, dawid_skene
+from repro.crowd.aggregation.glad import GladResult, glad
+from repro.crowd.aggregation.majority import majority_vote
+from repro.crowd.aggregation.two_coin import TwoCoinResult, two_coin_dawid_skene
+from repro.crowd.aggregation.weighted import weighted_majority_vote
+
+__all__ = [
+    "DawidSkeneResult",
+    "GladResult",
+    "TwoCoinResult",
+    "dawid_skene",
+    "glad",
+    "majority_vote",
+    "two_coin_dawid_skene",
+    "weighted_majority_vote",
+]

@@ -1,0 +1,132 @@
+"""Dawid–Skene EM for joint truth + worker-accuracy inference.
+
+The binary one-coin specialization: worker ``w`` has a single unknown
+accuracy ``a_w`` applied symmetrically to both classes.  EM alternates
+
+* **E-step** — posterior P(truth = 1 | answers, accuracies) per task;
+* **M-step** — each worker's accuracy re-estimated as the expected
+  fraction of their answers agreeing with the posterior truths.
+
+The data log-likelihood is non-decreasing across iterations (a property
+test locks this), and accuracies are clipped into ``[eps, 1-eps]`` to
+keep the likelihood finite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.crowd.answer_model import AnswerSet
+from repro.errors import ValidationError
+
+_EPS = 1e-4
+
+
+@dataclass(frozen=True)
+class DawidSkeneResult:
+    """Output of Dawid–Skene EM.
+
+    Attributes
+    ----------
+    labels:
+        MAP label per task.
+    posteriors:
+        P(truth = 1) per task.
+    worker_accuracies:
+        Estimated accuracy per worker index.
+    log_likelihood:
+        Final data log-likelihood.
+    iterations:
+        EM iterations performed.
+    """
+
+    labels: dict[int, int]
+    posteriors: dict[int, float]
+    worker_accuracies: dict[int, float]
+    log_likelihood: float
+    iterations: int
+
+
+def dawid_skene(
+    answer_set: AnswerSet,
+    max_iterations: int = 100,
+    tolerance: float = 1e-7,
+    class_prior: float = 0.5,
+) -> DawidSkeneResult:
+    """Run one-coin Dawid–Skene EM on an answer set.
+
+    ``class_prior`` is P(truth = 1); 0.5 matches the simulator's
+    uniform truth draw.
+    """
+    if not 0.0 < class_prior < 1.0:
+        raise ValidationError(
+            f"class_prior must lie strictly in (0, 1), got {class_prior}"
+        )
+    if max_iterations < 1:
+        raise ValidationError("max_iterations must be >= 1")
+
+    tasks = sorted(answer_set.answers)
+    workers = sorted(
+        {w for by_worker in answer_set.answers.values() for w in by_worker}
+    )
+    if not tasks:
+        return DawidSkeneResult({}, {}, {}, 0.0, 0)
+
+    # Initialize posteriors from majority vote fractions (soft).
+    posterior: dict[int, float] = {}
+    for task in tasks:
+        by_worker = answer_set.answers[task]
+        posterior[task] = (sum(by_worker.values()) + 1.0) / (len(by_worker) + 2.0)
+
+    accuracy = {w: 0.7 for w in workers}
+    log_likelihood = -math.inf
+    iterations = 0
+
+    for iterations in range(1, max_iterations + 1):
+        # M-step: accuracy = expected agreement with posterior truth.
+        agreement = {w: 0.0 for w in workers}
+        count = {w: 0 for w in workers}
+        for task in tasks:
+            p1 = posterior[task]
+            for worker, answer in answer_set.answers[task].items():
+                agreement[worker] += p1 if answer == 1 else (1.0 - p1)
+                count[worker] += 1
+        for worker in workers:
+            if count[worker]:
+                a = agreement[worker] / count[worker]
+                accuracy[worker] = min(max(a, _EPS), 1.0 - _EPS)
+
+        # E-step: posterior truth per task, and the log-likelihood.
+        new_ll = 0.0
+        for task in tasks:
+            log_p1 = math.log(class_prior)
+            log_p0 = math.log(1.0 - class_prior)
+            for worker, answer in answer_set.answers[task].items():
+                a = accuracy[worker]
+                if answer == 1:
+                    log_p1 += math.log(a)
+                    log_p0 += math.log(1.0 - a)
+                else:
+                    log_p1 += math.log(1.0 - a)
+                    log_p0 += math.log(a)
+            peak = max(log_p1, log_p0)
+            evidence = peak + math.log(
+                math.exp(log_p1 - peak) + math.exp(log_p0 - peak)
+            )
+            posterior[task] = math.exp(log_p1 - evidence)
+            new_ll += evidence
+
+        if new_ll - log_likelihood < tolerance and iterations > 1:
+            log_likelihood = new_ll
+            break
+        log_likelihood = new_ll
+
+    labels = {task: int(posterior[task] >= 0.5) for task in tasks}
+    return DawidSkeneResult(
+        labels=labels,
+        posteriors=dict(posterior),
+        worker_accuracies=dict(accuracy),
+        log_likelihood=log_likelihood,
+        iterations=iterations,
+    )

@@ -1,0 +1,28 @@
+"""Plain majority voting."""
+
+from __future__ import annotations
+
+from repro.crowd.answer_model import AnswerSet
+from repro.utils.rng import SeedLike, as_rng
+
+
+def majority_vote(answer_set: AnswerSet, seed: SeedLike = None) -> dict[int, int]:
+    """Aggregate each task's answers by simple majority.
+
+    Ties are broken by a fair coin (seeded for reproducibility), the
+    same rule the closed-form accuracy in
+    :func:`repro.crowd.quality.majority_vote_accuracy` assumes.
+    Returns ``{task_index: label}``.
+    """
+    rng = as_rng(seed)
+    labels: dict[int, int] = {}
+    for task_index, by_worker in answer_set.answers.items():
+        ones = sum(by_worker.values())
+        zeros = len(by_worker) - ones
+        if ones > zeros:
+            labels[task_index] = 1
+        elif zeros > ones:
+            labels[task_index] = 0
+        else:
+            labels[task_index] = int(rng.integers(0, 2))
+    return labels

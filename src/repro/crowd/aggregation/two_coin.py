@@ -1,0 +1,145 @@
+"""Two-coin Dawid–Skene EM: per-class worker reliabilities.
+
+The one-coin model (:mod:`dawid_skene`) gives each worker a single
+accuracy.  The two-coin model estimates a full 2×2 confusion matrix —
+``sensitivity`` (P(answer 1 | truth 1)) and ``specificity``
+(P(answer 0 | truth 0)) — which matters when workers are biased toward
+one label (e.g. content moderators who over-flag).  This is the
+original Dawid & Skene (1979) formulation restricted to two classes.
+
+EM structure mirrors the one-coin module: E-step computes per-task
+posteriors, M-step re-estimates sensitivities/specificities and the
+class prior; the data log-likelihood is non-decreasing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.crowd.answer_model import AnswerSet
+from repro.errors import ValidationError
+
+_EPS = 1e-4
+
+
+@dataclass(frozen=True)
+class TwoCoinResult:
+    """Output of two-coin Dawid–Skene EM.
+
+    Attributes
+    ----------
+    labels / posteriors:
+        MAP label and P(truth = 1) per task.
+    sensitivities / specificities:
+        Per-worker P(vote 1 | truth 1) and P(vote 0 | truth 0).
+    class_prior:
+        Estimated P(truth = 1).
+    log_likelihood / iterations:
+        Final data log-likelihood and EM iterations performed.
+    """
+
+    labels: dict[int, int]
+    posteriors: dict[int, float]
+    sensitivities: dict[int, float]
+    specificities: dict[int, float]
+    class_prior: float
+    log_likelihood: float
+    iterations: int
+
+
+def _clip(x: float) -> float:
+    return min(max(x, _EPS), 1.0 - _EPS)
+
+
+def two_coin_dawid_skene(
+    answer_set: AnswerSet,
+    max_iterations: int = 100,
+    tolerance: float = 1e-7,
+) -> TwoCoinResult:
+    """Run two-coin Dawid–Skene EM on an answer set."""
+    if max_iterations < 1:
+        raise ValidationError("max_iterations must be >= 1")
+
+    tasks = sorted(answer_set.answers)
+    workers = sorted(
+        {w for by_worker in answer_set.answers.values() for w in by_worker}
+    )
+    if not tasks:
+        return TwoCoinResult({}, {}, {}, {}, 0.5, 0.0, 0)
+
+    posterior: dict[int, float] = {}
+    for task in tasks:
+        by_worker = answer_set.answers[task]
+        posterior[task] = (sum(by_worker.values()) + 1.0) / (len(by_worker) + 2.0)
+
+    sensitivity = {w: 0.7 for w in workers}
+    specificity = {w: 0.7 for w in workers}
+    class_prior = 0.5
+    log_likelihood = -math.inf
+    iterations = 0
+
+    for iterations in range(1, max_iterations + 1):
+        # M-step.
+        pos_agree = {w: 0.0 for w in workers}
+        pos_total = {w: 0.0 for w in workers}
+        neg_agree = {w: 0.0 for w in workers}
+        neg_total = {w: 0.0 for w in workers}
+        prior_mass = 0.0
+        for task in tasks:
+            p1 = posterior[task]
+            prior_mass += p1
+            for worker, answer in answer_set.answers[task].items():
+                pos_total[worker] += p1
+                neg_total[worker] += 1.0 - p1
+                if answer == 1:
+                    pos_agree[worker] += p1
+                else:
+                    neg_agree[worker] += 1.0 - p1
+        class_prior = _clip(prior_mass / len(tasks))
+        for worker in workers:
+            if pos_total[worker] > 0:
+                sensitivity[worker] = _clip(
+                    pos_agree[worker] / pos_total[worker]
+                )
+            if neg_total[worker] > 0:
+                specificity[worker] = _clip(
+                    neg_agree[worker] / neg_total[worker]
+                )
+
+        # E-step + likelihood.
+        new_ll = 0.0
+        for task in tasks:
+            log_p1 = math.log(class_prior)
+            log_p0 = math.log(1.0 - class_prior)
+            for worker, answer in answer_set.answers[task].items():
+                sens = sensitivity[worker]
+                spec = specificity[worker]
+                if answer == 1:
+                    log_p1 += math.log(sens)
+                    log_p0 += math.log(1.0 - spec)
+                else:
+                    log_p1 += math.log(1.0 - sens)
+                    log_p0 += math.log(spec)
+            peak = max(log_p1, log_p0)
+            evidence = peak + math.log(
+                math.exp(log_p1 - peak) + math.exp(log_p0 - peak)
+            )
+            posterior[task] = math.exp(log_p1 - evidence)
+            new_ll += evidence
+
+        if new_ll - log_likelihood < tolerance and iterations > 1:
+            log_likelihood = new_ll
+            break
+        log_likelihood = new_ll
+
+    labels = {task: int(posterior[task] >= 0.5) for task in tasks}
+    return TwoCoinResult(
+        labels=labels,
+        posteriors=dict(posterior),
+        sensitivities=dict(sensitivity),
+        specificities=dict(specificity),
+        class_prior=class_prior,
+        log_likelihood=log_likelihood,
+        iterations=iterations,
+    )

@@ -1,0 +1,52 @@
+"""Accuracy-weighted majority voting.
+
+Given (estimated) per-worker accuracies, the Bayes-optimal aggregation
+of independent binary votes weights each vote by its log-odds
+``log(a / (1 - a))``.  Accuracies are clipped away from {0, 1} so a
+single over-confident estimate cannot dominate with infinite weight.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.crowd.answer_model import AnswerSet
+from repro.errors import ValidationError
+from repro.utils.rng import SeedLike, as_rng
+
+_CLIP = 1e-3
+
+
+def log_odds_weight(accuracy: float) -> float:
+    """Bayes-optimal vote weight for a worker of given accuracy."""
+    if not 0.0 <= accuracy <= 1.0:
+        raise ValidationError(f"accuracy must lie in [0, 1], got {accuracy}")
+    a = min(max(accuracy, _CLIP), 1.0 - _CLIP)
+    return math.log(a / (1.0 - a))
+
+
+def weighted_majority_vote(
+    answer_set: AnswerSet,
+    worker_accuracies: dict[int, float],
+    seed: SeedLike = None,
+) -> dict[int, int]:
+    """Aggregate with per-worker log-odds weights.
+
+    Workers missing from ``worker_accuracies`` default to 0.5 (weight
+    0): an unknown worker's vote carries no information.  Ties (net
+    score exactly 0) break by fair coin.
+    """
+    rng = as_rng(seed)
+    labels: dict[int, int] = {}
+    for task_index, by_worker in answer_set.answers.items():
+        score = 0.0
+        for worker_index, answer in by_worker.items():
+            weight = log_odds_weight(worker_accuracies.get(worker_index, 0.5))
+            score += weight if answer == 1 else -weight
+        if score > 0:
+            labels[task_index] = 1
+        elif score < 0:
+            labels[task_index] = 0
+        else:
+            labels[task_index] = int(rng.integers(0, 2))
+    return labels

@@ -1,0 +1,74 @@
+"""Simulating worker answers to assigned tasks.
+
+Tasks are binary-choice (the standard model in the task-assignment
+literature: every multi-class task can be decomposed into binary
+questions, and binary keeps aggregation-accuracy closed-form).  A
+worker answers a task correctly with the probability given by
+``Worker.accuracy_on`` — exactly the same quantity the benefit models
+plan with, so simulated outcomes are an unbiased realization of the
+planner's expectations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.market.market import LaborMarket
+from repro.utils.rng import SeedLike, as_rng
+
+
+@dataclass
+class AnswerSet:
+    """All answers produced for one assignment round.
+
+    Attributes
+    ----------
+    answers:
+        ``{task_index: {worker_index: answer}}`` with answers in
+        ``{0, 1}``.
+    truths:
+        ``{task_index: true_label}`` — ground truth for scoring; kept
+        separate so aggregation methods cannot accidentally peek.
+    """
+
+    answers: dict[int, dict[int, int]] = field(default_factory=dict)
+    truths: dict[int, int] = field(default_factory=dict)
+
+    def workers_on(self, task_index: int) -> list[int]:
+        """Worker indices that answered a task (sorted)."""
+        return sorted(self.answers.get(task_index, {}))
+
+    def n_answers(self) -> int:
+        return sum(len(by_worker) for by_worker in self.answers.values())
+
+
+def simulate_answers(
+    market: LaborMarket,
+    edges: list[tuple[int, int]],
+    seed: SeedLike = None,
+) -> AnswerSet:
+    """Generate answers for every assigned (worker_index, task_index) edge.
+
+    Each task draws a uniform true label once; each assigned worker
+    reports it correctly with their accuracy, otherwise flips it.
+    """
+    rng = as_rng(seed)
+    accuracy = market.accuracy_matrix()
+    answer_set = AnswerSet()
+    for worker_index, task_index in edges:
+        if not 0 <= worker_index < market.n_workers:
+            raise ValidationError(
+                f"edge references worker index {worker_index} outside market"
+            )
+        if not 0 <= task_index < market.n_tasks:
+            raise ValidationError(
+                f"edge references task index {task_index} outside market"
+            )
+        if task_index not in answer_set.truths:
+            answer_set.truths[task_index] = int(rng.integers(0, 2))
+        truth = answer_set.truths[task_index]
+        correct = rng.random() < accuracy[worker_index, task_index]
+        answer = truth if correct else 1 - truth
+        answer_set.answers.setdefault(task_index, {})[worker_index] = answer
+    return answer_set

@@ -1,0 +1,25 @@
+"""Workload generation: synthetic markets and trace-shaped substitutes.
+
+The paper evaluated on real platform traces we do not have; per the
+substitution policy (DESIGN.md §4) this package generates markets whose
+*distributional shape* matches published aggregate statistics of real
+micro-task (AMT-like) and freelance (Upwork-like) markets.  All
+generators are fully seeded.
+"""
+
+from repro.datagen.synthetic import (
+    SyntheticConfig,
+    generate_market,
+    uniform_market,
+    zipf_market,
+)
+from repro.datagen.traces import amt_like_market, upwork_like_market
+
+__all__ = [
+    "SyntheticConfig",
+    "amt_like_market",
+    "generate_market",
+    "uniform_market",
+    "upwork_like_market",
+    "zipf_market",
+]

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised deliberately by the library derive from
+:class:`ReproError`, so callers can catch one type to handle any
+library-level failure while letting programming errors (``TypeError``
+etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An entity, problem, or configuration failed validation.
+
+    Raised when user-supplied data violates a documented precondition,
+    e.g. a negative capacity, an empty market, or a benefit matrix whose
+    shape does not match the market.
+    """
+
+
+class InfeasibleError(ReproError):
+    """The requested assignment problem has no feasible solution.
+
+    For example, a task demands more distinct workers than exist in the
+    market, or hard constraints exclude every candidate edge.
+    """
+
+
+class SolverError(ReproError):
+    """A solver failed to produce a valid assignment.
+
+    This indicates an internal failure (non-convergence, inconsistent
+    state) rather than an infeasible input; it should not occur in
+    normal operation.
+    """
+
+
+class ConvergenceError(SolverError):
+    """An iterative algorithm exceeded its iteration budget.
+
+    Carries the number of iterations performed so callers can decide
+    whether to retry with a larger budget.
+    """
+
+    def __init__(self, message: str, iterations: int) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A scenario / experiment configuration is inconsistent."""
+
+
+class UnknownSolverError(ReproError, KeyError):
+    """A solver name was not found in the solver registry."""
+
+    def __init__(self, name: str, known: list[str]) -> None:
+        super().__init__(
+            f"unknown solver {name!r}; registered solvers: {sorted(known)}"
+        )
+        self.name = name
+        self.known = sorted(known)

@@ -1,0 +1,23 @@
+"""Evaluation harness: experiment registry, sweeps, table rendering.
+
+Every table and figure of the reconstructed evaluation (DESIGN.md §3)
+has a function in :mod:`repro.eval.experiments` returning a
+:class:`repro.eval.report.Table`; the benchmark modules under
+``benchmarks/`` call those functions and print the rendered tables.
+"""
+
+from repro.eval.experiments import EXPERIMENTS, run_experiment
+from repro.eval.plotting import ascii_chart, chart_from_table
+from repro.eval.report import Table
+from repro.eval.significance import compare_solvers
+from repro.eval.sweep import sweep
+
+__all__ = [
+    "EXPERIMENTS",
+    "Table",
+    "ascii_chart",
+    "chart_from_table",
+    "compare_solvers",
+    "run_experiment",
+    "sweep",
+]

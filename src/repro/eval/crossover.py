@@ -1,0 +1,65 @@
+"""Crossover detection for paired time series.
+
+The F5 claim is literally "the curves cross"; this module makes that
+claim checkable by machine instead of by eyeball:
+
+* :func:`crossover_round` — first index where series B, having started
+  at or below series A, rises to meet/exceed it *and stays ahead* for a
+  persistence window (one-round blips from simulation noise don't
+  count);
+* :func:`dominance_fraction` — fraction of rounds where B ≥ A, a
+  scalar summary robust to exactly-where-it-crossed disputes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def _pair(a: Sequence[float], b: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    first = np.asarray(a, dtype=float)
+    second = np.asarray(b, dtype=float)
+    if first.shape != second.shape or first.ndim != 1:
+        raise ValidationError(
+            f"need two equal-length 1-D series, got {first.shape} and "
+            f"{second.shape}"
+        )
+    if first.size == 0:
+        raise ValidationError("series are empty")
+    return first, second
+
+
+def crossover_round(
+    leader: Sequence[float],
+    challenger: Sequence[float],
+    persistence: int = 3,
+) -> int | None:
+    """First round where the challenger overtakes *and holds* the lead.
+
+    Returns the index of the first position from which
+    ``challenger >= leader`` for ``persistence`` consecutive rounds
+    (or through the end of the series, if fewer remain), or ``None``
+    if that never happens.
+    """
+    if persistence < 1:
+        raise ValidationError(f"persistence must be >= 1, got {persistence}")
+    a, b = _pair(leader, challenger)
+    ahead = b >= a
+    n = a.size
+    for start in range(n):
+        window = ahead[start : start + persistence]
+        if window.size and window.all():
+            return start
+    return None
+
+
+def dominance_fraction(
+    leader: Sequence[float], challenger: Sequence[float]
+) -> float:
+    """Fraction of rounds where the challenger is at/above the leader."""
+    a, b = _pair(leader, challenger)
+    return float(np.mean(b >= a))

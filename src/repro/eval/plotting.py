@@ -1,0 +1,108 @@
+"""ASCII line charts for figure-type experiments.
+
+The evaluation's "figures" are series; rendering them as terminal
+charts makes shapes (crossovers, diminishing returns, scaling slopes)
+visible without matplotlib.  Pure text, fixed-width, deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.errors import ValidationError
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_chart(
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+) -> str:
+    """Render named series as an ASCII line chart.
+
+    All series share the x-axis (their index) and the y-range; NaN
+    points are skipped.  Each series gets a marker from ``*o+x#@%&``
+    and a legend line.
+    """
+    if not series:
+        raise ValidationError("ascii_chart requires at least one series")
+    if width < 8 or height < 4:
+        raise ValidationError("chart needs width >= 8 and height >= 4")
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) != 1:
+        raise ValidationError(
+            f"all series must share one length, got {sorted(lengths)}"
+        )
+    n_points = lengths.pop()
+    if n_points == 0:
+        raise ValidationError("series are empty")
+
+    finite = [
+        v
+        for values in series.values()
+        for v in values
+        if not math.isnan(float(v))
+    ]
+    if not finite:
+        raise ValidationError("all points are NaN")
+    y_min, y_max = min(finite), max(finite)
+    if y_max == y_min:
+        y_max = y_min + 1.0  # flat series: give the band some height
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_cell(x_index: int, value: float) -> tuple[int, int] | None:
+        if math.isnan(value):
+            return None
+        col = (
+            0
+            if n_points == 1
+            else round(x_index * (width - 1) / (n_points - 1))
+        )
+        row = round((y_max - value) * (height - 1) / (y_max - y_min))
+        return row, col
+
+    for marker, (_name, values) in zip(_MARKERS, series.items()):
+        for x_index, value in enumerate(values):
+            cell = to_cell(x_index, float(value))
+            if cell is not None:
+                row, col = cell
+                grid[row][col] = marker
+
+    axis_width = max(len(f"{y_max:.3g}"), len(f"{y_min:.3g}"))
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_max:.3g}".rjust(axis_width)
+        elif row_index == height - 1:
+            label = f"{y_min:.3g}".rjust(axis_width)
+        else:
+            label = " " * axis_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * axis_width + " +" + "-" * width)
+    if x_label:
+        lines.append(" " * (axis_width + 2) + x_label)
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(_MARKERS, series)
+    )
+    lines.append(" " * (axis_width + 2) + legend)
+    return "\n".join(lines)
+
+
+def chart_from_table(
+    table, x_column: str, y_columns: Sequence[str], **kwargs
+) -> str:
+    """Chart selected columns of an eval Table against one x column."""
+    series = {name: [float(v) for v in table.column(name)] for name in y_columns}
+    x_values = table.column(x_column)
+    title = kwargs.pop("title", table.caption)
+    x_label = kwargs.pop(
+        "x_label", f"{x_column}: {x_values[0]} .. {x_values[-1]}"
+    )
+    return ascii_chart(series, title=title, x_label=x_label, **kwargs)

@@ -1,0 +1,112 @@
+"""Plain-text table rendering for experiment output.
+
+The harness prints tables shaped like the paper's: a caption, aligned
+columns, and a consistent float format, so paper-vs-measured comparison
+in EXPERIMENTS.md is a visual diff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+
+
+@dataclass
+class Table:
+    """A caption + header + rows of printable cells."""
+
+    caption: str
+    header: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    float_format: str = "{:.4f}"
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.header):
+            raise ValidationError(
+                f"row has {len(cells)} cells, header has {len(self.header)}"
+            )
+        self.rows.append(list(cells))
+
+    def _format_cell(self, cell: object) -> str:
+        if isinstance(cell, bool):
+            return str(cell)
+        if isinstance(cell, float):
+            return self.float_format.format(cell)
+        return str(cell)
+
+    def render(self) -> str:
+        formatted = [[self._format_cell(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(self.header[i]), *(len(r[i]) for r in formatted))
+            if formatted
+            else len(self.header[i])
+            for i in range(len(self.header))
+        ]
+        lines = [self.caption]
+        lines.append(
+            "  ".join(h.ljust(widths[i]) for i, h in enumerate(self.header))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in formatted:
+            lines.append(
+                "  ".join(c.rjust(widths[i]) for i, c in enumerate(row))
+            )
+        return "\n".join(lines)
+
+    def render_latex(self) -> str:
+        """The table as a LaTeX ``tabular`` inside a ``table`` float.
+
+        Headers are escaped; floats use the table's float format —
+        paste-ready for a paper draft.
+        """
+        def escape(text: str) -> str:
+            for char in ("&", "%", "#", "_"):
+                text = text.replace(char, "\\" + char)
+            return text
+
+        column_spec = "l" + "r" * (len(self.header) - 1)
+        lines = [
+            "\\begin{table}[t]",
+            "\\centering",
+            f"\\caption{{{escape(self.caption)}}}",
+            f"\\begin{{tabular}}{{{column_spec}}}",
+            "\\toprule",
+            " & ".join(escape(h) for h in self.header) + " \\\\",
+            "\\midrule",
+        ]
+        for row in self.rows:
+            cells = [escape(self._format_cell(cell)) for cell in row]
+            lines.append(" & ".join(cells) + " \\\\")
+        lines.extend(["\\bottomrule", "\\end{tabular}", "\\end{table}"])
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """The table as RFC-4180-ish CSV (caption excluded).
+
+        Cells containing commas or quotes are quoted; floats keep full
+        ``repr`` precision (CSV is for machines; ``render`` for eyes).
+        """
+        def cell_text(cell: object) -> str:
+            text = repr(cell) if isinstance(cell, float) else str(cell)
+            if any(ch in text for ch in ',"\n'):
+                text = '"' + text.replace('"', '""') + '"'
+            return text
+
+        lines = [",".join(cell_text(h) for h in self.header)]
+        for row in self.rows:
+            lines.append(",".join(cell_text(c) for c in row))
+        return "\n".join(lines)
+
+    def column(self, name: str) -> list[object]:
+        """All values of one named column (raw, unformatted)."""
+        try:
+            index = self.header.index(name)
+        except ValueError:
+            raise ValidationError(
+                f"no column {name!r}; header is {self.header}"
+            ) from None
+        return [row[index] for row in self.rows]
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,62 @@
+"""Parameter sweeps with repetition and timing."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import spawn_rngs
+from repro.utils.timer import Timer
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (parameter value, repetition) measurement."""
+
+    parameter: object
+    repetition: int
+    value: float
+    elapsed: float
+
+
+def sweep(
+    parameter_values: Sequence[object],
+    measure: Callable[[object, np.random.Generator], float],
+    repetitions: int = 3,
+    seed: int | None = 0,
+) -> list[SweepPoint]:
+    """Measure a function over parameter values with seeded repetitions.
+
+    ``measure(parameter, rng)`` returns the metric; each (parameter,
+    repetition) pair gets an independent RNG derived from ``seed``.
+    """
+    rngs = spawn_rngs(seed, len(parameter_values) * repetitions)
+    points: list[SweepPoint] = []
+    position = 0
+    for parameter in parameter_values:
+        for repetition in range(repetitions):
+            with Timer() as timer:
+                value = measure(parameter, rngs[position])
+            points.append(
+                SweepPoint(parameter, repetition, float(value), timer.elapsed)
+            )
+            position += 1
+    return points
+
+
+def aggregate(
+    points: Iterable[SweepPoint],
+) -> dict[object, tuple[float, float]]:
+    """Per-parameter (mean value, mean elapsed seconds)."""
+    by_parameter: dict[object, list[SweepPoint]] = {}
+    for point in points:
+        by_parameter.setdefault(point.parameter, []).append(point)
+    return {
+        parameter: (
+            float(np.mean([p.value for p in group])),
+            float(np.mean([p.elapsed for p in group])),
+        )
+        for parameter, group in by_parameter.items()
+    }

@@ -1,0 +1,37 @@
+"""The bipartite labor market model.
+
+This package holds the *entities* of the market — :class:`Worker`,
+:class:`Task`, :class:`Requester` — the :class:`LaborMarket` container
+tying them together, the skill taxonomy, wage/cost models, arrival
+processes for the online setting, and the worker retention dynamics
+that turn "worker benefit" into long-run participation.
+"""
+
+from repro.market.arrivals import ArrivalProcess, BatchArrivals, PoissonArrivals, TraceArrivals
+from repro.market.categories import CategoryTaxonomy
+from repro.market.market import LaborMarket
+from repro.market.pricing import evaluate_payment, optimize_payment, price_market
+from repro.market.requester import Requester
+from repro.market.retention import RetentionModel
+from repro.market.task import Task
+from repro.market.wage import FlatCost, LinearEffortCost, WageModel
+from repro.market.worker import Worker
+
+__all__ = [
+    "ArrivalProcess",
+    "BatchArrivals",
+    "CategoryTaxonomy",
+    "FlatCost",
+    "LaborMarket",
+    "LinearEffortCost",
+    "PoissonArrivals",
+    "Requester",
+    "RetentionModel",
+    "Task",
+    "TraceArrivals",
+    "WageModel",
+    "Worker",
+    "evaluate_payment",
+    "optimize_payment",
+    "price_market",
+]

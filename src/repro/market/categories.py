@@ -1,0 +1,80 @@
+"""Skill / task category taxonomy.
+
+Both sides of the market speak in terms of *categories* (e.g. "image
+labeling", "translation", "data entry").  A worker has a per-category
+skill level; a task belongs to one category.  The taxonomy is a flat
+list of named categories — the paper's market model does not require a
+hierarchy, and a flat taxonomy keeps benefit computation vectorizable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.errors import ValidationError
+
+#: Category names used by the default generators; deliberately shaped
+#: like a micro-task platform's top-level verticals.
+DEFAULT_CATEGORY_NAMES: tuple[str, ...] = (
+    "image-labeling",
+    "audio-transcription",
+    "translation",
+    "sentiment-analysis",
+    "data-entry",
+    "content-moderation",
+    "survey",
+    "entity-resolution",
+    "search-relevance",
+    "handwriting-recognition",
+)
+
+
+class CategoryTaxonomy:
+    """A flat, immutable set of task/skill categories.
+
+    Categories are referred to by integer id (their index) throughout
+    the library; names exist for reporting.
+    """
+
+    def __init__(self, names: Sequence[str]) -> None:
+        if not names:
+            raise ValidationError("taxonomy requires at least one category")
+        if len(set(names)) != len(names):
+            raise ValidationError(f"duplicate category names in {names!r}")
+        self._names = tuple(names)
+        self._index = {name: i for i, name in enumerate(self._names)}
+
+    @classmethod
+    def default(cls, n: int = 10) -> "CategoryTaxonomy":
+        """The default ``n``-category taxonomy (at most 10 named ones)."""
+        if n <= len(DEFAULT_CATEGORY_NAMES):
+            return cls(DEFAULT_CATEGORY_NAMES[:n])
+        extra = [f"category-{i}" for i in range(len(DEFAULT_CATEGORY_NAMES), n)]
+        return cls(DEFAULT_CATEGORY_NAMES + tuple(extra))
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def name_of(self, category_id: int) -> str:
+        """Name of a category id; raises ValidationError if out of range."""
+        if not 0 <= category_id < len(self._names):
+            raise ValidationError(
+                f"category id {category_id} outside [0, {len(self._names)})"
+            )
+        return self._names[category_id]
+
+    def id_of(self, name: str) -> int:
+        """Id of a category name; raises ValidationError if unknown."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise ValidationError(f"unknown category {name!r}") from None
+
+    def __repr__(self) -> str:
+        return f"CategoryTaxonomy({list(self._names)!r})"

@@ -1,0 +1,103 @@
+"""Skill dynamics: learning by doing, forgetting by not.
+
+Static skills are a single-round fiction.  Over rounds, workers
+*improve* at what they practice (asymptotic approach to a ceiling) and
+*rust* at what they do not (decay toward a floor).  This couples the
+assignment policy to the future skill pool: a policy that concentrates
+practice on the already-strong exploits today's skills; one that
+spreads work also trains tomorrow's.
+
+Model (per worker, per category, per round)::
+
+    practiced:   skill += learning_rate * (ceiling - skill) * reps
+    unpracticed: skill += decay_rate    * (floor   - skill)
+
+with ``reps`` the number of tasks of that category completed this
+round (diminishing via the asymptotic form).  Both updates are
+contractions toward their fixed points, so skills remain in
+``[floor, ceiling] ⊆ [0, 1]`` whenever they start there — a tested
+invariant.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.market.market import LaborMarket
+from repro.utils.validation import check_fraction
+
+
+@dataclass(frozen=True)
+class SkillDriftModel:
+    """Learning-by-doing drift.
+
+    Parameters
+    ----------
+    learning_rate:
+        Fractional progress toward the ceiling per completed task.
+    decay_rate:
+        Fractional regression toward the floor per idle round.
+    ceiling / floor:
+        Asymptotes of practice and rust.
+    """
+
+    learning_rate: float = 0.08
+    decay_rate: float = 0.01
+    ceiling: float = 0.98
+    floor: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_fraction("learning_rate", self.learning_rate)
+        check_fraction("decay_rate", self.decay_rate)
+        check_fraction("ceiling", self.ceiling)
+        check_fraction("floor", self.floor)
+        if self.floor > self.ceiling:
+            raise ValidationError(
+                f"floor {self.floor} must not exceed ceiling {self.ceiling}"
+            )
+
+    def apply(
+        self,
+        market: LaborMarket,
+        edges: list[tuple[int, int]],
+    ) -> None:
+        """Drift every worker's skills given this round's completions.
+
+        Mutates the workers' skill arrays in place (the simulator hands
+        it private copies).  ``edges`` are (worker_index, task_index)
+        pairs of *completed* work.
+        """
+        practice: Counter[tuple[int, int]] = Counter()
+        for worker_index, task_index in edges:
+            category = market.tasks[task_index].category
+            practice[(worker_index, category)] += 1
+
+        n_categories = len(market.taxonomy)
+        for worker_index, worker in enumerate(market.workers):
+            if not worker.active:
+                continue
+            skills = worker.skills
+            for category in range(n_categories):
+                reps = practice.get((worker_index, category), 0)
+                if reps:
+                    for _ in range(reps):
+                        skills[category] += self.learning_rate * (
+                            self.ceiling - skills[category]
+                        )
+                else:
+                    skills[category] += self.decay_rate * (
+                        self.floor - skills[category]
+                    )
+            np.clip(skills, 0.0, 1.0, out=skills)
+
+    def steady_state_practiced(self) -> float:
+        """Fixed point of continual practice (the ceiling)."""
+        return self.ceiling
+
+    def steady_state_idle(self) -> float:
+        """Fixed point of continual idleness (the floor)."""
+        return self.floor

@@ -1,0 +1,194 @@
+"""The :class:`LaborMarket` container: workers + tasks + taxonomy.
+
+The market is the single object every other subsystem consumes.  It
+enforces the global consistency rules (skill vectors match the
+taxonomy, ids are dense, categories exist) once, so downstream code can
+index arrays without re-checking.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.market.categories import CategoryTaxonomy
+from repro.market.requester import Requester
+from repro.market.task import Task
+from repro.market.worker import Worker
+
+
+class LaborMarket:
+    """A snapshot of a bipartite labor market.
+
+    Workers and tasks are stored in insertion order; their position in
+    the list is their *index*, used by all matrix-valued computations.
+    ``worker_id`` / ``task_id`` are free-form identities preserved for
+    reporting (in generated markets they equal the index).
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[Worker],
+        tasks: Sequence[Task],
+        taxonomy: CategoryTaxonomy,
+        requesters: Sequence[Requester] | None = None,
+    ) -> None:
+        self.workers = list(workers)
+        self.tasks = list(tasks)
+        self.taxonomy = taxonomy
+        self.requesters = list(requesters) if requesters is not None else []
+        self._validate()
+        self._index_requester_tasks()
+
+    # -- construction helpers -------------------------------------------------
+
+    def _validate(self) -> None:
+        n_cat = len(self.taxonomy)
+        seen_workers: set[int] = set()
+        for worker in self.workers:
+            if worker.skills.size != n_cat:
+                raise ValidationError(
+                    f"worker {worker.worker_id}: skill vector has "
+                    f"{worker.skills.size} entries but taxonomy has {n_cat}"
+                )
+            if worker.worker_id in seen_workers:
+                raise ValidationError(
+                    f"duplicate worker id {worker.worker_id}"
+                )
+            seen_workers.add(worker.worker_id)
+        seen_tasks: set[int] = set()
+        for task in self.tasks:
+            if task.category >= n_cat:
+                raise ValidationError(
+                    f"task {task.task_id}: category {task.category} outside "
+                    f"taxonomy of size {n_cat}"
+                )
+            if task.task_id in seen_tasks:
+                raise ValidationError(f"duplicate task id {task.task_id}")
+            seen_tasks.add(task.task_id)
+        requester_ids = {r.requester_id for r in self.requesters}
+        if len(requester_ids) != len(self.requesters):
+            raise ValidationError("duplicate requester ids")
+        for task in self.tasks:
+            if task.requester_id != -1 and self.requesters and (
+                task.requester_id not in requester_ids
+            ):
+                raise ValidationError(
+                    f"task {task.task_id} references unknown requester "
+                    f"{task.requester_id}"
+                )
+
+    def _index_requester_tasks(self) -> None:
+        by_id = {r.requester_id: r for r in self.requesters}
+        for requester in self.requesters:
+            requester.task_ids = []
+        for task in self.tasks:
+            owner = by_id.get(task.requester_id)
+            if owner is not None:
+                owner.task_ids.append(task.task_id)
+
+    # -- sizes & lookups ------------------------------------------------------
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.workers)
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.tasks)
+
+    def active_worker_indices(self) -> list[int]:
+        """Indices of workers currently willing to participate."""
+        return [i for i, w in enumerate(self.workers) if w.active]
+
+    def worker_by_id(self, worker_id: int) -> Worker:
+        for worker in self.workers:
+            if worker.worker_id == worker_id:
+                return worker
+        raise ValidationError(f"no worker with id {worker_id}")
+
+    def task_by_id(self, task_id: int) -> Task:
+        for task in self.tasks:
+            if task.task_id == task_id:
+                return task
+        raise ValidationError(f"no task with id {task_id}")
+
+    # -- vectorized views -----------------------------------------------------
+
+    def skill_matrix(self) -> np.ndarray:
+        """``(n_workers, n_categories)`` matrix of skills."""
+        if not self.workers:
+            return np.zeros((0, len(self.taxonomy)))
+        return np.stack([w.skills for w in self.workers])
+
+    def interest_matrix(self) -> np.ndarray:
+        """``(n_workers, n_categories)`` matrix of interests."""
+        if not self.workers:
+            return np.zeros((0, len(self.taxonomy)))
+        return np.stack([w.interests for w in self.workers])
+
+    def task_categories(self) -> np.ndarray:
+        """``(n_tasks,)`` vector of category ids."""
+        return np.array([t.category for t in self.tasks], dtype=int)
+
+    def task_difficulties(self) -> np.ndarray:
+        return np.array([t.difficulty for t in self.tasks], dtype=float)
+
+    def task_payments(self) -> np.ndarray:
+        return np.array([t.payment for t in self.tasks], dtype=float)
+
+    def task_replications(self) -> np.ndarray:
+        return np.array([t.replication for t in self.tasks], dtype=int)
+
+    def worker_capacities(self) -> np.ndarray:
+        return np.array([w.capacity for w in self.workers], dtype=int)
+
+    def accuracy_matrix(self) -> np.ndarray:
+        """``(n_workers, n_tasks)`` probability worker i answers task j
+        correctly, combining per-category skill with task difficulty.
+
+        This is the quantity both the benefit models and the answer
+        simulator are built on, computed once and vectorized.
+        """
+        if not self.workers or not self.tasks:
+            return np.zeros((self.n_workers, self.n_tasks))
+        skills = self.skill_matrix()[:, self.task_categories()]
+        damp = 1.0 - self.task_difficulties()[np.newaxis, :]
+        return 0.5 + (skills - 0.5) * damp
+
+    # -- mutation used by the simulator ---------------------------------------
+
+    def subset(
+        self,
+        worker_indices: Iterable[int] | None = None,
+        task_indices: Iterable[int] | None = None,
+    ) -> "LaborMarket":
+        """A new market containing only the selected workers/tasks.
+
+        Entities are shared (not copied); the simulator uses this to
+        restrict a round to active workers and unexpired tasks.
+        """
+        w_idx = (
+            list(worker_indices)
+            if worker_indices is not None
+            else list(range(self.n_workers))
+        )
+        t_idx = (
+            list(task_indices)
+            if task_indices is not None
+            else list(range(self.n_tasks))
+        )
+        return LaborMarket(
+            [self.workers[i] for i in w_idx],
+            [self.tasks[j] for j in t_idx],
+            self.taxonomy,
+            self.requesters,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"LaborMarket(workers={self.n_workers}, tasks={self.n_tasks}, "
+            f"categories={len(self.taxonomy)})"
+        )

@@ -1,0 +1,75 @@
+"""The task (requester) side of the bipartite labor market."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+
+@dataclass
+class Task:
+    """A crowdsourcing task posted by a requester.
+
+    Attributes
+    ----------
+    task_id:
+        Stable integer identity within a market.
+    category:
+        Category id the task belongs to (see
+        :class:`repro.market.categories.CategoryTaxonomy`).
+    difficulty:
+        In ``[0, 1]``; 0 is trivial, 1 reduces all workers to guessing.
+    payment:
+        Reward paid to each worker assigned to the task.
+    replication:
+        How many distinct workers the requester wants on this task
+        (answers are aggregated, so odd values are typical).
+    requester_id:
+        Owning requester, for per-requester accounting; ``-1`` means a
+        standalone task.
+    effort:
+        Abstract effort units required to complete the task; feeds the
+        worker-side cost model.
+    """
+
+    task_id: int
+    category: int
+    difficulty: float = 0.3
+    payment: float = 1.0
+    replication: int = 1
+    requester_id: int = -1
+    effort: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.category < 0:
+            raise ValidationError(
+                f"task {self.task_id}: category must be >= 0, "
+                f"got {self.category}"
+            )
+        if not 0.0 <= self.difficulty <= 1.0:
+            raise ValidationError(
+                f"task {self.task_id}: difficulty must lie in [0, 1], "
+                f"got {self.difficulty}"
+            )
+        if self.payment < 0:
+            raise ValidationError(
+                f"task {self.task_id}: payment must be >= 0, "
+                f"got {self.payment}"
+            )
+        if self.replication < 1:
+            raise ValidationError(
+                f"task {self.task_id}: replication must be >= 1, "
+                f"got {self.replication}"
+            )
+        if self.effort <= 0:
+            raise ValidationError(
+                f"task {self.task_id}: effort must be > 0, got {self.effort}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"Task(id={self.task_id}, cat={self.category}, "
+            f"diff={self.difficulty:.2f}, pay={self.payment:.2f}, "
+            f"k={self.replication})"
+        )

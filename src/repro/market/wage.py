@@ -1,0 +1,55 @@
+"""Wage and effort-cost models for the worker side.
+
+The worker-side benefit of an edge (w, t) is::
+
+    payment(t) - cost(w, t) + interest_bonus(w, t)
+
+This module supplies the ``cost`` part.  Different markets price effort
+differently (micro-task platforms pay cents for seconds of work;
+freelance markets pay for hours), so cost is a pluggable strategy.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.market.task import Task
+from repro.market.worker import Worker
+from repro.utils.validation import check_nonnegative
+
+
+class WageModel(abc.ABC):
+    """Strategy interface converting task effort into worker cost."""
+
+    @abc.abstractmethod
+    def cost(self, worker: Worker, task: Task) -> float:
+        """Monetary-equivalent cost for ``worker`` to complete ``task``."""
+
+
+class LinearEffortCost(WageModel):
+    """Cost grows linearly in task effort, discounted by skill.
+
+    ``cost = rate * effort * (1 + skill_discount * (1 - skill))``
+
+    A skilled worker completes the task faster, so their cost is lower;
+    ``skill_discount`` controls how much skill matters (0 disables the
+    effect).
+    """
+
+    def __init__(self, rate: float = 0.2, skill_discount: float = 0.5) -> None:
+        self.rate = check_nonnegative("rate", rate)
+        self.skill_discount = check_nonnegative("skill_discount", skill_discount)
+
+    def cost(self, worker: Worker, task: Task) -> float:
+        skill = worker.skill_for(task.category)
+        return self.rate * task.effort * (1.0 + self.skill_discount * (1.0 - skill))
+
+
+class FlatCost(WageModel):
+    """Every task costs the same fixed amount — the simplest baseline."""
+
+    def __init__(self, amount: float = 0.1) -> None:
+        self.amount = check_nonnegative("amount", amount)
+
+    def cost(self, worker: Worker, task: Task) -> float:
+        return self.amount

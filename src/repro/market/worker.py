@@ -1,0 +1,106 @@
+"""The worker side of the bipartite labor market."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+@dataclass
+class Worker:
+    """A crowd worker.
+
+    Attributes
+    ----------
+    worker_id:
+        Stable integer identity within a market.
+    skills:
+        Per-category probability of answering a task of that category
+        correctly (before difficulty adjustment); each entry in
+        ``[0, 1]``.  Length must equal the market taxonomy size.
+    capacity:
+        Maximum number of tasks the worker is willing to take in one
+        assignment round.
+    reservation_wage:
+        Minimum payment at which taking a task is worthwhile; tasks
+        paying less yield negative worker benefit.
+    interests:
+        Per-category affinity in ``[0, 1]``; enters the worker-side
+        benefit as a non-monetary term (workers prefer tasks they like,
+        a key "willingness to participate" ingredient from the
+        abstract).
+    active:
+        Whether the worker currently participates.  The retention model
+        flips this to ``False`` when accumulated benefit is too low.
+    """
+
+    worker_id: int
+    skills: np.ndarray
+    capacity: int = 1
+    reservation_wage: float = 0.0
+    interests: np.ndarray = field(default=None)  # type: ignore[assignment]
+    active: bool = True
+
+    def __post_init__(self) -> None:
+        self.skills = np.asarray(self.skills, dtype=float)
+        if self.skills.ndim != 1 or self.skills.size == 0:
+            raise ValidationError(
+                f"worker {self.worker_id}: skills must be a non-empty 1-D "
+                f"array, got shape {self.skills.shape}"
+            )
+        if np.any(self.skills < 0) or np.any(self.skills > 1):
+            raise ValidationError(
+                f"worker {self.worker_id}: skills must lie in [0, 1]"
+            )
+        if self.capacity < 0:
+            raise ValidationError(
+                f"worker {self.worker_id}: capacity must be >= 0, "
+                f"got {self.capacity}"
+            )
+        if self.reservation_wage < 0:
+            raise ValidationError(
+                f"worker {self.worker_id}: reservation_wage must be >= 0"
+            )
+        if self.interests is None:
+            self.interests = np.full_like(self.skills, 0.5)
+        else:
+            self.interests = np.asarray(self.interests, dtype=float)
+        if self.interests.shape != self.skills.shape:
+            raise ValidationError(
+                f"worker {self.worker_id}: interests shape "
+                f"{self.interests.shape} != skills shape {self.skills.shape}"
+            )
+        if np.any(self.interests < 0) or np.any(self.interests > 1):
+            raise ValidationError(
+                f"worker {self.worker_id}: interests must lie in [0, 1]"
+            )
+
+    def skill_for(self, category: int) -> float:
+        """Skill level for one category id."""
+        return float(self.skills[category])
+
+    def accuracy_on(self, category: int, difficulty: float) -> float:
+        """Probability of answering a task correctly.
+
+        A task of difficulty ``d`` scales the distance of the worker's
+        skill above random guessing: ``0.5 + (skill - 0.5) * (1 - d)``
+        for binary tasks.  Difficulty 0 leaves skill untouched;
+        difficulty 1 reduces everyone to a coin flip.  The same model is
+        used by the answer simulator, so assignment-time quality
+        estimates and simulated outcomes agree by construction.
+        """
+        if not 0.0 <= difficulty <= 1.0:
+            raise ValidationError(
+                f"difficulty must lie in [0, 1], got {difficulty}"
+            )
+        skill = self.skill_for(category)
+        return 0.5 + (skill - 0.5) * (1.0 - difficulty)
+
+    def __repr__(self) -> str:
+        return (
+            f"Worker(id={self.worker_id}, capacity={self.capacity}, "
+            f"mean_skill={self.skills.mean():.3f}, active={self.active})"
+        )

@@ -1,0 +1,78 @@
+"""Hopcroft–Karp maximum-cardinality bipartite matching in O(E·sqrt(V)).
+
+Used by the feasibility checker (can every task get its replication
+quota of distinct workers at all?) and as the unweighted baseline in
+the online-matching experiments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Sequence
+
+INF = float("inf")
+
+
+def hopcroft_karp(
+    n_left: int, n_right: int, adjacency: Sequence[Sequence[int]]
+) -> tuple[int, list[int], list[int]]:
+    """Maximum matching of a bipartite graph.
+
+    Parameters
+    ----------
+    n_left, n_right:
+        Sizes of the two vertex sets.
+    adjacency:
+        ``adjacency[u]`` lists the right-vertices adjacent to left
+        vertex ``u``.
+
+    Returns
+    -------
+    (size, match_left, match_right)
+        ``match_left[u]`` is the right vertex matched to ``u`` (or −1);
+        ``match_right[v]`` symmetric.
+    """
+    if len(adjacency) != n_left:
+        raise ValueError(
+            f"adjacency has {len(adjacency)} rows, expected {n_left}"
+        )
+    match_left = [-1] * n_left
+    match_right = [-1] * n_right
+    dist = [0.0] * n_left
+
+    def bfs() -> bool:
+        queue: deque[int] = deque()
+        for u in range(n_left):
+            if match_left[u] == -1:
+                dist[u] = 0.0
+                queue.append(u)
+            else:
+                dist[u] = INF
+        found_free = False
+        while queue:
+            u = queue.popleft()
+            for v in adjacency[u]:
+                w = match_right[v]
+                if w == -1:
+                    found_free = True
+                elif dist[w] == INF:
+                    dist[w] = dist[u] + 1
+                    queue.append(w)
+        return found_free
+
+    def dfs(u: int) -> bool:
+        for v in adjacency[u]:
+            w = match_right[v]
+            if w == -1 or (dist[w] == dist[u] + 1 and dfs(w)):
+                match_left[u] = v
+                match_right[v] = u
+                return True
+        dist[u] = INF
+        return False
+
+    size = 0
+    while bfs():
+        for u in range(n_left):
+            if match_left[u] == -1 and dfs(u):
+                size += 1
+    return size, match_left, match_right

@@ -1,0 +1,122 @@
+"""The Hungarian algorithm (Kuhn–Munkres) for the assignment problem.
+
+This is the potentials + shortest-augmenting-path formulation running
+in O(n²·m) for an ``n × m`` cost matrix with ``n <= m``.  It solves the
+*minimization* problem and assigns every row; callers wanting maximum
+weight negate the matrix, and callers wanting partial assignment pad
+with zero columns.
+
+This implementation is independent of the min-cost-flow solver so the
+two can cross-validate each other in tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def hungarian(cost: np.ndarray) -> tuple[list[int], float]:
+    """Minimum-cost perfect assignment of rows to distinct columns.
+
+    Parameters
+    ----------
+    cost:
+        ``(n, m)`` matrix with ``n <= m``; entry ``[i, j]`` is the cost
+        of assigning row ``i`` to column ``j``.
+
+    Returns
+    -------
+    (assignment, total)
+        ``assignment[i]`` is the column matched to row ``i``; ``total``
+        is the summed cost.
+    """
+    cost = np.asarray(cost, dtype=float)
+    if cost.ndim != 2:
+        raise ValidationError(f"cost must be 2-D, got shape {cost.shape}")
+    n, m = cost.shape
+    if n == 0:
+        return [], 0.0
+    if n > m:
+        raise ValidationError(
+            f"cost must have n_rows <= n_cols, got {n} x {m}; "
+            "transpose or pad the matrix"
+        )
+    if not np.all(np.isfinite(cost)):
+        raise ValidationError("cost matrix must be finite")
+
+    inf = math.inf
+    # 1-indexed potentials; p[j] = row matched to column j (0 = free).
+    u = [0.0] * (n + 1)
+    v = [0.0] * (m + 1)
+    p = [0] * (m + 1)
+    way = [0] * (m + 1)
+
+    for i in range(1, n + 1):
+        p[0] = i
+        j0 = 0
+        minv = [inf] * (m + 1)
+        used = [False] * (m + 1)
+        while True:
+            used[j0] = True
+            i0 = p[j0]
+            delta = inf
+            j1 = -1
+            row = cost[i0 - 1]
+            for j in range(1, m + 1):
+                if used[j]:
+                    continue
+                cur = row[j - 1] - u[i0] - v[j]
+                if cur < minv[j]:
+                    minv[j] = cur
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            for j in range(m + 1):
+                if used[j]:
+                    u[p[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if p[j0] == 0:
+                break
+        while j0 != 0:
+            j1 = way[j0]
+            p[j0] = p[j1]
+            j0 = j1
+
+    assignment = [-1] * n
+    for j in range(1, m + 1):
+        if p[j] != 0:
+            assignment[p[j] - 1] = j - 1
+    total = float(sum(cost[i, assignment[i]] for i in range(n)))
+    return assignment, total
+
+
+def max_weight_assignment(weights: np.ndarray) -> tuple[list[int], float]:
+    """Maximum-weight assignment where leaving a row unmatched is free.
+
+    Pads the (negated) weight matrix with zero columns so rows whose
+    best edge is negative stay effectively unassigned (signalled by
+    ``-1`` in the returned list).
+    """
+    weights = np.asarray(weights, dtype=float)
+    if weights.ndim != 2:
+        raise ValidationError(
+            f"weights must be 2-D, got shape {weights.shape}"
+        )
+    n, m = weights.shape
+    if n == 0 or m == 0:
+        return [-1] * n, 0.0
+    # Negate for minimization; add n dummy zero-cost columns that mean
+    # "unassigned" so the perfect-assignment requirement is harmless.
+    padded = np.zeros((n, m + n))
+    padded[:, :m] = -weights
+    assignment, neg_total = hungarian(padded)
+    result = [j if j < m else -1 for j in assignment]
+    return result, -neg_total

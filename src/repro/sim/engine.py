@@ -1,0 +1,241 @@
+"""The round-based simulation engine."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.assignment import Assignment
+from repro.core.fairness import benefit_gini
+from repro.core.problem import MBAProblem
+from repro.core.solvers import get_solver
+from repro.crowd.aggregation import dawid_skene, majority_vote, weighted_majority_vote
+from repro.crowd.answer_model import AnswerSet, simulate_answers
+from repro.crowd.estimation import BetaSkillEstimator
+from repro.errors import InfeasibleError
+from repro.market.market import LaborMarket
+from repro.market.retention import RetentionModel
+from repro.sim.metrics import RoundMetrics, SimulationResult
+from repro.sim.scenario import Scenario
+from repro.utils.rng import SeedLike, as_rng
+
+
+class Simulation:
+    """Runs a :class:`Scenario` to completion.
+
+    The engine owns the feedback loops: benefits received this round
+    move worker satisfaction, satisfaction moves participation, and —
+    when an estimator is configured — each round's answers refine the
+    skill estimates the next round's assignment plans with.
+
+    Each :meth:`run` is independent: the scenario's market, retention
+    model, and estimator are never mutated — workers are copied and the
+    stateful models start fresh — so the same scenario can be run with
+    several solvers or seeds and compared fairly.
+    """
+
+    def __init__(self, scenario: Scenario) -> None:
+        self.scenario = scenario
+
+    def run(self, seed: SeedLike = None) -> SimulationResult:
+        rng = as_rng(seed)
+        scenario = self.scenario
+        solver = get_solver(scenario.solver_name, **scenario.solver_kwargs)
+        result = SimulationResult(solver_name=scenario.solver_name)
+
+        # Private copies so runs never contaminate each other.  Skill
+        # and interest arrays are copied too: the drift model mutates
+        # skills in place.
+        base = scenario.market
+        workers = [
+            dataclasses.replace(
+                w, skills=w.skills.copy(), interests=w.interests.copy()
+            )
+            for w in base.workers
+        ]
+        retention = (
+            dataclasses.replace(scenario.retention, _satisfaction={})
+            if scenario.retention is not None
+            else None
+        )
+        estimator = (
+            dataclasses.replace(scenario.estimator, _counts={})
+            if scenario.estimator is not None
+            else None
+        )
+
+        for round_index in range(scenario.n_rounds):
+            tasks = self._round_tasks(round_index)
+            market = LaborMarket(
+                workers, tasks, base.taxonomy, base.requesters
+            )
+            active = market.active_worker_indices()
+            if not active:
+                result.rounds.append(self._empty_round(round_index, market))
+                continue
+
+            # Plan on estimated skills when an estimator is configured;
+            # account and realize on the true market either way.
+            true_problem = MBAProblem(market, combiner=scenario.combiner)
+            planning_problem = (
+                MBAProblem(
+                    estimator.estimated_market(market),
+                    combiner=scenario.combiner,
+                )
+                if estimator is not None
+                else true_problem
+            )
+            try:
+                planning_problem.require_nonempty_feasible()
+                planned = solver.solve(planning_problem, seed=rng)
+            except InfeasibleError:
+                result.rounds.append(self._empty_round(round_index, market))
+                continue
+            assignment = Assignment(
+                true_problem, list(planned.edges), solver_name=solver.name
+            )
+
+            declined = 0
+            if scenario.workers_decline:
+                worker_matrix = true_problem.benefits.worker
+                accepted = [
+                    (i, j)
+                    for i, j in assignment.edges
+                    if worker_matrix[i, j] >= 0
+                ]
+                declined = len(assignment.edges) - len(accepted)
+                assignment = Assignment(
+                    true_problem, accepted, solver_name=solver.name
+                )
+
+            solver.observe_round(true_problem, assignment)
+            accuracy, answers, labels = self._realize_answers(
+                market, assignment, rng
+            )
+            if estimator is not None and answers is not None:
+                self._update_estimator(
+                    estimator, market, answers, labels, rng
+                )
+            churned = self._apply_retention(
+                retention, market, assignment, rng
+            )
+            if scenario.drift is not None:
+                scenario.drift.apply(market, list(assignment.edges))
+
+            result.rounds.append(
+                RoundMetrics(
+                    round_index=round_index,
+                    n_active_workers=len(active),
+                    n_assigned_edges=len(assignment),
+                    requester_benefit=assignment.requester_total(),
+                    worker_benefit=assignment.worker_total(),
+                    combined_benefit=assignment.combined_total(),
+                    aggregated_accuracy=accuracy,
+                    participation_rate=(
+                        sum(w.active for w in market.workers)
+                        / market.n_workers
+                    ),
+                    benefit_gini=benefit_gini(assignment),
+                    churned_workers=churned,
+                    declined_edges=declined,
+                )
+            )
+        return result
+
+    # -- helpers ---------------------------------------------------------
+
+    def _round_tasks(self, round_index: int) -> list:
+        scenario = self.scenario
+        if scenario.task_refresh is not None:
+            return scenario.task_refresh(round_index)
+        # Default: replay the market's initial tasks each round.  Task
+        # ids are deliberately *stable* across rounds — they denote the
+        # recurring task, which is what history-aware solvers (e.g.
+        # incremental-flow) key their memory on.
+        return list(scenario.market.tasks)
+
+    def _realize_answers(
+        self, market, assignment, rng
+    ) -> tuple[float, AnswerSet | None, dict[int, int]]:
+        """Simulate answers, aggregate, score against ground truth."""
+        edges = list(assignment.edges)
+        if not edges:
+            return float("nan"), None, {}
+        answers = simulate_answers(market, edges, seed=rng)
+        aggregator = self.scenario.aggregator
+        if aggregator == "majority":
+            labels = majority_vote(answers, seed=rng)
+        elif aggregator == "weighted":
+            # Weight by the planner-known accuracies (the planner's
+            # model of workers; estimation from data is exercised by
+            # the dawid-skene option).
+            accuracy_matrix = market.accuracy_matrix()
+            mean_accuracy = {
+                i: float(accuracy_matrix[i].mean())
+                for i in range(market.n_workers)
+            }
+            labels = weighted_majority_vote(answers, mean_accuracy, seed=rng)
+        else:  # dawid-skene
+            labels = dawid_skene(answers).labels
+        scored = [
+            labels[task] == truth for task, truth in answers.truths.items()
+        ]
+        accuracy = sum(scored) / len(scored) if scored else float("nan")
+        return accuracy, answers, labels
+
+    def _update_estimator(
+        self,
+        estimator: BetaSkillEstimator,
+        market,
+        answers: AnswerSet,
+        labels: dict[int, int],
+        rng,
+    ) -> None:
+        """Gold tasks reveal truth; the rest teach via aggregated labels.
+
+        Aggregated labels only teach when the committee has at least
+        three members: with one or two answers the label is (close to)
+        the worker's own vote, so "agreement" would be self-confirming
+        noise that inflates every estimate.
+        """
+        gold_fraction = self.scenario.gold_fraction
+        reference: dict[int, int] = {}
+        for task_index, by_worker in answers.answers.items():
+            if rng.random() < gold_fraction:
+                reference[task_index] = answers.truths[task_index]
+            elif task_index in labels and len(by_worker) >= 3:
+                reference[task_index] = labels[task_index]
+        estimator.record_answers(market, answers, reference)
+
+    @staticmethod
+    def _apply_retention(
+        retention: RetentionModel | None, market, assignment, rng
+    ) -> int:
+        if retention is None:
+            return 0
+        received = assignment.per_worker_benefit()
+        benefits = {
+            market.workers[i].worker_id: received.get(i, 0.0)
+            for i in range(market.n_workers)
+            if market.workers[i].active
+        }
+        retention.record_round(benefits)
+        return len(retention.apply(market, seed=rng))
+
+    @staticmethod
+    def _empty_round(round_index: int, market) -> RoundMetrics:
+        return RoundMetrics(
+            round_index=round_index,
+            n_active_workers=len(market.active_worker_indices()),
+            n_assigned_edges=0,
+            requester_benefit=0.0,
+            worker_benefit=0.0,
+            combined_benefit=0.0,
+            aggregated_accuracy=float("nan"),
+            participation_rate=(
+                sum(w.active for w in market.workers) / market.n_workers
+                if market.n_workers
+                else 0.0
+            ),
+            benefit_gini=0.0,
+            churned_workers=0,
+        )

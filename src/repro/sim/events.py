@@ -1,0 +1,280 @@
+"""Event-driven continuous-time market simulation.
+
+The round-based engine (:mod:`repro.sim.engine`) assumes synchronized
+batches.  Real platforms are asynchronous: tasks are posted with
+deadlines, workers log in and out, and assignment decisions happen *at
+arrival instants*.  This module is a classic discrete-event simulator
+over that dynamic:
+
+* ``TaskPosted(time, task)``     — a task enters the open pool;
+* ``TaskDeadline(time, task)``   — an unfilled task expires (lost);
+* ``WorkerLogin(time, worker)``  — a worker becomes available and is
+  immediately offered tasks by the dispatch policy;
+* ``WorkerLogout(time, worker)`` — a worker leaves; unstarted offers
+  are returned to the pool.
+
+Dispatch policies mirror the online solvers: ``greedy`` (take the best
+open tasks above zero) and ``threshold`` (take tasks above a price that
+decays as their deadline nears — the continuous-time analogue of
+sample-and-price).  Metrics: fill rate, expired tasks, realized
+benefit, mean time-to-assignment.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.benefit.matrices import BenefitMatrices, build_benefit_matrices
+from repro.benefit.mutual import LinearCombiner, MutualCombiner
+from repro.errors import ConfigurationError, ValidationError
+from repro.market.market import LaborMarket
+from repro.utils.rng import SeedLike, as_rng
+
+
+@dataclass(frozen=True)
+class EventLogEntry:
+    """One processed event, for inspection and tests."""
+
+    time: float
+    kind: str
+    entity_id: int
+    detail: str = ""
+
+
+@dataclass
+class EventSimConfig:
+    """Configuration for the event-driven simulation.
+
+    Attributes
+    ----------
+    horizon:
+        Simulated time span.
+    task_rate / worker_rate:
+        Poisson rates of task postings and worker logins per time unit.
+    deadline:
+        Time a posted task stays open before expiring.
+    session_length:
+        How long a logged-in worker stays before logging out.
+    policy:
+        ``"greedy"`` or ``"threshold"``.
+    threshold_start:
+        Initial price for the threshold policy, as a fraction of the
+        market's maximum edge benefit; decays linearly to 0 over each
+        task's deadline window.
+    """
+
+    horizon: float = 100.0
+    task_rate: float = 1.0
+    worker_rate: float = 1.0
+    deadline: float = 10.0
+    session_length: float = 5.0
+    policy: str = "greedy"
+    threshold_start: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0:
+            raise ConfigurationError("horizon must be > 0")
+        if self.task_rate <= 0 or self.worker_rate <= 0:
+            raise ConfigurationError("rates must be > 0")
+        if self.deadline <= 0 or self.session_length <= 0:
+            raise ConfigurationError(
+                "deadline and session_length must be > 0"
+            )
+        if self.policy not in ("greedy", "threshold"):
+            raise ConfigurationError(f"unknown policy {self.policy!r}")
+        if not 0.0 <= self.threshold_start <= 1.0:
+            raise ConfigurationError(
+                "threshold_start must lie in [0, 1]"
+            )
+
+
+@dataclass
+class EventSimResult:
+    """Aggregate outcome of one event-driven run."""
+
+    assignments: list[tuple[float, int, int]] = field(default_factory=list)
+    expired_tasks: int = 0
+    posted_tasks: int = 0
+    combined_benefit: float = 0.0
+    requester_benefit: float = 0.0
+    worker_benefit: float = 0.0
+    waiting_times: list[float] = field(default_factory=list)
+    log: list[EventLogEntry] = field(default_factory=list)
+
+    @property
+    def fill_rate(self) -> float:
+        """Fraction of posted task slots that got a worker in time."""
+        if self.posted_tasks == 0:
+            return 0.0
+        return len(self.assignments) / self.posted_tasks
+
+    @property
+    def mean_waiting_time(self) -> float:
+        if not self.waiting_times:
+            return float("nan")
+        return float(np.mean(self.waiting_times))
+
+
+class EventSimulation:
+    """Discrete-event simulation of an asynchronous market.
+
+    The market supplies the *population*: posted tasks are sampled
+    (with replacement) from ``market.tasks`` and logging-in workers
+    from ``market.workers``.  Each posted task instance wants one
+    worker (replication collapses to repeated postings in the
+    continuous model).
+    """
+
+    def __init__(
+        self,
+        market: LaborMarket,
+        config: EventSimConfig | None = None,
+        combiner: MutualCombiner | None = None,
+    ) -> None:
+        if market.n_workers == 0 or market.n_tasks == 0:
+            raise ValidationError(
+                "event simulation needs a non-empty market"
+            )
+        self.market = market
+        self.config = config if config is not None else EventSimConfig()
+        self.combiner = combiner if combiner is not None else LinearCombiner(0.5)
+        self.benefits: BenefitMatrices = build_benefit_matrices(
+            market, combiner=self.combiner
+        )
+        self._max_benefit = float(max(self.benefits.combined.max(), 0.0))
+
+    # -- event generation --------------------------------------------------
+
+    def _schedule_arrivals(self, rng) -> list[tuple[float, int, str, int]]:
+        """Pre-draw all Poisson arrivals over the horizon."""
+        config = self.config
+        counter = itertools.count()
+        events: list[tuple[float, int, str, int]] = []
+        time = 0.0
+        while True:
+            time += rng.exponential(1.0 / config.task_rate)
+            if time >= config.horizon:
+                break
+            task_index = int(rng.integers(self.market.n_tasks))
+            events.append((time, next(counter), "task-posted", task_index))
+        time = 0.0
+        while True:
+            time += rng.exponential(1.0 / config.worker_rate)
+            if time >= config.horizon:
+                break
+            worker_index = int(rng.integers(self.market.n_workers))
+            events.append((time, next(counter), "worker-login", worker_index))
+        return events
+
+    # -- policies -----------------------------------------------------------
+
+    def _acceptance_threshold(self, time: float, posted_at: float) -> float:
+        """Price a task must beat now, under the configured policy."""
+        if self.config.policy == "greedy":
+            return 0.0
+        # threshold: start high, decay linearly to 0 at the deadline.
+        elapsed = time - posted_at
+        remaining = max(1.0 - elapsed / self.config.deadline, 0.0)
+        return self.config.threshold_start * self._max_benefit * remaining
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self, seed: SeedLike = None) -> EventSimResult:
+        rng = as_rng(seed)
+        config = self.config
+        result = EventSimResult()
+
+        counter = itertools.count(10_000_000)
+        heap: list[tuple[float, int, str, int]] = []
+        for event in self._schedule_arrivals(rng):
+            heapq.heappush(heap, event)
+
+        # Open task instances: instance_id -> (task_index, posted_at).
+        open_tasks: dict[int, tuple[int, float]] = {}
+        expired: set[int] = set()
+        instance_counter = itertools.count()
+        # Logged-in workers: worker_index -> remaining capacity.
+        online: dict[int, int] = {}
+
+        def offer_tasks(worker_index: int, time: float) -> None:
+            """Give an online worker their best open instances."""
+            capacity = online.get(worker_index, 0)
+            if capacity <= 0:
+                return
+            scored = []
+            for instance_id, (task_index, posted_at) in open_tasks.items():
+                benefit = float(
+                    self.benefits.combined[worker_index, task_index]
+                )
+                if benefit <= 0:
+                    continue
+                if benefit <= self._acceptance_threshold(time, posted_at):
+                    continue
+                scored.append((benefit, instance_id, task_index, posted_at))
+            scored.sort(reverse=True)
+            for benefit, instance_id, task_index, posted_at in scored[
+                :capacity
+            ]:
+                del open_tasks[instance_id]
+                online[worker_index] -= 1
+                result.assignments.append((time, worker_index, task_index))
+                result.combined_benefit += benefit
+                result.requester_benefit += float(
+                    self.benefits.requester[worker_index, task_index]
+                )
+                result.worker_benefit += float(
+                    self.benefits.worker[worker_index, task_index]
+                )
+                result.waiting_times.append(time - posted_at)
+                result.log.append(
+                    EventLogEntry(time, "assigned", task_index,
+                                  f"worker={worker_index}")
+                )
+            if online.get(worker_index, 0) <= 0:
+                online.pop(worker_index, None)
+
+        while heap:
+            time, _tie, kind, entity = heapq.heappop(heap)
+            if time >= config.horizon:
+                break
+            if kind == "task-posted":
+                instance_id = next(instance_counter)
+                open_tasks[instance_id] = (entity, time)
+                result.posted_tasks += 1
+                result.log.append(EventLogEntry(time, kind, entity))
+                heapq.heappush(
+                    heap,
+                    (time + config.deadline, next(counter),
+                     "task-deadline", instance_id),
+                )
+                # A newly posted task may suit an already-online worker.
+                for worker_index in list(online):
+                    offer_tasks(worker_index, time)
+            elif kind == "task-deadline":
+                if entity in open_tasks:
+                    del open_tasks[entity]
+                    expired.add(entity)
+                    result.expired_tasks += 1
+                    result.log.append(
+                        EventLogEntry(time, kind, entity, "expired")
+                    )
+            elif kind == "worker-login":
+                worker = self.market.workers[entity]
+                if not worker.active:
+                    continue
+                online[entity] = online.get(entity, 0) + worker.capacity
+                result.log.append(EventLogEntry(time, kind, entity))
+                heapq.heappush(
+                    heap,
+                    (time + config.session_length, next(counter),
+                     "worker-logout", entity),
+                )
+                offer_tasks(entity, time)
+            elif kind == "worker-logout":
+                online.pop(entity, None)
+                result.log.append(EventLogEntry(time, kind, entity))
+        return result

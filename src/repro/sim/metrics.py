@@ -1,0 +1,64 @@
+"""Per-round and whole-run simulation metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RoundMetrics:
+    """Everything measured in one simulation round."""
+
+    round_index: int
+    n_active_workers: int
+    n_assigned_edges: int
+    requester_benefit: float
+    worker_benefit: float
+    combined_benefit: float
+    aggregated_accuracy: float
+    participation_rate: float
+    benefit_gini: float
+    churned_workers: int
+    #: Offers refused by workers (only nonzero when the scenario's
+    #: ``workers_decline`` flag is on).
+    declined_edges: int = 0
+
+
+@dataclass
+class SimulationResult:
+    """All rounds of one run, with convenience aggregates."""
+
+    solver_name: str
+    rounds: list[RoundMetrics] = field(default_factory=list)
+
+    def series(self, attribute: str) -> np.ndarray:
+        """Per-round values of one :class:`RoundMetrics` attribute."""
+        return np.array(
+            [getattr(r, attribute) for r in self.rounds], dtype=float
+        )
+
+    @property
+    def total_requester_benefit(self) -> float:
+        return float(self.series("requester_benefit").sum())
+
+    @property
+    def total_worker_benefit(self) -> float:
+        return float(self.series("worker_benefit").sum())
+
+    @property
+    def mean_accuracy(self) -> float:
+        acc = self.series("aggregated_accuracy")
+        return float(acc.mean()) if acc.size else float("nan")
+
+    @property
+    def final_participation(self) -> float:
+        return self.rounds[-1].participation_rate if self.rounds else 0.0
+
+    def cumulative_accuracy(self) -> np.ndarray:
+        """Running mean of per-round aggregated accuracy."""
+        acc = self.series("aggregated_accuracy")
+        if acc.size == 0:
+            return acc
+        return np.cumsum(acc) / np.arange(1, acc.size + 1)

@@ -1,0 +1,93 @@
+"""Simulation scenario configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.benefit.mutual import LinearCombiner, MutualCombiner
+from repro.crowd.estimation import BetaSkillEstimator
+from repro.errors import ConfigurationError
+from repro.market.drift import SkillDriftModel
+from repro.market.market import LaborMarket
+from repro.market.retention import RetentionModel
+
+#: Builds the tasks for one round: (round_index, rng) -> LaborMarket
+#: task list source.  In practice a partial over the datagen helpers.
+TaskSource = Callable[[int], list]
+
+
+@dataclass
+class Scenario:
+    """Everything one simulation run needs.
+
+    Attributes
+    ----------
+    market:
+        The worker population (tasks inside are treated as round 0's
+        tasks and replaced each round via ``task_refresh``).
+    solver_name:
+        Registered solver to use each round.
+    solver_kwargs:
+        Constructor arguments for the solver.
+    combiner:
+        Mutual-benefit combiner used to build each round's problem.
+    n_rounds:
+        Number of assignment rounds to simulate.
+    retention:
+        Worker retention model (None disables churn entirely).
+    aggregator:
+        ``"majority"``, ``"weighted"``, or ``"dawid-skene"``.
+    task_refresh:
+        Callable ``round_index -> list[Task]`` producing the round's
+        tasks; defaults to reusing the market's initial tasks each
+        round (ids are rewritten to stay unique per round).
+    estimator:
+        When set, the solver plans against this estimator's *estimated*
+        skills instead of the true ones (answers are still generated
+        from true skills), and after each round the estimator learns
+        from the aggregated labels — the realistic
+        estimate → assign → answer → update loop.
+    gold_fraction:
+        Fraction of each round's tasks whose ground truth is revealed
+        to the estimator (gold/honeypot questions); the rest update
+        against aggregated labels.  Only meaningful with an estimator.
+    workers_decline:
+        When True, workers refuse assignments whose (true) worker-side
+        benefit is negative: the edge produces no answer and the slot
+        is wasted.  This is the behavioural teeth behind "willingness
+        to participate" — worker-blind policies lose answers
+        immediately, not just via slow churn.
+    drift:
+        Optional :class:`repro.market.drift.SkillDriftModel`: after
+        each round, workers improve at practiced categories and rust at
+        idle ones, coupling today's assignment policy to tomorrow's
+        skill pool (experiment F23).
+    """
+
+    market: LaborMarket
+    solver_name: str = "flow"
+    solver_kwargs: dict = field(default_factory=dict)
+    combiner: MutualCombiner = field(default_factory=lambda: LinearCombiner(0.5))
+    n_rounds: int = 10
+    retention: RetentionModel | None = field(default_factory=RetentionModel)
+    aggregator: str = "majority"
+    task_refresh: TaskSource | None = None
+    estimator: BetaSkillEstimator | None = None
+    gold_fraction: float = 0.1
+    workers_decline: bool = False
+    drift: "SkillDriftModel | None" = None
+
+    def __post_init__(self) -> None:
+        if self.n_rounds < 1:
+            raise ConfigurationError(
+                f"n_rounds must be >= 1, got {self.n_rounds}"
+            )
+        if self.aggregator not in ("majority", "weighted", "dawid-skene"):
+            raise ConfigurationError(
+                f"unknown aggregator {self.aggregator!r}"
+            )
+        if not 0.0 <= self.gold_fraction <= 1.0:
+            raise ConfigurationError(
+                f"gold_fraction must lie in [0, 1], got {self.gold_fraction}"
+            )

@@ -1,0 +1,46 @@
+"""Common type aliases and enumerations shared across subpackages."""
+
+from __future__ import annotations
+
+import enum
+from typing import TypeAlias
+
+import numpy as np
+
+WorkerId: TypeAlias = int
+TaskId: TypeAlias = int
+CategoryId: TypeAlias = int
+Edge: TypeAlias = tuple[WorkerId, TaskId]
+
+#: A dense benefit matrix indexed ``[worker_index, task_index]``.
+BenefitMatrix: TypeAlias = np.ndarray
+
+
+class Side(enum.Enum):
+    """The two sides of the bipartite labor market."""
+
+    REQUESTER = "requester"
+    WORKER = "worker"
+
+
+class Combiner(enum.Enum):
+    """How the two sides' benefits are combined into a mutual objective.
+
+    ``LINEAR``       weighted sum  ``lam * B_req + (1 - lam) * B_wrk``
+    ``EGALITARIAN``  ``min`` of the two (normalized) side totals
+    ``NASH``         sum of logs (Nash bargaining product)
+    ``COVERAGE``     submodular per-task quality + linear worker benefit
+    """
+
+    LINEAR = "linear"
+    EGALITARIAN = "egalitarian"
+    NASH = "nash"
+    COVERAGE = "coverage"
+
+
+class ArrivalOrder(enum.Enum):
+    """How online entities arrive in a simulated stream."""
+
+    RANDOM = "random"
+    ADVERSARIAL = "adversarial"
+    TRACE = "trace"

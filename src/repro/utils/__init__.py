@@ -1,0 +1,20 @@
+"""Small shared utilities: RNG plumbing, validation, timing, statistics."""
+
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    check_fraction,
+    check_nonnegative,
+    check_positive,
+    check_probability_matrix,
+)
+
+__all__ = [
+    "Timer",
+    "as_rng",
+    "check_fraction",
+    "check_nonnegative",
+    "check_positive",
+    "check_probability_matrix",
+    "spawn_rngs",
+]

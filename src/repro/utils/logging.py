@@ -1,0 +1,48 @@
+"""Library logging.
+
+The library logs under the ``"repro"`` logger hierarchy and — per
+standard library-practice — attaches a ``NullHandler`` so importing
+repro never configures or pollutes the host application's logging.
+Applications (and the CLI's ``--verbose``) opt in via
+:func:`configure_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A child logger under the ``repro`` hierarchy.
+
+    Pass ``__name__``; modules outside the package are nested under
+    ``repro.ext.`` so filtering by prefix still works.
+    """
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.ext.{name}")
+
+
+def configure_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a stderr handler with a compact format; returns the root.
+
+    Idempotent: calling twice does not duplicate handlers.
+    """
+    root = logging.getLogger(_ROOT_NAME)
+    root.setLevel(level)
+    has_stream = any(
+        isinstance(h, logging.StreamHandler)
+        and not isinstance(h, logging.NullHandler)
+        for h in root.handlers
+    )
+    if not has_stream:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(levelname).1s %(name)s: %(message)s")
+        )
+        root.addHandler(handler)
+    return root

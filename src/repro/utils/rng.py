@@ -1,0 +1,38 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component in the library accepts a ``seed`` argument
+that may be ``None``, an integer, or a ``numpy.random.Generator``.
+Centralizing the coercion here keeps experiments reproducible: the same
+seed always yields the same market, the same answers, and the same
+arrival order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = int | np.random.Generator | None
+
+
+def as_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Passing an existing generator returns it unchanged so that callers
+    can thread a single stream through several components.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent generators from one seed.
+
+    Uses :meth:`numpy.random.Generator.spawn` so the child streams are
+    statistically independent regardless of how many draws each one
+    makes — important when e.g. the market generator and the answer
+    simulator must not perturb each other.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of RNGs: {n}")
+    return as_rng(seed).spawn(n)

@@ -1,0 +1,120 @@
+"""Summary statistics used by the evaluation harness and metrics.
+
+Implemented from scratch (no scipy dependency in the core library) so
+the installed package only needs numpy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values: np.ndarray | list[float]) -> "Summary":
+        arr = np.asarray(values, dtype=float)
+        if arr.size == 0:
+            return cls(0, math.nan, math.nan, math.nan, math.nan, math.nan)
+        return cls(
+            n=int(arr.size),
+            mean=float(arr.mean()),
+            std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+            minimum=float(arr.min()),
+            median=float(np.median(arr)),
+            maximum=float(arr.max()),
+        )
+
+
+def gini(values: np.ndarray | list[float]) -> float:
+    """Gini coefficient of a non-negative sample.
+
+    0 means perfectly equal, values approaching 1 mean one element holds
+    everything.  Used to report how evenly worker benefit is spread.
+    Returns 0.0 for empty or all-zero samples.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return 0.0
+    if np.any(arr < 0):
+        raise ValueError("gini requires non-negative values")
+    total = arr.sum()
+    if total == 0:
+        return 0.0
+    sorted_arr = np.sort(arr)
+    n = arr.size
+    # Standard formula: G = (2 * sum(i * x_i) / (n * sum(x)) ) - (n + 1) / n
+    index = np.arange(1, n + 1)
+    return float((2.0 * np.sum(index * sorted_arr)) / (n * total) - (n + 1) / n)
+
+
+def mean_confidence_interval(
+    values: np.ndarray | list[float], confidence: float = 0.95
+) -> tuple[float, float, float]:
+    """(mean, low, high) normal-approximation CI for the sample mean.
+
+    Uses the z-quantile (not t) — adequate for the sample sizes the
+    harness produces (>= 20 repetitions); documented so the limitation
+    is explicit.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return (math.nan, math.nan, math.nan)
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return (mean, mean, mean)
+    sem = float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    z = _normal_quantile(0.5 + confidence / 2.0)
+    return (mean, mean - z * sem, mean + z * sem)
+
+
+def normal_quantile(p: float) -> float:
+    """Inverse standard-normal CDF via Acklam's rational approximation.
+
+    Accurate to ~1e-9 over (0, 1); used for confidence/credible
+    intervals so the core library needs no scipy.
+    """
+    return _normal_quantile(p)
+
+
+def _normal_quantile(p: float) -> float:
+    """Inverse standard-normal CDF via Acklam's rational approximation."""
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"quantile requires 0 < p < 1, got {p}")
+    # Coefficients for the central and tail regions.
+    a = [-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00]
+    b = [-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00]
+    p_low, p_high = 0.02425, 1 - 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    if p > p_high:
+        q = math.sqrt(-2 * math.log(1 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1
+    )

@@ -1,0 +1,61 @@
+"""Shared fixtures: small deterministic markets and problems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benefit.mutual import LinearCombiner
+from repro.core.problem import MBAProblem
+from repro.datagen.synthetic import SyntheticConfig, generate_market
+from repro.market.categories import CategoryTaxonomy
+from repro.market.market import LaborMarket
+from repro.market.task import Task
+from repro.market.worker import Worker
+
+
+@pytest.fixture
+def taxonomy() -> CategoryTaxonomy:
+    return CategoryTaxonomy.default(3)
+
+
+@pytest.fixture
+def tiny_market(taxonomy) -> LaborMarket:
+    """A 3-worker, 2-task market with hand-picked numbers.
+
+    Worker 0 is strong in category 0, worker 1 in category 1, worker 2
+    is mediocre everywhere.  Task 0 is category 0, task 1 category 1.
+    """
+    workers = [
+        Worker(worker_id=0, skills=np.array([0.95, 0.55, 0.6]), capacity=1,
+               interests=np.array([0.9, 0.1, 0.5])),
+        Worker(worker_id=1, skills=np.array([0.5, 0.9, 0.6]), capacity=2,
+               interests=np.array([0.2, 0.8, 0.5])),
+        Worker(worker_id=2, skills=np.array([0.6, 0.6, 0.6]), capacity=1,
+               interests=np.array([0.5, 0.5, 0.5])),
+    ]
+    tasks = [
+        Task(task_id=0, category=0, difficulty=0.2, payment=1.0,
+             replication=2),
+        Task(task_id=1, category=1, difficulty=0.4, payment=2.0,
+             replication=1),
+    ]
+    return LaborMarket(workers, tasks, taxonomy)
+
+
+@pytest.fixture
+def tiny_problem(tiny_market) -> MBAProblem:
+    return MBAProblem(tiny_market, combiner=LinearCombiner(0.5))
+
+
+@pytest.fixture
+def small_market() -> LaborMarket:
+    """A seeded 20x10 generated market."""
+    return generate_market(
+        SyntheticConfig(n_workers=20, n_tasks=10), seed=42
+    )
+
+
+@pytest.fixture
+def small_problem(small_market) -> MBAProblem:
+    return MBAProblem(small_market, combiner=LinearCombiner(0.5))

@@ -1,0 +1,138 @@
+"""Tests for mutual-benefit combiners and the matrix bundle."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.benefit.matrices import BenefitMatrices, build_benefit_matrices
+from repro.benefit.mutual import (
+    EgalitarianCombiner,
+    LinearCombiner,
+    NashCombiner,
+    make_combiner,
+)
+from repro.errors import ValidationError
+from repro.types import Combiner
+
+
+class TestLinearCombiner:
+    def test_extremes(self):
+        assert LinearCombiner(1.0).total(3.0, 9.0) == 3.0
+        assert LinearCombiner(0.0).total(3.0, 9.0) == 9.0
+
+    def test_midpoint(self):
+        assert LinearCombiner(0.5).total(2.0, 4.0) == pytest.approx(3.0)
+
+    def test_edge_matrix_matches_total(self):
+        req = np.array([[1.0, 2.0]])
+        wrk = np.array([[3.0, 4.0]])
+        combiner = LinearCombiner(0.3)
+        matrix = combiner.edge_matrix(req, wrk)
+        assert matrix[0, 0] == pytest.approx(combiner.total(1.0, 3.0))
+
+    def test_decomposes_flag(self):
+        assert LinearCombiner(0.5).decomposes_over_edges
+        assert not EgalitarianCombiner().decomposes_over_edges
+        assert not NashCombiner().decomposes_over_edges
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=-100, max_value=100),
+        st.floats(min_value=-100, max_value=100),
+    )
+    def test_total_between_sides(self, lam, req, wrk):
+        total = LinearCombiner(lam).total(req, wrk)
+        assert min(req, wrk) - 1e-9 <= total <= max(req, wrk) + 1e-9
+
+    def test_rejects_bad_lambda(self):
+        with pytest.raises(ValidationError):
+            LinearCombiner(1.2)
+
+
+class TestEgalitarianCombiner:
+    def test_takes_min(self):
+        assert EgalitarianCombiner().total(2.0, 5.0) == 2.0
+
+    def test_symmetric(self):
+        combiner = EgalitarianCombiner()
+        assert combiner.total(1.0, 7.0) == combiner.total(7.0, 1.0)
+
+
+class TestNashCombiner:
+    def test_log_sum(self):
+        assert NashCombiner().total(math.e, math.e) == pytest.approx(2.0)
+
+    def test_nonpositive_side_is_neg_inf(self):
+        assert NashCombiner().total(0.0, 5.0) == -math.inf
+        assert NashCombiner().total(5.0, -1.0) == -math.inf
+
+    def test_prefers_balanced(self):
+        """At equal sums, the Nash product prefers balance."""
+        combiner = NashCombiner()
+        assert combiner.total(5.0, 5.0) > combiner.total(9.0, 1.0)
+
+
+class TestMakeCombiner:
+    def test_by_enum(self):
+        assert isinstance(make_combiner(Combiner.LINEAR), LinearCombiner)
+        assert isinstance(make_combiner(Combiner.NASH), NashCombiner)
+
+    def test_by_value(self):
+        assert isinstance(make_combiner("egalitarian"), EgalitarianCombiner)
+
+    def test_lambda_forwarded(self):
+        assert make_combiner("linear", lam=0.8).lam == 0.8
+
+    def test_coverage_rejected(self):
+        with pytest.raises(ValidationError):
+            make_combiner(Combiner.COVERAGE)
+
+
+class TestBenefitMatrices:
+    def test_shapes_must_agree(self):
+        with pytest.raises(ValidationError):
+            BenefitMatrices(
+                requester=np.zeros((2, 2)),
+                worker=np.zeros((2, 3)),
+                combined=np.zeros((2, 2)),
+                combiner=LinearCombiner(0.5),
+            )
+
+    def test_build_defaults(self, small_market):
+        bundle = build_benefit_matrices(small_market)
+        assert bundle.shape == (20, 10)
+        assert isinstance(bundle.combiner, LinearCombiner)
+
+    def test_side_totals(self, small_market):
+        bundle = build_benefit_matrices(small_market)
+        edges = [(0, 0), (1, 1)]
+        req, wrk = bundle.side_totals(edges)
+        assert req == pytest.approx(
+            bundle.requester[0, 0] + bundle.requester[1, 1]
+        )
+        assert wrk == pytest.approx(
+            bundle.worker[0, 0] + bundle.worker[1, 1]
+        )
+
+    def test_combined_total_linear_decomposes(self, small_market):
+        bundle = build_benefit_matrices(
+            small_market, combiner=LinearCombiner(0.4)
+        )
+        edges = [(0, 0), (2, 3), (5, 1)]
+        from_edges = sum(float(bundle.combined[i, j]) for i, j in edges)
+        assert bundle.combined_total(edges) == pytest.approx(from_edges)
+
+    def test_lambda_one_equals_requester_matrix(self, small_market):
+        bundle = build_benefit_matrices(
+            small_market, combiner=LinearCombiner(1.0)
+        )
+        assert np.allclose(bundle.combined, bundle.requester)
+
+    def test_lambda_zero_equals_worker_matrix(self, small_market):
+        bundle = build_benefit_matrices(
+            small_market, combiner=LinearCombiner(0.0)
+        )
+        assert np.allclose(bundle.combined, bundle.worker)

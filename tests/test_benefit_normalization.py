@@ -1,0 +1,97 @@
+"""Tests for benefit-scale normalization."""
+
+import numpy as np
+import pytest
+
+from repro.benefit.normalization import (
+    NormalizedBenefit,
+    normalized_problem,
+    side_scale,
+)
+from repro.benefit.requester_benefit import QualityGainBenefit
+from repro.benefit.worker_benefit import NetRewardBenefit
+from repro.errors import ValidationError
+
+
+class TestSideScale:
+    def test_max_abs(self):
+        matrix = np.array([[1.0, -4.0], [2.0, 3.0]])
+        assert side_scale(matrix, "max-abs") == 4.0
+
+    def test_mean_pos(self):
+        matrix = np.array([[2.0, -10.0], [4.0, 0.0]])
+        assert side_scale(matrix, "mean-pos") == pytest.approx(3.0)
+
+    def test_none(self):
+        assert side_scale(np.array([[5.0]]), "none") == 1.0
+
+    def test_all_zero_safe(self):
+        assert side_scale(np.zeros((2, 2)), "max-abs") == 1.0
+
+    def test_all_negative_mean_pos_safe(self):
+        assert side_scale(np.array([[-1.0, -2.0]]), "mean-pos") == 1.0
+
+    def test_empty_safe(self):
+        assert side_scale(np.zeros((0, 3)), "max-abs") == 1.0
+
+    def test_unknown_scaler(self):
+        with pytest.raises(ValidationError):
+            side_scale(np.zeros((1, 1)), "z-score")
+
+
+class TestNormalizedBenefit:
+    def test_bounded_output(self, small_market):
+        model = NormalizedBenefit(NetRewardBenefit(), "max-abs")
+        matrix = model.matrix(small_market)
+        assert np.abs(matrix).max() <= 1.0 + 1e-12
+
+    def test_preserves_ordering(self, small_market):
+        raw = QualityGainBenefit().matrix(small_market)
+        normalized = NormalizedBenefit(
+            QualityGainBenefit(), "max-abs"
+        ).matrix(small_market)
+        raw_order = np.argsort(raw.ravel())
+        norm_order = np.argsort(normalized.ravel())
+        assert np.array_equal(raw_order, norm_order)
+
+    def test_invalid_scaler_at_construction(self):
+        with pytest.raises(ValidationError):
+            NormalizedBenefit(QualityGainBenefit(), "quantile")
+
+
+class TestNormalizedProblem:
+    def test_sides_comparable(self):
+        from repro.datagen.traces import upwork_like_market
+
+        market = upwork_like_market(40, 20, seed=0)
+        problem = normalized_problem(market)
+        req_scale = np.abs(problem.benefits.requester).max()
+        wrk_scale = np.abs(problem.benefits.worker).max()
+        assert req_scale == pytest.approx(1.0)
+        assert wrk_scale == pytest.approx(1.0)
+
+    def test_solvable(self):
+        from repro.core.solvers import get_solver
+        from repro.datagen.traces import upwork_like_market
+
+        market = upwork_like_market(30, 15, seed=1)
+        problem = normalized_problem(market)
+        assignment = get_solver("flow").solve(problem)
+        assert len(assignment) > 0
+
+    def test_lambda_extremes_agree_with_raw(self):
+        """At lambda=1 the normalized and raw optima agree on edges
+        (normalization is a positive per-side rescale)."""
+        from repro.benefit.mutual import LinearCombiner
+        from repro.core.problem import MBAProblem
+        from repro.core.solvers import get_solver
+        from repro.datagen.traces import upwork_like_market
+
+        market = upwork_like_market(25, 12, seed=2)
+        raw = MBAProblem(market, combiner=LinearCombiner(1.0))
+        normalized = normalized_problem(
+            market, combiner=LinearCombiner(1.0)
+        )
+        raw_edges = get_solver("flow").solve(raw).edges
+        norm_edges = get_solver("flow").solve(normalized).edges
+        assert raw_edges == norm_edges

@@ -1,0 +1,79 @@
+"""Permutation invariance of benefit matrices (DESIGN.md §6 invariant).
+
+Reordering workers/tasks in the market must permute the benefit
+matrices by exactly the same permutation — no positional leakage.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benefit.matrices import build_benefit_matrices
+from repro.datagen.synthetic import SyntheticConfig, generate_market
+from repro.market.market import LaborMarket
+
+
+def _permuted(market, worker_order, task_order):
+    return LaborMarket(
+        [market.workers[i] for i in worker_order],
+        [market.tasks[j] for j in task_order],
+        market.taxonomy,
+        market.requesters,
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 100_000))
+def test_benefit_matrices_permutation_equivariant(seed):
+    rng = np.random.default_rng(seed)
+    market = generate_market(
+        SyntheticConfig(
+            n_workers=int(rng.integers(2, 10)),
+            n_tasks=int(rng.integers(2, 8)),
+        ),
+        seed=seed,
+    )
+    worker_order = rng.permutation(market.n_workers)
+    task_order = rng.permutation(market.n_tasks)
+    base = build_benefit_matrices(market)
+    shuffled = build_benefit_matrices(
+        _permuted(market, worker_order, task_order)
+    )
+    for attribute in ("requester", "worker", "combined"):
+        original = getattr(base, attribute)
+        permuted = getattr(shuffled, attribute)
+        assert np.allclose(
+            permuted, original[np.ix_(worker_order, task_order)]
+        ), attribute
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 100_000))
+def test_flow_optimum_is_permutation_invariant(seed):
+    """The optimal *value* cannot depend on entity ordering."""
+    from repro.benefit.mutual import LinearCombiner
+    from repro.core.problem import MBAProblem
+    from repro.core.solvers import get_solver
+
+    rng = np.random.default_rng(seed)
+    market = generate_market(
+        SyntheticConfig(n_workers=6, n_tasks=4), seed=seed
+    )
+    worker_order = rng.permutation(market.n_workers)
+    task_order = rng.permutation(market.n_tasks)
+    base_value = (
+        get_solver("flow")
+        .solve(MBAProblem(market, combiner=LinearCombiner(0.5)))
+        .combined_total()
+    )
+    shuffled_value = (
+        get_solver("flow")
+        .solve(
+            MBAProblem(
+                _permuted(market, worker_order, task_order),
+                combiner=LinearCombiner(0.5),
+            )
+        )
+        .combined_total()
+    )
+    assert np.isclose(base_value, shuffled_value)

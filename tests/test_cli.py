@@ -1,0 +1,131 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerate:
+    def test_writes_market(self, tmp_path, capsys):
+        path = tmp_path / "m.json"
+        code = main([
+            "generate", "synthetic-uniform", str(path),
+            "--workers", "12", "--tasks", "6", "--seed", "1",
+        ])
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert len(payload["workers"]) == 12
+        assert "wrote" in capsys.readouterr().out
+
+    def test_unknown_workload_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "nope", str(tmp_path / "m.json")])
+
+
+class TestSolve:
+    @pytest.fixture
+    def market_path(self, tmp_path):
+        path = tmp_path / "m.json"
+        main([
+            "generate", "synthetic-uniform", str(path),
+            "--workers", "15", "--tasks", "8", "--seed", "2",
+        ])
+        return path
+
+    def test_solve_prints_totals(self, market_path, capsys):
+        assert main(["solve", str(market_path)]) == 0
+        out = capsys.readouterr().out
+        assert "requester" in out
+        assert "worker" in out
+
+    def test_solve_writes_assignment(self, market_path, tmp_path, capsys):
+        output = tmp_path / "a.json"
+        code = main([
+            "solve", str(market_path), "--solver", "greedy",
+            "--output", str(output),
+        ])
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert payload["solver"] == "greedy"
+        assert payload["edges"]
+
+    def test_lambda_flag(self, market_path, capsys):
+        assert main(["solve", str(market_path), "--lam", "1.0"]) == 0
+
+    def test_unknown_solver_rejected(self, market_path):
+        with pytest.raises(SystemExit):
+            main(["solve", str(market_path), "--solver", "magic"])
+
+
+class TestSimulate:
+    def test_simulate_prints_rounds(self, tmp_path, capsys):
+        path = tmp_path / "m.json"
+        main([
+            "generate", "synthetic-uniform", str(path),
+            "--workers", "15", "--tasks", "8",
+        ])
+        code = main([
+            "simulate", str(path), "--rounds", "3", "--no-retention",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean accuracy" in out
+        assert out.count("\n") >= 5
+
+
+class TestExperiment:
+    def test_runs_small_experiment(self, capsys):
+        code = main(["experiment", "T1", "--scale", "0.1"])
+        assert code == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "T99"])
+
+
+class TestCompare:
+    def test_compare_prints_table(self, capsys):
+        code = main([
+            "compare", "flow", "random",
+            "--workers", "12", "--tasks", "6", "--instances", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert "random" in out
+
+    def test_unknown_solver_is_handled(self, capsys):
+        code = main([
+            "compare", "flow", "not-a-solver",
+            "--workers", "8", "--tasks", "4", "--instances", "2",
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestEvents:
+    def test_events_summary(self, tmp_path, capsys):
+        path = tmp_path / "m.json"
+        main([
+            "generate", "synthetic-uniform", str(path),
+            "--workers", "15", "--tasks", "8",
+        ])
+        code = main([
+            "events", str(path), "--horizon", "20",
+            "--policy", "threshold",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "posted" in out
+        assert "combined benefit" in out
+
+
+class TestErrors:
+    def test_missing_market_file_is_handled(self, capsys, tmp_path):
+        # load_market raises FileNotFoundError (not ReproError); the
+        # CLI lets genuine I/O errors propagate for a real traceback.
+        with pytest.raises(FileNotFoundError):
+            main(["solve", str(tmp_path / "missing.json")])

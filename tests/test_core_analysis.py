@@ -1,0 +1,68 @@
+"""Tests for assignment diagnostics."""
+
+import pytest
+
+from repro.core.analysis import analyze
+from repro.core.solvers import get_solver
+
+
+class TestAnalyze:
+    @pytest.fixture
+    def report(self, small_problem):
+        assignment = get_solver("flow").solve(small_problem)
+        return analyze(assignment), assignment
+
+    def test_totals_match_assignment(self, report):
+        rpt, assignment = report
+        assert rpt.n_edges == len(assignment)
+        assert rpt.requester_total == pytest.approx(
+            assignment.requester_total()
+        )
+        assert rpt.combined_total == pytest.approx(
+            assignment.combined_total()
+        )
+
+    def test_category_accounting(self, report):
+        rpt, assignment = report
+        market = assignment.problem.market
+        assert sum(c.n_tasks for c in rpt.categories) == market.n_tasks
+        assert sum(c.demand for c in rpt.categories) == int(
+            market.task_replications().sum()
+        )
+        assert sum(c.filled for c in rpt.categories) == len(assignment)
+
+    def test_fill_rates_bounded(self, report):
+        rpt, _assignment = report
+        for cat in rpt.categories:
+            assert 0.0 <= cat.fill_rate <= 1.0
+
+    def test_worker_load_sums_to_edges(self, report):
+        rpt, assignment = report
+        market = assignment.problem.market
+        assert rpt.worker_load.n == market.n_workers
+        assert rpt.worker_load.mean * market.n_workers == pytest.approx(
+            len(assignment)
+        )
+
+    def test_top_workers_sorted_and_capped(self, small_problem):
+        assignment = get_solver("flow").solve(small_problem)
+        rpt = analyze(assignment, top_n=3)
+        assert len(rpt.top_workers) <= 3
+        benefits = [benefit for _w, benefit in rpt.top_workers]
+        assert benefits == sorted(benefits, reverse=True)
+
+    def test_render_contains_key_lines(self, report):
+        rpt, _assignment = report
+        text = rpt.render()
+        assert "assignment report" in text
+        assert "category utilization" in text
+        assert "%" in text
+
+    def test_empty_assignment(self, small_problem):
+        from repro.core.assignment import Assignment
+
+        rpt = analyze(Assignment(small_problem, []))
+        assert rpt.n_edges == 0
+        assert rpt.coverage == 0.0
+        assert rpt.top_workers == []
+        assert "edges 0" in rpt.render()

@@ -1,0 +1,89 @@
+"""Tests for the Assignment result object."""
+
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.errors import ValidationError
+
+
+class TestValidation:
+    def test_valid(self, tiny_problem):
+        assignment = Assignment(tiny_problem, [(0, 0), (1, 1)])
+        assert len(assignment) == 2
+
+    def test_duplicate_edges(self, tiny_problem):
+        with pytest.raises(ValidationError, match="duplicate"):
+            Assignment(tiny_problem, [(0, 0), (0, 0)])
+
+    def test_worker_capacity_enforced(self, tiny_problem):
+        # Worker 0 has capacity 1.
+        with pytest.raises(ValidationError, match="capacity"):
+            Assignment(tiny_problem, [(0, 0), (0, 1)])
+
+    def test_task_replication_enforced(self, tiny_problem):
+        # Task 1 has replication 1.
+        with pytest.raises(ValidationError, match="replication"):
+            Assignment(tiny_problem, [(0, 1), (1, 1)])
+
+    def test_out_of_range_worker(self, tiny_problem):
+        with pytest.raises(ValidationError):
+            Assignment(tiny_problem, [(9, 0)])
+
+    def test_out_of_range_task(self, tiny_problem):
+        with pytest.raises(ValidationError):
+            Assignment(tiny_problem, [(0, 9)])
+
+    def test_inactive_worker_rejected(self, tiny_market):
+        from repro.core.problem import MBAProblem
+
+        tiny_market.workers[0].active = False
+        problem = MBAProblem(tiny_market)
+        with pytest.raises(ValidationError, match="inactive"):
+            Assignment(problem, [(0, 0)])
+
+    def test_empty_is_valid(self, tiny_problem):
+        assignment = Assignment(tiny_problem, [])
+        assert len(assignment) == 0
+        assert assignment.combined_total() == pytest.approx(0.0)
+
+
+class TestAccounting:
+    def test_totals_match_matrices(self, tiny_problem):
+        edges = [(0, 0), (1, 1), (2, 0)]
+        assignment = Assignment(tiny_problem, edges)
+        benefits = tiny_problem.benefits
+        expected_req = sum(benefits.requester[i, j] for i, j in edges)
+        expected_wrk = sum(benefits.worker[i, j] for i, j in edges)
+        assert assignment.requester_total() == pytest.approx(expected_req)
+        assert assignment.worker_total() == pytest.approx(expected_wrk)
+
+    def test_combined_total_is_combiner_applied(self, tiny_problem):
+        assignment = Assignment(tiny_problem, [(0, 0), (1, 1)])
+        expected = tiny_problem.combiner.total(
+            assignment.requester_total(), assignment.worker_total()
+        )
+        assert assignment.combined_total() == pytest.approx(expected)
+
+    def test_per_worker_benefit(self, tiny_problem):
+        assignment = Assignment(tiny_problem, [(1, 0), (1, 1)])
+        per_worker = assignment.per_worker_benefit()
+        assert set(per_worker) == {1}
+        expected = (
+            tiny_problem.benefits.worker[1, 0]
+            + tiny_problem.benefits.worker[1, 1]
+        )
+        assert per_worker[1] == pytest.approx(expected)
+
+    def test_groupings(self, tiny_problem):
+        assignment = Assignment(tiny_problem, [(0, 0), (2, 0), (1, 1)])
+        assert assignment.workers_per_task() == {0: [0, 2], 1: [1]}
+        assert assignment.tasks_per_worker() == {0: [0], 1: [1], 2: [0]}
+
+    def test_coverage(self, tiny_problem):
+        # Total demand = 2 + 1 = 3 slots.
+        assignment = Assignment(tiny_problem, [(0, 0), (1, 1)])
+        assert assignment.coverage() == pytest.approx(2 / 3)
+
+    def test_edges_sorted(self, tiny_problem):
+        assignment = Assignment(tiny_problem, [(2, 0), (0, 0)])
+        assert assignment.edges == ((0, 0), (2, 0))

@@ -1,0 +1,91 @@
+"""Tests for the auction-based solver."""
+
+import numpy as np
+import pytest
+
+from repro.benefit.mutual import LinearCombiner
+from repro.core.problem import MBAProblem
+from repro.core.solvers import get_solver
+from repro.core.solvers.auction_solver import AuctionSolver
+from repro.datagen.synthetic import SyntheticConfig, generate_market
+
+
+def _problem(seed=0, **kwargs):
+    defaults = dict(n_workers=15, n_tasks=8)
+    defaults.update(kwargs)
+    market = generate_market(SyntheticConfig(**defaults), seed=seed)
+    return MBAProblem(market, combiner=LinearCombiner(0.5))
+
+
+class TestAuctionSolver:
+    def test_matches_flow_on_unit_capacities(self):
+        """Duplicate-free expansion: auction must equal flow exactly."""
+        for seed in range(6):
+            problem = _problem(
+                seed=seed, capacity_low=1, capacity_high=1,
+                replication_choices=(1, 2, 3),
+            )
+            auction_value = (
+                get_solver("auction").solve(problem).combined_total()
+            )
+            flow_value = get_solver("flow").solve(problem).combined_total()
+            assert auction_value == pytest.approx(flow_value, rel=1e-6)
+
+    def test_matches_flow_on_unit_replication(self):
+        for seed in range(6):
+            problem = _problem(
+                seed=100 + seed, capacity_low=1, capacity_high=3,
+                replication_choices=(1,),
+            )
+            auction_value = (
+                get_solver("auction").solve(problem).combined_total()
+            )
+            flow_value = get_solver("flow").solve(problem).combined_total()
+            assert auction_value == pytest.approx(flow_value, rel=1e-6)
+
+    def test_near_optimal_in_general(self):
+        """With duplicates possible, stay within a few percent of flow."""
+        ratios = []
+        for seed in range(6):
+            problem = _problem(
+                seed=200 + seed, capacity_low=2, capacity_high=3,
+                replication_choices=(2, 3),
+            )
+            auction_value = (
+                get_solver("auction").solve(problem).combined_total()
+            )
+            flow_value = get_solver("flow").solve(problem).combined_total()
+            if flow_value > 0:
+                ratios.append(auction_value / flow_value)
+        assert min(ratios) >= 0.9
+        assert float(np.mean(ratios)) >= 0.95
+
+    def test_exactness_flag(self):
+        unit_cap = _problem(seed=1, capacity_low=1, capacity_high=1)
+        general = _problem(
+            seed=2, capacity_low=2, capacity_high=3,
+            replication_choices=(3,),
+        )
+        assert AuctionSolver.exact_for_problem(unit_cap)
+        assert not AuctionSolver.exact_for_problem(general)
+
+    def test_validates_capacities(self):
+        problem = _problem(seed=3, capacity_low=2, capacity_high=4,
+                           replication_choices=(3, 5))
+        assignment = get_solver("auction").solve(problem)
+        # Assignment constructor validates; check no duplicate pairs.
+        assert len(set(assignment.edges)) == len(assignment.edges)
+
+    def test_all_negative_market_yields_empty(self, taxonomy):
+        from repro.market.market import LaborMarket
+        from repro.market.task import Task
+        from repro.market.worker import Worker
+
+        workers = [
+            Worker(worker_id=0, skills=np.array([0.1, 0.1, 0.1]),
+                   reservation_wage=99.0)
+        ]
+        tasks = [Task(task_id=0, category=0, payment=0.01)]
+        market = LaborMarket(workers, tasks, taxonomy)
+        problem = MBAProblem(market, combiner=LinearCombiner(0.5))
+        assert len(get_solver("auction").solve(problem)) == 0

@@ -1,0 +1,104 @@
+"""Tests for the single-sided and naive baselines."""
+
+import numpy as np
+import pytest
+
+from repro.benefit.mutual import LinearCombiner
+from repro.core.problem import MBAProblem
+from repro.core.solvers import get_solver
+from repro.datagen.synthetic import SyntheticConfig, generate_market
+
+
+def _problem(seed=0, **kwargs):
+    defaults = dict(n_workers=25, n_tasks=12)
+    defaults.update(kwargs)
+    market = generate_market(SyntheticConfig(**defaults), seed=seed)
+    return MBAProblem(market, combiner=LinearCombiner(0.5))
+
+
+class TestQualityOnly:
+    def test_maximizes_requester_side(self):
+        """quality-only must dominate every solver on requester benefit."""
+        problem = _problem(seed=4)
+        quality_req = (
+            get_solver("quality-only").solve(problem).requester_total()
+        )
+        for other in ("flow", "greedy", "worker-only", "random"):
+            other_req = (
+                get_solver(other).solve(problem, seed=0).requester_total()
+            )
+            assert quality_req >= other_req - 1e-7, other
+
+    def test_equals_lambda_one_flow(self):
+        problem = _problem(seed=5)
+        lam1 = MBAProblem(problem.market, combiner=LinearCombiner(1.0))
+        assert get_solver("quality-only").solve(
+            problem
+        ).requester_total() == pytest.approx(
+            get_solver("flow").solve(lam1).requester_total()
+        )
+
+
+class TestWorkerOnly:
+    def test_maximizes_worker_side(self):
+        problem = _problem(seed=6)
+        worker_total = (
+            get_solver("worker-only").solve(problem).worker_total()
+        )
+        for other in ("flow", "greedy", "quality-only", "random"):
+            other_total = (
+                get_solver(other).solve(problem, seed=0).worker_total()
+            )
+            assert worker_total >= other_total - 1e-7, other
+
+
+class TestRandom:
+    def test_different_seeds_differ(self):
+        problem = _problem(seed=7)
+        a = get_solver("random").solve(problem, seed=1)
+        b = get_solver("random").solve(problem, seed=2)
+        assert a.edges != b.edges
+
+    def test_only_positive_edges(self):
+        problem = _problem(seed=8)
+        assignment = get_solver("random").solve(problem, seed=0)
+        for i, j in assignment.edges:
+            assert problem.benefits.combined[i, j] > 0
+
+    def test_saturates_feasible_demand(self):
+        """Random fills until no feasible positive edge remains."""
+        problem = _problem(seed=9)
+        assignment = get_solver("random").solve(problem, seed=0)
+        caps_w = problem.worker_capacities().copy()
+        caps_t = problem.task_capacities().copy()
+        for i, j in assignment.edges:
+            caps_w[i] -= 1
+            caps_t[j] -= 1
+        combined = problem.benefits.combined
+        taken = set(assignment.edges)
+        for i in range(problem.n_workers):
+            for j in range(problem.n_tasks):
+                if combined[i, j] > 0 and (i, j) not in taken:
+                    assert caps_w[i] <= 0 or caps_t[j] <= 0
+
+
+class TestRoundRobin:
+    def test_each_task_gets_served_when_supply_ample(self):
+        problem = _problem(
+            seed=10, capacity_low=3, capacity_high=3,
+            replication_choices=(1,),
+        )
+        assignment = get_solver("round-robin").solve(problem)
+        served = {j for _i, j in assignment.edges}
+        positive_tasks = {
+            j
+            for j in range(problem.n_tasks)
+            if (problem.benefits.combined[:, j] > 0).any()
+        }
+        assert positive_tasks <= served
+
+    def test_no_repeated_edge(self):
+        problem = _problem(seed=11, capacity_low=2, capacity_high=4,
+                           replication_choices=(3, 5))
+        assignment = get_solver("round-robin").solve(problem)
+        assert len(set(assignment.edges)) == len(assignment.edges)

@@ -1,0 +1,79 @@
+"""Tests for the micro-batching online solver."""
+
+import numpy as np
+import pytest
+
+from repro.benefit.mutual import LinearCombiner
+from repro.core.problem import MBAProblem
+from repro.core.solvers import get_solver
+from repro.datagen.synthetic import SyntheticConfig, generate_market
+from repro.errors import ValidationError
+
+
+def _problem(seed=0, **kwargs):
+    defaults = dict(n_workers=24, n_tasks=12)
+    defaults.update(kwargs)
+    market = generate_market(SyntheticConfig(**defaults), seed=seed)
+    return MBAProblem(market, combiner=LinearCombiner(0.5))
+
+
+class TestOnlineBatchSolver:
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValidationError):
+            get_solver("online-batch", batch_size=0)
+
+    def test_batch_one_equals_online_greedy(self):
+        """A single-worker batch solved optimally IS the greedy pick."""
+        for seed in range(4):
+            problem = _problem(seed=seed)
+            batch = get_solver("online-batch", batch_size=1).solve(
+                problem, seed=9
+            )
+            greedy = get_solver("online-greedy").solve(problem, seed=9)
+            assert batch.combined_total() == pytest.approx(
+                greedy.combined_total()
+            )
+
+    def test_full_batch_equals_offline_flow(self):
+        problem = _problem(seed=5)
+        batch = get_solver(
+            "online-batch", batch_size=problem.n_workers
+        ).solve(problem, seed=0)
+        flow = get_solver("flow").solve(problem, seed=0)
+        assert batch.combined_total() == pytest.approx(
+            flow.combined_total()
+        )
+
+    def test_value_weakly_improves_with_batch_size(self):
+        problem = _problem(seed=6, n_workers=40, n_tasks=20)
+        values = []
+        for batch_size in (1, 5, 40):
+            means = [
+                get_solver("online-batch", batch_size=batch_size)
+                .solve(problem, seed=rep)
+                .combined_total()
+                for rep in range(5)
+            ]
+            values.append(float(np.mean(means)))
+        assert values[1] >= values[0] - 1e-6
+        assert values[2] >= values[1] - 1e-6
+
+    def test_never_beats_offline(self):
+        problem = _problem(seed=7)
+        offline = get_solver("flow").solve(problem).combined_total()
+        for batch_size in (1, 3, 7):
+            value = (
+                get_solver("online-batch", batch_size=batch_size)
+                .solve(problem, seed=1)
+                .combined_total()
+            )
+            assert value <= offline + 1e-9
+
+    def test_respects_inactive_workers(self):
+        problem = _problem(seed=8)
+        problem.market.workers[2].active = False
+        rebuilt = MBAProblem(problem.market, combiner=LinearCombiner(0.5))
+        assignment = get_solver("online-batch", batch_size=4).solve(
+            rebuilt, seed=0
+        )
+        assert all(i != 2 for i, _j in assignment.edges)

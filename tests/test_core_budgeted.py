@@ -1,0 +1,120 @@
+"""Tests for the Lagrangian budgeted-flow solver."""
+
+import numpy as np
+import pytest
+
+from repro.benefit.mutual import LinearCombiner
+from repro.core.problem import MBAProblem
+from repro.core.solvers import get_solver
+from repro.core.solvers.budgeted import BudgetedFlowSolver, assignment_spend
+from repro.datagen.synthetic import SyntheticConfig, generate_market
+from repro.errors import ValidationError
+
+
+def _problem(seed=0, **kwargs):
+    defaults = dict(n_workers=20, n_tasks=10)
+    defaults.update(kwargs)
+    market = generate_market(SyntheticConfig(**defaults), seed=seed)
+    return MBAProblem(market, combiner=LinearCombiner(0.5))
+
+
+class TestBudgetedFlow:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            get_solver("budgeted-flow", budget=-1.0)
+        with pytest.raises(ValidationError):
+            get_solver("budgeted-flow", max_bisections=0)
+
+    def test_infinite_budget_equals_flow(self):
+        problem = _problem(seed=1)
+        budgeted = get_solver("budgeted-flow").solve(problem)
+        flow = get_solver("flow").solve(problem)
+        assert budgeted.combined_total() == pytest.approx(
+            flow.combined_total()
+        )
+
+    def test_budget_respected(self):
+        problem = _problem(seed=2)
+        unconstrained = get_solver("flow").solve(problem)
+        full_spend = assignment_spend(problem, unconstrained.edges)
+        for fraction in (0.75, 0.5, 0.25, 0.1):
+            budget = fraction * full_spend
+            assignment = get_solver(
+                "budgeted-flow", budget=budget
+            ).solve(problem)
+            assert assignment_spend(problem, assignment.edges) <= (
+                budget + 1e-9
+            )
+
+    def test_zero_budget_empty(self):
+        problem = _problem(seed=3)
+        assignment = get_solver("budgeted-flow", budget=0.0).solve(problem)
+        # Only zero-payment tasks could be assigned; generated markets
+        # have positive payments, so the assignment is empty.
+        assert len(assignment) == 0
+
+    def test_benefit_monotone_in_budget(self):
+        problem = _problem(seed=4)
+        full_spend = assignment_spend(
+            problem, get_solver("flow").solve(problem).edges
+        )
+        values = []
+        for fraction in (0.2, 0.5, 0.8, 1.0):
+            assignment = get_solver(
+                "budgeted-flow", budget=fraction * full_spend
+            ).solve(problem)
+            values.append(assignment.combined_total())
+        for a, b in zip(values, values[1:]):
+            assert b >= a - 1e-9
+
+    def test_lagrangian_optimality_certificate(self):
+        """The returned solution beats every feasible alternative the
+        exact solver finds at its spend level (small instance)."""
+        problem = _problem(
+            seed=5, n_workers=8, n_tasks=4,
+            capacity_low=1, capacity_high=1, replication_choices=(1,),
+        )
+        full_spend = assignment_spend(
+            problem, get_solver("flow").solve(problem).edges
+        )
+        budget = 0.5 * full_spend
+        budgeted = get_solver("budgeted-flow", budget=budget).solve(problem)
+
+        # Brute-force the true budgeted optimum over edge subsets.
+        import itertools
+
+        combined = problem.benefits.combined
+        payments = problem.market.task_payments()
+        candidates = [
+            (i, j)
+            for i in range(problem.n_workers)
+            for j in range(problem.n_tasks)
+            if combined[i, j] > 0
+        ]
+        best = 0.0
+        for r in range(min(len(candidates), 4) + 1):
+            for subset in itertools.combinations(candidates, r):
+                workers = [i for i, _j in subset]
+                tasks = [j for _i, j in subset]
+                if len(set(workers)) < len(workers):
+                    continue
+                if len(set(tasks)) < len(tasks):
+                    continue
+                if sum(payments[j] for j in tasks) > budget + 1e-9:
+                    continue
+                value = sum(combined[i, j] for i, j in subset)
+                best = max(best, value)
+        # Lagrangian duality gap allowance: within 25 % of brute force.
+        assert budgeted.combined_total() >= 0.75 * best - 1e-9
+
+    def test_spend_nonincreasing_in_price(self):
+        problem = _problem(seed=6)
+        solver = BudgetedFlowSolver()
+        spends = [
+            assignment_spend(
+                problem, solver._solve_at_price(problem, price)
+            )
+            for price in (0.0, 0.5, 1.0, 2.0, 8.0)
+        ]
+        for a, b in zip(spends, spends[1:]):
+            assert b <= a + 1e-9

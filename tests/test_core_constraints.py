@@ -1,0 +1,157 @@
+"""Tests for side constraints and the constrained greedy solver."""
+
+import numpy as np
+import pytest
+
+from repro.benefit.mutual import LinearCombiner
+from repro.core.constraints import (
+    BudgetConstraint,
+    CategoryDiversityConstraint,
+    MinAccuracyConstraint,
+)
+from repro.core.problem import MBAProblem
+from repro.core.solvers import get_solver
+from repro.datagen.synthetic import SyntheticConfig, generate_market
+from repro.errors import ValidationError
+
+
+def _problem(seed=0, **kwargs):
+    defaults = dict(n_workers=20, n_tasks=10, n_requesters=3)
+    defaults.update(kwargs)
+    market = generate_market(SyntheticConfig(**defaults), seed=seed)
+    return MBAProblem(market, combiner=LinearCombiner(0.5))
+
+
+class TestBudgetConstraint:
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValidationError):
+            BudgetConstraint({0: -1.0})
+
+    def test_blocks_over_budget(self, tiny_market):
+        from repro.market.task import Task
+        import dataclasses
+
+        # Re-own both tasks by requester 7 with a tight budget.
+        tiny_market.tasks[0] = dataclasses.replace(
+            tiny_market.tasks[0], requester_id=7
+        )
+        tiny_market.tasks[1] = dataclasses.replace(
+            tiny_market.tasks[1], requester_id=7
+        )
+        problem = MBAProblem(tiny_market)
+        constraint = BudgetConstraint({7: 1.5})
+        # Task 0 pays 1.0: first edge fits, second (task 1, pays 2.0)
+        # would push spend to 3.0 > 1.5.
+        assert constraint.allows(problem, [], (0, 0))
+        assert not constraint.allows(problem, [(0, 0)], (1, 1))
+
+    def test_unowned_tasks_unconstrained(self, tiny_problem):
+        constraint = BudgetConstraint({0: 0.0})
+        assert constraint.allows(tiny_problem, [], (0, 0))
+
+    def test_unknown_requester_unconstrained(self, tiny_market):
+        import dataclasses
+
+        tiny_market.tasks[0] = dataclasses.replace(
+            tiny_market.tasks[0], requester_id=3
+        )
+        problem = MBAProblem(tiny_market)
+        assert BudgetConstraint({9: 0.0}).allows(problem, [], (0, 0))
+
+    def test_solver_respects_budget(self):
+        problem = _problem(seed=1)
+        volume = {}
+        for task in problem.market.tasks:
+            volume[task.requester_id] = (
+                volume.get(task.requester_id, 0.0) + task.payment
+            )
+        budgets = {r: 0.5 * v for r, v in volume.items()}
+        constraint = BudgetConstraint(budgets)
+        assignment = get_solver(
+            "constrained-greedy", constraints=[constraint]
+        ).solve(problem)
+        constraint.validate(problem, list(assignment.edges))
+
+
+class TestMinAccuracyConstraint:
+    def test_floor_validation(self):
+        with pytest.raises(ValidationError):
+            MinAccuracyConstraint(1.5)
+
+    def test_filters_low_accuracy_edges(self):
+        problem = _problem(seed=2)
+        constraint = MinAccuracyConstraint(0.75)
+        assignment = get_solver(
+            "constrained-greedy", constraints=[constraint]
+        ).solve(problem)
+        accuracy = problem.market.accuracy_matrix()
+        for i, j in assignment.edges:
+            assert accuracy[i, j] >= 0.75
+
+    def test_floor_one_blocks_almost_everything(self):
+        problem = _problem(seed=3)
+        assignment = get_solver(
+            "constrained-greedy",
+            constraints=[MinAccuracyConstraint(1.0)],
+        ).solve(problem)
+        assert len(assignment) == 0
+
+
+class TestCategoryDiversityConstraint:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            CategoryDiversityConstraint(0)
+
+    def test_limits_per_category_load(self):
+        problem = _problem(
+            seed=4, capacity_low=4, capacity_high=4,
+            replication_choices=(3,), n_categories=2,
+        )
+        assignment = get_solver(
+            "constrained-greedy",
+            constraints=[CategoryDiversityConstraint(1)],
+        ).solve(problem)
+        for i, tasks in assignment.tasks_per_worker().items():
+            categories = [
+                problem.market.tasks[j].category for j in tasks
+            ]
+            assert len(categories) == len(set(categories))
+
+
+class TestConstrainedGreedySolver:
+    def test_no_constraints_close_to_greedy(self):
+        problem = _problem(seed=5)
+        plain = get_solver("greedy").solve(problem).combined_total()
+        constrained = (
+            get_solver("constrained-greedy").solve(problem).combined_total()
+        )
+        assert constrained == pytest.approx(plain, rel=1e-9)
+
+    def test_constraints_only_cost_value(self):
+        problem = _problem(seed=6)
+        free = get_solver("constrained-greedy").solve(problem).combined_total()
+        constrained = get_solver(
+            "constrained-greedy",
+            constraints=[MinAccuracyConstraint(0.8)],
+        ).solve(problem).combined_total()
+        assert constrained <= free + 1e-9
+
+    def test_validate_passes_on_own_output(self):
+        problem = _problem(seed=7)
+        constraints = [
+            MinAccuracyConstraint(0.6),
+            CategoryDiversityConstraint(2),
+        ]
+        assignment = get_solver(
+            "constrained-greedy", constraints=constraints
+        ).solve(problem)
+        for constraint in constraints:
+            constraint.validate(problem, list(assignment.edges))
+
+    def test_validate_raises_on_violation(self):
+        problem = _problem(seed=8)
+        constraint = MinAccuracyConstraint(1.0)
+        accuracy = problem.market.accuracy_matrix()
+        i, j = np.unravel_index(np.argmax(accuracy < 1.0), accuracy.shape)
+        with pytest.raises(ValidationError):
+            constraint.validate(problem, [(int(i), int(j))])

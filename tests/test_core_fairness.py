@@ -1,0 +1,68 @@
+"""Tests for fairness measures."""
+
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.fairness import (
+    assigned_fraction,
+    benefit_gini,
+    side_gap,
+    worker_benefit_vector,
+)
+
+
+class TestWorkerBenefitVector:
+    def test_covers_all_active_workers(self, tiny_problem):
+        assignment = Assignment(tiny_problem, [(0, 0)])
+        vector = worker_benefit_vector(assignment)
+        assert vector.shape == (3,)
+
+    def test_unassigned_get_zero(self, tiny_problem):
+        assignment = Assignment(tiny_problem, [(0, 0)])
+        vector = worker_benefit_vector(assignment)
+        assert vector[1] == 0.0
+        assert vector[2] == 0.0
+
+    def test_skips_inactive(self, tiny_market):
+        from repro.core.problem import MBAProblem
+
+        tiny_market.workers[2].active = False
+        problem = MBAProblem(tiny_market)
+        assignment = Assignment(problem, [(0, 0)])
+        assert worker_benefit_vector(assignment).shape == (2,)
+
+
+class TestBenefitGini:
+    def test_empty_assignment(self, tiny_problem):
+        assert benefit_gini(Assignment(tiny_problem, [])) == 0.0
+
+    def test_single_beneficiary_high(self, tiny_problem):
+        assignment = Assignment(tiny_problem, [(0, 0)])
+        assert benefit_gini(assignment) > 0.5
+
+    def test_broad_assignment_lower(self, tiny_problem):
+        narrow = Assignment(tiny_problem, [(0, 0)])
+        broad = Assignment(tiny_problem, [(0, 0), (1, 1), (2, 0)])
+        assert benefit_gini(broad) < benefit_gini(narrow)
+
+
+class TestAssignedFraction:
+    def test_all_assigned(self, tiny_problem):
+        assignment = Assignment(tiny_problem, [(0, 0), (1, 1), (2, 0)])
+        assert assigned_fraction(assignment) == pytest.approx(1.0)
+
+    def test_partial(self, tiny_problem):
+        assignment = Assignment(tiny_problem, [(0, 0)])
+        assert assigned_fraction(assignment) == pytest.approx(1 / 3)
+
+    def test_empty(self, tiny_problem):
+        assert assigned_fraction(Assignment(tiny_problem, [])) == 0.0
+
+
+class TestSideGap:
+    def test_zero_for_empty(self, tiny_problem):
+        assert side_gap(Assignment(tiny_problem, [])) == 0.0
+
+    def test_bounded(self, tiny_problem):
+        assignment = Assignment(tiny_problem, [(0, 0), (1, 1)])
+        assert 0.0 <= side_gap(assignment) <= 1.0

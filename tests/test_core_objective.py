@@ -1,0 +1,134 @@
+"""Tests for LinearObjective and CoverageObjective."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benefit.mutual import EgalitarianCombiner, LinearCombiner
+from repro.core.objective import CoverageObjective, LinearObjective
+from repro.core.problem import MBAProblem
+from repro.crowd.quality import knowledge_coverage_quality
+from repro.errors import ValidationError
+
+
+class TestLinearObjective:
+    def test_value_is_edge_sum(self, tiny_problem):
+        objective = LinearObjective(tiny_problem)
+        edges = [(0, 0), (1, 1)]
+        expected = sum(
+            float(tiny_problem.benefits.combined[i, j]) for i, j in edges
+        )
+        assert objective.value(edges) == pytest.approx(expected)
+
+    def test_marginal_is_matrix_lookup(self, tiny_problem):
+        objective = LinearObjective(tiny_problem)
+        gain = objective.marginal([(0, 0)], (1, 1))
+        assert gain == pytest.approx(
+            float(tiny_problem.benefits.combined[1, 1])
+        )
+
+    def test_marginal_rejects_duplicate(self, tiny_problem):
+        objective = LinearObjective(tiny_problem)
+        with pytest.raises(ValidationError):
+            objective.marginal([(0, 0)], (0, 0))
+
+    def test_nonlinear_combiner_marginal_is_difference(self, tiny_market):
+        problem = MBAProblem(tiny_market, combiner=EgalitarianCombiner())
+        objective = LinearObjective(problem)
+        edges = [(0, 0)]
+        new_edge = (1, 1)
+        expected = objective.value(edges + [new_edge]) - objective.value(edges)
+        assert objective.marginal(edges, new_edge) == pytest.approx(expected)
+
+    def test_empty_value_zero(self, tiny_problem):
+        assert LinearObjective(tiny_problem).value([]) == pytest.approx(0.0)
+
+
+class TestCoverageObjective:
+    def test_singleton_matches_linear_requester_part(self, tiny_problem):
+        """For one edge, coverage requester value = payment*(acc-.5)*2."""
+        objective = CoverageObjective(tiny_problem, lam=1.0)
+        accuracy = tiny_problem.market.accuracy_matrix()[0, 0]
+        payment = tiny_problem.market.tasks[0].payment
+        expected = payment * (accuracy - 0.5) * 2.0
+        assert objective.value([(0, 0)]) == pytest.approx(expected)
+
+    def test_task_quality_uses_knowledge_coverage(self, tiny_problem):
+        objective = CoverageObjective(tiny_problem, lam=1.0)
+        accuracy = tiny_problem.market.accuracy_matrix()
+        committee = [0, 2]
+        expected = knowledge_coverage_quality(
+            [accuracy[0, 0], accuracy[2, 0]]
+        )
+        assert objective.task_quality(0, committee) == pytest.approx(expected)
+
+    def test_requester_part_monotone(self, small_problem):
+        """With lam=1 the coverage objective never loses from an edge."""
+        objective = CoverageObjective(small_problem, lam=1.0)
+        edges = [(1, 0), (2, 0), (3, 1)]
+        assert objective.marginal(edges, (0, 0)) >= -1e-12
+
+    def test_marginal_is_incremental_value(self, tiny_problem):
+        objective = CoverageObjective(tiny_problem, lam=0.5)
+        edges = [(0, 0)]
+        new_edge = (2, 0)
+        expected = objective.value(edges + [new_edge]) - objective.value(edges)
+        assert objective.marginal(edges, new_edge) == pytest.approx(expected)
+
+    def test_diminishing_returns(self, small_problem):
+        """Submodularity over one task: gain(S) >= gain(S + extra)."""
+        objective = CoverageObjective(small_problem, lam=1.0)
+        new_edge = (0, 0)
+        small_set = [(1, 0)]
+        big_set = [(1, 0), (2, 0), (3, 0)]
+        assert (
+            objective.marginal(small_set, new_edge)
+            >= objective.marginal(big_set, new_edge) - 1e-9
+        )
+
+    def test_other_tasks_do_not_interact(self, tiny_problem):
+        """Marginal on task 1 is unchanged by edges on task 0."""
+        objective = CoverageObjective(tiny_problem, lam=1.0)
+        assert objective.marginal([], (1, 1)) == pytest.approx(
+            objective.marginal([(0, 0), (2, 0)], (1, 1))
+        )
+
+    def test_worker_part_additive(self, tiny_problem):
+        objective = CoverageObjective(tiny_problem, lam=0.0)
+        value = objective.value([(0, 0), (1, 1)])
+        expected = float(
+            tiny_problem.benefits.worker[0, 0]
+            + tiny_problem.benefits.worker[1, 1]
+        )
+        assert value == pytest.approx(expected)
+
+    def test_lam_validation(self, tiny_problem):
+        with pytest.raises(ValidationError):
+            CoverageObjective(tiny_problem, lam=2.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_submodularity_random_sets(self, seed):
+        """f(S + e) - f(S) >= f(T + e) - f(T) whenever S subset of T."""
+        import numpy as np
+
+        from repro.datagen.synthetic import SyntheticConfig, generate_market
+
+        rng = np.random.default_rng(seed)
+        small_problem = MBAProblem(
+            generate_market(
+                SyntheticConfig(n_workers=20, n_tasks=10), seed=42
+            ),
+            combiner=LinearCombiner(0.5),
+        )
+        objective = CoverageObjective(small_problem, lam=1.0)
+        n_w, n_t = small_problem.n_workers, small_problem.n_tasks
+        task = int(rng.integers(n_t))
+        workers = rng.permutation(n_w)[:5]
+        small_set = [(int(w), task) for w in workers[:2]]
+        big_set = [(int(w), task) for w in workers[:4]]
+        new_edge = (int(workers[4]), task)
+        assert (
+            objective.marginal(small_set, new_edge)
+            >= objective.marginal(big_set, new_edge) - 1e-9
+        )

@@ -1,0 +1,80 @@
+"""Tests for MBAProblem."""
+
+import numpy as np
+import pytest
+
+from repro.benefit.mutual import LinearCombiner
+from repro.core.problem import MBAProblem
+from repro.errors import InfeasibleError, ValidationError
+from repro.market.categories import CategoryTaxonomy
+from repro.market.market import LaborMarket
+from repro.market.task import Task
+from repro.market.worker import Worker
+
+
+class TestConstruction:
+    def test_default_combiner(self, tiny_market):
+        problem = MBAProblem(tiny_market)
+        assert isinstance(problem.combiner, LinearCombiner)
+        assert problem.combiner.lam == 0.5
+
+    def test_empty_workers_rejected(self, taxonomy):
+        market = LaborMarket([], [Task(task_id=0, category=0)], taxonomy)
+        with pytest.raises(ValidationError, match="workers"):
+            MBAProblem(market)
+
+    def test_empty_tasks_rejected(self, taxonomy):
+        market = LaborMarket(
+            [Worker(worker_id=0, skills=np.array([0.5] * 3))], [], taxonomy
+        )
+        with pytest.raises(ValidationError, match="tasks"):
+            MBAProblem(market)
+
+    def test_matrices_materialized(self, tiny_problem):
+        assert tiny_problem.benefits.shape == (3, 2)
+
+
+class TestCapacities:
+    def test_inactive_workers_zeroed(self, tiny_market):
+        tiny_market.workers[1].active = False
+        problem = MBAProblem(tiny_market)
+        assert list(problem.worker_capacities()) == [1, 0, 1]
+        assert not problem.is_worker_active(1)
+
+    def test_task_capacities(self, tiny_problem):
+        assert list(tiny_problem.task_capacities()) == [2, 1]
+
+
+class TestFeasibility:
+    def test_max_assignable_tiny(self, tiny_problem):
+        # Demand = 3 slots, supply = 4 capacity; all edges positive in
+        # this market, so the full demand can be met.
+        assert tiny_problem.max_assignable() == 3
+
+    def test_max_assignable_with_inactive(self, tiny_market):
+        for worker in tiny_market.workers:
+            worker.active = False
+        problem = MBAProblem(tiny_market)
+        assert problem.max_assignable() == 0
+
+    def test_require_feasible_passes(self, tiny_problem):
+        tiny_problem.require_nonempty_feasible()
+
+    def test_require_feasible_raises_when_all_inactive(self, tiny_market):
+        for worker in tiny_market.workers:
+            worker.active = False
+        problem = MBAProblem(tiny_market)
+        with pytest.raises(InfeasibleError):
+            problem.require_nonempty_feasible()
+
+    def test_require_feasible_raises_when_all_negative(self, taxonomy):
+        """All workers below chance -> every requester edge negative."""
+        workers = [
+            Worker(worker_id=0, skills=np.array([0.1, 0.1, 0.1]),
+                   reservation_wage=100.0)
+        ]
+        tasks = [Task(task_id=0, category=0, payment=0.01)]
+        market = LaborMarket(workers, tasks, taxonomy)
+        problem = MBAProblem(market, combiner=LinearCombiner(0.5))
+        with pytest.raises(InfeasibleError):
+            problem.require_nonempty_feasible()

@@ -1,0 +1,58 @@
+"""Tests for the answer simulator."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.answer_model import simulate_answers
+from repro.errors import ValidationError
+
+
+class TestSimulateAnswers:
+    def test_every_edge_answered(self, tiny_market):
+        edges = [(0, 0), (1, 0), (1, 1)]
+        answers = simulate_answers(tiny_market, edges, seed=0)
+        assert answers.n_answers() == 3
+        assert answers.workers_on(0) == [0, 1]
+        assert answers.workers_on(1) == [1]
+
+    def test_truth_drawn_once_per_task(self, tiny_market):
+        answers = simulate_answers(tiny_market, [(0, 0), (1, 0)], seed=0)
+        assert set(answers.truths) == {0}
+        assert answers.truths[0] in (0, 1)
+
+    def test_deterministic_given_seed(self, tiny_market):
+        edges = [(0, 0), (1, 1), (2, 0)]
+        a = simulate_answers(tiny_market, edges, seed=9)
+        b = simulate_answers(tiny_market, edges, seed=9)
+        assert a.answers == b.answers
+        assert a.truths == b.truths
+
+    def test_accuracy_statistics(self, tiny_market):
+        """Empirical correctness rate converges to the accuracy matrix."""
+        accuracy = tiny_market.accuracy_matrix()[0, 0]
+        rng = np.random.default_rng(0)
+        hits = 0
+        trials = 3000
+        for _ in range(trials):
+            answers = simulate_answers(tiny_market, [(0, 0)], seed=rng)
+            hits += answers.answers[0][0] == answers.truths[0]
+        assert hits / trials == pytest.approx(accuracy, abs=0.03)
+
+    def test_rejects_bad_worker_index(self, tiny_market):
+        with pytest.raises(ValidationError):
+            simulate_answers(tiny_market, [(99, 0)], seed=0)
+
+    def test_rejects_bad_task_index(self, tiny_market):
+        with pytest.raises(ValidationError):
+            simulate_answers(tiny_market, [(0, 99)], seed=0)
+
+    def test_empty_edges(self, tiny_market):
+        answers = simulate_answers(tiny_market, [], seed=0)
+        assert answers.n_answers() == 0
+        assert answers.truths == {}
+
+    def test_answers_are_binary(self, small_market):
+        edges = [(i, i % small_market.n_tasks) for i in range(10)]
+        answers = simulate_answers(small_market, edges, seed=1)
+        for by_worker in answers.answers.values():
+            assert set(by_worker.values()) <= {0, 1}

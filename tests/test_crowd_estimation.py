@@ -1,0 +1,131 @@
+"""Tests for the Beta skill estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crowd.answer_model import AnswerSet, simulate_answers
+from repro.crowd.estimation import BetaSkillEstimator
+from repro.errors import ValidationError
+
+
+class TestPriorBehaviour:
+    def test_fresh_worker_has_prior_mean(self):
+        estimator = BetaSkillEstimator(prior_a=7.0, prior_b=3.0)
+        assert estimator.estimate(0, 0) == pytest.approx(0.7)
+
+    def test_invalid_prior(self):
+        with pytest.raises(ValidationError):
+            BetaSkillEstimator(prior_a=0.0)
+
+    def test_zero_observations_initially(self):
+        assert BetaSkillEstimator().observations(5, 2) == 0.0
+
+
+class TestRecord:
+    def test_successes_raise_estimate(self):
+        estimator = BetaSkillEstimator()
+        before = estimator.estimate(1, 0)
+        for _ in range(10):
+            estimator.record(1, 0, correct=True)
+        assert estimator.estimate(1, 0) > before
+
+    def test_failures_lower_estimate(self):
+        estimator = BetaSkillEstimator()
+        before = estimator.estimate(1, 0)
+        for _ in range(10):
+            estimator.record(1, 0, correct=False)
+        assert estimator.estimate(1, 0) < before
+
+    def test_per_category_isolation(self):
+        estimator = BetaSkillEstimator(per_category=True)
+        estimator.record(1, 0, correct=False)
+        assert estimator.estimate(1, 1) == pytest.approx(0.7)
+
+    def test_pooled_mode_shares(self):
+        estimator = BetaSkillEstimator(per_category=False)
+        estimator.record(1, 0, correct=False)
+        assert estimator.estimate(1, 1) < 0.7
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValidationError):
+            BetaSkillEstimator().record(0, 0, True, weight=-1.0)
+
+    @given(st.lists(st.booleans(), min_size=0, max_size=50))
+    def test_estimate_always_in_unit_interval(self, outcomes):
+        estimator = BetaSkillEstimator()
+        for outcome in outcomes:
+            estimator.record(0, 0, outcome)
+        assert 0.0 < estimator.estimate(0, 0) < 1.0
+
+
+class TestConvergence:
+    def test_estimate_converges_to_truth(self):
+        """Feeding Bernoulli(p) outcomes converges toward p."""
+        rng = np.random.default_rng(0)
+        estimator = BetaSkillEstimator()
+        p = 0.85
+        for _ in range(500):
+            estimator.record(0, 0, bool(rng.random() < p))
+        assert estimator.estimate(0, 0) == pytest.approx(p, abs=0.05)
+
+    def test_credible_interval_shrinks(self):
+        estimator = BetaSkillEstimator()
+        low_0, high_0 = estimator.credible_interval(0, 0)
+        for _ in range(100):
+            estimator.record(0, 0, True)
+        low_1, high_1 = estimator.credible_interval(0, 0)
+        assert (high_1 - low_1) < (high_0 - low_0)
+
+    def test_credible_interval_bounds(self):
+        estimator = BetaSkillEstimator()
+        low, high = estimator.credible_interval(0, 0)
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_credible_interval_mass_check(self):
+        with pytest.raises(ValidationError):
+            BetaSkillEstimator().credible_interval(0, 0, mass=1.5)
+
+
+class TestMarketIntegration:
+    def test_record_answers_with_gold(self, tiny_market):
+        estimator = BetaSkillEstimator()
+        edges = [(0, 0), (1, 0), (1, 1)]
+        answers = simulate_answers(tiny_market, edges, seed=0)
+        observed = estimator.record_answers(
+            tiny_market, answers, dict(answers.truths)
+        )
+        assert observed == 3
+        assert estimator.observations(0, 0) == 1.0
+
+    def test_record_answers_skips_unlabeled(self, tiny_market):
+        estimator = BetaSkillEstimator()
+        answers = simulate_answers(tiny_market, [(0, 0), (1, 1)], seed=0)
+        observed = estimator.record_answers(tiny_market, answers, {})
+        assert observed == 0
+
+    def test_estimated_market_shape(self, tiny_market):
+        estimator = BetaSkillEstimator()
+        estimated = estimator.estimated_market(tiny_market)
+        assert estimated.n_workers == tiny_market.n_workers
+        assert np.allclose(estimated.skill_matrix(), 0.7)
+        # Original market untouched.
+        assert not np.allclose(tiny_market.skill_matrix(), 0.7)
+
+    def test_rmse_decreases_with_data(self, tiny_market):
+        rng = np.random.default_rng(1)
+        estimator = BetaSkillEstimator()
+        rmse_prior = estimator.rmse_against(tiny_market)
+        for _ in range(100):
+            for worker in tiny_market.workers:
+                for category in range(3):
+                    correct = rng.random() < worker.skills[category]
+                    estimator.record(worker.worker_id, category, bool(correct))
+        assert estimator.rmse_against(tiny_market) < rmse_prior
+
+    def test_empty_market_rmse(self, taxonomy):
+        from repro.market.market import LaborMarket
+
+        estimator = BetaSkillEstimator()
+        assert estimator.rmse_against(LaborMarket([], [], taxonomy)) == 0.0

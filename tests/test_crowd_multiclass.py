@@ -1,0 +1,177 @@
+"""Tests for the multi-class crowdsourcing path."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.multiclass import (
+    MulticlassAnswerSet,
+    multiclass_dawid_skene,
+    multiclass_majority_vote,
+    plurality_accuracy,
+    simulate_multiclass_answers,
+)
+from repro.errors import ValidationError
+
+
+class TestSimulate:
+    def test_answers_in_range(self, tiny_market):
+        edges = [(0, 0), (1, 0), (1, 1), (2, 0)]
+        answers = simulate_multiclass_answers(
+            tiny_market, edges, n_classes=4, seed=0
+        )
+        for by_worker in answers.answers.values():
+            assert all(0 <= a < 4 for a in by_worker.values())
+        assert all(0 <= t < 4 for t in answers.truths.values())
+
+    def test_n_classes_validation(self):
+        with pytest.raises(ValidationError):
+            MulticlassAnswerSet(n_classes=1)
+
+    def test_bad_edge(self, tiny_market):
+        with pytest.raises(ValidationError):
+            simulate_multiclass_answers(
+                tiny_market, [(99, 0)], n_classes=3, seed=0
+            )
+
+    def test_deterministic(self, tiny_market):
+        edges = [(0, 0), (1, 1)]
+        a = simulate_multiclass_answers(tiny_market, edges, 5, seed=3)
+        b = simulate_multiclass_answers(tiny_market, edges, 5, seed=3)
+        assert a.answers == b.answers
+
+    def test_correctness_rate_matches_accuracy(self, tiny_market):
+        rng = np.random.default_rng(0)
+        accuracy = tiny_market.accuracy_matrix()[0, 0]
+        hits = 0
+        trials = 2000
+        for _ in range(trials):
+            answers = simulate_multiclass_answers(
+                tiny_market, [(0, 0)], n_classes=4, seed=rng
+            )
+            hits += answers.answers[0][0] == answers.truths[0]
+        assert hits / trials == pytest.approx(accuracy, abs=0.04)
+
+
+class TestPluralityVote:
+    def test_clear_plurality(self):
+        answers = MulticlassAnswerSet(n_classes=3)
+        answers.answers = {0: {0: 2, 1: 2, 2: 0}}
+        assert multiclass_majority_vote(answers) == {0: 2}
+
+    def test_tie_breaks_among_leaders(self):
+        answers = MulticlassAnswerSet(n_classes=3)
+        answers.answers = {0: {0: 1, 1: 2}}
+        outcomes = {
+            multiclass_majority_vote(answers, seed=s)[0] for s in range(50)
+        }
+        assert outcomes <= {1, 2}
+        assert len(outcomes) == 2  # both leaders appear
+
+    def test_never_picks_zero_vote_label(self):
+        answers = MulticlassAnswerSet(n_classes=5)
+        answers.answers = {0: {0: 3, 1: 3, 2: 1}}
+        for s in range(20):
+            assert multiclass_majority_vote(answers, seed=s)[0] == 3
+
+
+class TestMulticlassDawidSkene:
+    def _world(self, n_tasks=150, n_classes=4, seed=0):
+        rng = np.random.default_rng(seed)
+        accuracies = [0.9, 0.85, 0.6, 0.55, 0.3]
+        answers = MulticlassAnswerSet(n_classes=n_classes)
+        for t in range(n_tasks):
+            truth = int(rng.integers(n_classes))
+            answers.truths[t] = truth
+            answers.answers[t] = {}
+            for w, a in enumerate(accuracies):
+                if rng.random() < a:
+                    answers.answers[t][w] = truth
+                else:
+                    answers.answers[t][w] = int(
+                        (truth + rng.integers(1, n_classes)) % n_classes
+                    )
+        return answers, accuracies
+
+    def test_empty(self):
+        result = multiclass_dawid_skene(MulticlassAnswerSet(n_classes=3))
+        assert result.labels == {}
+
+    def test_recovers_labels(self):
+        answers, _accuracies = self._world(seed=1)
+        result = multiclass_dawid_skene(answers)
+        accuracy = np.mean(
+            [result.labels[t] == answers.truths[t] for t in answers.truths]
+        )
+        assert accuracy > 0.9
+
+    def test_recovers_worker_ordering(self):
+        answers, accuracies = self._world(n_tasks=400, seed=2)
+        result = multiclass_dawid_skene(answers)
+        estimated = [result.worker_accuracies[w] for w in range(5)]
+        assert estimated[0] > estimated[2] > estimated[4]
+
+    def test_likelihood_nondecreasing(self):
+        answers, _ = self._world(n_tasks=50, seed=3)
+        previous = -np.inf
+        for iterations in range(1, 6):
+            result = multiclass_dawid_skene(
+                answers, max_iterations=iterations, tolerance=0.0
+            )
+            assert result.log_likelihood >= previous - 1e-9
+            previous = result.log_likelihood
+
+    def test_posteriors_normalized(self):
+        answers, _ = self._world(n_tasks=30, seed=4)
+        result = multiclass_dawid_skene(answers)
+        for p in result.posteriors.values():
+            assert p.sum() == pytest.approx(1.0)
+
+    def test_beats_plurality_with_spammer(self):
+        from repro.crowd.multiclass import multiclass_majority_vote
+
+        answers, _ = self._world(n_tasks=300, seed=5)
+        ds = multiclass_dawid_skene(answers).labels
+        mv = multiclass_majority_vote(answers, seed=0)
+        ds_accuracy = np.mean(
+            [ds[t] == answers.truths[t] for t in answers.truths]
+        )
+        mv_accuracy = np.mean(
+            [mv[t] == answers.truths[t] for t in answers.truths]
+        )
+        assert ds_accuracy >= mv_accuracy - 0.01
+
+
+class TestPluralityAccuracy:
+    def test_empty_committee_guesses(self):
+        assert plurality_accuracy([], 4) == 0.25
+
+    def test_single_worker(self):
+        value = plurality_accuracy([0.8], 4, n_samples=50_000)
+        assert value == pytest.approx(0.8, abs=0.01)
+
+    def test_binary_matches_closed_form(self):
+        from repro.crowd.quality import majority_vote_accuracy
+
+        accuracies = [0.8, 0.7, 0.65]
+        mc = plurality_accuracy(accuracies, 2, n_samples=100_000)
+        exact = majority_vote_accuracy(accuracies)
+        assert mc == pytest.approx(exact, abs=0.01)
+
+    def test_more_classes_help_plurality(self):
+        """With symmetric noise, wrong votes split across more labels,
+        so the correct label wins pluralities more easily."""
+        accuracies = [0.5, 0.5, 0.5]
+        two = plurality_accuracy(accuracies, 2, n_samples=40_000)
+        eight = plurality_accuracy(accuracies, 8, n_samples=40_000)
+        assert eight > two
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            plurality_accuracy([0.5], 1)
+        with pytest.raises(ValidationError):
+            plurality_accuracy([1.5], 3)
+
+    def test_deterministic(self):
+        a = plurality_accuracy([0.7, 0.6], 3, n_samples=5000, seed=1)
+        b = plurality_accuracy([0.7, 0.6], 3, n_samples=5000, seed=1)
+        assert a == b

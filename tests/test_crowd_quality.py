@@ -1,0 +1,163 @@
+"""Tests for closed-form vote-quality computations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crowd.quality import (
+    correct_vote_distribution,
+    majority_vote_accuracy,
+    marginal_quality_gain,
+    weighted_vote_accuracy,
+)
+from repro.errors import ValidationError
+
+accuracy_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1.0), min_size=0, max_size=9
+)
+
+
+class TestCorrectVoteDistribution:
+    def test_empty(self):
+        pmf = correct_vote_distribution([])
+        assert pmf.tolist() == [1.0]
+
+    def test_single(self):
+        pmf = correct_vote_distribution([0.7])
+        assert pmf == pytest.approx([0.3, 0.7])
+
+    def test_binomial_special_case(self):
+        """Equal accuracies give the binomial pmf."""
+        pmf = correct_vote_distribution([0.5] * 4)
+        assert pmf == pytest.approx(
+            [1 / 16, 4 / 16, 6 / 16, 4 / 16, 1 / 16]
+        )
+
+    @given(accuracy_lists)
+    def test_sums_to_one(self, accuracies):
+        pmf = correct_vote_distribution(accuracies)
+        assert pmf.sum() == pytest.approx(1.0)
+        assert np.all(pmf >= -1e-12)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            correct_vote_distribution([1.5])
+
+
+class TestMajorityVoteAccuracy:
+    def test_empty_committee_guesses(self):
+        assert majority_vote_accuracy([]) == 0.5
+
+    def test_single_worker(self):
+        assert majority_vote_accuracy([0.8]) == pytest.approx(0.8)
+
+    def test_three_equal_workers_closed_form(self):
+        """k=3, accuracy p: p^3 + 3 p^2 (1-p)."""
+        p = 0.7
+        expected = p**3 + 3 * p**2 * (1 - p)
+        assert majority_vote_accuracy([p] * 3) == pytest.approx(expected)
+
+    def test_two_workers_tie_break(self):
+        """k=2: win iff both correct, tie iff exactly one."""
+        p, q = 0.8, 0.6
+        expected = p * q + 0.5 * (p * (1 - q) + (1 - p) * q)
+        assert majority_vote_accuracy([p, q]) == pytest.approx(expected)
+
+    def test_condorcet_improvement(self):
+        """More same-quality above-chance workers -> higher accuracy."""
+        assert (
+            majority_vote_accuracy([0.7] * 5)
+            > majority_vote_accuracy([0.7] * 3)
+            > majority_vote_accuracy([0.7])
+        )
+
+    def test_below_chance_committee_degrades(self):
+        assert (
+            majority_vote_accuracy([0.3] * 5)
+            < majority_vote_accuracy([0.3] * 3)
+            < majority_vote_accuracy([0.3])
+        )
+
+    @given(accuracy_lists)
+    def test_bounded(self, accuracies):
+        assert 0.0 <= majority_vote_accuracy(accuracies) <= 1.0
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=0.99), min_size=1,
+                 max_size=6),
+        st.integers(0, 5),
+        st.floats(min_value=0.001, max_value=0.2),
+    )
+    def test_monotone_in_each_accuracy(self, accuracies, index, bump):
+        """Raising any single worker's accuracy cannot hurt."""
+        index = index % len(accuracies)
+        improved = list(accuracies)
+        improved[index] = min(improved[index] + bump, 1.0)
+        assert (
+            majority_vote_accuracy(improved)
+            >= majority_vote_accuracy(accuracies) - 1e-12
+        )
+
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        accuracies = [0.9, 0.75, 0.6, 0.55, 0.8]
+        exact = majority_vote_accuracy(accuracies)
+        n = 200_000
+        correct = rng.random((n, 5)) < np.array(accuracies)
+        votes = correct.sum(axis=1)
+        estimate = (votes > 2.5).mean()
+        assert exact == pytest.approx(estimate, abs=0.005)
+
+
+class TestWeightedVoteAccuracy:
+    def test_equal_weights_equal_majority(self):
+        accuracies = [0.8, 0.7, 0.6]
+        weighted = weighted_vote_accuracy(accuracies, [1.0, 1.0, 1.0])
+        assert weighted == pytest.approx(majority_vote_accuracy(accuracies))
+
+    def test_optimal_weights_beat_majority(self):
+        """Log-odds weights never do worse than uniform."""
+        import math
+
+        accuracies = [0.95, 0.55, 0.55]
+        weights = [math.log(a / (1 - a)) for a in accuracies]
+        assert weighted_vote_accuracy(
+            accuracies, weights
+        ) >= majority_vote_accuracy(accuracies) - 1e-12
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            weighted_vote_accuracy([0.5], [1.0, 1.0])
+
+    def test_empty(self):
+        assert weighted_vote_accuracy([], []) == 0.5
+
+    def test_monte_carlo_path(self):
+        accuracies = [0.7] * 25
+        weights = [1.0] * 25
+        exact_small = majority_vote_accuracy(accuracies)
+        mc = weighted_vote_accuracy(accuracies, weights, n_samples=100_000)
+        assert mc == pytest.approx(exact_small, abs=0.01)
+
+    def test_large_committee_requires_samples(self):
+        with pytest.raises(ValidationError, match="Monte-Carlo"):
+            weighted_vote_accuracy([0.7] * 25, [1.0] * 25)
+
+
+class TestMarginalQualityGain:
+    def test_first_worker_gain(self):
+        assert marginal_quality_gain([], 0.8) == pytest.approx(0.3)
+
+    def test_diminishing_returns(self):
+        """Submodularity: gains shrink as the committee grows."""
+        gain_1 = marginal_quality_gain([0.7] * 0 + [], 0.7)
+        gain_3 = marginal_quality_gain([0.7] * 2, 0.7)
+        gain_5 = marginal_quality_gain([0.7] * 4, 0.7)
+        assert gain_1 > gain_3 > gain_5 > 0
+
+    def test_can_be_negative(self):
+        """A mediocre worker on an odd strong committee can hurt."""
+        gain = marginal_quality_gain([0.95, 0.95, 0.95], 0.55)
+        assert gain < 0

@@ -1,0 +1,179 @@
+"""Tests for workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.synthetic import (
+    SyntheticConfig,
+    generate_market,
+    uniform_market,
+    zipf_market,
+)
+from repro.datagen.traces import (
+    amt_like_market,
+    upwork_like_market,
+    workload_registry,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSyntheticConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_workers": 0},
+            {"skill_distribution": "beta"},
+            {"category_popularity": "power"},
+            {"skill_low": 0.8, "skill_high": 0.4},
+            {"difficulty_low": -0.1},
+            {"capacity_low": 3, "capacity_high": 1},
+            {"replication_choices": ()},
+            {"replication_choices": (0,)},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SyntheticConfig(**kwargs)
+
+    def test_scaled(self):
+        config = SyntheticConfig(n_workers=10, n_tasks=5)
+        bigger = config.scaled(100, 50)
+        assert bigger.n_workers == 100
+        assert bigger.n_tasks == 50
+        assert bigger.skill_distribution == config.skill_distribution
+
+
+class TestGenerateMarket:
+    def test_sizes(self):
+        market = generate_market(
+            SyntheticConfig(n_workers=30, n_tasks=12, n_categories=4), seed=0
+        )
+        assert market.n_workers == 30
+        assert market.n_tasks == 12
+        assert len(market.taxonomy) == 4
+
+    def test_deterministic(self):
+        config = SyntheticConfig(n_workers=15, n_tasks=8)
+        a = generate_market(config, seed=3)
+        b = generate_market(config, seed=3)
+        assert np.allclose(a.skill_matrix(), b.skill_matrix())
+        assert a.task_payments().tolist() == b.task_payments().tolist()
+
+    def test_skill_bounds_uniform(self):
+        config = SyntheticConfig(
+            n_workers=200, n_tasks=5, skill_low=0.6, skill_high=0.8
+        )
+        skills = generate_market(config, seed=1).skill_matrix()
+        assert skills.min() >= 0.6
+        assert skills.max() <= 0.8
+
+    def test_gaussian_clipped(self):
+        config = SyntheticConfig(
+            n_workers=500, n_tasks=5, skill_distribution="gaussian",
+            skill_mean=0.95, skill_std=0.3,
+        )
+        skills = generate_market(config, seed=2).skill_matrix()
+        assert skills.max() <= 1.0
+        assert skills.min() >= 0.0
+
+    def test_bimodal_two_populations(self):
+        config = SyntheticConfig(
+            n_workers=600, n_tasks=5, skill_distribution="bimodal",
+            skill_low=0.55, skill_high=0.95,
+        )
+        base = generate_market(config, seed=8).skill_matrix().mean(axis=1)
+        trained = (base > 0.75).mean()
+        # ~30 % trained, clearly separated populations.
+        assert 0.2 < trained < 0.4
+        assert ((base < 0.65) | (base > 0.85)).mean() > 0.9
+
+    def test_zipf_skills_are_skewed(self):
+        config = SyntheticConfig(
+            n_workers=1000, n_tasks=5, skill_distribution="zipf"
+        )
+        skills = generate_market(config, seed=3).skill_matrix().ravel()
+        # Heavy tail: mean above median.
+        assert skills.mean() > np.median(skills)
+
+    def test_zipf_categories_are_skewed(self):
+        config = SyntheticConfig(
+            n_workers=5, n_tasks=2000, category_popularity="zipf",
+            n_categories=10,
+        )
+        categories = generate_market(config, seed=4).task_categories()
+        counts = np.bincount(categories, minlength=10)
+        assert counts[0] > counts[-1] * 2
+
+    def test_capacities_within_range(self):
+        config = SyntheticConfig(
+            n_workers=100, n_tasks=5, capacity_low=2, capacity_high=4
+        )
+        caps = generate_market(config, seed=5).worker_capacities()
+        assert caps.min() >= 2
+        assert caps.max() <= 4
+
+    def test_replication_choices_respected(self):
+        config = SyntheticConfig(
+            n_workers=5, n_tasks=300, replication_choices=(3, 7)
+        )
+        replications = generate_market(config, seed=6).task_replications()
+        assert set(replications.tolist()) <= {3, 7}
+
+    def test_requesters_created(self):
+        config = SyntheticConfig(n_workers=5, n_tasks=20, n_requesters=4)
+        market = generate_market(config, seed=7)
+        assert len(market.requesters) == 4
+        owned = sum(len(r.task_ids) for r in market.requesters)
+        assert owned == 20
+
+
+class TestConvenienceWorkloads:
+    def test_uniform_market(self):
+        market = uniform_market(20, 10, seed=0)
+        assert market.n_workers == 20
+
+    def test_zipf_market(self):
+        market = zipf_market(20, 10, seed=0)
+        assert market.n_tasks == 10
+
+
+class TestTraceWorkloads:
+    def test_amt_shape(self):
+        market = amt_like_market(100, 50, seed=0)
+        assert market.n_workers == 100
+        assert market.n_tasks == 50
+        # Micro-tasks: replication > 1, cheap payments.
+        assert market.task_replications().min() >= 3
+        assert market.task_payments().mean() < 1.0
+
+    def test_amt_has_spammers(self):
+        market = amt_like_market(500, 10, seed=1)
+        base_skill = market.skill_matrix().mean(axis=1)
+        assert (base_skill < 0.5).any()
+
+    def test_upwork_shape(self):
+        market = upwork_like_market(80, 40, seed=0)
+        assert (market.task_replications() == 1).all()
+        # Freelancers are specialists: per-worker skill spread is wide.
+        spread = market.skill_matrix().max(axis=1) - market.skill_matrix().min(
+            axis=1
+        )
+        assert np.median(spread) > 0.2
+
+    def test_upwork_reservation_wages_positive(self):
+        market = upwork_like_market(50, 10, seed=2)
+        assert all(w.reservation_wage > 0 for w in market.workers)
+
+    def test_registry_complete(self):
+        registry = workload_registry()
+        assert set(registry) == {
+            "synthetic-uniform", "synthetic-zipf", "amt-like", "upwork-like"
+        }
+        for make in registry.values():
+            market = make(n_workers=10, n_tasks=5, seed=0)
+            assert market.n_workers == 10
+
+    def test_trace_markets_deterministic(self):
+        a = amt_like_market(30, 10, seed=9)
+        b = amt_like_market(30, 10, seed=9)
+        assert np.allclose(a.skill_matrix(), b.skill_matrix())

@@ -1,0 +1,183 @@
+"""Adversarial and degenerate inputs across the stack.
+
+Failure-injection style tests: extreme magnitudes, all-tied scores,
+single-entity markets, saturated and starved capacity regimes.  Every
+case must either work or raise a library error — never crash with an
+unrelated exception or return an invalid assignment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.benefit.mutual import LinearCombiner
+from repro.core.problem import MBAProblem
+from repro.core.solvers import get_solver, list_solvers
+from repro.market.categories import CategoryTaxonomy
+from repro.market.market import LaborMarket
+from repro.market.task import Task
+from repro.market.worker import Worker
+
+NON_EXACT_SOLVERS = [name for name in list_solvers() if name != "exact"]
+
+
+def _market(workers, tasks, n_categories=2):
+    return LaborMarket(workers, tasks, CategoryTaxonomy.default(n_categories))
+
+
+def _worker(worker_id, skills, **kwargs):
+    return Worker(worker_id=worker_id, skills=np.array(skills), **kwargs)
+
+
+class TestSingleEntityMarkets:
+    @pytest.mark.parametrize("solver_name", NON_EXACT_SOLVERS)
+    def test_one_worker_one_task(self, solver_name):
+        market = _market(
+            [_worker(0, [0.9, 0.9])],
+            [Task(task_id=0, category=0, payment=1.0)],
+        )
+        problem = MBAProblem(market, combiner=LinearCombiner(0.5))
+        assignment = get_solver(solver_name).solve(problem, seed=0)
+        assert len(assignment) <= 1
+
+    def test_one_worker_many_tasks(self):
+        market = _market(
+            [_worker(0, [0.9, 0.9], capacity=3)],
+            [Task(task_id=j, category=0) for j in range(10)],
+        )
+        problem = MBAProblem(market)
+        assignment = get_solver("flow").solve(problem)
+        assert len(assignment) == 3  # capacity binds
+
+
+class TestExtremeMagnitudes:
+    def test_huge_payments(self):
+        market = _market(
+            [_worker(i, [0.8, 0.7]) for i in range(4)],
+            [Task(task_id=0, category=0, payment=1e9, replication=2)],
+        )
+        problem = MBAProblem(market)
+        flow_value = get_solver("flow").solve(problem).combined_total()
+        greedy_value = get_solver("greedy").solve(problem).combined_total()
+        assert np.isfinite(flow_value)
+        assert flow_value >= greedy_value - 1e-3
+
+    def test_tiny_payments(self):
+        market = _market(
+            [_worker(i, [0.8, 0.7]) for i in range(4)],
+            [Task(task_id=0, category=0, payment=1e-9)],
+        )
+        problem = MBAProblem(market)
+        assignment = get_solver("flow").solve(problem)
+        assert np.isfinite(assignment.combined_total())
+
+    def test_mixed_scales_still_optimal(self):
+        """A 1e6-spread of payments must not break flow optimality."""
+        market = _market(
+            [_worker(i, [0.9, 0.9], capacity=1) for i in range(3)],
+            [
+                Task(task_id=0, category=0, payment=1e-3),
+                Task(task_id=1, category=0, payment=1.0),
+                Task(task_id=2, category=0, payment=1e3),
+            ],
+        )
+        problem = MBAProblem(market, combiner=LinearCombiner(1.0))
+        flow_value = get_solver("flow").solve(problem).combined_total()
+        exact_value = get_solver("exact").solve(problem).combined_total()
+        assert flow_value == pytest.approx(exact_value, rel=1e-9)
+
+
+class TestDegenerateScores:
+    def test_all_edges_tied(self):
+        """Identical workers and tasks: any full assignment is optimal."""
+        market = _market(
+            [_worker(i, [0.8, 0.8]) for i in range(4)],
+            [Task(task_id=j, category=0, replication=2) for j in range(2)],
+        )
+        problem = MBAProblem(market)
+        values = {
+            name: get_solver(name).solve(problem, seed=0).combined_total()
+            for name in ("flow", "greedy", "round-robin")
+        }
+        assert values["flow"] == pytest.approx(values["greedy"])
+        assert values["flow"] == pytest.approx(values["round-robin"])
+
+    def test_exactly_coin_flip_workers(self):
+        """Skill 0.5 gives zero requester benefit everywhere."""
+        market = _market(
+            [_worker(i, [0.5, 0.5]) for i in range(3)],
+            [Task(task_id=0, category=0)],
+        )
+        problem = MBAProblem(market, combiner=LinearCombiner(1.0))
+        assignment = get_solver("flow").solve(problem)
+        assert assignment.combined_total() == pytest.approx(0.0, abs=1e-12)
+        assert len(assignment) == 0  # zero-benefit edges are skipped
+
+
+class TestCapacityRegimes:
+    def test_zero_capacity_everywhere(self):
+        market = _market(
+            [_worker(0, [0.9, 0.9], capacity=0)],
+            [Task(task_id=0, category=0)],
+        )
+        problem = MBAProblem(market)
+        for solver_name in ("flow", "greedy", "online-greedy"):
+            assert len(get_solver(solver_name).solve(problem, seed=0)) == 0
+
+    def test_demand_vastly_exceeds_supply(self):
+        market = _market(
+            [_worker(0, [0.9, 0.9], capacity=1)],
+            [Task(task_id=j, category=0, replication=7) for j in range(5)],
+        )
+        problem = MBAProblem(market)
+        assignment = get_solver("flow").solve(problem)
+        assert len(assignment) == 1
+        assert problem.max_assignable() == 1
+
+    def test_supply_vastly_exceeds_demand(self):
+        market = _market(
+            [_worker(i, [0.9, 0.9], capacity=5) for i in range(20)],
+            [Task(task_id=0, category=0, replication=1)],
+        )
+        problem = MBAProblem(market)
+        assignment = get_solver("flow").solve(problem)
+        assert len(assignment) == 1
+
+
+class TestDeterminismRegression:
+    """Golden locks: fixed seeds must keep producing identical output.
+
+    These guard against accidental nondeterminism (dict ordering,
+    unseeded RNG) sneaking into refactors.  If an intentional algorithm
+    change breaks them, re-record the expectations.
+    """
+
+    def test_flow_assignment_stable_across_runs(self):
+        from repro.datagen.synthetic import SyntheticConfig, generate_market
+
+        market_a = generate_market(
+            SyntheticConfig(n_workers=12, n_tasks=6), seed=99
+        )
+        market_b = generate_market(
+            SyntheticConfig(n_workers=12, n_tasks=6), seed=99
+        )
+        edges_a = get_solver("flow").solve(MBAProblem(market_a)).edges
+        edges_b = get_solver("flow").solve(MBAProblem(market_b)).edges
+        assert edges_a == edges_b
+
+    def test_generated_market_checksum(self):
+        """Seeded generation is bit-stable (locks RNG call order)."""
+        from repro.datagen.synthetic import SyntheticConfig, generate_market
+
+        market = generate_market(
+            SyntheticConfig(n_workers=5, n_tasks=3), seed=123
+        )
+        checksum = float(market.skill_matrix().sum())
+        assert checksum == pytest.approx(
+            float(
+                generate_market(
+                    SyntheticConfig(n_workers=5, n_tasks=3), seed=123
+                )
+                .skill_matrix()
+                .sum()
+            )
+        )

@@ -1,0 +1,102 @@
+"""Tests for crossover detection and CSV export."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.eval.crossover import crossover_round, dominance_fraction
+from repro.eval.report import Table
+
+
+class TestCrossoverRound:
+    def test_simple_crossover(self):
+        leader = [10, 10, 10, 10, 10]
+        challenger = [8, 9, 11, 12, 13]
+        assert crossover_round(leader, challenger) == 2
+
+    def test_no_crossover(self):
+        assert crossover_round([10] * 5, [1] * 5) is None
+
+    def test_blip_does_not_count(self):
+        leader = [10, 10, 10, 10, 10, 10]
+        challenger = [8, 12, 8, 8, 8, 8]  # one-round spike
+        assert crossover_round(leader, challenger, persistence=3) is None
+
+    def test_late_hold_counts_through_end(self):
+        leader = [10, 10, 10, 10]
+        challenger = [8, 8, 8, 11]  # holds only 1 round, but it's the end
+        assert crossover_round(leader, challenger, persistence=3) == 3
+
+    def test_challenger_ahead_from_start(self):
+        assert crossover_round([1, 1, 1], [2, 2, 2]) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            crossover_round([1, 2], [1, 2, 3])
+        with pytest.raises(ValidationError):
+            crossover_round([], [])
+        with pytest.raises(ValidationError):
+            crossover_round([1], [1], persistence=0)
+
+    def test_on_real_f5_output(self):
+        """The F5 crossover claim, machine-checked.
+
+        Runs the experiment at full scale: the attrition mechanism
+        needs the full 30 rounds and population to flip the curves
+        (at half scale quality-only still leads at the horizon, which
+        EXPERIMENTS.md note 1 discusses).  ~25 s, the price of
+        machine-checking the headline claim.
+        """
+        from repro.eval.experiments import run_experiment
+
+        table = run_experiment("F5", scale=1.0, seed=0)
+        qo = table.column("qo req benefit")
+        mba = table.column("mba req benefit")
+        # Quality-only leads at round 0; MBA overtakes and holds.
+        assert qo[0] >= mba[0] - 1e-9
+        assert crossover_round(qo, mba, persistence=3) is not None
+
+
+class TestDominanceFraction:
+    def test_full_dominance(self):
+        assert dominance_fraction([1, 1], [2, 2]) == 1.0
+
+    def test_no_dominance(self):
+        assert dominance_fraction([2, 2], [1, 1]) == 0.0
+
+    def test_half(self):
+        assert dominance_fraction([1, 3], [2, 2]) == 0.5
+
+
+class TestCsvExport:
+    def test_basic(self):
+        table = Table("cap", ["name", "value"])
+        table.add_row("a", 1.5)
+        csv = table.to_csv()
+        assert csv.splitlines()[0] == "name,value"
+        assert csv.splitlines()[1] == "a,1.5"
+
+    def test_quoting(self):
+        table = Table("cap", ["text"])
+        table.add_row('has,comma and "quote"')
+        assert '"has,comma and ""quote"""' in table.to_csv()
+
+    def test_full_precision_floats(self):
+        table = Table("cap", ["v"])
+        table.add_row(1 / 3)
+        assert "0.3333333333333333" in table.to_csv()
+
+
+class TestResultFiles:
+    def test_save_load_roundtrip(self, small_market, tmp_path):
+        from repro.io import load_result, save_result
+        from repro.sim.engine import Simulation
+        from repro.sim.scenario import Scenario
+
+        result = Simulation(
+            Scenario(market=small_market, n_rounds=2, retention=None)
+        ).run(seed=0)
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        loaded = load_result(path)
+        assert loaded.solver_name == result.solver_name
+        assert len(loaded.rounds) == 2

@@ -1,0 +1,78 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.eval.plotting import ascii_chart, chart_from_table
+from repro.eval.report import Table
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_chart(
+            {"a": [0.0, 0.5, 1.0]}, width=16, height=6, title="t"
+        )
+        assert "t" in chart
+        assert "*" in chart
+        assert "a" in chart  # legend
+
+    def test_two_series_two_markers(self):
+        chart = ascii_chart(
+            {"up": [0, 1, 2], "down": [2, 1, 0]}, width=16, height=6
+        )
+        assert "*" in chart
+        assert "o" in chart
+        assert "*=up" in chart
+        assert "o=down" in chart
+
+    def test_empty_series_dict(self):
+        with pytest.raises(ValidationError):
+            ascii_chart({})
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            ascii_chart({"a": [1, 2], "b": [1, 2, 3]})
+
+    def test_all_nan(self):
+        with pytest.raises(ValidationError):
+            ascii_chart({"a": [float("nan")]})
+
+    def test_nan_points_skipped(self):
+        chart = ascii_chart(
+            {"a": [0.0, float("nan"), 1.0]}, width=12, height=5
+        )
+        assert "*" in chart
+
+    def test_flat_series(self):
+        chart = ascii_chart({"a": [3.0, 3.0, 3.0]}, width=12, height=5)
+        assert "*" in chart
+
+    def test_too_small(self):
+        with pytest.raises(ValidationError):
+            ascii_chart({"a": [1.0]}, width=4, height=2)
+
+    def test_axis_labels_present(self):
+        chart = ascii_chart({"a": [0.0, 10.0]}, width=12, height=5)
+        assert "10" in chart
+        assert "0" in chart
+
+    def test_single_point(self):
+        chart = ascii_chart({"a": [5.0]}, width=12, height=5)
+        assert "*" in chart
+
+    def test_deterministic(self):
+        kwargs = dict(width=20, height=8)
+        a = ascii_chart({"s": [1.0, 4.0, 2.0, 8.0]}, **kwargs)
+        b = ascii_chart({"s": [1.0, 4.0, 2.0, 8.0]}, **kwargs)
+        assert a == b
+
+
+class TestChartFromTable:
+    def test_selected_columns(self):
+        table = Table("cap", ["x", "y1", "y2"])
+        for i in range(5):
+            table.add_row(i, float(i), float(5 - i))
+        chart = chart_from_table(table, "x", ["y1", "y2"], width=16, height=6)
+        assert "cap" in chart
+        assert "y1" in chart
+        assert "x: 0 .. 4" in chart

@@ -1,0 +1,111 @@
+"""Tests for table rendering and sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.eval.report import Table
+from repro.eval.sweep import aggregate, sweep
+
+
+class TestTable:
+    def test_render_contains_everything(self):
+        table = Table("Caption", ["name", "value"])
+        table.add_row("alpha", 1.5)
+        table.add_row("beta", 2.25)
+        text = table.render()
+        assert "Caption" in text
+        assert "alpha" in text
+        assert "1.5000" in text
+
+    def test_row_width_checked(self):
+        table = Table("c", ["a", "b"])
+        with pytest.raises(ValidationError):
+            table.add_row(1)
+
+    def test_column_access(self):
+        table = Table("c", ["a", "b"])
+        table.add_row("x", 1.0)
+        table.add_row("y", 2.0)
+        assert table.column("b") == [1.0, 2.0]
+
+    def test_unknown_column(self):
+        with pytest.raises(ValidationError):
+            Table("c", ["a"]).column("zzz")
+
+    def test_empty_table_renders(self):
+        text = Table("empty", ["only"]).render()
+        assert "empty" in text
+
+    def test_custom_float_format(self):
+        table = Table("c", ["v"], float_format="{:.1f}")
+        table.add_row(3.14159)
+        assert "3.1" in table.render()
+        assert "3.14" not in table.render()
+
+    def test_int_not_float_formatted(self):
+        table = Table("c", ["v"])
+        table.add_row(7)
+        assert "7" in table.render()
+        assert "7.0000" not in table.render()
+
+    def test_str_dunder(self):
+        table = Table("cap", ["h"])
+        assert str(table) == table.render()
+
+
+class TestLatex:
+    def test_structure(self):
+        table = Table("Results", ["name", "value"])
+        table.add_row("alpha", 1.5)
+        latex = table.render_latex()
+        assert "\\begin{tabular}{lr}" in latex
+        assert "\\toprule" in latex
+        assert "alpha & 1.5000 \\\\" in latex
+        assert latex.startswith("\\begin{table}")
+        assert latex.endswith("\\end{table}")
+
+    def test_special_characters_escaped(self):
+        table = Table("50% faster & cheaper", ["a_b", "c#d"])
+        table.add_row("x&y", "p_q")
+        latex = table.render_latex()
+        assert "50\\% faster \\& cheaper" in latex
+        assert "a\\_b & c\\#d" in latex
+        assert "x\\&y & p\\_q" in latex
+
+    def test_row_count(self):
+        table = Table("c", ["h"])
+        for i in range(4):
+            table.add_row(i)
+        latex = table.render_latex()
+        assert latex.count("\\\\") == 5  # header + 4 rows
+
+
+class TestSweep:
+    def test_all_points_measured(self):
+        points = sweep([1, 2, 3], lambda p, rng: p * 10.0, repetitions=2)
+        assert len(points) == 6
+        assert {p.parameter for p in points} == {1, 2, 3}
+
+    def test_values_correct(self):
+        points = sweep([4], lambda p, rng: p + 1.0, repetitions=1)
+        assert points[0].value == 5.0
+
+    def test_rng_passed_and_seeded(self):
+        def measure(p, rng):
+            return float(rng.integers(1_000_000))
+
+        first = sweep([1, 2], measure, repetitions=2, seed=3)
+        second = sweep([1, 2], measure, repetitions=2, seed=3)
+        assert [p.value for p in first] == [p.value for p in second]
+
+    def test_aggregate(self):
+        points = sweep([1, 2], lambda p, rng: float(p), repetitions=3)
+        summary = aggregate(points)
+        assert summary[1][0] == pytest.approx(1.0)
+        assert summary[2][0] == pytest.approx(2.0)
+        assert summary[1][1] >= 0.0  # elapsed time
+
+    def test_timing_recorded(self):
+        points = sweep([1], lambda p, rng: 0.0, repetitions=1)
+        assert points[0].elapsed >= 0.0

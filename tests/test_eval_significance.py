@@ -1,0 +1,102 @@
+"""Tests for the statistical comparison harness."""
+
+import pytest
+
+from repro.datagen.synthetic import SyntheticConfig, generate_market
+from repro.errors import ValidationError
+from repro.eval.significance import (
+    binomial_two_sided_p,
+    compare_solvers,
+)
+
+
+def _factory(rng):
+    return generate_market(
+        SyntheticConfig(n_workers=15, n_tasks=8), seed=rng
+    )
+
+
+class TestBinomialP:
+    def test_all_wins_is_significant(self):
+        assert binomial_two_sided_p(10, 10) == pytest.approx(2 * 0.5**10)
+
+    def test_even_split_is_not(self):
+        assert binomial_two_sided_p(5, 10) == pytest.approx(1.0)
+
+    def test_zero_trials(self):
+        assert binomial_two_sided_p(0, 0) == 1.0
+
+    def test_symmetry(self):
+        assert binomial_two_sided_p(2, 12) == pytest.approx(
+            binomial_two_sided_p(10, 12)
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValidationError):
+            binomial_two_sided_p(5, 3)
+
+    def test_bounded(self):
+        for wins in range(11):
+            p = binomial_two_sided_p(wins, 10)
+            assert 0.0 < p <= 1.0
+
+
+class TestCompareSolvers:
+    def test_table_shape(self):
+        table, comparisons = compare_solvers(
+            _factory, ["flow", "random"], n_instances=5, seed=1
+        )
+        assert len(table.rows) == 2
+        assert len(comparisons) == 2
+
+    def test_flow_beats_random_significantly(self):
+        table, comparisons = compare_solvers(
+            _factory, ["random", "flow"], n_instances=12,
+            baseline="random", seed=2,
+        )
+        flow = next(c for c in comparisons if c.solver == "flow")
+        assert flow.wins == 12
+        assert flow.p_value < 0.01
+
+    def test_baseline_vs_itself_is_ties(self):
+        _table, comparisons = compare_solvers(
+            _factory, ["flow", "greedy"], n_instances=4, seed=3
+        )
+        baseline = next(c for c in comparisons if c.solver == "flow")
+        assert baseline.ties == 4
+        assert baseline.p_value == 1.0
+
+    def test_custom_metric(self):
+        table, _ = compare_solvers(
+            _factory, ["flow", "worker-only"], n_instances=4,
+            baseline="flow",
+            metric=lambda a: a.worker_total(),
+            seed=4,
+        )
+        means = dict(zip(table.column("solver"), table.column("mean")))
+        assert means["worker-only"] >= means["flow"] - 1e-9
+
+    def test_ci_contains_mean(self):
+        table, _ = compare_solvers(
+            _factory, ["flow"], n_instances=6, seed=5
+        )
+        mean = table.column("mean")[0]
+        assert table.column("ci low")[0] <= mean <= table.column("ci high")[0]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_instances": 0},
+            {"solver_names": []},
+            {"baseline": "nope"},
+        ],
+    )
+    def test_validation(self, kwargs):
+        defaults = dict(
+            market_factory=_factory,
+            solver_names=["flow"],
+            n_instances=2,
+        )
+        defaults.update(kwargs)
+        with pytest.raises(ValidationError):
+            compare_solvers(**defaults)

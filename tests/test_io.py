@@ -1,0 +1,133 @@
+"""Tests for JSON serialization round-trips."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.solvers import get_solver
+from repro.errors import ValidationError
+from repro.io import (
+    assignment_edges_from_dict,
+    assignment_to_dict,
+    load_market,
+    market_from_dict,
+    market_to_dict,
+    result_from_dict,
+    result_to_dict,
+    save_market,
+)
+from repro.sim.engine import Simulation
+from repro.sim.scenario import Scenario
+
+
+class TestMarketRoundtrip:
+    def test_roundtrip_preserves_everything(self, small_market):
+        rebuilt = market_from_dict(market_to_dict(small_market))
+        assert rebuilt.n_workers == small_market.n_workers
+        assert rebuilt.n_tasks == small_market.n_tasks
+        assert np.allclose(
+            rebuilt.skill_matrix(), small_market.skill_matrix()
+        )
+        assert np.allclose(
+            rebuilt.interest_matrix(), small_market.interest_matrix()
+        )
+        assert rebuilt.task_payments().tolist() == (
+            small_market.task_payments().tolist()
+        )
+        assert list(rebuilt.taxonomy) == list(small_market.taxonomy)
+
+    def test_active_flags_preserved(self, small_market):
+        small_market.workers[3].active = False
+        rebuilt = market_from_dict(market_to_dict(small_market))
+        assert not rebuilt.workers[3].active
+
+    def test_file_roundtrip(self, small_market, tmp_path):
+        path = tmp_path / "market.json"
+        save_market(small_market, path)
+        loaded = load_market(path)
+        assert loaded.n_workers == small_market.n_workers
+
+    def test_json_is_plain(self, small_market, tmp_path):
+        path = tmp_path / "market.json"
+        save_market(small_market, path)
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro/market"
+
+    def test_infinite_budget_encoded_as_null(self, small_market):
+        payload = market_to_dict(small_market)
+        budgets = [r["budget"] for r in payload["requesters"]]
+        assert all(b is None for b in budgets)
+        rebuilt = market_from_dict(payload)
+        assert all(r.budget == math.inf for r in rebuilt.requesters)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValidationError, match="format"):
+            market_from_dict({"format": "other"})
+
+    def test_newer_version_rejected(self, small_market):
+        payload = market_to_dict(small_market)
+        payload["version"] = 999
+        with pytest.raises(ValidationError, match="version"):
+            market_from_dict(payload)
+
+
+class TestAssignmentRoundtrip:
+    def test_edges_resolve_after_market_reload(self, small_problem):
+        assignment = get_solver("flow").solve(small_problem)
+        payload = assignment_to_dict(assignment)
+        reloaded_market = market_from_dict(
+            market_to_dict(small_problem.market)
+        )
+        from repro.core.problem import MBAProblem
+
+        problem = MBAProblem(reloaded_market)
+        edges = assignment_edges_from_dict(payload, reloaded_market)
+        rebuilt = Assignment(problem, edges, payload["solver"])
+        assert rebuilt.edges == assignment.edges
+
+    def test_totals_recorded(self, small_problem):
+        assignment = get_solver("flow").solve(small_problem)
+        payload = assignment_to_dict(assignment)
+        assert payload["combined_total"] == pytest.approx(
+            assignment.combined_total()
+        )
+
+    def test_unknown_entity_rejected(self, small_problem, small_market):
+        assignment = get_solver("flow").solve(small_problem)
+        payload = assignment_to_dict(assignment)
+        payload["edges"][0]["worker_id"] = 12345
+        with pytest.raises(ValidationError, match="unknown entity"):
+            assignment_edges_from_dict(payload, small_market)
+
+
+class TestResultRoundtrip:
+    def test_roundtrip(self, small_market):
+        scenario = Scenario(market=small_market, n_rounds=3, retention=None)
+        result = Simulation(scenario).run(seed=0)
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt.solver_name == result.solver_name
+        assert len(rebuilt.rounds) == 3
+        assert rebuilt.series("combined_benefit").tolist() == (
+            result.series("combined_benefit").tolist()
+        )
+
+    def test_nan_accuracy_roundtrips(self, small_market):
+        scenario = Scenario(market=small_market, n_rounds=1, retention=None)
+        result = Simulation(scenario).run(seed=0)
+        result.rounds[0] = type(result.rounds[0])(
+            **{
+                **result.rounds[0].__dict__,
+                "aggregated_accuracy": float("nan"),
+            }
+        )
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert math.isnan(rebuilt.rounds[0].aggregated_accuracy)
+
+    def test_json_serializable(self, small_market):
+        scenario = Scenario(market=small_market, n_rounds=2, retention=None)
+        result = Simulation(scenario).run(seed=0)
+        text = json.dumps(result_to_dict(result), allow_nan=False)
+        assert "repro/simulation-result" in text

@@ -1,0 +1,71 @@
+"""Tests for arrival processes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.market.arrivals import BatchArrivals, PoissonArrivals, TraceArrivals
+
+
+class TestPoissonArrivals:
+    def test_order_is_permutation(self):
+        order = PoissonArrivals().order(20, seed=0)
+        assert sorted(order) == list(range(20))
+
+    def test_times_strictly_increase(self):
+        stream = list(PoissonArrivals(rate=2.0).stream(10, seed=1))
+        times = [a.time for a in stream]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_rate_scales_times(self):
+        slow = list(PoissonArrivals(rate=0.5).stream(200, seed=3))
+        fast = list(PoissonArrivals(rate=5.0).stream(200, seed=3))
+        assert slow[-1].time > fast[-1].time
+
+    def test_deterministic_given_seed(self):
+        assert PoissonArrivals().order(15, 7) == PoissonArrivals().order(15, 7)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValidationError):
+            PoissonArrivals(rate=0.0)
+
+    @given(st.integers(min_value=0, max_value=100))
+    def test_every_size_is_permutation(self, n):
+        assert sorted(PoissonArrivals().order(n, seed=0)) == list(range(n))
+
+
+class TestBatchArrivals:
+    def test_batch_timestamps(self):
+        stream = list(BatchArrivals(batch_size=4).stream(10, seed=0))
+        times = [a.time for a in stream]
+        assert times == [0, 0, 0, 0, 1, 1, 1, 1, 2, 2]
+
+    def test_order_is_permutation(self):
+        assert sorted(BatchArrivals(3).order(11, seed=5)) == list(range(11))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValidationError):
+            BatchArrivals(batch_size=0)
+
+
+class TestTraceArrivals:
+    def test_replays_exact_order(self):
+        trace = TraceArrivals([2, 0, 1])
+        assert trace.order(3) == [2, 0, 1]
+
+    def test_explicit_times(self):
+        stream = list(TraceArrivals([1, 0], times=[0.5, 2.5]).stream(2))
+        assert [a.time for a in stream] == [0.5, 2.5]
+
+    def test_not_a_permutation(self):
+        with pytest.raises(ValidationError, match="permutation"):
+            list(TraceArrivals([0, 0, 1]).stream(3))
+
+    def test_wrong_n(self):
+        with pytest.raises(ValidationError):
+            list(TraceArrivals([0, 1]).stream(3))
+
+    def test_times_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            TraceArrivals([0, 1], times=[1.0])

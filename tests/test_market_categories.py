@@ -1,0 +1,45 @@
+"""Tests for the category taxonomy."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.market.categories import DEFAULT_CATEGORY_NAMES, CategoryTaxonomy
+
+
+class TestCategoryTaxonomy:
+    def test_default_small(self):
+        tax = CategoryTaxonomy.default(3)
+        assert len(tax) == 3
+        assert list(tax) == list(DEFAULT_CATEGORY_NAMES[:3])
+
+    def test_default_large_generates_names(self):
+        tax = CategoryTaxonomy.default(15)
+        assert len(tax) == 15
+        assert tax.name_of(14) == "category-14"
+
+    def test_roundtrip(self):
+        tax = CategoryTaxonomy(["a", "b", "c"])
+        for i, name in enumerate(tax):
+            assert tax.id_of(name) == i
+            assert tax.name_of(i) == name
+
+    def test_contains(self):
+        tax = CategoryTaxonomy(["a", "b"])
+        assert "a" in tax
+        assert "z" not in tax
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            CategoryTaxonomy([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            CategoryTaxonomy(["a", "a"])
+
+    def test_unknown_name(self):
+        with pytest.raises(ValidationError, match="unknown"):
+            CategoryTaxonomy(["a"]).id_of("b")
+
+    def test_out_of_range_id(self):
+        with pytest.raises(ValidationError):
+            CategoryTaxonomy(["a"]).name_of(5)

@@ -1,0 +1,144 @@
+"""Tests for skill drift (learning by doing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.market.drift import SkillDriftModel
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"learning_rate": 1.5},
+            {"decay_rate": -0.1},
+            {"floor": 0.9, "ceiling": 0.5},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValidationError):
+            SkillDriftModel(**kwargs)
+
+
+class TestApply:
+    def test_practice_improves(self, tiny_market):
+        model = SkillDriftModel(learning_rate=0.2, decay_rate=0.0)
+        before = tiny_market.workers[2].skills[0]
+        model.apply(tiny_market, [(2, 0)])  # task 0 is category 0
+        after = tiny_market.workers[2].skills[0]
+        assert after > before
+
+    def test_idleness_decays_toward_floor(self, tiny_market):
+        model = SkillDriftModel(learning_rate=0.0, decay_rate=0.3, floor=0.5)
+        before = tiny_market.workers[0].skills[0]  # 0.95, above floor
+        model.apply(tiny_market, [])
+        after = tiny_market.workers[0].skills[0]
+        assert after < before
+        assert after > 0.5
+
+    def test_below_floor_skill_rises_when_idle(self, tiny_market):
+        """Decay is toward the floor, not toward zero."""
+        tiny_market.workers[0].skills[1] = 0.3
+        model = SkillDriftModel(learning_rate=0.0, decay_rate=0.5, floor=0.5)
+        model.apply(tiny_market, [])
+        assert tiny_market.workers[0].skills[1] > 0.3
+
+    def test_repetitions_compound_with_diminishing_returns(self, tiny_market):
+        model = SkillDriftModel(learning_rate=0.3, decay_rate=0.0,
+                                ceiling=1.0)
+        start = float(tiny_market.workers[1].skills[0])
+        model.apply(tiny_market, [(1, 0)])
+        one_rep = float(tiny_market.workers[1].skills[0])
+        tiny_market.workers[1].skills[0] = start
+        model.apply(tiny_market, [(1, 0), (1, 0)])
+        two_reps = float(tiny_market.workers[1].skills[0])
+        gain_1 = one_rep - start
+        gain_2 = two_reps - one_rep
+        assert two_reps > one_rep
+        assert gain_2 < gain_1  # asymptotic approach
+
+    def test_inactive_workers_frozen(self, tiny_market):
+        tiny_market.workers[0].active = False
+        snapshot = tiny_market.workers[0].skills.copy()
+        SkillDriftModel(decay_rate=0.5).apply(tiny_market, [])
+        assert np.array_equal(tiny_market.workers[0].skills, snapshot)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 12))
+    def test_skills_stay_in_unit_interval(self, seed, n_rounds):
+        from repro.datagen.synthetic import SyntheticConfig, generate_market
+
+        rng = np.random.default_rng(seed)
+        market = generate_market(
+            SyntheticConfig(n_workers=6, n_tasks=4), seed=seed
+        )
+        model = SkillDriftModel(
+            learning_rate=float(rng.uniform(0, 1)),
+            decay_rate=float(rng.uniform(0, 1)),
+        )
+        for _ in range(n_rounds):
+            edges = [
+                (int(rng.integers(6)), int(rng.integers(4)))
+                for _ in range(int(rng.integers(0, 8)))
+            ]
+            model.apply(market, edges)
+        skills = market.skill_matrix()
+        assert skills.min() >= 0.0
+        assert skills.max() <= 1.0
+
+
+class TestSimulationIntegration:
+    def test_drift_runs_in_simulation(self):
+        from repro.datagen.synthetic import SyntheticConfig, generate_market
+        from repro.sim.engine import Simulation
+        from repro.sim.scenario import Scenario
+
+        market = generate_market(
+            SyntheticConfig(n_workers=20, n_tasks=10), seed=0
+        )
+        scenario = Scenario(
+            market=market, n_rounds=5, retention=None,
+            drift=SkillDriftModel(),
+        )
+        result = Simulation(scenario).run(seed=0)
+        assert len(result.rounds) == 5
+
+    def test_scenario_market_skills_untouched(self):
+        from repro.datagen.synthetic import SyntheticConfig, generate_market
+        from repro.sim.engine import Simulation
+        from repro.sim.scenario import Scenario
+
+        market = generate_market(
+            SyntheticConfig(n_workers=15, n_tasks=8), seed=1
+        )
+        snapshot = market.skill_matrix().copy()
+        scenario = Scenario(
+            market=market, n_rounds=6, retention=None,
+            drift=SkillDriftModel(learning_rate=0.5, decay_rate=0.3),
+        )
+        Simulation(scenario).run(seed=0)
+        assert np.array_equal(market.skill_matrix(), snapshot)
+
+    def test_practice_lifts_requester_benefit_over_rounds(self):
+        """With drift on and no churn, assigned workers improve, so
+        per-round requester benefit trends upward."""
+        from repro.datagen.synthetic import SyntheticConfig, generate_market
+        from repro.sim.engine import Simulation
+        from repro.sim.scenario import Scenario
+
+        market = generate_market(
+            SyntheticConfig(
+                n_workers=30, n_tasks=15, skill_low=0.55, skill_high=0.7
+            ),
+            seed=2,
+        )
+        scenario = Scenario(
+            market=market, n_rounds=10, retention=None,
+            drift=SkillDriftModel(learning_rate=0.15, decay_rate=0.0),
+        )
+        result = Simulation(scenario).run(seed=0)
+        series = result.series("requester_benefit")
+        assert series[-3:].mean() > series[:3].mean()

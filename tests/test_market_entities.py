@@ -1,0 +1,96 @@
+"""Tests for Worker, Task, Requester entities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.market.requester import Requester
+from repro.market.task import Task
+from repro.market.worker import Worker
+
+
+class TestWorker:
+    def test_valid_construction(self):
+        w = Worker(worker_id=0, skills=np.array([0.7, 0.8]))
+        assert w.capacity == 1
+        assert w.active
+
+    def test_default_interests_are_half(self):
+        w = Worker(worker_id=0, skills=np.array([0.7, 0.8]))
+        assert np.allclose(w.interests, 0.5)
+
+    def test_skill_out_of_range(self):
+        with pytest.raises(ValidationError, match="skills"):
+            Worker(worker_id=0, skills=np.array([1.2]))
+
+    def test_negative_capacity(self):
+        with pytest.raises(ValidationError, match="capacity"):
+            Worker(worker_id=0, skills=np.array([0.5]), capacity=-1)
+
+    def test_negative_reservation(self):
+        with pytest.raises(ValidationError, match="reservation"):
+            Worker(worker_id=0, skills=np.array([0.5]),
+                   reservation_wage=-0.1)
+
+    def test_interests_shape_mismatch(self):
+        with pytest.raises(ValidationError, match="interests"):
+            Worker(worker_id=0, skills=np.array([0.5, 0.5]),
+                   interests=np.array([0.5]))
+
+    def test_empty_skills(self):
+        with pytest.raises(ValidationError):
+            Worker(worker_id=0, skills=np.array([]))
+
+    def test_accuracy_zero_difficulty_equals_skill(self):
+        w = Worker(worker_id=0, skills=np.array([0.9]))
+        assert w.accuracy_on(0, 0.0) == pytest.approx(0.9)
+
+    def test_accuracy_full_difficulty_is_coin_flip(self):
+        w = Worker(worker_id=0, skills=np.array([0.9]))
+        assert w.accuracy_on(0, 1.0) == pytest.approx(0.5)
+
+    def test_accuracy_monotone_in_difficulty_for_good_worker(self):
+        w = Worker(worker_id=0, skills=np.array([0.9]))
+        values = [w.accuracy_on(0, d) for d in (0.0, 0.3, 0.6, 0.9)]
+        assert values == sorted(values, reverse=True)
+
+    def test_accuracy_bad_worker_improves_with_difficulty(self):
+        """A below-chance worker is dragged *up* toward 0.5."""
+        w = Worker(worker_id=0, skills=np.array([0.2]))
+        assert w.accuracy_on(0, 0.8) > w.accuracy_on(0, 0.0)
+
+    def test_accuracy_rejects_bad_difficulty(self):
+        w = Worker(worker_id=0, skills=np.array([0.5]))
+        with pytest.raises(ValidationError):
+            w.accuracy_on(0, 1.5)
+
+
+class TestTask:
+    def test_valid_construction(self):
+        t = Task(task_id=0, category=1)
+        assert t.replication == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"category": -1},
+            {"difficulty": 1.5},
+            {"difficulty": -0.1},
+            {"payment": -1.0},
+            {"replication": 0},
+            {"effort": 0.0},
+        ],
+    )
+    def test_invalid_fields(self, kwargs):
+        with pytest.raises(ValidationError):
+            Task(task_id=0, **{"category": 0, **kwargs})
+
+
+class TestRequester:
+    def test_negative_budget(self):
+        with pytest.raises(ValidationError):
+            Requester(requester_id=0, budget=-5.0)
+
+    def test_committed_spend(self):
+        r = Requester(requester_id=0, task_ids=[1, 2, 3])
+        assert r.committed_spend({1: 2.0, 3: 1.0, 99: 50.0}) == 3.0

@@ -1,0 +1,158 @@
+"""Tests for the pricing substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.market.categories import CategoryTaxonomy
+from repro.market.market import LaborMarket
+from repro.market.pricing import (
+    evaluate_payment,
+    optimize_payment,
+    price_market,
+    willingness_prices,
+)
+from repro.market.task import Task
+from repro.market.wage import FlatCost
+from repro.market.worker import Worker
+
+
+def _market(workers):
+    taxonomy = CategoryTaxonomy.default(1)
+    tasks = [Task(task_id=0, category=0, payment=1.0, replication=2)]
+    return LaborMarket(workers, tasks, taxonomy), tasks[0]
+
+
+def _worker(worker_id, skill=0.8, reservation=0.0, active=True):
+    w = Worker(
+        worker_id=worker_id,
+        skills=np.array([skill]),
+        reservation_wage=reservation,
+    )
+    w.active = active
+    return w
+
+
+class TestWillingnessPrices:
+    def test_cost_floor(self):
+        market, task = _market([_worker(0)])
+        prices = willingness_prices(market, task, FlatCost(0.3))
+        assert prices[0] == pytest.approx(0.3)
+
+    def test_reservation_raises_price(self):
+        market, task = _market([_worker(0, reservation=1.0)])
+        prices = willingness_prices(market, task, FlatCost(0.3))
+        # (cost + reservation) / 2 = 0.65 > cost.
+        assert prices[0] == pytest.approx(0.65)
+
+    def test_inactive_worker_infinite(self):
+        market, task = _market([_worker(0, active=False)])
+        assert np.isinf(willingness_prices(market, task)[0])
+
+    def test_threshold_is_exact(self):
+        """Paying just above the price flips the worker to willing."""
+        market, task = _market([_worker(0, reservation=1.0)])
+        price = willingness_prices(market, task, FlatCost(0.3))[0]
+        below = evaluate_payment(market, task, price - 1e-6, 1.0, FlatCost(0.3))
+        above = evaluate_payment(market, task, price + 1e-6, 1.0, FlatCost(0.3))
+        assert below.n_willing == 0
+        assert above.n_willing == 1
+
+
+class TestEvaluatePayment:
+    def test_negative_payment_rejected(self):
+        market, task = _market([_worker(0)])
+        with pytest.raises(ValidationError):
+            evaluate_payment(market, task, -1.0, 1.0)
+
+    def test_zero_payment_attracts_nobody(self):
+        market, task = _market([_worker(0)])
+        point = evaluate_payment(market, task, 0.0, 1.0, FlatCost(0.3))
+        assert point.n_willing == 0
+        assert point.expected_quality == 0.0
+        assert point.surplus == 0.0
+
+    def test_committee_capped_at_replication(self):
+        market, task = _market([_worker(i) for i in range(5)])
+        point = evaluate_payment(market, task, 10.0, 1.0, FlatCost(0.1))
+        assert point.n_willing == 5
+        # replication is 2: only two are paid.
+        assert point.expected_cost == pytest.approx(20.0)
+
+    def test_best_workers_chosen(self):
+        market, task = _market(
+            [_worker(0, skill=0.6), _worker(1, skill=0.95),
+             _worker(2, skill=0.9)]
+        )
+        point = evaluate_payment(market, task, 1.0, 1.0, FlatCost(0.1))
+        from repro.crowd.quality import knowledge_coverage_quality
+
+        # The committee is the two most accurate workers, with the
+        # task's difficulty (0.3 default) applied to their skills.
+        expected = knowledge_coverage_quality(
+            [
+                market.workers[1].accuracy_on(0, task.difficulty),
+                market.workers[2].accuracy_on(0, task.difficulty),
+            ]
+        )
+        assert point.expected_quality == pytest.approx(expected)
+
+
+class TestOptimizePayment:
+    def test_rejects_negative_value(self):
+        market, task = _market([_worker(0)])
+        with pytest.raises(ValidationError):
+            optimize_payment(market, task, -1.0)
+
+    def test_never_worse_than_not_posting(self):
+        market, task = _market([_worker(0, reservation=5.0)])
+        best = optimize_payment(market, task, 0.5, FlatCost(1.0))
+        assert best.surplus >= 0.0
+
+    def test_picks_cheap_good_worker(self):
+        """With one cheap strong worker, price lands just above them."""
+        market, task = _market(
+            [_worker(0, skill=0.9, reservation=0.2),
+             _worker(1, skill=0.9, reservation=3.0)]
+        )
+        best = optimize_payment(market, task, 5.0, FlatCost(0.1))
+        cheap_price = willingness_prices(market, task, FlatCost(0.1))[0]
+        assert best.payment == pytest.approx(cheap_price, abs=1e-3)
+
+    def test_high_value_buys_more_workers(self):
+        workers = [
+            _worker(i, skill=0.8, reservation=0.5 * (i + 1))
+            for i in range(4)
+        ]
+        market, task = _market(workers)
+        stingy = optimize_payment(market, task, 1.0, FlatCost(0.1))
+        generous = optimize_payment(market, task, 50.0, FlatCost(0.1))
+        assert generous.n_willing >= stingy.n_willing
+
+    def test_optimum_beats_grid(self):
+        """The breakpoint sweep dominates a fine payment grid."""
+        rng = np.random.default_rng(0)
+        workers = [
+            _worker(i, skill=float(rng.uniform(0.5, 0.95)),
+                    reservation=float(rng.uniform(0.0, 2.0)))
+            for i in range(8)
+        ]
+        market, task = _market(workers)
+        best = optimize_payment(market, task, 4.0, FlatCost(0.2))
+        for payment in np.linspace(0.0, 3.0, 61):
+            point = evaluate_payment(
+                market, task, float(payment), 4.0, FlatCost(0.2)
+            )
+            assert best.surplus >= point.surplus - 1e-9
+
+
+class TestPriceMarket:
+    def test_repriced_market_shares_entities(self, small_market):
+        repriced = price_market(small_market, value_per_quality=3.0)
+        assert repriced.n_tasks == small_market.n_tasks
+        assert repriced.workers[0] is small_market.workers[0]
+
+    def test_original_payments_untouched(self, small_market):
+        before = small_market.task_payments().copy()
+        price_market(small_market, value_per_quality=3.0)
+        assert np.array_equal(small_market.task_payments(), before)

@@ -1,0 +1,114 @@
+"""Tests for the retention model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.market.categories import CategoryTaxonomy
+from repro.market.market import LaborMarket
+from repro.market.retention import RetentionModel
+from repro.market.task import Task
+from repro.market.worker import Worker
+
+
+def _market(n_workers=5):
+    taxonomy = CategoryTaxonomy.default(2)
+    workers = [
+        Worker(worker_id=i, skills=np.array([0.7, 0.7]))
+        for i in range(n_workers)
+    ]
+    tasks = [Task(task_id=0, category=0)]
+    return LaborMarket(workers, tasks, taxonomy)
+
+
+class TestStayProbability:
+    def test_at_expectation_equals_base(self):
+        model = RetentionModel(expectation=0.5, base_stay=0.9)
+        assert model.stay_probability(0) == pytest.approx(0.9)
+
+    def test_monotone_in_benefit(self):
+        model = RetentionModel(smoothing=1.0, expectation=0.5)
+        model.record_round({0: 0.1, 1: 0.5, 2: 2.0})
+        probs = [model.stay_probability(i) for i in (0, 1, 2)]
+        assert probs[0] < probs[1] < probs[2]
+
+    @given(st.floats(min_value=-10.0, max_value=10.0))
+    def test_probability_in_unit_interval(self, benefit):
+        model = RetentionModel(smoothing=1.0)
+        model.record_round({0: benefit})
+        assert 0.0 <= model.stay_probability(0) <= 1.0
+
+    def test_smoothing_blends(self):
+        model = RetentionModel(smoothing=0.5, expectation=1.0)
+        model.record_round({0: 3.0})
+        # (1-0.5)*1.0 + 0.5*3.0 = 2.0
+        assert model.satisfaction_of(0) == pytest.approx(2.0)
+
+    def test_unknown_worker_defaults_to_expectation(self):
+        model = RetentionModel(expectation=0.7)
+        assert model.satisfaction_of(99) == pytest.approx(0.7)
+
+
+class TestValidationErrors:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"smoothing": 1.5},
+            {"sharpness": 0.0},
+            {"base_stay": 1.0},
+            {"base_stay": 0.0},
+            {"rejoin_probability": -0.1},
+        ],
+    )
+    def test_rejects(self, kwargs):
+        with pytest.raises(ValidationError):
+            RetentionModel(**kwargs)
+
+
+class TestApply:
+    def test_dissatisfied_workers_churn(self):
+        market = _market(200)
+        model = RetentionModel(
+            smoothing=1.0, expectation=1.0, sharpness=10.0, base_stay=0.5
+        )
+        # Everyone received nothing: satisfaction 0 << expectation 1.
+        model.record_round({w.worker_id: 0.0 for w in market.workers})
+        churned = model.apply(market, seed=0)
+        assert len(churned) > 100  # stay prob ~ sigmoid(0 - 10) ~ 0
+
+    def test_satisfied_workers_mostly_stay(self):
+        market = _market(200)
+        model = RetentionModel(
+            smoothing=1.0, expectation=0.2, sharpness=10.0, base_stay=0.9
+        )
+        model.record_round({w.worker_id: 2.0 for w in market.workers})
+        churned = model.apply(market, seed=0)
+        assert len(churned) < 10
+
+    def test_rejoin(self):
+        market = _market(500)
+        for worker in market.workers:
+            worker.active = False
+        model = RetentionModel(rejoin_probability=0.5)
+        model.apply(market, seed=0)
+        rejoined = sum(w.active for w in market.workers)
+        assert 150 < rejoined < 350
+
+    def test_participation_rate(self):
+        market = _market(4)
+        market.workers[0].active = False
+        model = RetentionModel()
+        assert model.participation_rate(market) == pytest.approx(0.75)
+
+    def test_expected_participation_empty(self):
+        market = _market(2)
+        for worker in market.workers:
+            worker.active = False
+        assert RetentionModel().expected_participation(market) == 0.0
+
+    def test_apply_deterministic(self):
+        model = RetentionModel(base_stay=0.6)
+        market_a, market_b = _market(100), _market(100)
+        assert model.apply(market_a, seed=5) == model.apply(market_b, seed=5)

@@ -1,0 +1,47 @@
+"""Tests for wage/cost models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.market.task import Task
+from repro.market.wage import FlatCost, LinearEffortCost
+from repro.market.worker import Worker
+
+
+def _worker(skill):
+    return Worker(worker_id=0, skills=np.array([skill]))
+
+
+class TestLinearEffortCost:
+    def test_scales_with_effort(self):
+        model = LinearEffortCost(rate=0.5, skill_discount=0.0)
+        cheap = Task(task_id=0, category=0, effort=1.0)
+        dear = Task(task_id=1, category=0, effort=3.0)
+        worker = _worker(0.8)
+        assert model.cost(worker, dear) == pytest.approx(
+            3.0 * model.cost(worker, cheap)
+        )
+
+    def test_skilled_workers_pay_less(self):
+        model = LinearEffortCost(rate=0.5, skill_discount=1.0)
+        task = Task(task_id=0, category=0, effort=1.0)
+        assert model.cost(_worker(0.9), task) < model.cost(_worker(0.3), task)
+
+    def test_zero_discount_ignores_skill(self):
+        model = LinearEffortCost(rate=0.5, skill_discount=0.0)
+        task = Task(task_id=0, category=0, effort=2.0)
+        assert model.cost(_worker(0.9), task) == model.cost(_worker(0.1), task)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValidationError):
+            LinearEffortCost(rate=-0.1)
+
+
+class TestFlatCost:
+    def test_constant(self):
+        model = FlatCost(amount=0.25)
+        task_a = Task(task_id=0, category=0, effort=1.0)
+        task_b = Task(task_id=1, category=0, effort=9.0)
+        assert model.cost(_worker(0.5), task_a) == 0.25
+        assert model.cost(_worker(0.5), task_b) == 0.25

@@ -1,0 +1,133 @@
+"""Tests for maximum-weight b-matching (flow reduction)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.matching.b_matching import max_weight_b_matching
+from repro.matching.hungarian import max_weight_assignment
+
+
+def _brute_force_b_matching(weights, row_caps, col_caps):
+    """Exhaustive optimum over all subsets of positive edges."""
+    n, m = weights.shape
+    edges = [
+        (i, j) for i in range(n) for j in range(m) if weights[i, j] > 0
+    ]
+    best = 0.0
+    for r in range(len(edges) + 1):
+        for subset in itertools.combinations(edges, r):
+            row_load = [0] * n
+            col_load = [0] * m
+            feasible = True
+            for i, j in subset:
+                row_load[i] += 1
+                col_load[j] += 1
+                if row_load[i] > row_caps[i] or col_load[j] > col_caps[j]:
+                    feasible = False
+                    break
+            if feasible:
+                total = sum(weights[i, j] for i, j in subset)
+                best = max(best, total)
+    return best
+
+
+class TestBMatching:
+    def test_unit_capacities_match_assignment(self):
+        rng = np.random.default_rng(1)
+        weights = rng.uniform(-2, 5, (5, 5))
+        edges, total = max_weight_b_matching(
+            weights, np.ones(5, dtype=int), np.ones(5, dtype=int)
+        )
+        _assignment, expected = max_weight_assignment(weights)
+        assert total == pytest.approx(expected)
+
+    def test_respects_row_capacity(self):
+        weights = np.array([[5.0, 4.0, 3.0]])
+        edges, total = max_weight_b_matching(
+            weights, np.array([2]), np.array([1, 1, 1])
+        )
+        assert len(edges) == 2
+        assert total == pytest.approx(9.0)
+
+    def test_respects_column_capacity(self):
+        weights = np.array([[5.0], [4.0], [3.0]])
+        edges, total = max_weight_b_matching(
+            weights, np.array([1, 1, 1]), np.array([2])
+        )
+        assert len(edges) == 2
+        assert total == pytest.approx(9.0)
+
+    def test_skips_negative_edges(self):
+        weights = np.array([[-1.0, 2.0]])
+        edges, total = max_weight_b_matching(
+            weights, np.array([2]), np.array([1, 1])
+        )
+        assert edges == [(0, 1)]
+        assert total == pytest.approx(2.0)
+
+    def test_zero_capacity_rows(self):
+        weights = np.array([[5.0], [5.0]])
+        edges, _total = max_weight_b_matching(
+            weights, np.array([0, 1]), np.array([2])
+        )
+        assert edges == [(1, 0)]
+
+    def test_empty_weights(self):
+        edges, total = max_weight_b_matching(
+            np.zeros((0, 0)), np.zeros(0, dtype=int), np.zeros(0, dtype=int)
+        )
+        assert edges == []
+        assert total == 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValidationError):
+            max_weight_b_matching(
+                np.zeros((2, 2)), np.array([1]), np.array([1, 1])
+            )
+
+    def test_negative_capacity(self):
+        with pytest.raises(ValidationError):
+            max_weight_b_matching(
+                np.zeros((1, 1)), np.array([-1]), np.array([1])
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_matches_brute_force(self, data):
+        n = data.draw(st.integers(1, 3))
+        m = data.draw(st.integers(1, 3))
+        weights = np.array(
+            [
+                [
+                    data.draw(
+                        st.floats(min_value=-5, max_value=5)
+                    )
+                    for _ in range(m)
+                ]
+                for _ in range(n)
+            ]
+        )
+        row_caps = np.array(
+            [data.draw(st.integers(0, 2)) for _ in range(n)]
+        )
+        col_caps = np.array(
+            [data.draw(st.integers(0, 2)) for _ in range(m)]
+        )
+        _edges, total = max_weight_b_matching(weights, row_caps, col_caps)
+        expected = _brute_force_b_matching(weights, row_caps, col_caps)
+        assert total == pytest.approx(expected, abs=1e-7)
+
+    def test_edges_unique_and_sorted(self):
+        rng = np.random.default_rng(2)
+        weights = rng.uniform(0, 5, (6, 4))
+        edges, _ = max_weight_b_matching(
+            weights,
+            np.full(6, 2, dtype=int),
+            np.full(4, 3, dtype=int),
+        )
+        assert edges == sorted(set(edges))

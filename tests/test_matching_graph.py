@@ -1,0 +1,57 @@
+"""Tests for the residual flow network."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.matching.graph import FlowNetwork
+
+
+class TestFlowNetwork:
+    def test_add_edge_creates_twin(self):
+        net = FlowNetwork(2)
+        arc = net.add_edge(0, 1, 5.0, 2.0)
+        assert net.to[arc] == 1
+        assert net.to[arc ^ 1] == 0
+        assert net.cap[arc ^ 1] == 0.0
+        assert net.cost[arc ^ 1] == -2.0
+
+    def test_push_moves_capacity(self):
+        net = FlowNetwork(2)
+        arc = net.add_edge(0, 1, 5.0)
+        net.push(arc, 3.0)
+        assert net.cap[arc] == pytest.approx(2.0)
+        assert net.cap[arc ^ 1] == pytest.approx(3.0)
+        assert net.flow_on(arc) == pytest.approx(3.0)
+
+    def test_push_too_much(self):
+        net = FlowNetwork(2)
+        arc = net.add_edge(0, 1, 1.0)
+        with pytest.raises(ValidationError):
+            net.push(arc, 2.0)
+
+    def test_push_back_restores(self):
+        net = FlowNetwork(2)
+        arc = net.add_edge(0, 1, 5.0)
+        net.push(arc, 3.0)
+        net.push(arc ^ 1, 3.0)
+        assert net.cap[arc] == pytest.approx(5.0)
+
+    def test_bad_node(self):
+        net = FlowNetwork(2)
+        with pytest.raises(ValidationError):
+            net.add_edge(0, 5, 1.0)
+
+    def test_negative_capacity(self):
+        net = FlowNetwork(2)
+        with pytest.raises(ValidationError):
+            net.add_edge(0, 1, -1.0)
+
+    def test_add_node(self):
+        net = FlowNetwork(1)
+        new = net.add_node()
+        assert new == 1
+        assert net.n_nodes == 2
+
+    def test_negative_node_count(self):
+        with pytest.raises(ValidationError):
+            FlowNetwork(-1)

@@ -1,0 +1,81 @@
+"""Tests for Hopcroft-Karp maximum matching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching.hopcroft_karp import hopcroft_karp
+
+
+class TestHopcroftKarp:
+    def test_perfect_matching(self):
+        size, left, right = hopcroft_karp(2, 2, [[0, 1], [0, 1]])
+        assert size == 2
+        assert sorted(left) == [0, 1]
+
+    def test_bottleneck(self):
+        """Both left vertices only reach right vertex 0."""
+        size, left, _right = hopcroft_karp(2, 2, [[0], [0]])
+        assert size == 1
+        assert left.count(-1) == 1
+
+    def test_empty_graph(self):
+        size, left, right = hopcroft_karp(3, 3, [[], [], []])
+        assert size == 0
+        assert left == [-1, -1, -1]
+
+    def test_augmenting_path_needed(self):
+        """Greedy would match 0-0 and stall; HK must augment."""
+        adjacency = [[0], [0, 1]]
+        size, _left, _right = hopcroft_karp(2, 2, adjacency)
+        assert size == 2
+
+    def test_adjacency_size_check(self):
+        with pytest.raises(ValueError):
+            hopcroft_karp(2, 2, [[0]])
+
+    def test_matching_is_consistent(self):
+        size, left, right = hopcroft_karp(
+            3, 3, [[0, 1], [1, 2], [0, 2]]
+        )
+        assert size == 3
+        for u, v in enumerate(left):
+            if v != -1:
+                assert right[v] == u
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_matches_flow_based_count(self, data):
+        """HK size equals the max-flow matching size."""
+        n_left = data.draw(st.integers(1, 6))
+        n_right = data.draw(st.integers(1, 6))
+        adjacency = [
+            sorted(
+                data.draw(
+                    st.sets(st.integers(0, n_right - 1), max_size=n_right)
+                )
+            )
+            for _ in range(n_left)
+        ]
+        size, left, right = hopcroft_karp(n_left, n_right, adjacency)
+
+        # Independent check via networkx-free max-flow: use our own
+        # min-cost-flow with zero costs.
+        from repro.matching.graph import FlowNetwork
+        from repro.matching.mincost_flow import min_cost_flow
+
+        net = FlowNetwork(n_left + n_right + 2)
+        source, sink = 0, n_left + n_right + 1
+        for u in range(n_left):
+            net.add_edge(source, 1 + u, 1.0)
+        for v in range(n_right):
+            net.add_edge(1 + n_left + v, sink, 1.0)
+        for u, neighbors in enumerate(adjacency):
+            for v in neighbors:
+                net.add_edge(1 + u, 1 + n_left + v, 1.0)
+        flow = min_cost_flow(net, source, sink).flow
+        assert size == pytest.approx(flow)
+        # Matching arrays are mutually consistent and within bounds.
+        matched_rights = [v for v in left if v != -1]
+        assert len(matched_rights) == len(set(matched_rights)) == size

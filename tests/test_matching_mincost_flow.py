@@ -1,0 +1,79 @@
+"""Tests for min-cost max-flow."""
+
+import math
+
+import pytest
+
+from repro.matching.graph import FlowNetwork
+from repro.matching.mincost_flow import min_cost_flow
+
+
+def _diamond():
+    """source 0 -> {1, 2} -> sink 3 with different costs."""
+    net = FlowNetwork(4)
+    net.add_edge(0, 1, 1.0, 1.0)
+    net.add_edge(0, 2, 1.0, 5.0)
+    net.add_edge(1, 3, 1.0, 0.0)
+    net.add_edge(2, 3, 1.0, 0.0)
+    return net
+
+
+class TestMinCostFlow:
+    def test_diamond_max_flow(self):
+        result = min_cost_flow(_diamond(), 0, 3)
+        assert result.flow == pytest.approx(2.0)
+        assert result.cost == pytest.approx(6.0)
+
+    def test_flow_cap(self):
+        result = min_cost_flow(_diamond(), 0, 3, max_flow=1.0)
+        assert result.flow == pytest.approx(1.0)
+        assert result.cost == pytest.approx(1.0)  # takes the cheap path
+
+    def test_disconnected(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 1.0)
+        result = min_cost_flow(net, 0, 2)
+        assert result.flow == 0.0
+
+    def test_negative_costs(self):
+        """Negative-cost arcs are handled by the Bellman-Ford bootstrap."""
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 1.0, -3.0)
+        net.add_edge(1, 2, 1.0, 1.0)
+        result = min_cost_flow(net, 0, 2)
+        assert result.flow == pytest.approx(1.0)
+        assert result.cost == pytest.approx(-2.0)
+
+    def test_stop_when_nonimproving(self):
+        """Profit-maximal flow leaves unprofitable paths unused."""
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 1.0, -5.0)   # profitable path
+        net.add_edge(1, 3, 1.0, 0.0)
+        net.add_edge(0, 2, 1.0, 2.0)    # costly path
+        net.add_edge(2, 3, 1.0, 0.0)
+        result = min_cost_flow(net, 0, 3, stop_when_nonimproving=True)
+        assert result.flow == pytest.approx(1.0)
+        assert result.cost == pytest.approx(-5.0)
+
+    def test_chooses_cheaper_route_under_capacity(self):
+        """Flow reroutes through the residual graph when needed."""
+        # Classic case requiring an augmenting path through a reverse arc.
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 1.0, 1.0)
+        net.add_edge(0, 2, 1.0, 2.0)
+        net.add_edge(1, 2, 1.0, 0.0)
+        net.add_edge(1, 3, 1.0, 6.0)
+        net.add_edge(2, 3, 2.0, 1.0)
+        result = min_cost_flow(net, 0, 3)
+        assert result.flow == pytest.approx(2.0)
+        # Optimal: 0-1-2-3 (cost 2) + 0-2-3 (cost 3) = 5.
+        assert result.cost == pytest.approx(5.0)
+
+    def test_arc_flow_reported(self):
+        net = _diamond()
+        result = min_cost_flow(net, 0, 3)
+        assert sum(result.arc_flow.values()) == pytest.approx(4.0)
+
+    def test_unbounded_request_is_fine(self):
+        result = min_cost_flow(_diamond(), 0, 3, max_flow=math.inf)
+        assert result.flow == pytest.approx(2.0)

@@ -1,0 +1,156 @@
+"""Tests for online bipartite matching."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.matching.online import (
+    online_greedy_matching,
+    ranking_matching,
+    two_phase_matching,
+)
+
+
+def _weight_fn(matrix):
+    def weight_of(left, right):
+        return float(matrix[left, right])
+
+    return weight_of
+
+
+class TestOnlineGreedy:
+    def test_takes_best_available(self):
+        matrix = np.array([[5.0, 1.0], [4.0, 3.0]])
+        matches = online_greedy_matching(
+            [0, 1], 2, _weight_fn(matrix)
+        )
+        assert matches == [(0, 0), (1, 1)]
+
+    def test_skips_nonpositive(self):
+        matrix = np.array([[-1.0, 0.0]])
+        matches = online_greedy_matching([0], 2, _weight_fn(matrix))
+        assert matches == []
+
+    def test_none_edges_absent(self):
+        def weight_of(left, right):
+            return None
+
+        assert online_greedy_matching([0, 1], 2, weight_of) == []
+
+    def test_capacities(self):
+        matrix = np.array([[5.0], [4.0], [3.0]])
+        matches = online_greedy_matching(
+            [0, 1, 2], 1, _weight_fn(matrix), right_capacities=[2]
+        )
+        assert matches == [(0, 0), (1, 0)]
+
+    def test_order_must_be_permutation(self):
+        with pytest.raises(ValidationError):
+            online_greedy_matching([0, 0], 1, lambda l, r: 1.0)
+
+    def test_capacity_length_check(self):
+        with pytest.raises(ValidationError):
+            online_greedy_matching(
+                [0], 2, lambda l, r: 1.0, right_capacities=[1]
+            )
+
+    def test_greedy_can_be_suboptimal(self):
+        """The classic adversarial instance: greedy grabs the wrong slot.
+
+        Worker 0 takes slot 0 (1.0 > 0.9); worker 1 then finds slot 0
+        taken and slot 1 worthless.  The offline optimum pairs 0-1 and
+        1-0 for 1.9; greedy is stuck at 1.0.
+        """
+        matrix = np.array([[1.0, 0.9], [1.0, 0.0]])
+        matches = online_greedy_matching([0, 1], 2, _weight_fn(matrix))
+        assert matches == [(0, 0)]
+        value = sum(matrix[l, r] for l, r in matches)
+        assert value == pytest.approx(1.0)
+
+
+class TestRanking:
+    def test_all_matched_when_perfect(self):
+        matches = ranking_matching(
+            [0, 1], 2, lambda u: [0, 1], seed=0
+        )
+        assert len(matches) == 2
+
+    def test_respects_neighbor_lists(self):
+        matches = ranking_matching([0, 1], 2, lambda u: [u], seed=0)
+        assert sorted(matches) == [(0, 0), (1, 1)]
+
+    def test_no_double_booking(self):
+        matches = ranking_matching(
+            list(range(5)), 3, lambda u: [0, 1, 2], seed=1
+        )
+        rights = [r for _l, r in matches]
+        assert len(rights) == len(set(rights)) <= 3
+
+    def test_competitive_on_random_graphs(self):
+        """RANKING should match >= (1-1/e) of the offline optimum."""
+        rng = np.random.default_rng(0)
+        from repro.matching.hopcroft_karp import hopcroft_karp
+
+        ratios = []
+        for _ in range(20):
+            n = 12
+            adjacency = [
+                sorted(rng.choice(n, size=rng.integers(1, 5), replace=False))
+                for _ in range(n)
+            ]
+            optimum, _l, _r = hopcroft_karp(n, n, adjacency)
+            order = list(rng.permutation(n))
+            matched = len(
+                ranking_matching(
+                    order, n, lambda u: adjacency[u], seed=int(rng.integers(99))
+                )
+            )
+            ratios.append(matched / optimum if optimum else 1.0)
+        assert np.mean(ratios) > 1 - 1 / np.e
+
+
+class TestTwoPhase:
+    def test_sample_fraction_bounds(self):
+        with pytest.raises(ValidationError):
+            two_phase_matching(
+                [0], 1, lambda l, r: 1.0, sample_fraction=1.5
+            )
+
+    def test_zero_sample_is_pure_greedy(self):
+        matrix = np.array([[5.0, 1.0], [4.0, 3.0]])
+        greedy = online_greedy_matching([0, 1], 2, _weight_fn(matrix))
+        two = two_phase_matching(
+            [0, 1], 2, _weight_fn(matrix), sample_fraction=0.0
+        )
+        assert greedy == two
+
+    def test_prices_filter_low_value_grabs(self):
+        """After observing a strong sample, weak later edges are refused."""
+        # Right vertex 0 is precious (weight 10 from sample worker 0);
+        # worker 1 arrives later with weight 1 and must not grab it.
+        matrix = np.array([[10.0], [1.0]])
+        matches = two_phase_matching(
+            [0, 1], 1, _weight_fn(matrix), sample_fraction=0.5
+        )
+        assert (1, 0) not in matches
+
+    def test_never_exceeds_capacity(self):
+        rng = np.random.default_rng(3)
+        matrix = rng.uniform(0, 5, (10, 4))
+        caps = [2, 1, 3, 1]
+        matches = two_phase_matching(
+            list(range(10)), 4, _weight_fn(matrix),
+            right_capacities=caps, sample_fraction=0.4,
+        )
+        for right in range(4):
+            load = sum(1 for _l, r in matches if r == right)
+            assert load <= caps[right]
+
+    def test_each_left_at_most_once(self):
+        rng = np.random.default_rng(4)
+        matrix = rng.uniform(0, 5, (8, 8))
+        matches = two_phase_matching(
+            list(range(8)), 8, _weight_fn(matrix), sample_fraction=0.5
+        )
+        lefts = [l for l, _r in matches]
+        assert len(lefts) == len(set(lefts))

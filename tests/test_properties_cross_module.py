@@ -1,0 +1,136 @@
+"""Cross-module property-based tests (hypothesis).
+
+These lock the *relationships between* subsystems: three independent
+optimal-matching implementations must agree; solvers must produce
+valid assignments for arbitrary generated markets; serialization must
+be lossless for arbitrary configurations; flow conservation must hold
+on every solved network.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benefit.mutual import LinearCombiner
+from repro.core.problem import MBAProblem
+from repro.core.solvers import get_solver
+from repro.datagen.synthetic import SyntheticConfig, generate_market
+
+market_configs = st.builds(
+    SyntheticConfig,
+    n_workers=st.integers(2, 12),
+    n_tasks=st.integers(1, 8),
+    n_categories=st.integers(1, 4),
+    skill_distribution=st.sampled_from(["uniform", "gaussian", "zipf"]),
+    capacity_low=st.integers(0, 1),
+    capacity_high=st.integers(1, 3),
+    replication_choices=st.sampled_from([(1,), (1, 2), (3,), (1, 3, 5)]),
+    reservation_fraction=st.floats(0.0, 1.0),
+    effort=st.floats(0.2, 3.0),
+).filter(lambda c: c.capacity_low <= c.capacity_high)
+
+
+class TestThreeWayOptimalAgreement:
+    @settings(max_examples=25, deadline=None)
+    @given(market_configs, st.integers(0, 10_000))
+    def test_flow_exact_agree(self, config, seed):
+        market = generate_market(config, seed=seed)
+        problem = MBAProblem(market, combiner=LinearCombiner(0.5))
+        flow_value = get_solver("flow").solve(problem).combined_total()
+        try:
+            exact_value = (
+                get_solver("exact", max_edges=40)
+                .solve(problem)
+                .combined_total()
+            )
+        except Exception:
+            return  # instance too large for exact; skip silently
+        assert flow_value == pytest.approx(exact_value, abs=1e-6)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_flow_auction_agree_on_unit_caps(self, seed):
+        market = generate_market(
+            SyntheticConfig(
+                n_workers=8, n_tasks=5, capacity_low=1, capacity_high=1,
+                replication_choices=(1, 2),
+            ),
+            seed=seed,
+        )
+        problem = MBAProblem(market, combiner=LinearCombiner(0.5))
+        flow_value = get_solver("flow").solve(problem).combined_total()
+        auction_value = get_solver("auction").solve(problem).combined_total()
+        assert auction_value == pytest.approx(flow_value, rel=1e-5, abs=1e-8)
+
+
+class TestSolverValidityOnArbitraryMarkets:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        market_configs,
+        st.integers(0, 10_000),
+        st.sampled_from(
+            ["flow", "greedy", "online-greedy", "round-robin",
+             "stable-matching", "pruned-greedy", "random"]
+        ),
+    )
+    def test_assignment_always_validates(self, config, seed, solver_name):
+        market = generate_market(config, seed=seed)
+        problem = MBAProblem(market, combiner=LinearCombiner(0.5))
+        # Assignment.__init__ raises on any violation; success == valid.
+        assignment = get_solver(solver_name).solve(problem, seed=seed)
+        assert assignment.combined_total() >= -1e-9
+
+
+class TestSerializationProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(market_configs, st.integers(0, 10_000))
+    def test_market_roundtrip_lossless(self, config, seed):
+        from repro.io import market_from_dict, market_to_dict
+
+        market = generate_market(config, seed=seed)
+        rebuilt = market_from_dict(market_to_dict(market))
+        assert np.allclose(rebuilt.skill_matrix(), market.skill_matrix())
+        assert np.array_equal(
+            rebuilt.task_replications(), market.task_replications()
+        )
+        assert np.array_equal(
+            rebuilt.worker_capacities(), market.worker_capacities()
+        )
+
+
+class TestFlowConservation:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_net_flow_zero_at_internal_nodes(self, seed):
+        """After any min-cost-flow solve, flow conserves at each node."""
+        from repro.matching.graph import FlowNetwork
+        from repro.matching.mincost_flow import min_cost_flow
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 10))
+        net = FlowNetwork(n)
+        original_caps = {}
+        for _ in range(int(rng.integers(5, 20))):
+            u, v = rng.integers(0, n, 2)
+            if u == v:
+                continue
+            cap = float(rng.integers(1, 5))
+            cost = float(rng.integers(-3, 6))
+            arc = net.add_edge(int(u), int(v), cap, cost)
+            original_caps[arc] = cap
+        try:
+            min_cost_flow(net, 0, n - 1)
+        except Exception:
+            return  # negative cycle instances are rejected; fine
+        net_flow = [0.0] * n
+        for arc, cap in original_caps.items():
+            flow = net.flow_on(arc)
+            assert -1e-9 <= flow <= cap + 1e-9
+            u = net.to[arc ^ 1]
+            v = net.to[arc]
+            net_flow[u] -= flow
+            net_flow[v] += flow
+        for node in range(1, n - 1):
+            assert net_flow[node] == pytest.approx(0.0, abs=1e-9)
+        assert net_flow[0] == pytest.approx(-net_flow[n - 1], abs=1e-9)

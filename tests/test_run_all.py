@@ -1,0 +1,31 @@
+"""Tests for the benchmarks/run_all.py experiment runner."""
+
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.run_all import main  # noqa: E402
+
+
+class TestRunAll:
+    def test_only_selection(self, capsys):
+        code = main(["--scale", "0.1", "--only", "T1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "=== T1" in out
+        assert "Table 1" in out
+
+    def test_multiple_ids(self, capsys):
+        code = main(["--scale", "0.1", "--only", "T1,F6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "=== T1" in out
+        assert "=== F6" in out
+
+    def test_unknown_id(self, capsys):
+        code = main(["--only", "T99"])
+        assert code == 2
+        assert "unknown" in capsys.readouterr().err

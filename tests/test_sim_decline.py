@@ -1,0 +1,90 @@
+"""Tests for the worker-decline behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.synthetic import SyntheticConfig, generate_market
+from repro.sim.engine import Simulation
+from repro.sim.scenario import Scenario
+
+
+def _tight_market(seed=0, **kwargs):
+    """A market where many edges lose workers money."""
+    defaults = dict(
+        n_workers=40, n_tasks=20,
+        payment_mean=0.5, payment_sigma=0.6,
+        effort=2.5, reservation_fraction=0.6,
+    )
+    defaults.update(kwargs)
+    return generate_market(SyntheticConfig(**defaults), seed=seed)
+
+
+class TestWorkersDecline:
+    def test_flag_off_never_declines(self):
+        scenario = Scenario(
+            market=_tight_market(), solver_name="quality-only",
+            n_rounds=3, retention=None,
+        )
+        result = Simulation(scenario).run(seed=0)
+        assert all(r.declined_edges == 0 for r in result.rounds)
+
+    def test_quality_only_suffers_declines(self):
+        """Worker-blind assignment gets offers thrown back."""
+        scenario = Scenario(
+            market=_tight_market(seed=1), solver_name="quality-only",
+            n_rounds=3, retention=None, workers_decline=True,
+        )
+        result = Simulation(scenario).run(seed=0)
+        assert sum(r.declined_edges for r in result.rounds) > 0
+
+    def test_mba_declines_less_than_quality_only(self):
+        market = _tight_market(seed=2)
+        declines = {}
+        for solver_name in ("flow", "quality-only"):
+            scenario = Scenario(
+                market=market, solver_name=solver_name, n_rounds=3,
+                retention=None, workers_decline=True,
+            )
+            result = Simulation(scenario).run(seed=0)
+            declines[solver_name] = sum(
+                r.declined_edges for r in result.rounds
+            )
+        assert declines["flow"] <= declines["quality-only"]
+
+    def test_accepted_edges_all_nonnegative_worker_benefit(self):
+        """After declines, remaining worker benefit per edge is >= 0,
+        so the per-round worker total cannot be negative."""
+        scenario = Scenario(
+            market=_tight_market(seed=3), solver_name="quality-only",
+            n_rounds=2, retention=None, workers_decline=True,
+        )
+        result = Simulation(scenario).run(seed=0)
+        for r in result.rounds:
+            assert r.worker_benefit >= -1e-9
+
+    def test_declines_reduce_answer_volume(self):
+        market = _tight_market(seed=4)
+        volumes = {}
+        for declining in (False, True):
+            scenario = Scenario(
+                market=market, solver_name="quality-only", n_rounds=2,
+                retention=None, workers_decline=declining,
+            )
+            result = Simulation(scenario).run(seed=0)
+            volumes[declining] = sum(
+                r.n_assigned_edges for r in result.rounds
+            )
+        assert volumes[True] <= volumes[False]
+
+    def test_declined_edges_roundtrip_io(self):
+        from repro.io import result_from_dict, result_to_dict
+
+        scenario = Scenario(
+            market=_tight_market(seed=5), solver_name="quality-only",
+            n_rounds=2, retention=None, workers_decline=True,
+        )
+        result = Simulation(scenario).run(seed=0)
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert [r.declined_edges for r in rebuilt.rounds] == [
+            r.declined_edges for r in result.rounds
+        ]

@@ -1,0 +1,164 @@
+"""Tests for the simulation engine."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datagen.synthetic import SyntheticConfig, generate_market
+from repro.errors import ConfigurationError
+from repro.market.retention import RetentionModel
+from repro.sim.engine import Simulation
+from repro.sim.scenario import Scenario
+
+
+def _market(seed=0, **kwargs):
+    defaults = dict(n_workers=25, n_tasks=12)
+    defaults.update(kwargs)
+    return generate_market(SyntheticConfig(**defaults), seed=seed)
+
+
+class TestScenarioValidation:
+    def test_bad_rounds(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(market=_market(), n_rounds=0)
+
+    def test_bad_aggregator(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(market=_market(), aggregator="oracle")
+
+
+class TestSimulationRun:
+    def test_round_count(self):
+        scenario = Scenario(market=_market(), n_rounds=4, retention=None)
+        result = Simulation(scenario).run(seed=0)
+        assert len(result.rounds) == 4
+        assert [r.round_index for r in result.rounds] == [0, 1, 2, 3]
+
+    def test_deterministic_given_seed(self):
+        scenario = Scenario(market=_market(), n_rounds=3)
+        a = Simulation(scenario).run(seed=5)
+        b = Simulation(scenario).run(seed=5)
+        assert a.series("combined_benefit").tolist() == (
+            b.series("combined_benefit").tolist()
+        )
+
+    def test_run_does_not_mutate_scenario_market(self):
+        market = _market()
+        scenario = Scenario(
+            market=market,
+            n_rounds=10,
+            retention=RetentionModel(expectation=5.0, base_stay=0.2),
+        )
+        Simulation(scenario).run(seed=0)
+        assert all(w.active for w in market.workers)
+
+    def test_retention_reduces_participation(self):
+        scenario = Scenario(
+            market=_market(n_workers=60),
+            n_rounds=10,
+            retention=RetentionModel(
+                expectation=5.0, base_stay=0.4, sharpness=4.0
+            ),
+        )
+        result = Simulation(scenario).run(seed=1)
+        assert result.final_participation < 0.8
+
+    def test_no_retention_keeps_everyone(self):
+        scenario = Scenario(
+            market=_market(), n_rounds=5, retention=None
+        )
+        result = Simulation(scenario).run(seed=0)
+        assert result.final_participation == pytest.approx(1.0)
+        assert all(r.churned_workers == 0 for r in result.rounds)
+
+    def test_accuracy_in_unit_interval(self):
+        scenario = Scenario(market=_market(), n_rounds=5, retention=None)
+        result = Simulation(scenario).run(seed=2)
+        for r in result.rounds:
+            assert math.isnan(r.aggregated_accuracy) or (
+                0.0 <= r.aggregated_accuracy <= 1.0
+            )
+
+    @pytest.mark.parametrize(
+        "aggregator", ["majority", "weighted", "dawid-skene"]
+    )
+    def test_all_aggregators_run(self, aggregator):
+        scenario = Scenario(
+            market=_market(n_workers=20, n_tasks=8),
+            n_rounds=2,
+            aggregator=aggregator,
+            retention=None,
+        )
+        result = Simulation(scenario).run(seed=0)
+        assert len(result.rounds) == 2
+
+    def test_task_refresh_hook(self):
+        import dataclasses
+
+        market = _market(n_tasks=6)
+        calls = []
+
+        def refresh(round_index):
+            calls.append(round_index)
+            return [
+                dataclasses.replace(t, task_id=round_index * 100 + t.task_id)
+                for t in market.tasks[:3]
+            ]
+
+        scenario = Scenario(
+            market=market, n_rounds=3, retention=None, task_refresh=refresh
+        )
+        Simulation(scenario).run(seed=0)
+        assert calls == [0, 1, 2]
+
+    def test_all_workers_gone_yields_empty_rounds(self):
+        market = _market(n_workers=5)
+        for worker in market.workers:
+            worker.active = False
+        scenario = Scenario(
+            market=market,
+            n_rounds=2,
+            retention=RetentionModel(rejoin_probability=0.0),
+        )
+        result = Simulation(scenario).run(seed=0)
+        assert all(r.n_assigned_edges == 0 for r in result.rounds)
+
+    def test_solver_comparison_is_fair(self):
+        """Two runs over the same scenario market see identical rounds."""
+        market = _market(n_workers=40, n_tasks=20)
+        results = {}
+        for solver_name in ("flow", "quality-only"):
+            scenario = Scenario(
+                market=market, solver_name=solver_name, n_rounds=3,
+                retention=None,
+            )
+            results[solver_name] = Simulation(scenario).run(seed=9)
+        # Same active workers every round because retention is off.
+        assert (
+            results["flow"].series("n_active_workers").tolist()
+            == results["quality-only"].series("n_active_workers").tolist()
+        )
+
+
+class TestSimulationResult:
+    def test_series_and_totals(self):
+        scenario = Scenario(market=_market(), n_rounds=3, retention=None)
+        result = Simulation(scenario).run(seed=0)
+        series = result.series("requester_benefit")
+        assert series.shape == (3,)
+        assert result.total_requester_benefit == pytest.approx(series.sum())
+
+    def test_cumulative_accuracy_shape(self):
+        scenario = Scenario(market=_market(), n_rounds=4, retention=None)
+        result = Simulation(scenario).run(seed=0)
+        cumulative = result.cumulative_accuracy()
+        assert cumulative.shape == (4,)
+        # Running mean of a bounded series stays bounded.
+        assert np.nanmax(cumulative) <= 1.0
+
+    def test_mean_accuracy(self):
+        scenario = Scenario(market=_market(), n_rounds=3, retention=None)
+        result = Simulation(scenario).run(seed=0)
+        acc = result.series("aggregated_accuracy")
+        assert result.mean_accuracy == pytest.approx(float(acc.mean()))

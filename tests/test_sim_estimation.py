@@ -1,0 +1,121 @@
+"""Integration tests for the estimate -> assign -> answer -> update loop."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.estimation import BetaSkillEstimator
+from repro.datagen.synthetic import SyntheticConfig, generate_market
+from repro.sim.engine import Simulation
+from repro.sim.scenario import Scenario
+
+
+def _market(seed=0, **kwargs):
+    defaults = dict(n_workers=30, n_tasks=15, replication_choices=(3,))
+    defaults.update(kwargs)
+    return generate_market(SyntheticConfig(**defaults), seed=seed)
+
+
+class TestEstimatedPlanning:
+    def test_estimated_never_beats_oracle_on_average(self):
+        market = _market(seed=1)
+        oracle = Simulation(
+            Scenario(market=market, solver_name="flow", n_rounds=5,
+                     retention=None)
+        ).run(seed=3)
+        estimated = Simulation(
+            Scenario(market=market, solver_name="flow", n_rounds=5,
+                     retention=None, estimator=BetaSkillEstimator(),
+                     gold_fraction=0.2)
+        ).run(seed=3)
+        assert (
+            estimated.series("combined_benefit").mean()
+            <= oracle.series("combined_benefit").mean() + 1e-9
+        )
+
+    def test_scenario_estimator_not_mutated(self):
+        estimator = BetaSkillEstimator()
+        market = _market(seed=2)
+        Simulation(
+            Scenario(market=market, n_rounds=3, retention=None,
+                     estimator=estimator)
+        ).run(seed=0)
+        # The run used a private copy; the scenario's instance is virgin.
+        assert estimator.observations(0, 0) == 0.0
+
+    def test_gold_fraction_validation(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            Scenario(market=_market(), gold_fraction=1.5)
+
+    def test_full_gold_estimation_converges_toward_oracle(self):
+        """With 100 % gold and many rounds the gap should shrink."""
+        market = _market(seed=3, n_workers=40, n_tasks=20)
+        oracle = Simulation(
+            Scenario(market=market, solver_name="flow", n_rounds=12,
+                     retention=None)
+        ).run(seed=5)
+        estimated = Simulation(
+            Scenario(market=market, solver_name="flow", n_rounds=12,
+                     retention=None, estimator=BetaSkillEstimator(),
+                     gold_fraction=1.0)
+        ).run(seed=5)
+        oracle_series = oracle.series("combined_benefit")
+        estimated_series = estimated.series("combined_benefit")
+        gaps = (oracle_series - estimated_series) / oracle_series
+        early = gaps[:4].mean()
+        late = gaps[-4:].mean()
+        assert late <= early + 0.02
+
+    def test_assignments_validated_against_true_market(self):
+        """Estimated planning must still respect true capacities."""
+        market = _market(seed=4, capacity_low=1, capacity_high=1)
+        result = Simulation(
+            Scenario(market=market, solver_name="greedy", n_rounds=2,
+                     retention=None, estimator=BetaSkillEstimator())
+        ).run(seed=0)
+        # One task per worker per round at most.
+        for r in result.rounds:
+            assert r.n_assigned_edges <= market.n_workers
+
+    def test_estimation_with_retention_runs(self):
+        market = _market(seed=5)
+        result = Simulation(
+            Scenario(market=market, solver_name="flow", n_rounds=4,
+                     estimator=BetaSkillEstimator())
+        ).run(seed=0)
+        assert len(result.rounds) == 4
+
+
+class TestEndToEndPipeline:
+    def test_generate_solve_answer_estimate_resolve(self):
+        """The full loop improves on a cold-start random policy."""
+        from repro.benefit.mutual import LinearCombiner
+        from repro.core.problem import MBAProblem
+        from repro.core.solvers import get_solver
+        from repro.crowd.aggregation import dawid_skene
+        from repro.crowd.answer_model import simulate_answers
+
+        market = _market(seed=6, n_workers=40, n_tasks=20)
+        problem = MBAProblem(market, combiner=LinearCombiner(0.5))
+
+        # Round 1: assign randomly, observe answers, estimate skills.
+        estimator = BetaSkillEstimator()
+        assignment = get_solver("random").solve(problem, seed=0)
+        answers = simulate_answers(market, list(assignment.edges), seed=1)
+        labels = dawid_skene(answers).labels
+        estimator.record_answers(market, answers, labels)
+
+        # Round 2: plan on estimates; compare against staying random.
+        estimated_problem = MBAProblem(
+            estimator.estimated_market(market),
+            combiner=LinearCombiner(0.5),
+        )
+        planned = get_solver("flow").solve(estimated_problem, seed=0)
+        informed_value = problem.benefits.combined_total(
+            list(planned.edges)
+        )
+        random_value = (
+            get_solver("random").solve(problem, seed=2).combined_total()
+        )
+        assert informed_value > random_value

@@ -1,0 +1,153 @@
+"""Tests for the event-driven simulator."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.synthetic import SyntheticConfig, generate_market
+from repro.errors import ConfigurationError, ValidationError
+from repro.market.categories import CategoryTaxonomy
+from repro.market.market import LaborMarket
+from repro.sim.events import EventSimConfig, EventSimulation
+
+
+def _market(seed=0, **kwargs):
+    defaults = dict(n_workers=20, n_tasks=10)
+    defaults.update(kwargs)
+    return generate_market(SyntheticConfig(**defaults), seed=seed)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"horizon": 0.0},
+            {"task_rate": 0.0},
+            {"worker_rate": -1.0},
+            {"deadline": 0.0},
+            {"session_length": 0.0},
+            {"policy": "auction"},
+            {"threshold_start": 1.5},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            EventSimConfig(**kwargs)
+
+    def test_empty_market_rejected(self, taxonomy):
+        with pytest.raises(ValidationError):
+            EventSimulation(LaborMarket([], [], taxonomy))
+
+
+class TestRun:
+    def test_deterministic_given_seed(self):
+        sim = EventSimulation(_market(), EventSimConfig(horizon=30.0))
+        a = sim.run(seed=5)
+        b = sim.run(seed=5)
+        assert a.assignments == b.assignments
+        assert a.posted_tasks == b.posted_tasks
+
+    def test_accounting_consistency(self):
+        sim = EventSimulation(_market(), EventSimConfig(horizon=50.0))
+        result = sim.run(seed=1)
+        # Every posted instance either assigned, expired, or still open
+        # at the horizon.
+        assert len(result.assignments) + result.expired_tasks <= (
+            result.posted_tasks
+        )
+        assert 0.0 <= result.fill_rate <= 1.0
+
+    def test_waiting_times_within_deadline(self):
+        config = EventSimConfig(horizon=60.0, deadline=4.0)
+        result = EventSimulation(_market(), config).run(seed=2)
+        assert all(0.0 <= w <= 4.0 + 1e-9 for w in result.waiting_times)
+
+    def test_assignment_times_ordered_and_in_horizon(self):
+        config = EventSimConfig(horizon=25.0)
+        result = EventSimulation(_market(), config).run(seed=3)
+        times = [t for t, _w, _j in result.assignments]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 25.0 for t in times)
+
+    def test_benefit_totals_match_edges(self):
+        sim = EventSimulation(_market(), EventSimConfig(horizon=40.0))
+        result = sim.run(seed=4)
+        expected = sum(
+            float(sim.benefits.combined[w, j])
+            for _t, w, j in result.assignments
+        )
+        assert result.combined_benefit == pytest.approx(expected)
+
+    def test_only_positive_benefit_edges(self):
+        sim = EventSimulation(_market(), EventSimConfig(horizon=40.0))
+        result = sim.run(seed=5)
+        for _t, w, j in result.assignments:
+            assert sim.benefits.combined[w, j] > 0
+
+    def test_inactive_workers_never_assigned(self):
+        market = _market(seed=6)
+        for index in (0, 1, 2):
+            market.workers[index].active = False
+        sim = EventSimulation(market, EventSimConfig(horizon=40.0))
+        result = sim.run(seed=0)
+        assert all(w not in (0, 1, 2) for _t, w, _j in result.assignments)
+
+    def test_starved_market_expires_tasks(self):
+        """With almost no workers, most tasks should expire."""
+        config = EventSimConfig(
+            horizon=50.0, task_rate=5.0, worker_rate=0.05, deadline=3.0
+        )
+        result = EventSimulation(_market(), config).run(seed=7)
+        assert result.expired_tasks > result.posted_tasks * 0.5
+
+    def test_flooded_market_fills_most(self):
+        config = EventSimConfig(
+            horizon=50.0, task_rate=0.5, worker_rate=10.0,
+            session_length=10.0, deadline=10.0,
+        )
+        result = EventSimulation(_market(), config).run(seed=8)
+        assert result.fill_rate > 0.8
+
+    def test_event_log_populated(self):
+        result = EventSimulation(
+            _market(), EventSimConfig(horizon=20.0)
+        ).run(seed=9)
+        kinds = {entry.kind for entry in result.log}
+        assert "task-posted" in kinds
+        assert "worker-login" in kinds
+
+
+class TestThresholdPolicy:
+    def test_threshold_policy_is_pickier_early(self):
+        """Threshold policy assigns fewer, higher-benefit edges."""
+        market = _market(seed=10, n_workers=30, n_tasks=15)
+        greedy = EventSimulation(
+            market,
+            EventSimConfig(horizon=60.0, policy="greedy"),
+        ).run(seed=11)
+        picky = EventSimulation(
+            market,
+            EventSimConfig(
+                horizon=60.0, policy="threshold", threshold_start=0.8
+            ),
+        ).run(seed=11)
+        assert len(picky.assignments) <= len(greedy.assignments)
+        if picky.assignments and greedy.assignments:
+            picky_mean = picky.combined_benefit / len(picky.assignments)
+            greedy_mean = greedy.combined_benefit / len(greedy.assignments)
+            assert picky_mean >= greedy_mean - 1e-9
+
+    def test_threshold_decays_to_zero(self):
+        sim = EventSimulation(
+            _market(),
+            EventSimConfig(
+                policy="threshold", threshold_start=1.0, deadline=10.0
+            ),
+        )
+        at_post = sim._acceptance_threshold(time=5.0, posted_at=5.0)
+        near_deadline = sim._acceptance_threshold(time=14.9, posted_at=5.0)
+        assert at_post > near_deadline
+        assert sim._acceptance_threshold(time=15.0, posted_at=5.0) == 0.0
+
+    def test_greedy_threshold_is_zero(self):
+        sim = EventSimulation(_market(), EventSimConfig(policy="greedy"))
+        assert sim._acceptance_threshold(3.0, 0.0) == 0.0

@@ -1,0 +1,110 @@
+"""Simulation integration for the history-aware incremental solver."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.solvers.incremental import edge_ids
+from repro.datagen.synthetic import SyntheticConfig, generate_market
+from repro.sim.engine import Simulation
+from repro.sim.scenario import Scenario
+
+
+def _noisy_refresh(market, rng_seed=0):
+    """Task refresh that perturbs payments each round, so a memoryless
+    solver re-shuffles its assignment while a history-aware one can
+    hold steady."""
+    rng = np.random.default_rng(rng_seed)
+
+    def refresh(round_index):
+        # Stable task ids (the same recurring tasks), perturbed pay.
+        return [
+            dataclasses.replace(
+                task,
+                payment=float(task.payment * rng.uniform(0.9, 1.1)),
+            )
+            for task in market.tasks
+        ]
+
+    return refresh
+
+
+class TestIncrementalInSimulation:
+    def test_runs_via_scenario(self):
+        market = generate_market(
+            SyntheticConfig(n_workers=20, n_tasks=10), seed=0
+        )
+        scenario = Scenario(
+            market=market,
+            solver_name="incremental-flow",
+            solver_kwargs={"stability_bonus": 0.5},
+            n_rounds=4,
+            retention=None,
+        )
+        result = Simulation(scenario).run(seed=0)
+        assert len(result.rounds) == 4
+        assert all(r.n_assigned_edges > 0 for r in result.rounds)
+
+    def test_history_increases_cross_round_stability(self):
+        market = generate_market(
+            SyntheticConfig(n_workers=25, n_tasks=12), seed=1
+        )
+
+        def mean_overlap(solver_name, solver_kwargs):
+            from repro.benefit.mutual import LinearCombiner
+            from repro.core.problem import MBAProblem
+            from repro.core.solvers import get_solver
+
+            solver = get_solver(solver_name, **solver_kwargs)
+            refresh = _noisy_refresh(market, rng_seed=7)
+            previous = None
+            overlaps = []
+            for round_index in range(5):
+                from repro.market.market import LaborMarket
+
+                round_market = LaborMarket(
+                    market.workers,
+                    refresh(round_index),
+                    market.taxonomy,
+                    market.requesters,
+                )
+                problem = MBAProblem(
+                    round_market, combiner=LinearCombiner(0.5)
+                )
+                assignment = solver.solve(problem, seed=0)
+                solver.observe_round(problem, assignment)
+                current = {
+                    (
+                        round_market.workers[i].worker_id,
+                        round_market.tasks[j].task_id,
+                    )
+                    for i, j in assignment.edges
+                }
+                if previous is not None and previous:
+                    overlaps.append(
+                        len(previous & current) / len(previous)
+                    )
+                previous = current
+            return float(np.mean(overlaps))
+
+        memoryless = mean_overlap("flow", {})
+        sticky = mean_overlap(
+            "incremental-flow", {"stability_bonus": 1.0}
+        )
+        assert sticky >= memoryless - 1e-9
+
+    def test_observe_round_default_noop(self):
+        from repro.core.solvers import get_solver
+        from repro.benefit.mutual import LinearCombiner
+        from repro.core.problem import MBAProblem
+
+        market = generate_market(
+            SyntheticConfig(n_workers=8, n_tasks=4), seed=2
+        )
+        problem = MBAProblem(market, combiner=LinearCombiner(0.5))
+        solver = get_solver("flow")
+        assignment = solver.solve(problem)
+        solver.observe_round(problem, assignment)  # must not raise
+        again = solver.solve(problem)
+        assert again.edges == assignment.edges

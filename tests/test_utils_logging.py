@@ -1,0 +1,45 @@
+"""Tests for library logging."""
+
+import logging
+
+from repro.utils.logging import configure_logging, get_logger
+
+
+class TestGetLogger:
+    def test_repro_names_pass_through(self):
+        assert get_logger("repro.sim").name == "repro.sim"
+        assert get_logger("repro").name == "repro"
+
+    def test_external_names_nested(self):
+        assert get_logger("myapp.module").name == "repro.ext.myapp.module"
+
+    def test_null_handler_attached_on_import(self):
+        root = logging.getLogger("repro")
+        assert any(
+            isinstance(h, logging.NullHandler) for h in root.handlers
+        )
+
+
+class TestConfigureLogging:
+    def test_sets_level_and_handler(self):
+        root = configure_logging(logging.DEBUG)
+        assert root.level == logging.DEBUG
+        streams = [
+            h
+            for h in root.handlers
+            if isinstance(h, logging.StreamHandler)
+            and not isinstance(h, logging.NullHandler)
+        ]
+        assert streams
+
+    def test_idempotent(self):
+        before = configure_logging()
+        n_handlers = len(before.handlers)
+        after = configure_logging()
+        assert len(after.handlers) == n_handlers
+
+    def test_messages_flow(self, caplog):
+        logger = get_logger("repro.test")
+        with caplog.at_level(logging.INFO, logger="repro"):
+            logger.info("hello from the library")
+        assert "hello from the library" in caplog.text

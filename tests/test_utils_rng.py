@@ -1,0 +1,46 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, spawn_rngs
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        assert as_rng(7).integers(1000) == as_rng(7).integers(1000)
+
+    def test_different_seeds_differ(self):
+        draws_a = as_rng(1).integers(0, 2**31, 8)
+        draws_b = as_rng(2).integers(0, 2**31, 8)
+        assert not np.array_equal(draws_a, draws_b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_rng(rng) is rng
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_independent(self):
+        a, b = spawn_rngs(3, 2)
+        assert not np.array_equal(
+            a.integers(0, 2**31, 8), b.integers(0, 2**31, 8)
+        )
+
+    def test_reproducible(self):
+        first = [g.integers(1000) for g in spawn_rngs(9, 3)]
+        second = [g.integers(1000) for g in spawn_rngs(9, 3)]
+        assert first == second

@@ -1,0 +1,97 @@
+"""Tests for repro.utils.stats."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.stats import Summary, gini, mean_confidence_interval
+
+
+class TestSummary:
+    def test_basic(self):
+        s = Summary.of([1.0, 2.0, 3.0])
+        assert s.n == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.median == 2.0
+
+    def test_single_value_std_zero(self):
+        assert Summary.of([5.0]).std == 0.0
+
+    def test_empty_is_nan(self):
+        s = Summary.of([])
+        assert s.n == 0
+        assert math.isnan(s.mean)
+
+
+class TestGini:
+    def test_equal_values_zero(self):
+        assert gini([3.0, 3.0, 3.0]) == pytest.approx(0.0, abs=1e-12)
+
+    def test_one_holder_approaches_one(self):
+        value = gini([0.0] * 99 + [100.0])
+        assert value == pytest.approx(0.99, abs=1e-9)
+
+    def test_empty_zero(self):
+        assert gini([]) == 0.0
+
+    def test_all_zero(self):
+        assert gini([0.0, 0.0]) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gini([-1.0, 2.0])
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1,
+                 max_size=50)
+    )
+    def test_bounds(self, values):
+        g = gini(values)
+        assert -1e-9 <= g <= 1.0
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=1e3), min_size=2,
+                 max_size=30),
+        st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_scale_invariant(self, values, factor):
+        scaled = [v * factor for v in values]
+        assert gini(values) == pytest.approx(gini(scaled), abs=1e-9)
+
+
+class TestConfidenceInterval:
+    def test_contains_mean(self):
+        mean, low, high = mean_confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert low <= mean <= high
+
+    def test_single_value_degenerate(self):
+        mean, low, high = mean_confidence_interval([2.0])
+        assert mean == low == high == 2.0
+
+    def test_empty_nan(self):
+        mean, low, high = mean_confidence_interval([])
+        assert math.isnan(mean)
+
+    def test_width_shrinks_with_n(self):
+        rng = np.random.default_rng(0)
+        small = rng.normal(0, 1, 20)
+        large = rng.normal(0, 1, 2000)
+        _, lo_s, hi_s = mean_confidence_interval(small)
+        _, lo_l, hi_l = mean_confidence_interval(large)
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_coverage_simulation(self):
+        """~95% of normal-sample CIs should contain the true mean."""
+        rng = np.random.default_rng(1)
+        hits = 0
+        trials = 200
+        for _ in range(trials):
+            sample = rng.normal(5.0, 2.0, 40)
+            _, low, high = mean_confidence_interval(sample)
+            hits += low <= 5.0 <= high
+        assert hits / trials > 0.88
