@@ -114,6 +114,33 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     events.add_argument("--seed", type=int, default=0)
 
+    lint = commands.add_parser(
+        "lint",
+        help="run the repro static-analysis pass (RNG discipline, "
+        "solver contract, import layering, numeric hygiene)",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to check (default: the installed "
+        "repro package)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        dest="output_format",
+    )
+    lint.add_argument(
+        "--select", action="append", metavar="RULE",
+        help="run only these rule ids (repeatable)",
+    )
+    lint.add_argument(
+        "--ignore", action="append", metavar="RULE",
+        help="skip these rule ids (repeatable)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
     return parser
 
 
@@ -223,6 +250,53 @@ def _cmd_events(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import (
+        RULE_REGISTRY,
+        LintConfig,
+        lint_paths,
+        render_json,
+        render_rule_list,
+        render_text,
+    )
+
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+    requested = set(args.select or ()) | set(args.ignore or ())
+    unknown = sorted(requested - set(RULE_REGISTRY))
+    if unknown:
+        print(
+            f"error: unknown rule id(s): {', '.join(unknown)} "
+            "(see --list-rules)",
+            file=sys.stderr,
+        )
+        return 2
+    paths = args.paths
+    if not paths:
+        from pathlib import Path
+
+        import repro
+
+        paths = [Path(repro.__file__).parent]
+    config = LintConfig(
+        select=frozenset(args.select) if args.select else None,
+        ignore=frozenset(args.ignore or ()),
+    )
+    result = lint_paths(paths, config)
+    if result.files_checked == 0:
+        # "0 violations over 0 files" must never green-light CI.
+        print(
+            "error: no python files found under: "
+            + ", ".join(str(p) for p in paths),
+            file=sys.stderr,
+        )
+        return 2
+    renderer = render_json if args.output_format == "json" else render_text
+    print(renderer(result))
+    return 0 if result.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -232,6 +306,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "compare": _cmd_compare,
         "events": _cmd_events,
+        "lint": _cmd_lint,
     }
     try:
         return handlers[args.command](args)

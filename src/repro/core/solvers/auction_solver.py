@@ -55,7 +55,8 @@ class AuctionSolver(Solver):
 
         clipped = np.maximum(combined, 0.0)
         values = clipped[np.ix_(bidders, slots)].astype(float)
-        if float(values.max()) == 0.0:
+        # Clipped values are >= 0, so "no positive edge" is max <= 0.
+        if float(values.max()) <= 0.0:
             return self._finish(problem, [])
 
         # Auction needs n_rows <= n_cols; pad with zero-value dummy

@@ -101,7 +101,8 @@ def glad(
             obs_answer.append(a)
     obs_task = np.array(obs_task)
     obs_worker = np.array(obs_worker)
-    obs_answer = np.array(obs_answer, dtype=float)
+    # Integer labels: comparisons below stay exact by construction.
+    obs_answer = np.array(obs_answer, dtype=int)
 
     n_tasks, n_workers = len(tasks), len(workers)
     alpha = np.ones(n_workers)          # abilities
@@ -125,10 +126,10 @@ def glad(
         p_correct = np.clip(correctness_probability(), 1e-9, 1 - 1e-9)
         # log P(answer | truth=1): correct iff answer == 1.
         log_a1 = np.where(
-            obs_answer == 1.0, np.log(p_correct), np.log(1.0 - p_correct)
+            obs_answer == 1, np.log(p_correct), np.log(1.0 - p_correct)
         )
         log_a0 = np.where(
-            obs_answer == 0.0, np.log(p_correct), np.log(1.0 - p_correct)
+            obs_answer == 0, np.log(p_correct), np.log(1.0 - p_correct)
         )
         log_p1 = log_prior_1 + np.bincount(
             obs_task, weights=log_a1, minlength=n_tasks
@@ -152,7 +153,7 @@ def glad(
             sigma = _sigmoid(z)
             # P(observation is correct | truth): weight by posterior.
             p1 = posterior[obs_task]
-            correct_weight = np.where(obs_answer == 1.0, p1, 1.0 - p1)
+            correct_weight = np.where(obs_answer == 1, p1, 1.0 - p1)
             # d/dz of [cw*log(sigma) + (1-cw)*log(1-sigma)] = cw - sigma
             dz = correct_weight - sigma
             grad_alpha = np.bincount(

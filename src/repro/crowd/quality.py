@@ -20,6 +20,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.errors import ValidationError
+from repro.utils.rng import SeedLike, as_rng
 
 
 def _check_accuracies(accuracies: Sequence[float]) -> np.ndarray:
@@ -68,13 +69,18 @@ def majority_vote_accuracy(accuracies: Sequence[float]) -> float:
 
 
 def weighted_vote_accuracy(
-    accuracies: Sequence[float], weights: Sequence[float], n_samples: int = 0
+    accuracies: Sequence[float],
+    weights: Sequence[float],
+    n_samples: int = 0,
+    seed: SeedLike = 0,
 ) -> float:
     """P(weighted vote is correct) for given per-worker weights.
 
     Exact by enumeration for up to 20 workers (2^k outcomes); above
-    that callers must pass ``n_samples`` for Monte-Carlo estimation
-    (then a fixed-seed generator keeps it deterministic).
+    that callers must pass ``n_samples`` for Monte-Carlo estimation.
+    The estimate draws from ``seed`` (default 0 so repeated calls are
+    reproducible); thread a shared :class:`numpy.random.Generator` to
+    couple it to an experiment's stream.
     """
     arr = _check_accuracies(accuracies)
     w = np.asarray(weights, dtype=float)
@@ -106,7 +112,7 @@ def weighted_vote_accuracy(
         raise ValidationError(
             f"{k} workers require Monte-Carlo: pass n_samples > 0"
         )
-    rng = np.random.default_rng(0)
+    rng = as_rng(seed)
     correct = rng.random((n_samples, k)) < arr[np.newaxis, :]
     scores = np.where(correct, w, -w).sum(axis=1)
     return float(np.mean((scores > 0) + 0.5 * (scores == 0)))

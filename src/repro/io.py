@@ -10,6 +10,7 @@ diff-able and future-proof.
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Any
 
@@ -62,7 +63,7 @@ def market_to_dict(market: LaborMarket) -> dict[str, Any]:
             {
                 "requester_id": r.requester_id,
                 # JSON has no Infinity; None means "unbounded".
-                "budget": None if r.budget == float("inf") else r.budget,
+                "budget": None if math.isinf(r.budget) else r.budget,
             }
             for r in market.requesters
         ],

@@ -1,0 +1,56 @@
+"""``repro.lint`` — AST-based invariant checking for this repository.
+
+The evaluation tables in this reproduction are only as trustworthy as
+three mechanical properties: determinism (every random draw threads a
+seed), solver-contract conformance (every solver is registered,
+implements ``solve``, and treats the problem as read-only), and layer
+discipline (the algorithmic core never imports orchestration code).
+``python -m repro lint`` enforces all of them, plus float-equality
+hygiene, directly on the AST — no imports of the checked code, no
+runtime monkey-patching, CI-fast.
+
+Typical use::
+
+    from repro.lint import LintConfig, lint_paths
+    result = lint_paths(["src/repro"])
+    assert result.ok, "\\n".join(v.render() for v in result.violations)
+
+See ``docs/static-analysis.md`` for the rule catalogue and the
+``# lint: allow[...]`` whitelisting pragma.
+"""
+
+from repro.lint.base import (
+    RULE_REGISTRY,
+    FileContext,
+    Rule,
+    Violation,
+    all_rules,
+    register_rule,
+)
+from repro.lint.config import LintConfig
+from repro.lint.engine import (
+    LintResult,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    module_path_for,
+)
+from repro.lint.report import render_json, render_rule_list, render_text
+
+__all__ = [
+    "RULE_REGISTRY",
+    "FileContext",
+    "LintConfig",
+    "LintResult",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "module_path_for",
+    "register_rule",
+    "render_json",
+    "render_rule_list",
+    "render_text",
+]

@@ -1,0 +1,124 @@
+"""Core linting vocabulary: violations, file contexts, the rule registry.
+
+Every rule module registers :class:`Rule` subclasses here; the engine
+instantiates the registry and runs each rule over a parsed
+:class:`FileContext`.  Keeping the vocabulary in one leaf module avoids
+import cycles between the engine and the rule packages.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.lint.config import LintConfig
+
+RULE_REGISTRY: dict[str, type["Rule"]] = {}
+
+
+def register_rule(cls: type["Rule"]) -> type["Rule"]:
+    """Class decorator adding a rule to the registry under ``cls.id``."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    RULE_REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> list["Rule"]:
+    """Instantiate every registered rule, sorted by id."""
+    return [RULE_REGISTRY[rule_id]() for rule_id in sorted(RULE_REGISTRY)]
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One diagnostic: ``path:line:col: rule_id message``."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} {self.message}"
+        )
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one parsed file.
+
+    ``module`` is the dotted module path inferred from the filesystem
+    (``repro.core.solvers.flow``); rules use it for layer membership
+    and for the RNG-module exemption.  Files outside any ``repro``
+    package tree get their bare stem, which makes the layering rules
+    vacuous for them while the file-local rules still apply.
+    """
+
+    path: str
+    module: str
+    tree: ast.Module
+    source_lines: list[str] = field(default_factory=list)
+    config: LintConfig = field(default_factory=LintConfig)
+
+    def violation(
+        self, node: ast.AST, rule_id: str, message: str
+    ) -> Violation:
+        return Violation(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=rule_id,
+            message=message,
+        )
+
+
+class Rule(abc.ABC):
+    """One invariant checked over a file's AST.
+
+    Subclasses set ``id`` (stable, e.g. ``R102``), ``family`` (the
+    rule-family slug used in docs and ``--select``) and ``summary``
+    (one line for ``--list-rules``), then implement :meth:`check`.
+    """
+
+    id: str = ""
+    family: str = ""
+    summary: str = ""
+
+    @abc.abstractmethod
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Yield every violation of this rule found in ``ctx``."""
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render an ``ast.Name``/``ast.Attribute`` chain as ``a.b.c``.
+
+    Returns ``None`` for anything containing calls or subscripts —
+    those are dynamic expressions, not importable names.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def root_name(node: ast.AST) -> str | None:
+    """Base variable of an attribute/subscript chain, if it is a name.
+
+    ``problem.benefits.combined[i, j]`` roots at ``problem``; anything
+    whose chain passes through a call (``problem.copy().x``) roots at
+    ``None`` because the call produced a fresh object.
+    """
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None

@@ -1,0 +1,76 @@
+"""Linter configuration: rule selection, layering table, whitelists.
+
+The defaults encode this repository's invariants; tests construct
+custom configs to exercise rules in isolation.  Inline suppression
+uses a pragma comment on the offending line::
+
+    value = rng.random()  # lint: allow[R105]
+
+``allow`` with no bracket suppresses every rule on that line.  The
+pragma is deliberately loud — greppable, reviewable, and counted by
+``python -m repro lint --stats``-style tooling later.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+#: Layers that must never be imported by the algorithmic core.  Keys
+#: are the top package component under ``repro``; values are forbidden
+#: component sets.  ``eval``/``sim``/``benchmarks`` sit *above* the
+#: core in the dependency DAG: letting the core reach up would create
+#: cycles and drag plotting/IO machinery into every solver import.
+DEFAULT_FORBIDDEN_IMPORTS: Mapping[str, frozenset[str]] = {
+    "core": frozenset({"eval", "sim", "benchmarks"}),
+    "matching": frozenset({"eval", "sim", "benchmarks"}),
+    "benefit": frozenset({"eval", "sim", "benchmarks"}),
+}
+
+#: ``repro.utils`` is the bottom layer: it may import other ``utils``
+#: modules and the shared exception hierarchy, nothing else.
+DEFAULT_UTILS_ALLOWED: frozenset[str] = frozenset({"utils", "errors"})
+
+_PRAGMA = re.compile(
+    r"#\s*lint:\s*allow(?:\[(?P<ids>[A-Za-z0-9_,\s]+)\])?"
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Immutable knob set threaded through the engine and every rule."""
+
+    #: When non-``None``, only these rule ids run.
+    select: frozenset[str] | None = None
+    #: Rule ids that never run (applied after ``select``).
+    ignore: frozenset[str] = frozenset()
+    #: The one module allowed to touch raw RNG constructors.
+    rng_module: str = "repro.utils.rng"
+    #: Layer -> forbidden top-level components under ``repro``.
+    forbidden_imports: Mapping[str, frozenset[str]] = field(
+        default_factory=lambda: dict(DEFAULT_FORBIDDEN_IMPORTS)
+    )
+    #: Components ``repro.utils`` may import from ``repro``.
+    utils_allowed: frozenset[str] = DEFAULT_UTILS_ALLOWED
+    #: Modules where float ``==`` is accepted wholesale (rarely right;
+    #: prefer the line pragma).
+    float_eq_modules: frozenset[str] = frozenset()
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        if rule_id in self.ignore:
+            return False
+        if self.select is not None:
+            return rule_id in self.select
+        return True
+
+    @staticmethod
+    def line_suppresses(source_line: str, rule_id: str) -> bool:
+        """True when the line carries a pragma covering ``rule_id``."""
+        match = _PRAGMA.search(source_line)
+        if match is None:
+            return False
+        ids = match.group("ids")
+        if ids is None:
+            return True
+        return rule_id in {part.strip() for part in ids.split(",")}

@@ -1,0 +1,119 @@
+"""Walk files, parse them, run every enabled rule, collect violations.
+
+The engine is deliberately dumb: discovery, module-path inference,
+parsing, pragma suppression, sorting.  Everything domain-specific
+lives in the rule families under :mod:`repro.lint.rules`.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import repro.lint.rules  # noqa: F401  (registers every rule family)
+from repro.lint.base import FileContext, Violation, all_rules
+from repro.lint.config import LintConfig
+
+_PACKAGE = "repro"
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    violations: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into a deterministic .py file stream."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def module_path_for(path: Path) -> str:
+    """Dotted module path inferred from the filesystem.
+
+    The last ``repro`` directory component anchors the package root, so
+    both ``src/repro/core/flow.py`` and a test fixture tree
+    ``tmp/repro/core/bad.py`` resolve to ``repro.core...``.  Files
+    outside any ``repro`` tree keep their bare stem, which disables the
+    package-relative rules (layering, solver contract) while the
+    file-local ones still run.
+    """
+    parts = list(path.with_suffix("").parts)
+    try:
+        anchor = len(parts) - 1 - parts[::-1].index(_PACKAGE)
+    except ValueError:
+        anchor = len(parts) - 1
+    module_parts = parts[anchor:]
+    if module_parts and module_parts[-1] == "__init__":
+        module_parts = module_parts[:-1]
+    return ".".join(module_parts) if module_parts else path.stem
+
+
+def lint_file(
+    path: str | Path, config: LintConfig | None = None
+) -> list[Violation]:
+    """Lint one file; unparseable files yield a single E999 violation."""
+    config = config if config is not None else LintConfig()
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return [
+            Violation(
+                path=str(path),
+                line=error.lineno or 1,
+                col=error.offset or 0,
+                rule_id="E999",
+                message=f"syntax error: {error.msg}",
+            )
+        ]
+    lines = source.splitlines()
+    ctx = FileContext(
+        path=str(path),
+        module=module_path_for(path),
+        tree=tree,
+        source_lines=lines,
+        config=config,
+    )
+    violations = []
+    for rule in all_rules():
+        if not config.rule_enabled(rule.id):
+            continue
+        for violation in rule.check(ctx):
+            source_line = (
+                lines[violation.line - 1]
+                if 0 < violation.line <= len(lines)
+                else ""
+            )
+            if config.line_suppresses(source_line, violation.rule_id):
+                continue
+            violations.append(violation)
+    return violations
+
+
+def lint_paths(
+    paths: Iterable[str | Path], config: LintConfig | None = None
+) -> LintResult:
+    """Lint every python file under ``paths``; violations come back
+    sorted by (path, line, col, rule)."""
+    config = config if config is not None else LintConfig()
+    result = LintResult()
+    for path in iter_python_files(paths):
+        result.files_checked += 1
+        result.violations.extend(lint_file(path, config))
+    result.violations.sort()
+    return result

@@ -1,0 +1,47 @@
+"""Render lint results for terminals, CI logs, and tooling."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.base import RULE_REGISTRY
+from repro.lint.engine import LintResult
+
+
+def render_text(result: LintResult) -> str:
+    """ruff/flake8-style ``path:line:col: RULE message`` lines."""
+    lines = [violation.render() for violation in result.violations]
+    noun = "violation" if len(result.violations) == 1 else "violations"
+    files = "file" if result.files_checked == 1 else "files"
+    lines.append(
+        f"{len(result.violations)} {noun} "
+        f"({result.files_checked} {files} checked)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (stable keys, sorted violations)."""
+    payload = {
+        "files_checked": result.files_checked,
+        "violations": [
+            {
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "rule": v.rule_id,
+                "message": v.message,
+            }
+            for v in result.violations
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_rule_list() -> str:
+    """The ``--list-rules`` table: id, family, one-line summary."""
+    lines = []
+    for rule_id in sorted(RULE_REGISTRY):
+        rule = RULE_REGISTRY[rule_id]
+        lines.append(f"{rule_id}  {rule.family:<16} {rule.summary}")
+    return "\n".join(lines)

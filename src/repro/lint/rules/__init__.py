@@ -1,0 +1,13 @@
+"""Rule families for the repro linter.
+
+Importing this package registers every rule with
+:data:`repro.lint.base.RULE_REGISTRY`; the engine only ever talks to
+the registry, so adding a family is one module plus one import here.
+"""
+
+from repro.lint.rules import (  # noqa: F401  (imported for registration)
+    layering,
+    numeric,
+    rng,
+    solver_contract,
+)

@@ -1,0 +1,87 @@
+"""R3 — import layering.
+
+The package is a DAG: ``utils`` and ``errors`` at the bottom, the
+algorithmic core (``core``/``matching``/``benefit``) above them, and
+the orchestration layers (``eval``, ``sim``, ``benchmarks``) on top.
+An upward import from the core — say a solver reaching into
+``repro.eval`` for a convenience table — creates an import cycle
+waiting to happen and couples every solver import to plotting and IO
+machinery.  **R301** rejects them at the AST level, including imports
+hidden inside functions.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.base import FileContext, Rule, Violation, register_rule
+
+_PACKAGE = "repro"
+
+
+def _layer_of(module: str) -> str | None:
+    """Top component under ``repro`` (``repro.core.x`` -> ``core``)."""
+    parts = module.split(".")
+    if len(parts) < 2 or parts[0] != _PACKAGE:
+        return None
+    return parts[1]
+
+
+def _imported_repro_components(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.stmt, str]]:
+    """Yield ``(node, component)`` for every import of ``repro.X``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                parts = alias.name.split(".")
+                if parts[0] == _PACKAGE and len(parts) > 1:
+                    yield node, parts[1]
+        elif isinstance(node, ast.ImportFrom):
+            if node.level != 0 or node.module is None:
+                continue
+            parts = node.module.split(".")
+            if parts[0] != _PACKAGE:
+                continue
+            if len(parts) > 1:
+                yield node, parts[1]
+            else:
+                # ``from repro import errors, io`` names components
+                # directly.
+                for alias in node.names:
+                    yield node, alias.name
+
+
+@register_rule
+class LayeredImports(Rule):
+    id = "R301"
+    family = "layering"
+    summary = "core layers must not import eval/sim/benchmarks"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        layer = _layer_of(ctx.module)
+        if layer is None:
+            return
+        forbidden = ctx.config.forbidden_imports.get(layer)
+        if forbidden is not None:
+            for node, component in _imported_repro_components(ctx.tree):
+                if component in forbidden:
+                    yield ctx.violation(
+                        node,
+                        self.id,
+                        f"layer `{layer}` imports repro.{component}: the "
+                        "algorithmic core must not depend on "
+                        "orchestration layers",
+                    )
+        if layer == "utils":
+            allowed = ctx.config.utils_allowed
+            for node, component in _imported_repro_components(ctx.tree):
+                if component not in allowed:
+                    yield ctx.violation(
+                        node,
+                        self.id,
+                        f"repro.utils imports repro.{component}: utils "
+                        "sits at the bottom of the DAG and may only use "
+                        + ", ".join(sorted(f"repro.{a}" for a in allowed)),
+                    )

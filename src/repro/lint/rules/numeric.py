@@ -1,0 +1,70 @@
+"""R4 — numeric hygiene.
+
+Exact equality between floats is almost always a latent bug: it holds
+on one BLAS/OS/numpy combination and silently flips on another, which
+is precisely the nondeterminism a reproduction cannot afford.  **R401**
+flags ``==``/``!=`` where either operand is *textually* floating
+point — a float literal (``x == 1.0``), a ``float(...)`` call, or
+``float("inf")``-style constructions.  Integer-label comparisons
+(``labels == 1``) are untouched, as are ``<=``/``>=`` threshold
+checks, which are well defined on floats.
+
+Legitimate exact comparisons (e.g. testing an algebraic identity that
+holds bit-for-bit) are whitelisted with ``# lint: allow[R401]`` on the
+line, keeping every exception greppable.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.base import (
+    FileContext,
+    Rule,
+    Violation,
+    dotted_name,
+    register_rule,
+)
+
+
+def _is_floatish(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        return _is_floatish(node.operand)
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name is not None and name.split(".")[-1] == "float"
+    return False
+
+
+@register_rule
+class NoFloatEquality(Rule):
+    id = "R401"
+    family = "numeric"
+    summary = "float == / != is platform-dependent; use np.isclose"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.module in ctx.config.float_eq_modules:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(
+                node.ops, operands[:-1], operands[1:]
+            ):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_floatish(left) or _is_floatish(right):
+                    yield ctx.violation(
+                        node,
+                        self.id,
+                        "exact float comparison — compare integer labels, "
+                        "use np.isclose/math.isclose for tolerances, or "
+                        "math.isinf for infinities",
+                    )
+                    break

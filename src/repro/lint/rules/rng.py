@@ -1,0 +1,232 @@
+"""R1 — RNG discipline.
+
+Reproducible benchmark tables require one property above all: the same
+seed yields the same market, the same answers, the same assignment.
+That dies the moment any module grabs global RNG state or buries a
+hardcoded seed.  The five rules here force every source of randomness
+through the ``SeedLike`` threading in :mod:`repro.utils.rng`:
+
+* **R101** — no ``np.random.seed`` (global state poisons every caller);
+* **R102** — no ``default_rng`` outside the RNG module (use ``as_rng``);
+* **R103** — no ``import random`` outside the RNG module (the stdlib
+  generator has no spawnable streams and tempts global use);
+* **R104** — solver ``solve`` methods and stochastic datagen entry
+  points must accept a ``seed``/``rng`` parameter;
+* **R105** — no literal integer seed passed to ``as_rng``/
+  ``spawn_rngs`` (a buried constant makes "vary the seed" a lie).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.base import (
+    FileContext,
+    Rule,
+    Violation,
+    dotted_name,
+    register_rule,
+)
+
+_SEED_PARAM_NAMES = frozenset({"seed", "rng", "generator"})
+_RNG_COERCERS = frozenset({"as_rng", "spawn_rngs"})
+
+
+def _function_params(node: ast.FunctionDef) -> set[str]:
+    args = node.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return set(names)
+
+
+def _in_rng_module(ctx: FileContext) -> bool:
+    return ctx.module == ctx.config.rng_module
+
+
+@register_rule
+class NoGlobalSeed(Rule):
+    id = "R101"
+    family = "rng"
+    summary = "np.random.seed mutates global state; thread a Generator"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is not None and name.endswith("random.seed"):
+                yield ctx.violation(
+                    node,
+                    self.id,
+                    f"call to {name} seeds *global* numpy state; pass a "
+                    "seed through repro.utils.rng.as_rng instead",
+                )
+
+
+@register_rule
+class NoRawDefaultRng(Rule):
+    id = "R102"
+    family = "rng"
+    summary = "default_rng belongs in repro.utils.rng only"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if _in_rng_module(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None or name.split(".")[-1] != "default_rng":
+                continue
+            detail = "coerce seeds via repro.utils.rng.as_rng"
+            if node.args and isinstance(node.args[0], ast.Constant):
+                detail = (
+                    "the hardcoded seed "
+                    f"{node.args[0].value!r} defeats seed threading; "
+                    "accept a SeedLike parameter and call as_rng"
+                )
+            yield ctx.violation(
+                node,
+                self.id,
+                f"call to {name} outside {ctx.config.rng_module} — "
+                f"{detail}",
+            )
+
+
+@register_rule
+class NoStdlibRandom(Rule):
+    id = "R103"
+    family = "rng"
+    summary = "stdlib random is banned outside repro.utils.rng"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if _in_rng_module(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "random":
+                        yield ctx.violation(
+                            node,
+                            self.id,
+                            "import of stdlib `random` — use numpy "
+                            "Generators threaded via repro.utils.rng",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module is not None and (
+                    node.module.split(".")[0] == "random"
+                ):
+                    yield ctx.violation(
+                        node,
+                        self.id,
+                        "import from stdlib `random` — use numpy "
+                        "Generators threaded via repro.utils.rng",
+                    )
+
+
+@register_rule
+class SeedParameterRequired(Rule):
+    id = "R104"
+    family = "rng"
+    summary = "stochastic entry points must accept seed/rng"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.module.startswith("repro.core.solvers"):
+            yield from self._check_solvers(ctx)
+        if ctx.module.startswith("repro.datagen"):
+            yield from self._check_datagen(ctx)
+
+    def _check_solvers(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not _is_solver_class(node):
+                continue
+            for item in node.body:
+                if (
+                    isinstance(item, ast.FunctionDef)
+                    and item.name == "solve"
+                    and not (_function_params(item) & _SEED_PARAM_NAMES)
+                ):
+                    yield ctx.violation(
+                        item,
+                        self.id,
+                        f"{node.name}.solve takes no seed/rng parameter; "
+                        "solvers must be deterministic given a seed",
+                    )
+
+    def _check_datagen(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if not _references_rng(node):
+                continue
+            if _function_params(node) & _SEED_PARAM_NAMES:
+                continue
+            yield ctx.violation(
+                node,
+                self.id,
+                f"datagen entry point {node.name} uses randomness but "
+                "accepts no seed/rng parameter",
+            )
+
+
+@register_rule
+class NoLiteralSeed(Rule):
+    id = "R105"
+    family = "rng"
+    summary = "literal seeds to as_rng/spawn_rngs freeze the stream"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if _in_rng_module(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None or name.split(".")[-1] not in _RNG_COERCERS:
+                continue
+            seed_arg: ast.AST | None = None
+            if node.args:
+                seed_arg = node.args[0]
+            else:
+                for kw in node.keywords:
+                    if kw.arg == "seed":
+                        seed_arg = kw.value
+            if (
+                isinstance(seed_arg, ast.Constant)
+                and isinstance(seed_arg.value, int)
+                and not isinstance(seed_arg.value, bool)
+            ):
+                yield ctx.violation(
+                    node,
+                    self.id,
+                    f"literal seed {seed_arg.value!r} passed to "
+                    f"{name.split('.')[-1]} — accept a SeedLike "
+                    "parameter so callers control the stream",
+                )
+
+
+def _is_solver_class(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        name = dotted_name(base)
+        if name is not None and name.split(".")[-1] == "Solver":
+            return True
+    return False
+
+
+def _references_rng(node: ast.FunctionDef) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            name = dotted_name(child.func)
+            if name is not None and name.split(".")[-1] in (
+                _RNG_COERCERS | {"default_rng"}
+            ):
+                return True
+    return False

@@ -1,0 +1,273 @@
+"""R2 — solver contract conformance.
+
+Every solver in ``repro.core`` is discovered through the registry and
+compared head-to-head in the evaluation tables, so the contract in
+:class:`repro.core.solvers.base.Solver` has to hold mechanically:
+
+* **R201** — a ``Solver`` subclass must carry ``@register_solver`` (an
+  unregistered solver silently drops out of every benchmark sweep);
+* **R202** — it must implement ``solve`` itself (inheriting the
+  abstract stub raises at runtime, far from the definition);
+* **R203** — ``solve``/helpers must not mutate the shared problem:
+  writes to ``problem.*`` attributes, in-place numpy ops on benefit
+  matrices reached through ``problem``, or mutating method calls on
+  such views corrupt every solver run after the first.
+
+R203 does alias tracking: ``combined = problem.benefits.combined``
+makes ``combined`` a *view*, so ``combined *= mask`` is a write to the
+problem.  Chains that pass through a call (``problem.worker_capacities()``
+returns a copy) break the aliasing and are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.base import (
+    FileContext,
+    Rule,
+    Violation,
+    dotted_name,
+    register_rule,
+)
+
+_SOLVER_BASE_MODULE = "repro.core.solvers.base"
+
+#: ndarray methods that mutate the receiver in place.
+_MUTATING_METHODS = frozenset({"fill", "sort", "put", "itemset", "partition"})
+
+#: numpy free functions whose first argument is written in place.
+_MUTATING_FUNCTIONS = frozenset({"copyto", "place", "put", "putmask"})
+
+
+def _solver_classes(ctx: FileContext) -> Iterator[ast.ClassDef]:
+    for node in ctx.tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for base in node.bases:
+            name = dotted_name(base)
+            if name is not None and name.split(".")[-1] == "Solver":
+                yield node
+                break
+
+
+def _is_abstract(node: ast.ClassDef) -> bool:
+    for item in node.body:
+        if isinstance(item, ast.FunctionDef):
+            for decorator in item.decorator_list:
+                name = dotted_name(decorator)
+                if name is not None and name.endswith("abstractmethod"):
+                    return True
+    return False
+
+
+def _applies(ctx: FileContext) -> bool:
+    return (
+        ctx.module.startswith("repro.core")
+        and ctx.module != _SOLVER_BASE_MODULE
+    )
+
+
+@register_rule
+class SolverMustRegister(Rule):
+    id = "R201"
+    family = "solver-contract"
+    summary = "Solver subclasses need @register_solver"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not _applies(ctx):
+            return
+        for node in _solver_classes(ctx):
+            if node.name.startswith("_") or _is_abstract(node):
+                continue
+            registered = False
+            for decorator in node.decorator_list:
+                target = decorator
+                if isinstance(decorator, ast.Call):
+                    target = decorator.func
+                name = dotted_name(target)
+                if name is not None and (
+                    name.split(".")[-1] == "register_solver"
+                ):
+                    registered = True
+            if not registered:
+                yield ctx.violation(
+                    node,
+                    self.id,
+                    f"solver class {node.name} is not decorated with "
+                    "@register_solver — it will be invisible to "
+                    "get_solver and every benchmark sweep",
+                )
+
+
+@register_rule
+class SolverMustImplementSolve(Rule):
+    id = "R202"
+    family = "solver-contract"
+    summary = "Solver subclasses must define solve()"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not _applies(ctx):
+            return
+        for node in _solver_classes(ctx):
+            if node.name.startswith("_") or _is_abstract(node):
+                continue
+            has_solve = any(
+                isinstance(item, ast.FunctionDef) and item.name == "solve"
+                for item in node.body
+            )
+            if not has_solve:
+                yield ctx.violation(
+                    node,
+                    self.id,
+                    f"solver class {node.name} defines no solve() — the "
+                    "inherited abstract stub fails only at call time",
+                )
+
+
+@register_rule
+class SolverMustNotMutateProblem(Rule):
+    id = "R203"
+    family = "solver-contract"
+    summary = "solvers must not write to the shared problem instance"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not _applies(ctx):
+            return
+        for node in _solver_classes(ctx):
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef):
+                    yield from self._check_function(ctx, item)
+
+    def _check_function(
+        self, ctx: FileContext, func: ast.FunctionDef
+    ) -> Iterator[Violation]:
+        args = func.args
+        roots = {
+            a.arg
+            for a in args.posonlyargs + args.args + args.kwonlyargs
+            if a.arg == "problem"
+            or (
+                a.annotation is not None
+                and "MBAProblem" in ast.dump(a.annotation)
+            )
+        }
+        if not roots:
+            return
+        aliases: set[str] = set()
+
+        def rooted(node: ast.AST) -> bool:
+            """Attribute/subscript chain ending at a root or alias."""
+            base = node
+            while isinstance(base, (ast.Attribute, ast.Subscript)):
+                base = base.value
+            if not isinstance(base, ast.Name):
+                return False
+            if base.id in roots:
+                # A bare root name is not itself problem *state*.
+                return base is not node
+            return base.id in aliases
+
+        def visit(stmt: ast.stmt) -> Iterator[Violation]:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(
+                        target, (ast.Attribute, ast.Subscript)
+                    ) and rooted(target):
+                        yield ctx.violation(
+                            target,
+                            self.id,
+                            "write to problem state: solvers must treat "
+                            "the problem (and its benefit matrices) as "
+                            "read-only",
+                        )
+                    elif isinstance(target, ast.Name):
+                        if self._pure_chain_root(stmt.value, roots, aliases):
+                            aliases.add(target.id)
+                        else:
+                            aliases.discard(target.id)
+            elif isinstance(stmt, ast.AugAssign):
+                target = stmt.target
+                if isinstance(target, ast.Name) and target.id in aliases:
+                    yield ctx.violation(
+                        target,
+                        self.id,
+                        f"in-place operation on `{target.id}`, a view of "
+                        "the problem's matrices — copy before mutating",
+                    )
+                elif isinstance(
+                    target, (ast.Attribute, ast.Subscript)
+                ) and rooted(target):
+                    yield ctx.violation(
+                        target,
+                        self.id,
+                        "in-place write to problem state — copy before "
+                        "mutating",
+                    )
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.stmt):
+                    yield from visit(child)
+                else:
+                    yield from check_calls(child)
+
+        def check_calls(node: ast.AST) -> Iterator[Violation]:
+            for call in [
+                n for n in ast.walk(node) if isinstance(n, ast.Call)
+            ]:
+                func_node = call.func
+                if isinstance(func_node, ast.Attribute):
+                    name = dotted_name(func_node)
+                    if (
+                        func_node.attr in _MUTATING_METHODS
+                        and (
+                            rooted(func_node.value)
+                            or (
+                                isinstance(func_node.value, ast.Name)
+                                and func_node.value.id in aliases
+                            )
+                        )
+                    ):
+                        yield ctx.violation(
+                            call,
+                            self.id,
+                            f"mutating call .{func_node.attr}() on a view "
+                            "of the problem's matrices",
+                        )
+                    elif (
+                        name is not None
+                        and name.split(".")[-1] in _MUTATING_FUNCTIONS
+                        and call.args
+                        and (
+                            rooted(call.args[0])
+                            or (
+                                isinstance(call.args[0], ast.Name)
+                                and call.args[0].id in aliases
+                            )
+                        )
+                    ):
+                        yield ctx.violation(
+                            call,
+                            self.id,
+                            f"{name} writes its first argument in place, "
+                            "which aliases the problem's matrices",
+                        )
+
+        for stmt in func.body:
+            yield from visit(stmt)
+
+    @staticmethod
+    def _pure_chain_root(
+        value: ast.AST, roots: set[str], aliases: set[str]
+    ) -> bool:
+        """True when ``value`` is an attribute/subscript chain (no
+        calls) whose base name is a problem root or existing alias —
+        i.e. assigning it creates another live view."""
+        node = value
+        if not isinstance(node, (ast.Attribute, ast.Subscript)):
+            return False
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            node = node.value
+        return isinstance(node, ast.Name) and (
+            node.id in roots or node.id in aliases
+        )

@@ -55,7 +55,7 @@ def auction_assignment(
         raise ValidationError("weights must be finite")
 
     span = float(np.abs(weights).max())
-    if span == 0.0:
+    if span <= 0.0:
         return list(range(n)), 0.0
     if n < m:
         # Pad to a square problem with zero-weight dummy persons: the

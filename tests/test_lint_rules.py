@@ -1,0 +1,459 @@
+"""Unit tests for the ``repro.lint`` rule families.
+
+Each test materializes a tiny fixture tree under ``tmp_path`` —
+``tmp/repro/...`` so module-path inference kicks in — seeds one
+violation per rule, and asserts the rule fires at the right file and
+line (and that clean siblings stay silent).
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    LintConfig,
+    lint_file,
+    lint_paths,
+    module_path_for,
+    render_json,
+    render_rule_list,
+    render_text,
+)
+
+
+def _write(root: Path, rel: str, source: str) -> Path:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def _ids(violations) -> list[str]:
+    return [v.rule_id for v in violations]
+
+
+def _only(violations, rule_id: str):
+    return [v for v in violations if v.rule_id == rule_id]
+
+
+class TestModulePathInference:
+    def test_anchors_at_last_repro_component(self, tmp_path):
+        path = tmp_path / "repro" / "core" / "solvers" / "flow.py"
+        assert module_path_for(path) == "repro.core.solvers.flow"
+
+    def test_init_collapses_to_package(self, tmp_path):
+        path = tmp_path / "repro" / "core" / "__init__.py"
+        assert module_path_for(path) == "repro.core"
+
+    def test_outside_package_keeps_stem(self, tmp_path):
+        assert module_path_for(tmp_path / "scratch.py") == "scratch"
+
+
+class TestRngRules:
+    def test_r101_global_seed(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/sim/bad.py",
+            """\
+            import numpy as np
+
+            np.random.seed(42)
+            """,
+        )
+        violations = _only(lint_file(path), "R101")
+        assert len(violations) == 1
+        assert violations[0].line == 3
+
+    def test_r102_default_rng_outside_rng_module(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/crowd/bad.py",
+            """\
+            import numpy as np
+
+
+            def f():
+                rng = np.random.default_rng(0)
+                return rng.random()
+            """,
+        )
+        violations = _only(lint_file(path), "R102")
+        assert len(violations) == 1
+        assert violations[0].line == 5
+        assert "hardcoded seed 0" in violations[0].message
+
+    def test_r102_exempts_the_rng_module(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/utils/rng.py",
+            """\
+            import numpy as np
+
+
+            def as_rng(seed=None):
+                return np.random.default_rng(seed)
+            """,
+        )
+        assert _only(lint_file(path), "R102") == []
+
+    def test_r103_stdlib_random_import(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/market/bad.py",
+            """\
+            import random
+            from random import choice
+            """,
+        )
+        violations = _only(lint_file(path), "R103")
+        assert [v.line for v in violations] == [1, 2]
+
+    def test_r104_solver_solve_without_seed(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/core/solvers/bad.py",
+            """\
+            class NoSeedSolver(Solver):
+                def solve(self, problem):
+                    return None
+            """,
+        )
+        violations = _only(lint_file(path), "R104")
+        assert len(violations) == 1
+        assert violations[0].line == 2
+
+    def test_r104_datagen_entry_point_without_seed(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/datagen/bad.py",
+            """\
+            from repro.utils.rng import as_rng
+
+
+            def make_market(n):
+                rng = as_rng(None)
+                return rng.random(n)
+
+
+            def registry():
+                return {"make": make_market}
+            """,
+        )
+        violations = _only(lint_file(path), "R104")
+        assert len(violations) == 1
+        assert violations[0].line == 4
+        assert "make_market" in violations[0].message
+
+    def test_r105_literal_seed(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/eval/bad.py",
+            """\
+            from repro.utils.rng import as_rng, spawn_rngs
+
+
+            def f(seed=None):
+                a = as_rng(1234)
+                b = spawn_rngs(7, 3)
+                c = as_rng(seed)
+                return a, b, c
+            """,
+        )
+        violations = _only(lint_file(path), "R105")
+        assert [v.line for v in violations] == [5, 6]
+
+
+class TestSolverContractRules:
+    def test_r201_unregistered_solver(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/core/solvers/bad.py",
+            """\
+            class RogueSolver(Solver):
+                def solve(self, problem, seed=None):
+                    return None
+            """,
+        )
+        violations = _only(lint_file(path), "R201")
+        assert len(violations) == 1
+        assert violations[0].line == 1
+        assert "RogueSolver" in violations[0].message
+
+    def test_r201_registered_and_abstract_pass(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/core/solvers/good.py",
+            """\
+            import abc
+
+
+            @register_solver("fine")
+            class FineSolver(Solver):
+                def solve(self, problem, seed=None):
+                    return None
+
+
+            class TemplateSolver(Solver):
+                @abc.abstractmethod
+                def solve(self, problem, seed=None):
+                    ...
+            """,
+        )
+        assert _only(lint_file(path), "R201") == []
+
+    def test_r202_missing_solve(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/core/solvers/bad.py",
+            """\
+            @register_solver("hollow")
+            class HollowSolver(Solver):
+                def helper(self):
+                    return 1
+            """,
+        )
+        violations = _only(lint_file(path), "R202")
+        assert len(violations) == 1
+        assert "HollowSolver" in violations[0].message
+
+    def test_r203_direct_attribute_write(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/core/solvers/bad.py",
+            """\
+            @register_solver("dirty")
+            class DirtySolver(Solver):
+                def solve(self, problem, seed=None):
+                    problem.benefits.combined[0, 0] = 1.0
+                    return None
+            """,
+        )
+        violations = _only(lint_file(path), "R203")
+        assert len(violations) == 1
+        assert violations[0].line == 4
+
+    def test_r203_alias_mutation(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/core/solvers/bad.py",
+            """\
+            @register_solver("sneaky")
+            class SneakySolver(Solver):
+                def solve(self, problem, seed=None):
+                    combined = problem.benefits.combined
+                    combined += 1.0
+                    combined.fill(0.0)
+                    return None
+            """,
+        )
+        violations = _only(lint_file(path), "R203")
+        assert [v.line for v in violations] == [5, 6]
+
+    def test_r203_copies_are_fair_game(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/core/solvers/good.py",
+            """\
+            import numpy as np
+
+
+            @register_solver("clean")
+            class CleanSolver(Solver):
+                def solve(self, problem, seed=None):
+                    caps = problem.worker_capacities()
+                    caps[0] = 0
+                    local = np.maximum(problem.benefits.combined, 0.0)
+                    local += 1.0
+                    return None
+            """,
+        )
+        assert _only(lint_file(path), "R203") == []
+
+    def test_r203_np_copyto_on_view(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/core/solvers/bad.py",
+            """\
+            import numpy as np
+
+
+            @register_solver("blaster")
+            class BlasterSolver(Solver):
+                def solve(self, problem, seed=None):
+                    view = problem.benefits.worker
+                    np.copyto(view, 0.0)
+                    return None
+            """,
+        )
+        violations = _only(lint_file(path), "R203")
+        assert [v.line for v in violations] == [8]
+
+
+class TestLayeringRules:
+    @pytest.mark.parametrize("layer", ["core", "matching", "benefit"])
+    @pytest.mark.parametrize("target", ["eval", "sim", "benchmarks"])
+    def test_r301_core_layers_cannot_reach_up(self, tmp_path, layer, target):
+        path = _write(
+            tmp_path,
+            f"repro/{layer}/bad.py",
+            f"""\
+            from repro.{target}.report import something
+            """,
+        )
+        violations = _only(lint_file(path), "R301")
+        assert len(violations) == 1
+        assert f"repro.{target}" in violations[0].message
+
+    def test_r301_function_local_imports_are_caught(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/core/bad.py",
+            """\
+            def f():
+                import repro.eval.report
+                return repro.eval.report
+            """,
+        )
+        violations = _only(lint_file(path), "R301")
+        assert [v.line for v in violations] == [2]
+
+    def test_r301_utils_bottom_layer(self, tmp_path):
+        bad = _write(
+            tmp_path,
+            "repro/utils/bad.py",
+            """\
+            from repro.core.problem import MBAProblem
+            """,
+        )
+        good = _write(
+            tmp_path,
+            "repro/utils/good.py",
+            """\
+            from repro.errors import ValidationError
+            from repro.utils.rng import as_rng
+            """,
+        )
+        assert _ids(lint_file(bad)) == ["R301"]
+        assert _only(lint_file(good), "R301") == []
+
+    def test_r301_from_repro_import_component(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/matching/bad.py",
+            """\
+            from repro import sim
+            """,
+        )
+        assert _ids(lint_file(path)) == ["R301"]
+
+    def test_r301_silent_outside_package(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "scripts/tool.py",
+            """\
+            from repro.eval.report import something
+            """,
+        )
+        assert _only(lint_file(path), "R301") == []
+
+
+class TestNumericRules:
+    def test_r401_float_literal_comparison(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/benefit/bad.py",
+            """\
+            def f(x, y):
+                if x == 1.0:
+                    return 1
+                if float(y) != x:
+                    return 2
+                return 0
+            """,
+        )
+        violations = _only(lint_file(path), "R401")
+        assert [v.line for v in violations] == [2, 4]
+
+    def test_r401_integer_labels_and_thresholds_pass(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/benefit/good.py",
+            """\
+            def f(labels, x):
+                keep = labels == 1
+                hot = x >= 0.5
+                return keep, hot
+            """,
+        )
+        assert _only(lint_file(path), "R401") == []
+
+    def test_r401_pragma_whitelists_a_line(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/benefit/waived.py",
+            """\
+            def exact_identity(x):
+                return x * 0.5 == x / 2.0  # lint: allow[R401]
+            """,
+        )
+        assert _only(lint_file(path), "R401") == []
+
+    def test_bare_pragma_suppresses_everything_on_the_line(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/benefit/waived.py",
+            """\
+            import random  # lint: allow
+            """,
+        )
+        assert lint_file(path) == []
+
+
+class TestEngineAndReport:
+    def test_syntax_error_becomes_e999(self, tmp_path):
+        path = _write(tmp_path, "repro/broken.py", "def f(:\n")
+        violations = lint_file(path)
+        assert _ids(violations) == ["E999"]
+
+    def test_select_and_ignore(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/core/bad.py",
+            """\
+            import random
+            from repro.eval import report
+            """,
+        )
+        both = lint_file(path)
+        assert sorted(_ids(both)) == ["R103", "R301"]
+        only_rng = lint_file(path, LintConfig(select=frozenset({"R103"})))
+        assert _ids(only_rng) == ["R103"]
+        no_rng = lint_file(path, LintConfig(ignore=frozenset({"R103"})))
+        assert _ids(no_rng) == ["R301"]
+
+    def test_lint_paths_sorts_and_counts(self, tmp_path):
+        _write(tmp_path, "repro/z.py", "import random\n")
+        _write(tmp_path, "repro/a.py", "import random\n")
+        result = lint_paths([tmp_path])
+        assert result.files_checked == 2
+        assert not result.ok
+        assert [Path(v.path).name for v in result.violations] == [
+            "a.py",
+            "z.py",
+        ]
+
+    def test_render_text_and_json(self, tmp_path):
+        path = _write(tmp_path, "repro/bad.py", "import random\n")
+        result = lint_paths([path])
+        text = render_text(result)
+        assert "R103" in text
+        assert "1 violation (1 file checked)" in text
+        assert '"rule": "R103"' in render_json(result)
+
+    def test_rule_catalogue_lists_every_family(self):
+        catalogue = render_rule_list()
+        for rule_id in ("R101", "R201", "R301", "R401"):
+            assert rule_id in catalogue

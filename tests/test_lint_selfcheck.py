@@ -1,0 +1,81 @@
+"""The linter's reason to exist: ``src/repro`` must stay clean.
+
+This test keeps the determinism / solver-contract / layering / numeric
+invariants enforced forever — any PR that reintroduces a hardcoded
+seed, an unregistered solver, an upward import, or a float ``==``
+fails the suite with the exact file:line diagnostics.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import repro
+from repro.cli import main
+from repro.lint import lint_paths
+
+PACKAGE_ROOT = Path(repro.__file__).parent
+
+
+def test_package_is_lint_clean():
+    result = lint_paths([PACKAGE_ROOT])
+    # Sanity: the walk really covered the package, not an empty dir.
+    assert result.files_checked >= 80
+    assert result.ok, "lint violations in src/repro:\n" + "\n".join(
+        violation.render() for violation in result.violations
+    )
+
+
+def test_cli_lint_exits_zero_on_clean_tree(capsys):
+    assert main(["lint", str(PACKAGE_ROOT)]) == 0
+    out = capsys.readouterr().out
+    assert "0 violations" in out
+
+
+def test_cli_lint_defaults_to_installed_package(capsys):
+    assert main(["lint"]) == 0
+
+
+def test_cli_lint_exits_nonzero_with_diagnostics(tmp_path, capsys):
+    bad = tmp_path / "repro" / "core" / "solvers" / "rogue.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(
+        textwrap.dedent(
+            """\
+            import random
+
+
+            class RogueSolver(Solver):
+                def solve(self, problem):
+                    problem.benefits.combined[0, 0] = 1.0
+                    return None
+            """
+        )
+    )
+    assert main(["lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    # file:line diagnostics for every family the fixture violates.
+    assert f"{bad}:1:0: R103" in out
+    assert "R104" in out
+    assert "R201" in out
+    assert "R203" in out
+
+
+def test_cli_lint_rejects_unknown_rule_ids(capsys):
+    assert main(["lint", "--select", "R999", str(PACKAGE_ROOT)]) == 2
+    err = capsys.readouterr().err
+    assert "unknown rule id" in err and "R999" in err
+
+
+def test_cli_lint_rejects_empty_file_set(tmp_path, capsys):
+    # A wrong path in CI must not green-light as "0 violations".
+    assert main(["lint", str(tmp_path / "no_such_dir")]) == 2
+    assert "no python files found" in capsys.readouterr().err
+
+
+def test_cli_lint_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("R101", "R105", "R203", "R301", "R401"):
+        assert rule_id in out
