@@ -1,0 +1,35 @@
+"""F24 — graceful degradation under injected faults.
+
+Expected shape: with the resilient executor on, injected faults
+(no-shows, cancellations, dropped answers, forced solver failures)
+cost benefit roughly in proportion to the fault rate — no cliff where
+one failure wipes out a run — and the mutual-benefit policy keeps its
+edge over greedy at every rate, because faults remove edges but do not
+change which edges were worth assigning.
+"""
+
+import math
+
+from benchmarks.conftest import run_and_print
+
+
+def test_figure24_faults(benchmark, bench_scale):
+    table = run_and_print(benchmark, "F24", bench_scale)
+    rows = [dict(zip(table.header, row)) for row in table.rows]
+    baseline = next(r for r in rows if r["fault rate"] == 0.0)
+    for values in rows:
+        rate = values["fault rate"]
+        for solver in ("greedy", "mba"):
+            benefit = values[f"{solver} benefit"]
+            # Graceful, no-cliff degradation: losing a `rate` fraction
+            # of edges (plus rate/2 cancellations) should cost benefit
+            # on the same order, never collapse it.  The 2x slack
+            # absorbs compounding across fault kinds and sampling
+            # noise at small scales.
+            floor = max(0.0, 1.0 - 2.0 * rate) * baseline[f"{solver} benefit"]
+            assert benefit >= floor
+            accuracy = values[f"{solver} accuracy"]
+            assert math.isnan(accuracy) or 0.0 <= accuracy <= 1.0
+        # Mutual benefit retains its edge under faults (shared fault
+        # plan seed makes this a paired comparison).
+        assert values["mba benefit"] >= 0.9 * values["greedy benefit"]

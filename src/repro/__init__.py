@@ -51,10 +51,19 @@ from repro.datagen import (
 )
 from repro.errors import (
     ConfigurationError,
+    ConvergenceError,
+    DeadlineExceededError,
     InfeasibleError,
     ReproError,
+    ResilienceExhaustedError,
     SolverError,
     ValidationError,
+)
+from repro.resilience import (
+    FaultPlan,
+    ResilientSolver,
+    RetryPolicy,
+    SolveReport,
 )
 from repro.market import (
     CategoryTaxonomy,
@@ -76,7 +85,10 @@ __all__ = [
     "CategoryTaxonomy",
     "Combiner",
     "ConfigurationError",
+    "ConvergenceError",
     "CoverageObjective",
+    "DeadlineExceededError",
+    "FaultPlan",
     "EgalitarianCombiner",
     "InfeasibleError",
     "LaborMarket",
@@ -90,10 +102,14 @@ __all__ = [
     "QualityGainBenefit",
     "ReproError",
     "Requester",
+    "ResilienceExhaustedError",
+    "ResilientSolver",
     "RetentionModel",
+    "RetryPolicy",
     "Scenario",
     "Simulation",
     "SimulationResult",
+    "SolveReport",
     "SolverError",
     "SyntheticConfig",
     "Task",

@@ -29,6 +29,7 @@ from repro.io import (
     save_market,
 )
 from repro.market.retention import RetentionModel
+from repro.resilience import RESILIENCE_PROFILES, FaultPlan
 from repro.sim.engine import Simulation
 from repro.sim.scenario import Scenario
 
@@ -73,6 +74,23 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--no-retention", action="store_true",
         help="disable worker churn",
+    )
+    simulate.add_argument(
+        "--resilience", default="off",
+        choices=("off", *sorted(RESILIENCE_PROFILES)),
+        help="wrap the solver in the resilient executor (deadline, "
+        "escalating retries, fallback chain); 'off' runs it bare and "
+        "a failed round degrades to an empty round",
+    )
+    simulate.add_argument(
+        "--fault-rate", type=float, default=0.0, metavar="RATE",
+        help="inject faults: each edge no-shows / loses its answer "
+        "with RATE, tasks cancel and the solver is failed with RATE/2 "
+        "(seeded by --fault-seed; see docs/resilience.md)",
+    )
+    simulate.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the fault plan's own random stream",
     )
 
     experiment = commands.add_parser(
@@ -176,28 +194,43 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     market = load_market(args.market)
+    fault_plan = (
+        FaultPlan.uniform(args.fault_rate, seed=args.fault_seed)
+        if args.fault_rate > 0
+        else None
+    )
     scenario = Scenario(
         market=market,
         solver_name=args.solver,
         combiner=LinearCombiner(args.lam),
         n_rounds=args.rounds,
         retention=None if args.no_retention else RetentionModel(),
+        fault_plan=fault_plan,
+        resilience=None if args.resilience == "off" else args.resilience,
     )
     result = Simulation(scenario).run(seed=args.seed)
     print(
         f"{'round':>5s} {'active':>6s} {'edges':>5s} {'accuracy':>8s} "
-        f"{'participation':>13s}"
+        f"{'participation':>13s} {'faulted':>7s} {'retries':>7s} "
+        f"{'tier':>4s}"
     )
     for r in result.rounds:
         print(
             f"{r.round_index:5d} {r.n_active_workers:6d} "
             f"{r.n_assigned_edges:5d} {r.aggregated_accuracy:8.3f} "
-            f"{r.participation_rate:13.3f}"
+            f"{r.participation_rate:13.3f} {r.faulted_edges:7d} "
+            f"{r.solver_retries:7d} {r.fallback_tier:4d}"
         )
     print(
         f"\nmean accuracy {result.mean_accuracy:.3f}, final participation "
         f"{result.final_participation:.3f}"
     )
+    if fault_plan is not None or scenario.resilience is not None:
+        print(
+            f"faulted edges {result.total_faulted_edges}, solver retries "
+            f"{result.total_solver_retries}, degraded rounds "
+            f"{result.degraded_rounds}/{len(result.rounds)}"
+        )
     return 0
 
 

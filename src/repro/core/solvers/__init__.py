@@ -20,6 +20,9 @@ Registered names (use :func:`get_solver`):
                           constraints (see :mod:`repro.core.constraints`)
 ``stable-matching``       Gale–Shapley deferred acceptance baseline (zero
                           blocking pairs under the induced preferences)
+``resilient``             deadline/retry/fallback wrapper around any other
+                          solver (lazily loaded from
+                          :mod:`repro.resilience`)
 ``quality-only``          baseline: requester side only (λ=1)
 ``worker-only``           baseline: worker side only (λ=0)
 ``random``                baseline: random feasible positive edges
@@ -29,6 +32,7 @@ Registered names (use :func:`get_solver`):
 
 from repro.core.solvers.auction_solver import AuctionSolver
 from repro.core.solvers.base import (
+    LAZY_SOLVER_MODULES,
     SOLVER_REGISTRY,
     Solver,
     get_solver,
@@ -55,6 +59,7 @@ from repro.core.solvers.stable import StableMatchingSolver
 __all__ = [
     "AuctionSolver",
     "BudgetedFlowSolver",
+    "LAZY_SOLVER_MODULES",
     "ExactSolver",
     "FlowSolver",
     "GreedySolver",

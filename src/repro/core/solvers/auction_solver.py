@@ -31,16 +31,34 @@ import numpy as np
 from repro.core.assignment import Assignment
 from repro.core.problem import MBAProblem
 from repro.core.solvers.base import Solver, register_solver
+from repro.errors import ConvergenceError
 from repro.matching.auction import auction_assignment
 from repro.utils.rng import SeedLike
 
 
 @register_solver("auction")
 class AuctionSolver(Solver):
-    """ε-scaling auction on the capacity-expanded unit assignment."""
+    """ε-scaling auction on the capacity-expanded unit assignment.
+
+    ``max_rounds`` bounds the total bidding iterations; exceeding it
+    raises :class:`repro.errors.ConvergenceError` whose ``partial``
+    carries the best feasible edge set recovered from the auction's
+    in-progress matching (repaired and refilled exactly like a
+    completed run), so resilient callers can salvage instead of
+    discarding the work.
+    """
+
+    def __init__(
+        self,
+        max_rounds: int = 10_000_000,
+        epsilon_start: float | None = None,
+        scaling: float = 4.0,
+    ) -> None:
+        self.max_rounds = max_rounds
+        self.epsilon_start = epsilon_start
+        self.scaling = scaling
 
     def solve(self, problem: MBAProblem, seed: SeedLike = None) -> Assignment:
-        combined = problem.benefits.combined
         caps_w = problem.worker_capacities()
         caps_t = problem.task_capacities()
 
@@ -53,7 +71,7 @@ class AuctionSolver(Solver):
         if not bidders or not slots:
             return self._finish(problem, [])
 
-        clipped = np.maximum(combined, 0.0)
+        clipped = np.maximum(problem.benefits.combined, 0.0)
         values = clipped[np.ix_(bidders, slots)].astype(float)
         # Clipped values are >= 0, so "no positive edge" is max <= 0.
         if float(values.max()) <= 0.0:
@@ -68,14 +86,54 @@ class AuctionSolver(Solver):
             padded[:, :n_s] = values
             values = padded
 
-        assignment, _total = auction_assignment(values)
+        try:
+            assignment, _total = auction_assignment(
+                values,
+                epsilon_start=self.epsilon_start,
+                scaling=self.scaling,
+                max_rounds=self.max_rounds,
+            )
+        except ConvergenceError as error:
+            # Translate the matching-level partial (bidder copy ->
+            # slot copy) into problem-level edges and re-raise so the
+            # resilience executor can salvage it.
+            error.partial = self._collect_edges(
+                problem, error.partial or [], bidders, slots, values, n_s
+            )
+            raise
+        pairs = [
+            (bidder_position, slot_position)
+            for bidder_position, slot_position in enumerate(assignment)
+        ]
+        edges = self._collect_edges(
+            problem, pairs, bidders, slots, values, n_s
+        )
+        return self._finish(problem, edges)
 
-        # Collect picks, dropping zero-value and duplicate (i, j) pairs.
+    @staticmethod
+    def _collect_edges(
+        problem: MBAProblem,
+        pairs: list[tuple[int, int]],
+        bidders: list[int],
+        slots: list[int],
+        values: np.ndarray,
+        n_s: int,
+    ) -> list[tuple[int, int]]:
+        """Copy-level picks -> valid edge set (dedup + greedy refill).
+
+        Drops dummy-slot and zero-value picks and duplicate (i, j)
+        pairs, then greedily refills the capacity those drops freed
+        with the best unused positive edges — the repair step shared by
+        completed and salvaged-partial auctions.
+        """
+        combined = problem.benefits.combined
+        caps_w = problem.worker_capacities()
+        caps_t = problem.task_capacities()
         edges: list[tuple[int, int]] = []
         seen: set[tuple[int, int]] = set()
         load_w = np.zeros(problem.n_workers, dtype=int)
         load_t = np.zeros(problem.n_tasks, dtype=int)
-        for bidder_position, slot_position in enumerate(assignment):
+        for bidder_position, slot_position in pairs:
             if slot_position < 0 or slot_position >= n_s:
                 continue
             i = bidders[bidder_position]
@@ -111,7 +169,7 @@ class AuctionSolver(Solver):
                     spare_t[j] -= 1
                     seen.add((i, j))
                     edges.append((i, j))
-        return self._finish(problem, edges)
+        return edges
 
     @staticmethod
     def exact_for_problem(problem: MBAProblem) -> bool:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import abc
+import importlib
 
 from repro.core.assignment import Assignment
 from repro.core.problem import MBAProblem
@@ -10,6 +11,17 @@ from repro.errors import UnknownSolverError
 from repro.utils.rng import SeedLike
 
 SOLVER_REGISTRY: dict[str, type["Solver"]] = {}
+
+#: Solvers living in layers *above* the core (which the core must not
+#: import statically — see the layering lint rules).  Looking one of
+#: these names up imports its module first; the module's import-time
+#: ``@register_solver`` decorators then populate the registry.  This
+#: is the hook wrapped solvers (e.g. the resilience executor) use to
+#: be reachable through ``get_solver`` without inverting the
+#: dependency DAG.
+LAZY_SOLVER_MODULES: dict[str, str] = {
+    "resilient": "repro.resilience",
+}
 
 
 def register_solver(name: str):
@@ -23,17 +35,27 @@ def register_solver(name: str):
     return decorator
 
 
+def _load_lazy(name: str) -> None:
+    module = LAZY_SOLVER_MODULES.get(name)
+    if module is not None and name not in SOLVER_REGISTRY:
+        importlib.import_module(module)
+
+
 def get_solver(name: str, **kwargs) -> "Solver":
     """Instantiate a registered solver by name."""
+    _load_lazy(name)
     try:
         cls = SOLVER_REGISTRY[name]
     except KeyError:
-        raise UnknownSolverError(name, list(SOLVER_REGISTRY)) from None
+        known = set(SOLVER_REGISTRY) | set(LAZY_SOLVER_MODULES)
+        raise UnknownSolverError(name, list(known)) from None
     return cls(**kwargs)
 
 
 def list_solvers() -> list[str]:
-    """Sorted names of all registered solvers."""
+    """Sorted names of all registered solvers (lazy ones included)."""
+    for name in LAZY_SOLVER_MODULES:
+        _load_lazy(name)
     return sorted(SOLVER_REGISTRY)
 
 

@@ -43,12 +43,52 @@ class ConvergenceError(SolverError):
     """An iterative algorithm exceeded its iteration budget.
 
     Carries the number of iterations performed so callers can decide
-    whether to retry with a larger budget.
+    whether to retry with a larger budget, and — when the algorithm can
+    produce one — the best *feasible partial result* found before the
+    budget ran out: a list of ``(worker_index, task_index)`` edges that
+    a resilient caller (see :mod:`repro.resilience`) may salvage
+    instead of retrying from scratch.  ``partial`` is ``None`` when the
+    algorithm had nothing feasible to offer.
     """
 
-    def __init__(self, message: str, iterations: int) -> None:
+    def __init__(
+        self,
+        message: str,
+        iterations: int,
+        partial: list[tuple[int, int]] | None = None,
+    ) -> None:
         super().__init__(message)
         self.iterations = iterations
+        self.partial = partial
+
+
+class DeadlineExceededError(SolverError):
+    """A solver attempt overran its wall-clock deadline.
+
+    Raised by the resilient executor (and by fault injection simulating
+    an overloaded solver); carries the elapsed and allotted seconds.
+    """
+
+    def __init__(
+        self, message: str, elapsed: float, deadline: float
+    ) -> None:
+        super().__init__(message)
+        self.elapsed = elapsed
+        self.deadline = deadline
+
+
+class ResilienceExhaustedError(SolverError):
+    """Every tier of a resilient solve failed.
+
+    Carries the per-attempt failure log (``(tier_name, error)`` pairs)
+    so operators can see what was tried before the executor gave up.
+    """
+
+    def __init__(
+        self, message: str, attempts: list[tuple[str, Exception]]
+    ) -> None:
+        super().__init__(message)
+        self.attempts = attempts
 
 
 class ConfigurationError(ReproError, ValueError):

@@ -23,10 +23,19 @@ from dataclasses import dataclass, field
 #: core in the dependency DAG: letting the core reach up would create
 #: cycles and drag plotting/IO machinery into every solver import.
 DEFAULT_FORBIDDEN_IMPORTS: Mapping[str, frozenset[str]] = {
-    "core": frozenset({"eval", "sim", "benchmarks"}),
-    "matching": frozenset({"eval", "sim", "benchmarks"}),
-    "benefit": frozenset({"eval", "sim", "benchmarks"}),
+    "core": frozenset({"eval", "sim", "benchmarks", "resilience"}),
+    "matching": frozenset({"eval", "sim", "benchmarks", "resilience"}),
+    "benefit": frozenset({"eval", "sim", "benchmarks", "resilience"}),
 }
+
+#: Modules (package prefixes) where broad ``except Exception`` is the
+#: *job*: the resilience layer exists to contain arbitrary solver
+#: crashes and convert them into recorded, degraded rounds.  Everywhere
+#: else R501 demands catching concrete :class:`repro.errors.ReproError`
+#: subtypes.
+DEFAULT_BROAD_EXCEPT_ALLOWED: frozenset[str] = frozenset(
+    {"repro.resilience"}
+)
 
 #: ``repro.utils`` is the bottom layer: it may import other ``utils``
 #: modules and the shared exception hierarchy, nothing else.
@@ -56,6 +65,8 @@ class LintConfig:
     #: Modules where float ``==`` is accepted wholesale (rarely right;
     #: prefer the line pragma).
     float_eq_modules: frozenset[str] = frozenset()
+    #: Module/package prefixes exempt from R501's broad-except ban.
+    broad_except_allowed: frozenset[str] = DEFAULT_BROAD_EXCEPT_ALLOWED
 
     def rule_enabled(self, rule_id: str) -> bool:
         if rule_id in self.ignore:

@@ -9,5 +9,6 @@ from repro.lint.rules import (  # noqa: F401  (imported for registration)
     layering,
     numeric,
     rng,
+    robustness,
     solver_contract,
 )

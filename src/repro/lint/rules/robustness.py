@@ -1,0 +1,84 @@
+"""R5 — robustness hygiene.
+
+Graceful degradation only works when failures are *routed*, not
+swallowed: the simulation engine catches :class:`repro.errors.SolverError`
+to degrade a round, the resilient executor catches everything to
+convert crashes into recorded fallback attempts.  A stray
+``except Exception`` anywhere else silently eats the very signals that
+machinery depends on (and hides genuine programming errors with them).
+
+**R501** forbids handlers for ``Exception`` / ``BaseException`` — bare
+``except:`` included, also inside tuple handlers — in every ``repro``
+module outside the sanctioned containment layer
+(:mod:`repro.resilience`, configurable via
+``LintConfig.broad_except_allowed``).  Catch the narrowest
+:class:`~repro.errors.ReproError` subtype that names the failure you
+can actually handle; genuinely deliberate broad handlers take the
+``# lint: allow[R501]`` pragma so every exception stays greppable.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.base import (
+    FileContext,
+    Rule,
+    Violation,
+    dotted_name,
+    register_rule,
+)
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _broad_names(handler: ast.ExceptHandler) -> list[str]:
+    """The over-broad exception names a handler catches.
+
+    ``except:`` reports ``"(bare)"``; tuple handlers are unpacked so
+    ``except (ValueError, Exception)`` is still caught.
+    """
+    if handler.type is None:
+        return ["(bare)"]
+    nodes = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    found = []
+    for node in nodes:
+        name = dotted_name(node)
+        if name is not None and name.split(".")[-1] in _BROAD:
+            found.append(name)
+    return found
+
+
+@register_rule
+class NoBroadExcept(Rule):
+    id = "R501"
+    family = "robustness"
+    summary = (
+        "except Exception/BaseException swallows the failures the "
+        "resilience layer routes; catch ReproError subtypes"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        module = ctx.module
+        if module != "repro" and not module.startswith("repro."):
+            return
+        for allowed in ctx.config.broad_except_allowed:
+            if module == allowed or module.startswith(allowed + "."):
+                return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            for name in _broad_names(node):
+                yield ctx.violation(
+                    node,
+                    self.id,
+                    f"over-broad handler `except {name}` — catch a "
+                    "concrete ReproError subtype, or route the failure "
+                    "through repro.resilience (broad containment is "
+                    "its job)",
+                )

@@ -67,9 +67,18 @@ def auction_assignment(
         # the rectangular optimum.
         padded = np.zeros((m, m))
         padded[:n] = weights
-        assignment, _total = auction_assignment(
-            padded, epsilon_start, scaling, max_rounds
-        )
+        try:
+            assignment, _total = auction_assignment(
+                padded, epsilon_start, scaling, max_rounds
+            )
+        except ConvergenceError as error:
+            # Re-key the square problem's partial to the real rows so
+            # callers can salvage it (dummy rows carry no value).
+            if error.partial is not None:
+                error.partial = [
+                    (i, j) for i, j in error.partial if i < n
+                ]
+            raise
         real = assignment[:n]
         total = float(sum(weights[i, real[i]] for i in range(n)))
         return real, total
@@ -96,8 +105,17 @@ def auction_assignment(
         while unassigned:
             rounds += 1
             if rounds > max_rounds:
+                # The phase's in-progress matching is feasible (each
+                # person holds at most one object and vice versa), so
+                # hand it to callers as a salvageable partial result.
                 raise ConvergenceError(
-                    f"auction exceeded {max_rounds} bidding rounds", rounds
+                    f"auction exceeded {max_rounds} bidding rounds",
+                    rounds,
+                    partial=[
+                        (i, j)
+                        for i, j in enumerate(assigned)
+                        if j != -1
+                    ],
                 )
             person = unassigned.pop()
             values = weights[person] - prices

@@ -1,0 +1,53 @@
+"""``repro.resilience`` — fault injection and graceful degradation.
+
+Real bipartite labor markets are faulty: workers no-show, answers get
+lost, tasks are cancelled mid-round, and solvers blow their deadlines
+under load.  This package makes those failures *injectable* (so
+robustness is testable and benchmarkable) and *survivable* (so a
+multi-round simulation degrades instead of crashing):
+
+* :class:`FaultPlan` / :class:`RoundFaults`
+  (:mod:`repro.resilience.faults`) — a seeded, scenario-configurable
+  schedule of worker no-shows, dropped answers, task cancellations,
+  and forced solver failures, deterministic per ``(seed, round)``;
+* :class:`RetryPolicy` and the named :data:`RESILIENCE_PROFILES`
+  (:mod:`repro.resilience.policy`) — declarative retry / backoff /
+  deadline / fallback knobs;
+* :class:`ResilientSolver` (:mod:`repro.resilience.executor`) — wraps
+  any registered solver with deadlines, escalating retries, partial-
+  result salvage, and an ordered fallback chain, reporting which tier
+  actually delivered via :class:`SolveReport`.
+
+Importing this package registers the ``"resilient"`` solver with the
+core registry (``get_solver("resilient", primary="auction")``); the
+registry also knows to import it lazily, so the name is usable without
+touching this module first.  See ``docs/resilience.md``.
+"""
+
+from repro.resilience.executor import (
+    BUDGET_KWARGS,
+    ResilientSolver,
+    SolveReport,
+)
+from repro.resilience.faults import (
+    SOLVER_FAILURE_MODES,
+    FaultPlan,
+    RoundFaults,
+)
+from repro.resilience.policy import (
+    RESILIENCE_PROFILES,
+    RetryPolicy,
+    get_profile,
+)
+
+__all__ = [
+    "BUDGET_KWARGS",
+    "FaultPlan",
+    "RESILIENCE_PROFILES",
+    "ResilientSolver",
+    "RetryPolicy",
+    "RoundFaults",
+    "SOLVER_FAILURE_MODES",
+    "SolveReport",
+    "get_profile",
+]

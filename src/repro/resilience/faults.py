@@ -1,0 +1,192 @@
+"""Seeded fault injection for the simulation engine.
+
+Real labor markets are faulty: workers accept a task and never deliver,
+answers get lost between the worker and the platform, requesters cancel
+tasks mid-round, and the assignment service itself blows its deadline
+under load.  A :class:`FaultPlan` makes each of those failure modes an
+*injectable, reproducible* event so robustness can be tested and
+benchmarked instead of hoped for.
+
+Determinism is the design center.  Every fault decision is drawn from a
+stream *addressed* by ``(plan seed, round index, fault kind)`` via
+:func:`repro.utils.rng.derive_rng`, never from the simulation's main
+RNG.  Consequences:
+
+* the same ``(simulation seed, FaultPlan)`` pair reproduces the same
+  run bit-for-bit;
+* faults in round *k* do not depend on whether earlier rounds' faults
+  were sampled (streams are addressable, not sequential);
+* adding a fault type never perturbs the draws of the others.
+
+Fault taxonomy (see ``docs/resilience.md``):
+
+===============  =========================================================
+no-show          an assigned edge is silently unfulfilled: the worker is
+                 not paid, produces no answer, and gains no practice
+task cancel      a requester withdraws a task mid-round; every edge to it
+                 becomes a no-show
+answer drop      the work happened (worker paid, benefit accounted) but
+                 the answer never reaches aggregation
+solver failure   the assignment service fails an attempt — either a
+                 forced :class:`~repro.errors.ConvergenceError` or a
+                 deadline overrun — exercising the resilient executor's
+                 retry/fallback machinery
+===============  =========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import derive_rng
+
+#: Solver failure modes a plan may force, in the order ``for_round``
+#: samples them.
+SOLVER_FAILURE_MODES = ("convergence", "deadline")
+
+#: Stable sub-stream keys per fault kind (never renumber: doing so
+#: silently changes every seeded scenario).
+_KEY_SOLVER = 0
+_KEY_CANCEL = 1
+_KEY_NO_SHOW = 2
+_KEY_DROP = 3
+
+
+def _check_rate(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(
+            f"{name} must lie in [0, 1], got {value}"
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, per-round schedule of injectable market faults.
+
+    Rates are independent per-event probabilities: each assigned edge
+    no-shows with ``no_show_rate``, each surviving edge's answer is
+    dropped with ``answer_drop_rate``, each task is cancelled with
+    ``task_cancel_rate``, and each round's first solver attempt is
+    forced to fail with ``solver_failure_rate``.
+    """
+
+    seed: int = 0
+    no_show_rate: float = 0.0
+    answer_drop_rate: float = 0.0
+    task_cancel_rate: float = 0.0
+    solver_failure_rate: float = 0.0
+    solver_failure_modes: tuple[str, ...] = SOLVER_FAILURE_MODES
+
+    def __post_init__(self) -> None:
+        _check_rate("no_show_rate", self.no_show_rate)
+        _check_rate("answer_drop_rate", self.answer_drop_rate)
+        _check_rate("task_cancel_rate", self.task_cancel_rate)
+        _check_rate("solver_failure_rate", self.solver_failure_rate)
+        unknown = set(self.solver_failure_modes) - set(SOLVER_FAILURE_MODES)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown solver failure modes {sorted(unknown)}; "
+                f"known: {list(SOLVER_FAILURE_MODES)}"
+            )
+        if self.solver_failure_rate > 0 and not self.solver_failure_modes:
+            raise ConfigurationError(
+                "solver_failure_rate > 0 needs at least one failure mode"
+            )
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0) -> "FaultPlan":
+        """A one-knob plan: edge faults at ``rate``, the rarer
+        whole-task and whole-solver faults at ``rate / 2``."""
+        _check_rate("rate", rate)
+        return cls(
+            seed=seed,
+            no_show_rate=rate,
+            answer_drop_rate=rate,
+            task_cancel_rate=rate / 2.0,
+            solver_failure_rate=rate / 2.0,
+        )
+
+    @property
+    def injects_anything(self) -> bool:
+        return (
+            self.no_show_rate > 0
+            or self.answer_drop_rate > 0
+            or self.task_cancel_rate > 0
+            or self.solver_failure_rate > 0
+        )
+
+    def for_round(self, round_index: int) -> "RoundFaults":
+        """The (deterministic) fault decisions for one round."""
+        if round_index < 0:
+            raise ConfigurationError(
+                f"round_index must be >= 0, got {round_index}"
+            )
+        return RoundFaults(self, round_index)
+
+
+class RoundFaults:
+    """One round's view of a :class:`FaultPlan`.
+
+    Each query draws from its own addressable stream, so the answers
+    are independent of the order (and number) of queries.  Edge-level
+    queries sample by *position* in the given edge list; callers pass
+    the round's canonical sorted edge tuple, which is deterministic.
+    """
+
+    def __init__(self, plan: FaultPlan, round_index: int) -> None:
+        self.plan = plan
+        self.round_index = round_index
+
+    def _rng(self, key: int):
+        return derive_rng(self.plan.seed, self.round_index, key)
+
+    def solver_failure(self) -> str | None:
+        """Failure mode forced on this round's first solver attempt,
+        or ``None`` for a healthy round."""
+        plan = self.plan
+        if plan.solver_failure_rate <= 0:
+            return None
+        rng = self._rng(_KEY_SOLVER)
+        if rng.random() >= plan.solver_failure_rate:
+            return None
+        mode_index = int(rng.integers(len(plan.solver_failure_modes)))
+        return plan.solver_failure_modes[mode_index]
+
+    def cancelled_tasks(self, n_tasks: int) -> frozenset[int]:
+        """Task indices withdrawn mid-round."""
+        if self.plan.task_cancel_rate <= 0 or n_tasks <= 0:
+            return frozenset()
+        mask = self._rng(_KEY_CANCEL).random(n_tasks) < (
+            self.plan.task_cancel_rate
+        )
+        return frozenset(int(j) for j in mask.nonzero()[0])
+
+    def no_shows(
+        self, edges: tuple[tuple[int, int], ...]
+    ) -> frozenset[tuple[int, int]]:
+        """Assigned edges whose worker silently never delivers."""
+        return self._sample_edges(
+            edges, self.plan.no_show_rate, _KEY_NO_SHOW
+        )
+
+    def dropped_answers(
+        self, edges: tuple[tuple[int, int], ...]
+    ) -> frozenset[tuple[int, int]]:
+        """Fulfilled edges whose answer is lost before aggregation."""
+        return self._sample_edges(
+            edges, self.plan.answer_drop_rate, _KEY_DROP
+        )
+
+    def _sample_edges(
+        self,
+        edges: tuple[tuple[int, int], ...],
+        rate: float,
+        key: int,
+    ) -> frozenset[tuple[int, int]]:
+        if rate <= 0 or not edges:
+            return frozenset()
+        mask = self._rng(key).random(len(edges)) < rate
+        return frozenset(
+            edge for edge, hit in zip(edges, mask) if hit
+        )

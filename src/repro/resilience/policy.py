@@ -1,0 +1,142 @@
+"""Retry, backoff, deadline, and fallback policy for resilient solves.
+
+A :class:`RetryPolicy` is the declarative half of the resilience layer:
+it says *how hard to try* (retries with escalating iteration budgets),
+*how long to wait* (deterministic seeded backoff jitter), *when to give
+up on an attempt* (wall-clock deadline), and *what to try next* (an
+ordered fallback chain of registered solver names).  The procedural
+half — actually running attempts — is
+:class:`repro.resilience.executor.ResilientSolver`.
+
+Named profiles bundle sensible knob sets for the CLI and scenarios::
+
+    Scenario(market, solver_name="auction", resilience="default")
+    python -m repro simulate market.json --resilience default
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Immutable knob set for one resilient solver stack.
+
+    Attributes
+    ----------
+    max_retries:
+        Extra attempts granted to the primary solver after its first
+        failure (0 = fail over to the fallback chain immediately).
+    budget_scale:
+        Each retry multiplies the primary's iteration budget
+        (``max_rounds`` / ``max_moves`` / ... constructor arguments,
+        whichever the solver accepts) by this factor — non-convergence
+        is usually a budget problem, so retrying harder beats retrying
+        identically.
+    deadline:
+        Wall-clock seconds allotted to each attempt; an attempt that
+        finishes late is *discarded* (its result missed the bus) and
+        counted as a failure.  ``None`` disables deadline checking.
+    backoff_base:
+        Seconds slept before retry ``k`` is
+        ``backoff_base * backoff_factor**k``, jittered by ``jitter``;
+        0 disables sleeping (simulation default — simulated faults do
+        not need real waiting).
+    jitter:
+        Fractional spread of the backoff delay, drawn deterministically
+        from ``seed`` so reruns wait identically.
+    fallback_chain:
+        Registered solver names tried in order (one attempt each) once
+        the primary's retries are exhausted.  Later entries should be
+        strictly more conservative; the terminal ``greedy`` tier
+        essentially cannot fail.
+    salvage_partials:
+        Accept the feasible partial result carried by a
+        :class:`~repro.errors.ConvergenceError` (see the auction
+        solver) instead of burning a retry.
+    contain_crashes:
+        Treat *any* exception from a solver attempt as a failed
+        attempt (the resilience layer's carve-out from lint rule R501);
+        when off, only :class:`~repro.errors.SolverError` subtypes are
+        contained and programming errors propagate.
+    seed:
+        Seed for the backoff-jitter stream.
+    """
+
+    max_retries: int = 2
+    budget_scale: float = 4.0
+    deadline: float | None = None
+    backoff_base: float = 0.0
+    backoff_factor: float = 2.0
+    jitter: float = 0.25
+    fallback_chain: tuple[str, ...] = ("flow", "greedy")
+    salvage_partials: bool = True
+    contain_crashes: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.budget_scale < 1.0:
+            raise ConfigurationError(
+                f"budget_scale must be >= 1, got {self.budget_scale}"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise ConfigurationError(
+                f"deadline must be positive, got {self.deadline}"
+            )
+        if self.backoff_base < 0 or self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                "backoff_base must be >= 0 and backoff_factor >= 1, got "
+                f"{self.backoff_base} / {self.backoff_factor}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"jitter must lie in [0, 1], got {self.jitter}"
+            )
+
+    def backoff_delay(self, attempt: int, rng) -> float:
+        """Seconds to wait before retry ``attempt`` (0-based), with
+        deterministic jitter in ``[1 - jitter, 1 + jitter]``."""
+        if self.backoff_base <= 0:
+            return 0.0
+        spread = 1.0 + self.jitter * float(rng.uniform(-1.0, 1.0))
+        return self.backoff_base * self.backoff_factor**attempt * spread
+
+
+#: Named profiles for the CLI ``--resilience`` flag and
+#: ``Scenario(resilience=...)``.  ``"off"`` is handled by the callers
+#: (no executor at all), so it is deliberately absent here.
+RESILIENCE_PROFILES: dict[str, RetryPolicy] = {
+    # Balanced: a couple of escalating retries, then degrade through
+    # exact-but-centralized flow down to unkillable greedy.
+    "default": RetryPolicy(),
+    # Fail over immediately: no retries, straight down the chain.
+    # Right when attempts are expensive and any answer beats waiting.
+    "failfast": RetryPolicy(max_retries=0),
+    # Keep hammering the primary with big budget escalations before
+    # falling back; for when the primary's answer quality matters most.
+    "patient": RetryPolicy(
+        max_retries=4, budget_scale=8.0, fallback_chain=("greedy",)
+    ),
+    # No safety net below the primary: retries only.  Degraded rounds
+    # become empty rounds — useful for measuring what the fallback
+    # chain is worth.
+    "no-fallback": RetryPolicy(fallback_chain=()),
+}
+
+
+def get_profile(name: str) -> RetryPolicy:
+    """Look up a named resilience profile."""
+    try:
+        return RESILIENCE_PROFILES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown resilience profile {name!r}; "
+            f"known: {sorted(RESILIENCE_PROFILES)}"
+        ) from None

@@ -11,12 +11,18 @@ from repro.core.solvers import get_solver
 from repro.crowd.aggregation import dawid_skene, majority_vote, weighted_majority_vote
 from repro.crowd.answer_model import AnswerSet, simulate_answers
 from repro.crowd.estimation import BetaSkillEstimator
-from repro.errors import InfeasibleError
+from repro.errors import (
+    InfeasibleError,
+    ResilienceExhaustedError,
+    SolverError,
+)
 from repro.market.market import LaborMarket
 from repro.market.retention import RetentionModel
+from repro.resilience import ResilientSolver, SolveReport
 from repro.sim.metrics import RoundMetrics, SimulationResult
 from repro.sim.scenario import Scenario
 from repro.utils.rng import SeedLike, as_rng
+from repro.utils.timer import Timer
 
 
 class Simulation:
@@ -31,6 +37,15 @@ class Simulation:
     model, and estimator are never mutated — workers are copied and the
     stateful models start fresh — so the same scenario can be run with
     several solvers or seeds and compared fairly.
+
+    The engine degrades gracefully instead of crashing: a solver that
+    fails a round (even without a resilience policy) costs that round,
+    not the run; injected faults (see
+    :class:`repro.resilience.FaultPlan`) remove the affected edges
+    from realization and accounting; and every degradation is recorded
+    in :class:`RoundMetrics` (``faulted_edges``, ``solver_retries``,
+    ``fallback_tier``, ``solver_wall_time``) so it is visible, never
+    silent.
     """
 
     def __init__(self, scenario: Scenario) -> None:
@@ -39,7 +54,18 @@ class Simulation:
     def run(self, seed: SeedLike = None) -> SimulationResult:
         rng = as_rng(seed)
         scenario = self.scenario
-        solver = get_solver(scenario.solver_name, **scenario.solver_kwargs)
+        policy = scenario.resilience_policy()
+        if policy is not None:
+            solver = ResilientSolver(
+                primary=scenario.solver_name,
+                policy=policy,
+                solver_kwargs=scenario.solver_kwargs,
+            )
+        else:
+            solver = get_solver(
+                scenario.solver_name, **scenario.solver_kwargs
+            )
+        plan = scenario.fault_plan
         result = SimulationResult(solver_name=scenario.solver_name)
 
         # Private copies so runs never contaminate each other.  Skill
@@ -64,12 +90,17 @@ class Simulation:
         )
 
         for round_index in range(scenario.n_rounds):
+            faults = (
+                plan.for_round(round_index) if plan is not None else None
+            )
             tasks = self._round_tasks(round_index)
             market = LaborMarket(
                 workers, tasks, base.taxonomy, base.requesters
             )
             active = market.active_worker_indices()
-            if not active:
+            if not tasks or not active:
+                # Nothing posted, or nobody to do it: an empty round,
+                # not an error — the run continues.
                 result.rounds.append(self._empty_round(round_index, market))
                 continue
 
@@ -84,11 +115,21 @@ class Simulation:
                 if estimator is not None
                 else true_problem
             )
-            try:
-                planning_problem.require_nonempty_feasible()
-                planned = solver.solve(planning_problem, seed=rng)
-            except InfeasibleError:
-                result.rounds.append(self._empty_round(round_index, market))
+            planned, report = self._solve_round(
+                solver, planning_problem, rng, faults
+            )
+            if planned is None:
+                # Infeasible round or exhausted solver stack: the
+                # round is lost, the run continues.
+                result.rounds.append(
+                    self._empty_round(
+                        round_index,
+                        market,
+                        solver_retries=report.retries,
+                        fallback_tier=-1,
+                        solver_wall_time=report.wall_time,
+                    )
+                )
                 continue
             assignment = Assignment(
                 true_problem, list(planned.edges), solver_name=solver.name
@@ -107,10 +148,28 @@ class Simulation:
                     true_problem, accepted, solver_name=solver.name
                 )
 
+            # Unfulfilled edges — worker no-shows and mid-round task
+            # cancellations — vanish from realization *and* accounting:
+            # no answer, no pay, no practice, no satisfaction.
+            faulted = 0
+            if faults is not None:
+                assignment, faulted = self._apply_edge_faults(
+                    true_problem, assignment, faults, market.n_tasks
+                )
+
             solver.observe_round(true_problem, assignment)
-            accuracy, answers, labels = self._realize_answers(
-                market, assignment, rng
+
+            # Dropped answers: the work happened (and is paid /
+            # accounted), but the answer never reaches aggregation.
+            dropped = (
+                faults.dropped_answers(assignment.edges)
+                if faults is not None
+                else frozenset()
             )
+            accuracy, answers, labels = self._realize_answers(
+                market, assignment, rng, dropped
+            )
+            faulted += len(dropped)
             if estimator is not None and answers is not None:
                 self._update_estimator(
                     estimator, market, answers, labels, rng
@@ -137,11 +196,90 @@ class Simulation:
                     benefit_gini=benefit_gini(assignment),
                     churned_workers=churned,
                     declined_edges=declined,
+                    faulted_edges=faulted,
+                    solver_retries=report.retries,
+                    fallback_tier=report.tier,
+                    solver_wall_time=report.wall_time,
                 )
             )
         return result
 
     # -- helpers ---------------------------------------------------------
+
+    def _solve_round(
+        self, solver, planning_problem: MBAProblem, rng, faults
+    ) -> tuple[Assignment | None, SolveReport]:
+        """One round's solve, degraded instead of crashed.
+
+        Returns ``(assignment, report)``; ``assignment`` is ``None``
+        when the round is infeasible or every solver tier failed, with
+        the report describing what was attempted.
+        """
+        forced = faults.solver_failure() if faults is not None else None
+        planned: Assignment | None = None
+        report: SolveReport | None = None
+        failed_retries = 0
+        with Timer() as timer:
+            try:
+                planning_problem.require_nonempty_feasible()
+                if isinstance(solver, ResilientSolver):
+                    planned, report = solver.solve_resilient(
+                        planning_problem, seed=rng, forced_failure=forced
+                    )
+                elif forced is not None:
+                    # Fault injection without a resilience policy: the
+                    # bare solver has no retry stack, so a forced
+                    # failure simply costs the round.
+                    failed_retries = 1
+                else:
+                    planned = solver.solve(planning_problem, seed=rng)
+            except InfeasibleError:
+                failed_retries = 0
+            except ResilienceExhaustedError as error:
+                failed_retries = len(error.attempts)
+            except SolverError:
+                failed_retries = 1
+        if planned is not None:
+            if report is None:
+                report = SolveReport(
+                    solver_name=solver.name,
+                    tier=0,
+                    retries=0,
+                    wall_time=timer.elapsed,
+                )
+            return planned, report
+        return None, SolveReport(
+            solver_name=solver.name,
+            tier=-1,
+            retries=failed_retries,
+            wall_time=timer.elapsed,
+        )
+
+    @staticmethod
+    def _apply_edge_faults(
+        true_problem: MBAProblem,
+        assignment: Assignment,
+        faults,
+        n_tasks: int,
+    ) -> tuple[Assignment, int]:
+        """Remove no-show and cancelled-task edges from the assignment."""
+        edges = assignment.edges
+        cancelled = faults.cancelled_tasks(n_tasks)
+        no_shows = faults.no_shows(edges)
+        kept = [
+            edge
+            for edge in edges
+            if edge[1] not in cancelled and edge not in no_shows
+        ]
+        faulted = len(edges) - len(kept)
+        if faulted == 0:
+            return assignment, 0
+        return (
+            Assignment(
+                true_problem, kept, solver_name=assignment.solver_name
+            ),
+            faulted,
+        )
 
     def _round_tasks(self, round_index: int) -> list:
         scenario = self.scenario
@@ -154,13 +292,27 @@ class Simulation:
         return list(scenario.market.tasks)
 
     def _realize_answers(
-        self, market, assignment, rng
+        self,
+        market,
+        assignment,
+        rng,
+        dropped: frozenset[tuple[int, int]] = frozenset(),
     ) -> tuple[float, AnswerSet | None, dict[int, int]]:
-        """Simulate answers, aggregate, score against ground truth."""
+        """Simulate answers, aggregate, score against ground truth.
+
+        ``dropped`` edges produce an answer (the worker did the work,
+        so the RNG stream advances identically either way) that is then
+        lost before aggregation — tasks left with no surviving answer
+        are not scored.
+        """
         edges = list(assignment.edges)
         if not edges:
             return float("nan"), None, {}
         answers = simulate_answers(market, edges, seed=rng)
+        if dropped:
+            answers = self._drop_answers(answers, dropped)
+            if not answers.answers:
+                return float("nan"), None, {}
         aggregator = self.scenario.aggregator
         if aggregator == "majority":
             labels = majority_vote(answers, seed=rng)
@@ -181,6 +333,23 @@ class Simulation:
         ]
         accuracy = sum(scored) / len(scored) if scored else float("nan")
         return accuracy, answers, labels
+
+    @staticmethod
+    def _drop_answers(
+        answers: AnswerSet, dropped: frozenset[tuple[int, int]]
+    ) -> AnswerSet:
+        """A copy of ``answers`` without the dropped edges' answers."""
+        kept = AnswerSet()
+        for task_index, by_worker in answers.answers.items():
+            surviving = {
+                worker_index: answer
+                for worker_index, answer in by_worker.items()
+                if (worker_index, task_index) not in dropped
+            }
+            if surviving:
+                kept.answers[task_index] = surviving
+                kept.truths[task_index] = answers.truths[task_index]
+        return kept
 
     def _update_estimator(
         self,
@@ -222,7 +391,13 @@ class Simulation:
         return len(retention.apply(market, seed=rng))
 
     @staticmethod
-    def _empty_round(round_index: int, market) -> RoundMetrics:
+    def _empty_round(
+        round_index: int,
+        market,
+        solver_retries: int = 0,
+        fallback_tier: int = 0,
+        solver_wall_time: float = 0.0,
+    ) -> RoundMetrics:
         return RoundMetrics(
             round_index=round_index,
             n_active_workers=len(market.active_worker_indices()),
@@ -238,4 +413,7 @@ class Simulation:
             ),
             benefit_gini=0.0,
             churned_workers=0,
+            solver_retries=solver_retries,
+            fallback_tier=fallback_tier,
+            solver_wall_time=solver_wall_time,
         )

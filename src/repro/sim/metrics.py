@@ -24,6 +24,22 @@ class RoundMetrics:
     #: Offers refused by workers (only nonzero when the scenario's
     #: ``workers_decline`` flag is on).
     declined_edges: int = 0
+    #: Edges lost to injected faults this round: no-shows, edges of
+    #: cancelled tasks, and dropped answers (see ``docs/resilience.md``
+    #: for the taxonomy).
+    faulted_edges: int = 0
+    #: Failed solver attempts before this round's assignment was
+    #: produced (0 = first attempt succeeded).
+    solver_retries: int = 0
+    #: Which tier delivered the assignment: 0 = the scenario's primary
+    #: solver, k > 0 = the k-th fallback in the resilience chain,
+    #: -1 = no tier delivered (the round was skipped or degraded to
+    #: empty).
+    fallback_tier: int = 0
+    #: Wall-clock seconds the (possibly resilient) solve took.  This is
+    #: a measurement of the host machine, not of the scenario: it is
+    #: the one field excluded from determinism comparisons.
+    solver_wall_time: float = 0.0
 
 
 @dataclass
@@ -49,16 +65,53 @@ class SimulationResult:
 
     @property
     def mean_accuracy(self) -> float:
+        """Mean aggregated accuracy over rounds that produced answers.
+
+        Empty rounds record NaN accuracy (there is nothing to score);
+        they are *skipped*, not propagated — one no-answer round must
+        not poison the whole run's aggregate.  NaN only when no round
+        produced answers at all.
+        """
         acc = self.series("aggregated_accuracy")
+        acc = acc[~np.isnan(acc)]
         return float(acc.mean()) if acc.size else float("nan")
+
+    @property
+    def total_faulted_edges(self) -> int:
+        return int(self.series("faulted_edges").sum())
+
+    @property
+    def total_solver_retries(self) -> int:
+        return int(self.series("solver_retries").sum())
+
+    @property
+    def degraded_rounds(self) -> int:
+        """Rounds not served by the primary solver's first attempt."""
+        return sum(
+            1
+            for r in self.rounds
+            if r.fallback_tier != 0 or r.solver_retries > 0
+        )
 
     @property
     def final_participation(self) -> float:
         return self.rounds[-1].participation_rate if self.rounds else 0.0
 
     def cumulative_accuracy(self) -> np.ndarray:
-        """Running mean of per-round aggregated accuracy."""
+        """Running mean of per-round aggregated accuracy, NaN-skipping.
+
+        Rounds with NaN accuracy contribute nothing to the running
+        mean; prefix positions before the first scored round are NaN
+        (there is genuinely no data yet), but a NaN round mid-run does
+        not poison the tail.
+        """
         acc = self.series("aggregated_accuracy")
         if acc.size == 0:
             return acc
-        return np.cumsum(acc) / np.arange(1, acc.size + 1)
+        valid = ~np.isnan(acc)
+        running_sum = np.cumsum(np.where(valid, acc, 0.0))
+        running_count = np.cumsum(valid)
+        out = np.full(acc.shape, np.nan)
+        scored = running_count > 0
+        out[scored] = running_sum[scored] / running_count[scored]
+        return out

@@ -11,6 +11,7 @@ from repro.errors import ConfigurationError
 from repro.market.drift import SkillDriftModel
 from repro.market.market import LaborMarket
 from repro.market.retention import RetentionModel
+from repro.resilience import FaultPlan, RetryPolicy, get_profile
 
 #: Builds the tasks for one round: (round_index, rng) -> LaborMarket
 #: task list source.  In practice a partial over the datagen helpers.
@@ -63,6 +64,18 @@ class Scenario:
         each round, workers improve at practiced categories and rust at
         idle ones, coupling today's assignment policy to tomorrow's
         skill pool (experiment F23).
+    fault_plan:
+        Optional :class:`repro.resilience.FaultPlan` injecting worker
+        no-shows, dropped answers, task cancellations, and forced
+        solver failures each round; the faults are deterministic given
+        the plan's own seed (experiment F24, ``docs/resilience.md``).
+    resilience:
+        ``None`` runs the solver bare (a failed round degrades to an
+        empty round); a :class:`repro.resilience.RetryPolicy` or a
+        profile name (``"default"``, ``"failfast"``, ``"patient"``,
+        ``"no-fallback"``) wraps it in the resilient executor —
+        deadline, escalating retries, partial-result salvage, and a
+        fallback chain.
     """
 
     market: LaborMarket
@@ -77,6 +90,8 @@ class Scenario:
     gold_fraction: float = 0.1
     workers_decline: bool = False
     drift: "SkillDriftModel | None" = None
+    fault_plan: FaultPlan | None = None
+    resilience: "RetryPolicy | str | None" = None
 
     def __post_init__(self) -> None:
         if self.n_rounds < 1:
@@ -91,3 +106,26 @@ class Scenario:
             raise ConfigurationError(
                 f"gold_fraction must lie in [0, 1], got {self.gold_fraction}"
             )
+        if self.fault_plan is not None and not isinstance(
+            self.fault_plan, FaultPlan
+        ):
+            raise ConfigurationError(
+                "fault_plan must be a repro.resilience.FaultPlan, got "
+                f"{type(self.fault_plan).__name__}"
+            )
+        # Resolve profile names eagerly so a typo fails at construction,
+        # not at round 1 of a long run.
+        self.resilience_policy()
+
+    def resilience_policy(self) -> RetryPolicy | None:
+        """The scenario's resilience setting as a concrete policy."""
+        if self.resilience is None:
+            return None
+        if isinstance(self.resilience, RetryPolicy):
+            return self.resilience
+        if isinstance(self.resilience, str):
+            return get_profile(self.resilience)
+        raise ConfigurationError(
+            "resilience must be None, a RetryPolicy, or a profile name, "
+            f"got {type(self.resilience).__name__}"
+        )

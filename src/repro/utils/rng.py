@@ -25,6 +25,21 @@ def as_rng(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def derive_rng(seed: int, *keys: int) -> np.random.Generator:
+    """A generator keyed by ``(seed, *keys)``, independent of call order.
+
+    Unlike :func:`spawn_rngs`, which hands out streams in sequence,
+    this derives the stream *addressably*: the same ``(seed, keys)``
+    always names the same stream no matter how many other streams were
+    derived before it.  The fault-injection plan uses this so that the
+    faults of round 7 do not depend on whether round 3's faults were
+    ever sampled.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=seed, spawn_key=keys)
+    )
+
+
 def spawn_rngs(seed: SeedLike, n: int) -> list[np.random.Generator]:
     """Derive ``n`` independent generators from one seed.
 

@@ -20,7 +20,7 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {
             "T1", "T2", "T3", "T4", "F5", "F6", "F7", "F8", "F9", "F10",
             "F11", "F12", "F13", "F14", "F15", "F16", "F17", "F18", "F19",
-            "F20", "F21", "F22", "F23",
+            "F20", "F21", "F22", "F23", "F24",
         }
 
     def test_unknown_experiment(self):

@@ -412,6 +412,115 @@ class TestNumericRules:
         assert lint_file(path) == []
 
 
+class TestRobustnessRules:
+    def test_r501_broad_handlers_fire(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/sim/bad.py",
+            """\
+            def f():
+                try:
+                    return 1
+                except Exception:
+                    return 2
+
+            def g():
+                try:
+                    return 1
+                except BaseException:
+                    return 2
+
+            def h():
+                try:
+                    return 1
+                except:
+                    return 2
+
+            def tupled():
+                try:
+                    return 1
+                except (ValueError, Exception):
+                    return 2
+            """,
+        )
+        violations = _only(lint_file(path), "R501")
+        assert [v.line for v in violations] == [4, 10, 16, 22]
+        assert "(bare)" in violations[2].message
+
+    def test_r501_narrow_handlers_pass(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/sim/good.py",
+            """\
+            from repro.errors import SolverError
+
+            def f():
+                try:
+                    return 1
+                except (ValueError, SolverError):
+                    return 2
+            """,
+        )
+        assert _only(lint_file(path), "R501") == []
+
+    def test_r501_silent_inside_resilience(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/resilience/contain.py",
+            """\
+            def f():
+                try:
+                    return 1
+                except Exception:
+                    return 2
+            """,
+        )
+        assert _only(lint_file(path), "R501") == []
+
+    def test_r501_silent_outside_repro(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "scripts/tooling.py",
+            """\
+            def f():
+                try:
+                    return 1
+                except Exception:
+                    return 2
+            """,
+        )
+        assert _only(lint_file(path), "R501") == []
+
+    def test_r501_pragma_waives_a_line(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/sim/waived.py",
+            """\
+            def f():
+                try:
+                    return 1
+                except Exception:  # lint: allow[R501]
+                    return 2
+            """,
+        )
+        assert _only(lint_file(path), "R501") == []
+
+    def test_r501_custom_allowlist(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/sim/contain.py",
+            """\
+            def f():
+                try:
+                    return 1
+                except Exception:
+                    return 2
+            """,
+        )
+        config = LintConfig(broad_except_allowed=frozenset({"repro.sim"}))
+        assert _only(lint_file(path, config), "R501") == []
+
+
 class TestEngineAndReport:
     def test_syntax_error_becomes_e999(self, tmp_path):
         path = _write(tmp_path, "repro/broken.py", "def f(:\n")
@@ -455,5 +564,5 @@ class TestEngineAndReport:
 
     def test_rule_catalogue_lists_every_family(self):
         catalogue = render_rule_list()
-        for rule_id in ("R101", "R201", "R301", "R401"):
+        for rule_id in ("R101", "R201", "R301", "R401", "R501"):
             assert rule_id in catalogue

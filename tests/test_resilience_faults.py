@@ -1,0 +1,128 @@
+"""Tests for the seeded fault-injection plans (``repro.resilience.faults``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience import SOLVER_FAILURE_MODES, FaultPlan
+
+EDGES = tuple((i, j) for i in range(12) for j in range(4))
+
+
+class TestFaultPlanValidation:
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "no_show_rate",
+            "answer_drop_rate",
+            "task_cancel_rate",
+            "solver_failure_rate",
+        ],
+    )
+    @pytest.mark.parametrize("value", [-0.1, 1.5])
+    def test_rates_must_be_probabilities(self, field, value):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(**{field: value})
+
+    def test_unknown_failure_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(
+                solver_failure_rate=0.5, solver_failure_modes=("meteor",)
+            )
+
+    def test_failure_rate_without_modes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(solver_failure_rate=0.5, solver_failure_modes=())
+
+    def test_negative_round_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan().for_round(-1)
+
+    def test_uniform_spreads_the_knob(self):
+        plan = FaultPlan.uniform(0.2, seed=9)
+        assert plan.seed == 9
+        assert plan.no_show_rate == 0.2
+        assert plan.answer_drop_rate == 0.2
+        assert plan.task_cancel_rate == 0.1
+        assert plan.solver_failure_rate == 0.1
+        assert plan.solver_failure_modes == SOLVER_FAILURE_MODES
+
+    def test_uniform_validates_rate(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.uniform(1.3)
+
+    def test_injects_anything(self):
+        assert not FaultPlan().injects_anything
+        assert not FaultPlan.uniform(0.0).injects_anything
+        assert FaultPlan(answer_drop_rate=0.01).injects_anything
+
+
+class TestZeroRateInertness:
+    def test_zero_rates_draw_nothing(self):
+        faults = FaultPlan(seed=3).for_round(0)
+        assert faults.solver_failure() is None
+        assert faults.cancelled_tasks(50) == frozenset()
+        assert faults.no_shows(EDGES) == frozenset()
+        assert faults.dropped_answers(EDGES) == frozenset()
+
+    def test_empty_edge_list_is_safe(self):
+        faults = FaultPlan.uniform(0.9, seed=3).for_round(2)
+        assert faults.no_shows(()) == frozenset()
+        assert faults.cancelled_tasks(0) == frozenset()
+
+
+class TestDeterminism:
+    def test_same_plan_same_draws(self):
+        draws = []
+        for _repeat in range(2):
+            faults = FaultPlan.uniform(0.3, seed=11).for_round(4)
+            draws.append(
+                (
+                    faults.solver_failure(),
+                    faults.cancelled_tasks(20),
+                    faults.no_shows(EDGES),
+                    faults.dropped_answers(EDGES),
+                )
+            )
+        assert draws[0] == draws[1]
+
+    def test_query_order_does_not_matter(self):
+        """Streams are addressable: asking for drops first must not
+        perturb the no-show draws."""
+        first = FaultPlan.uniform(0.3, seed=11).for_round(4)
+        forward = (first.no_shows(EDGES), first.dropped_answers(EDGES))
+        second = FaultPlan.uniform(0.3, seed=11).for_round(4)
+        backward_drops = second.dropped_answers(EDGES)
+        backward_shows = second.no_shows(EDGES)
+        assert forward == (backward_shows, backward_drops)
+
+    def test_rounds_are_independent_streams(self):
+        plan = FaultPlan.uniform(0.3, seed=11)
+        draws = {
+            r: plan.for_round(r).no_shows(EDGES) for r in range(6)
+        }
+        # Not a fixed schedule repeated every round.
+        assert len(set(draws.values())) > 1
+
+    def test_seed_changes_the_draws(self):
+        a = FaultPlan.uniform(0.3, seed=1).for_round(0).no_shows(EDGES)
+        b = FaultPlan.uniform(0.3, seed=2).for_round(0).no_shows(EDGES)
+        assert a != b
+
+    def test_forced_mode_comes_from_the_plan_list(self):
+        plan = FaultPlan(
+            seed=5,
+            solver_failure_rate=1.0,
+            solver_failure_modes=("deadline",),
+        )
+        for r in range(5):
+            assert plan.for_round(r).solver_failure() == "deadline"
+
+    def test_rates_act_like_probabilities(self):
+        plan = FaultPlan(seed=7, no_show_rate=0.25)
+        hits = sum(
+            len(plan.for_round(r).no_shows(EDGES)) for r in range(50)
+        )
+        total = 50 * len(EDGES)
+        assert 0.15 < hits / total < 0.35

@@ -1,0 +1,254 @@
+"""Failure paths of ``Simulation.run``: the engine degrades, never crashes.
+
+Covers the previously untested paths — rounds where every worker
+declines, infeasible rounds, a solver dying mid-run — plus the
+fault-injection + resilience integration and its determinism contract.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.benefit.mutual import LinearCombiner
+from repro.core.solvers.base import SOLVER_REGISTRY, Solver, register_solver
+from repro.datagen.synthetic import SyntheticConfig, generate_market
+from repro.errors import SolverError
+from repro.resilience import FaultPlan
+from repro.sim.engine import Simulation
+from repro.sim.metrics import RoundMetrics, SimulationResult
+from repro.sim.scenario import Scenario
+
+
+def _market(seed=0, **kwargs):
+    defaults = dict(n_workers=30, n_tasks=15)
+    defaults.update(kwargs)
+    return generate_market(SyntheticConfig(**defaults), seed=seed)
+
+
+def _round(index, *, edges=0, accuracy=float("nan")):
+    return RoundMetrics(
+        round_index=index,
+        n_active_workers=10,
+        n_assigned_edges=edges,
+        requester_benefit=0.0,
+        worker_benefit=0.0,
+        combined_benefit=0.0,
+        aggregated_accuracy=accuracy,
+        participation_rate=1.0,
+        benefit_gini=0.0,
+        churned_workers=0,
+    )
+
+
+@pytest.fixture
+def failing_registration():
+    yield
+    SOLVER_REGISTRY.pop("midrun-fail", None)
+
+
+class TestDeclinedRounds:
+    def test_all_workers_declined_round_degrades(self):
+        """A market where no edge pays: every offer bounces, every
+        round is empty, and the run still completes."""
+        market = _market(
+            payment_mean=0.01, payment_sigma=0.1,
+            effort=5.0, reservation_fraction=0.9,
+        )
+        # A requester-only combiner keeps the round feasible even
+        # though every edge loses its worker money — so offers go out
+        # and all of them bounce.
+        scenario = Scenario(
+            market=market, solver_name="quality-only", n_rounds=3,
+            retention=None, workers_decline=True,
+            combiner=LinearCombiner(1.0),
+        )
+        result = Simulation(scenario).run(seed=0)
+        assert len(result.rounds) == 3
+        assert all(r.n_assigned_edges == 0 for r in result.rounds)
+        assert sum(r.declined_edges for r in result.rounds) > 0
+        # No answers anywhere: the aggregate is NaN, not a crash.
+        assert math.isnan(result.mean_accuracy)
+
+
+class TestInfeasibleRounds:
+    def test_empty_task_round_is_skipped(self):
+        market = _market()
+
+        def refresh(round_index):
+            return [] if round_index == 1 else list(market.tasks)
+
+        scenario = Scenario(
+            market=market, solver_name="greedy", n_rounds=3,
+            retention=None, task_refresh=refresh,
+        )
+        result = Simulation(scenario).run(seed=0)
+        assert [r.n_assigned_edges > 0 for r in result.rounds] == [
+            True, False, True,
+        ]
+
+    def test_worthless_round_is_skipped(self):
+        """Tasks paying nearly nothing leave no edge with positive
+        combined benefit; the engine records an empty round (via
+        ``InfeasibleError``) and moves on."""
+        market = _market()
+        worthless = [
+            dataclasses.replace(t, payment=0.001) for t in market.tasks
+        ]
+
+        def refresh(round_index):
+            return worthless if round_index == 1 else list(market.tasks)
+
+        scenario = Scenario(
+            market=market, solver_name="greedy", n_rounds=3,
+            retention=None, task_refresh=refresh,
+        )
+        result = Simulation(scenario).run(seed=0)
+        skipped = result.rounds[1]
+        assert skipped.n_assigned_edges == 0
+        assert skipped.fallback_tier == -1
+        assert skipped.solver_retries == 0  # infeasible, not a failure
+        assert result.rounds[2].n_assigned_edges > 0
+
+
+class TestSolverDiesMidRun:
+    def test_solver_error_costs_the_round_not_the_run(
+        self, failing_registration
+    ):
+        @register_solver("midrun-fail")
+        class MidRunFail(Solver):
+            calls = 0
+
+            def solve(self, problem, seed=None):
+                type(self).calls += 1
+                if type(self).calls == 2:
+                    raise SolverError("died mid-run")
+                from repro.core.solvers import get_solver
+
+                return get_solver("greedy").solve(problem, seed=seed)
+
+        scenario = Scenario(
+            market=_market(), solver_name="midrun-fail", n_rounds=3,
+            retention=None,
+        )
+        result = Simulation(scenario).run(seed=0)
+        assert len(result.rounds) == 3
+        shapes = [
+            (r.n_assigned_edges > 0, r.fallback_tier, r.solver_retries)
+            for r in result.rounds
+        ]
+        assert shapes == [(True, 0, 0), (False, -1, 1), (True, 0, 0)]
+        assert result.degraded_rounds == 1
+
+
+class TestFaultedRuns:
+    def test_faulted_resilient_run_completes_every_round(self):
+        scenario = Scenario(
+            market=_market(), solver_name="auction", n_rounds=5,
+            retention=None,
+            fault_plan=FaultPlan.uniform(0.3, seed=13),
+            resilience="default",
+        )
+        result = Simulation(scenario).run(seed=0)
+        assert len(result.rounds) == 5
+        assert result.total_faulted_edges > 0
+        assert all(r.fallback_tier >= 0 for r in result.rounds)
+        assert all(r.solver_wall_time >= 0.0 for r in result.rounds)
+
+    def test_forced_failure_without_resilience_loses_the_round(self):
+        scenario = Scenario(
+            market=_market(), solver_name="greedy", n_rounds=4,
+            retention=None,
+            fault_plan=FaultPlan(seed=3, solver_failure_rate=1.0),
+        )
+        result = Simulation(scenario).run(seed=0)
+        assert len(result.rounds) == 4
+        assert all(r.n_assigned_edges == 0 for r in result.rounds)
+        assert all(
+            (r.solver_retries, r.fallback_tier) == (1, -1)
+            for r in result.rounds
+        )
+
+    def test_forced_failure_with_resilience_saves_the_round(self):
+        scenario = Scenario(
+            market=_market(), solver_name="greedy", n_rounds=4,
+            retention=None,
+            fault_plan=FaultPlan(seed=3, solver_failure_rate=1.0),
+            resilience="default",
+        )
+        result = Simulation(scenario).run(seed=0)
+        assert all(r.n_assigned_edges > 0 for r in result.rounds)
+        assert all(r.solver_retries >= 1 for r in result.rounds)
+        assert result.degraded_rounds == 4
+
+    def test_zero_rate_plan_changes_nothing(self):
+        market = _market()
+        base = Scenario(
+            market=market, solver_name="flow", n_rounds=3, retention=None,
+        )
+        faulted = dataclasses.replace(
+            base, fault_plan=FaultPlan.uniform(0.0, seed=5)
+        )
+        plain = Simulation(base).run(seed=4)
+        inert = Simulation(faulted).run(seed=4)
+        assert _comparable(plain) == _comparable(inert)
+
+    def test_same_seed_and_plan_reproduce_the_run(self):
+        scenario = Scenario(
+            market=_market(), solver_name="auction", n_rounds=5,
+            fault_plan=FaultPlan.uniform(0.25, seed=21),
+            resilience="default",
+        )
+        first = Simulation(scenario).run(seed=9)
+        second = Simulation(scenario).run(seed=9)
+        assert _comparable(first) == _comparable(second)
+        assert first.total_faulted_edges > 0
+
+
+def _comparable(result: SimulationResult):
+    """Round tuples with wall time (host-dependent) masked out."""
+    return [
+        dataclasses.replace(r, solver_wall_time=0.0) for r in result.rounds
+    ]
+
+
+class TestNanSkippingAggregates:
+    """Regression: one empty round must not poison the run aggregates."""
+
+    def test_mean_accuracy_skips_nan_rounds(self):
+        result = SimulationResult(
+            solver_name="x",
+            rounds=[
+                _round(0, edges=4, accuracy=0.8),
+                _round(1),  # empty round: NaN accuracy
+                _round(2, edges=4, accuracy=0.6),
+            ],
+        )
+        assert result.mean_accuracy == pytest.approx(0.7)
+
+    def test_mean_accuracy_all_nan_is_nan(self):
+        result = SimulationResult(
+            solver_name="x", rounds=[_round(0), _round(1)]
+        )
+        assert math.isnan(result.mean_accuracy)
+
+    def test_cumulative_accuracy_skips_nan_rounds(self):
+        result = SimulationResult(
+            solver_name="x",
+            rounds=[
+                _round(0),  # NaN prefix: genuinely no data yet
+                _round(1, edges=4, accuracy=0.5),
+                _round(2),  # mid-run gap must not poison the tail
+                _round(3, edges=4, accuracy=1.0),
+            ],
+        )
+        curve = result.cumulative_accuracy()
+        assert math.isnan(curve[0])
+        assert curve[1] == pytest.approx(0.5)
+        assert curve[2] == pytest.approx(0.5)
+        assert curve[3] == pytest.approx(0.75)
+
+    def test_cumulative_accuracy_empty_result(self):
+        assert SimulationResult(solver_name="x").cumulative_accuracy().size == 0
