@@ -57,9 +57,19 @@ class BenefitMatrices:
         return self.requester.shape  # type: ignore[return-value]
 
     def side_totals(self, edges: list[tuple[int, int]]) -> tuple[float, float]:
-        """(requester_total, worker_total) over a set of edges."""
-        req = sum(float(self.requester[i, j]) for i, j in edges)
-        wrk = sum(float(self.worker[i, j]) for i, j in edges)
+        """(requester_total, worker_total) over a set of edges.
+
+        Called on every objective evaluation inside greedy/local-search
+        loops, so the per-edge lookups run as one fancy-indexed gather
+        per side instead of a Python generator over scalars.
+        """
+        if not edges:
+            return 0.0, 0.0
+        edge_array = np.asarray(edges, dtype=np.int64)
+        rows = edge_array[:, 0]
+        cols = edge_array[:, 1]
+        req = float(self.requester[rows, cols].sum())
+        wrk = float(self.worker[rows, cols].sum())
         return req, wrk
 
     def combined_total(self, edges: list[tuple[int, int]]) -> float:

@@ -9,6 +9,10 @@ Four commands cover the operational surface a platform engineer needs:
   metrics;
 * ``experiment`` — run one of the registered evaluation experiments
   and print its table (and, for figure-type results, an ASCII chart).
+
+Plus operational commands: ``compare`` (solver comparison with CIs),
+``events`` (continuous-time simulation), ``lint`` (static analysis),
+and ``bench`` (performance suites with baseline regression checks).
 """
 
 from __future__ import annotations
@@ -157,6 +161,54 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
+    )
+
+    bench = commands.add_parser(
+        "bench",
+        help="run the performance suites, write BENCH_<tag>.json, and "
+        "fail on regression vs the committed baseline",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="small instances (CI smoke pass, seconds not minutes)",
+    )
+    bench.add_argument(
+        "--scale", type=float, default=1.0,
+        help="multiply every instance size",
+    )
+    bench.add_argument(
+        "--suite", action="append", metavar="SUITE",
+        help="run only these suites (repeatable; default: all)",
+    )
+    bench.add_argument(
+        "--tag", default="local",
+        help="label for the BENCH_<tag>.json artifact",
+    )
+    bench.add_argument(
+        "--output-dir", default=".",
+        help="directory the BENCH_<tag>.json is written into",
+    )
+    bench.add_argument(
+        "--baseline", default="benchmarks/perf_baseline.json",
+        help="committed baseline file to compare against",
+    )
+    bench.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from this run instead of comparing",
+    )
+    bench.add_argument(
+        "--threshold", type=float, default=None,
+        help="regression allowance as a fraction of the baseline wall "
+        "time (default 0.5: fail beyond 1.5x the baseline)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=3,
+        help="best-of-N timing repeats per case",
+    )
+    bench.add_argument(
+        "--no-fail", action="store_true",
+        help="report regressions but exit 0 anyway (checksum "
+        "mismatches still fail)",
     )
 
     return parser
@@ -330,6 +382,54 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf import (
+        DEFAULT_THRESHOLD,
+        bench_payload,
+        build_suites,
+        find_regressions,
+        load_baseline,
+        render_text,
+        run_cases,
+        save_baseline,
+        write_bench_json,
+    )
+
+    threshold = DEFAULT_THRESHOLD if args.threshold is None else args.threshold
+    suites = build_suites(quick=args.quick, scale=args.scale)
+    results = run_cases(
+        suites,
+        only=args.suite,
+        repeats=args.repeats,
+        progress=lambda line: print(f"  running {line}", file=sys.stderr),
+    )
+    if args.update_baseline:
+        save_baseline(results, args.baseline, tag=args.tag)
+        print(f"wrote baseline for {len(results)} cases to {args.baseline}")
+        baseline = load_baseline(args.baseline)
+        regressions = []
+    else:
+        baseline = load_baseline(args.baseline)
+        regressions = find_regressions(results, baseline, threshold)
+    payload = bench_payload(
+        results,
+        regressions,
+        baseline,
+        tag=args.tag,
+        threshold=threshold,
+        quick=args.quick,
+        scale=args.scale,
+    )
+    path = write_bench_json(payload, args.output_dir)
+    print(render_text(payload))
+    print(f"wrote {path}")
+    if payload["checksum_mismatches"]:
+        return 1
+    if regressions and not args.no_fail:
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -340,6 +440,7 @@ def main(argv: list[str] | None = None) -> int:
         "compare": _cmd_compare,
         "events": _cmd_events,
         "lint": _cmd_lint,
+        "bench": _cmd_bench,
     }
     try:
         return handlers[args.command](args)

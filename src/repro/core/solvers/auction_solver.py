@@ -53,21 +53,23 @@ class AuctionSolver(Solver):
         max_rounds: int = 10_000_000,
         epsilon_start: float | None = None,
         scaling: float = 4.0,
+        mode: str = "gauss-seidel",
     ) -> None:
         self.max_rounds = max_rounds
         self.epsilon_start = epsilon_start
         self.scaling = scaling
+        self.mode = mode
 
     def solve(self, problem: MBAProblem, seed: SeedLike = None) -> Assignment:
         caps_w = problem.worker_capacities()
         caps_t = problem.task_capacities()
 
-        bidders: list[int] = []
-        for i in range(problem.n_workers):
-            bidders.extend([i] * int(caps_w[i]))
-        slots: list[int] = []
-        for j in range(problem.n_tasks):
-            slots.extend([j] * int(caps_t[j]))
+        bidders = np.repeat(
+            np.arange(problem.n_workers), caps_w.astype(int)
+        ).tolist()
+        slots = np.repeat(
+            np.arange(problem.n_tasks), caps_t.astype(int)
+        ).tolist()
         if not bidders or not slots:
             return self._finish(problem, [])
 
@@ -92,6 +94,7 @@ class AuctionSolver(Solver):
                 epsilon_start=self.epsilon_start,
                 scaling=self.scaling,
                 max_rounds=self.max_rounds,
+                mode=self.mode,
             )
         except ConvergenceError as error:
             # Translate the matching-level partial (bidder copy ->
@@ -151,19 +154,22 @@ class AuctionSolver(Solver):
         spare_w = caps_w - load_w
         spare_t = caps_t - load_t
         if spare_w.sum() > 0 and spare_t.sum() > 0:
-            candidates = sorted(
-                (
-                    (float(combined[i, j]), i, j)
-                    for i in range(problem.n_workers)
-                    if spare_w[i] > 0
-                    for j in range(problem.n_tasks)
-                    if spare_t[j] > 0
-                    and combined[i, j] > 0
-                    and (i, j) not in seen
-                ),
-                reverse=True,
+            viable = (
+                (spare_w > 0)[:, np.newaxis]
+                & (spare_t > 0)[np.newaxis, :]
+                & (combined > 0)
             )
-            for _value, i, j in candidates:
+            if seen:
+                taken = np.asarray(sorted(seen), dtype=int)
+                viable[taken[:, 0], taken[:, 1]] = False
+            flat = np.flatnonzero(viable)
+            # Highest value first; on ties, highest (i, j) — the order
+            # `sorted(..., reverse=True)` of (value, i, j) tuples gave.
+            order = np.lexsort((-flat, -combined.reshape(-1)[flat]))
+            n_tasks = problem.n_tasks
+            for position in flat[order]:
+                i = int(position) // n_tasks
+                j = int(position) % n_tasks
                 if spare_w[i] > 0 and spare_t[j] > 0:
                     spare_w[i] -= 1
                     spare_t[j] -= 1

@@ -29,12 +29,16 @@ from repro.core.solvers.base import Solver, register_solver
 from repro.errors import ValidationError
 from repro.matching.b_matching import max_weight_b_matching
 from repro.utils.rng import SeedLike
+from repro.utils.stats import edge_matrix_sum
 
 
 def assignment_spend(problem: MBAProblem, edges) -> float:
     """Total payments committed by a set of edges."""
+    if not edges:
+        return 0.0
     payments = problem.market.task_payments()
-    return float(sum(payments[j] for _i, j in edges))
+    task_index = np.asarray(edges, dtype=np.int64)[:, 1]
+    return float(payments[task_index].sum())
 
 
 @register_solver("budgeted-flow")
@@ -112,7 +116,7 @@ class BudgetedFlowSolver(Solver):
         ]
         best = max(
             candidates,
-            key=lambda edges: sum(float(combined[i, j]) for i, j in edges),
+            key=lambda edges: edge_matrix_sum(combined, edges),
         )
         return self._finish(problem, best)
 

@@ -33,6 +33,7 @@ from repro.core.problem import MBAProblem
 from repro.core.solvers.base import Solver, register_solver
 from repro.core.solvers.greedy import GreedySolver
 from repro.utils.rng import SeedLike
+from repro.utils.stats import edge_matrix_sum
 
 
 @register_solver("local-search")
@@ -83,8 +84,8 @@ class LocalSearchSolver(Solver):
             for j in range(problem.n_tasks)
             if problem.task_capacities()[j] > 0
         ]
-        req_sum = sum(float(requester[i, j]) for i, j in edges)
-        wrk_sum = sum(float(worker[i, j]) for i, j in edges)
+        req_sum = edge_matrix_sum(requester, edges)
+        wrk_sum = edge_matrix_sum(worker, edges)
         value = total(req_sum, wrk_sum)
 
         for _move in range(self.max_moves):
@@ -135,8 +136,8 @@ class LocalSearchSolver(Solver):
             edges, caps_w, caps_t = _apply_move(
                 best_apply, edges, caps_w, caps_t
             )
-            req_sum = sum(float(requester[i, j]) for i, j in edges)
-            wrk_sum = sum(float(worker[i, j]) for i, j in edges)
+            req_sum = edge_matrix_sum(requester, edges)
+            wrk_sum = edge_matrix_sum(worker, edges)
             value = total(req_sum, wrk_sum)
         return edges
 

@@ -7,11 +7,23 @@ worker answers a task correctly with the probability given by
 ``Worker.accuracy_on`` — exactly the same quantity the benefit models
 plan with, so simulated outcomes are an unbiased realization of the
 planner's expectations.
+
+The documented RNG contract is *per-edge stream addressing*: walking
+``edges`` in order, each first occurrence of a task draws its truth
+via ``rng.integers(0, 2)`` and every edge then draws one
+``rng.random()`` for correctness.  :func:`simulate_answers` batches
+all of those Bernoulli draws into one ``random_raw`` block while
+reproducing the scalar call sequence bit for bit (see
+:func:`_simulate_answers_batched`), so seeded runs are byte-identical
+to the loop they replaced — which survives as
+:func:`simulate_answers_reference` and is cross-checked in tests.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.errors import ValidationError
 from repro.market.market import LaborMarket
@@ -43,15 +55,16 @@ class AnswerSet:
         return sum(len(by_worker) for by_worker in self.answers.values())
 
 
-def simulate_answers(
+def simulate_answers_reference(
     market: LaborMarket,
     edges: list[tuple[int, int]],
     seed: SeedLike = None,
 ) -> AnswerSet:
-    """Generate answers for every assigned (worker_index, task_index) edge.
+    """Scalar-loop reference for :func:`simulate_answers`.
 
-    Each task draws a uniform true label once; each assigned worker
-    reports it correctly with their accuracy, otherwise flips it.
+    One RNG call per draw, in edge order — the ground truth for the
+    batched fast path's stream addressing, and the fallback for bit
+    generators whose word stream the fast path cannot emulate.
     """
     rng = as_rng(seed)
     accuracy = market.accuracy_matrix()
@@ -71,4 +84,173 @@ def simulate_answers(
         correct = rng.random() < accuracy[worker_index, task_index]
         answer = truth if correct else 1 - truth
         answer_set.answers.setdefault(task_index, {})[worker_index] = answer
+    return answer_set
+
+
+def simulate_answers(
+    market: LaborMarket,
+    edges: list[tuple[int, int]],
+    seed: SeedLike = None,
+) -> AnswerSet:
+    """Generate answers for every assigned (worker_index, task_index) edge.
+
+    Each task draws a uniform true label once; each assigned worker
+    reports it correctly with their accuracy, otherwise flips it.
+    Draws are batched when the generator is PCG64 (numpy's default);
+    results and the post-call generator state are bit-identical to
+    :func:`simulate_answers_reference` either way.
+    """
+    rng = as_rng(seed)
+    if not edges:
+        return AnswerSet()
+    if rng.bit_generator.state.get("bit_generator") != "PCG64":
+        return simulate_answers_reference(market, edges, rng)
+
+    edge_array = np.asarray(edges, dtype=np.int64)
+    workers = edge_array[:, 0]
+    tasks = edge_array[:, 1]
+    if (
+        workers.min() < 0
+        or workers.max() >= market.n_workers
+        or tasks.min() < 0
+        or tasks.max() >= market.n_tasks
+    ):
+        # The reference loop validates edge by edge, consuming draws
+        # for the edges preceding the bad one before raising; replay
+        # it so the error path leaves the caller's generator in the
+        # identical state.
+        return simulate_answers_reference(market, edges, rng)
+
+    accuracy = market.accuracy_matrix()
+    return _simulate_answers_batched(rng, accuracy, workers, tasks)
+
+
+def _simulate_answers_batched(
+    rng: np.random.Generator,
+    accuracy: np.ndarray,
+    workers: np.ndarray,
+    tasks: np.ndarray,
+) -> AnswerSet:
+    """Batched Bernoulli draws reproducing the scalar PCG64 stream.
+
+    The reference loop interleaves two kinds of calls whose word
+    consumption differs:
+
+    * ``rng.integers(0, 2)`` draws one 32-bit half-word (Lemire
+      bounded generation; the value is the half-word's top bit).
+      PCG64 serves half-words from a one-deep buffer: an *empty*
+      buffer pulls a fresh 64-bit word, returns its low half and
+      buffers the high half; a *full* buffer is consumed in place.
+    * ``rng.random()`` always consumes one fresh 64-bit word
+      (``word >> 11`` scaled by ``2**-53``) and leaves the half-word
+      buffer untouched.
+
+    Only truth draws toggle the buffer, so truth draw ``t`` (0-based,
+    in edge order) pulls a fresh word iff ``(t + has0) % 2 == 0``
+    where ``has0`` is the buffer flag on entry.  That makes every
+    draw's source word a prefix-sum away: pull the whole block with
+    ``random_raw`` (which advances the underlying stream exactly like
+    the scalar calls did), slice halves arithmetically, and restore
+    the buffer flag/value on the way out.
+    """
+    n_edges = workers.size
+    state = rng.bit_generator.state
+    has0 = int(state["has_uint32"])
+    buffered0 = int(state["uinteger"])
+
+    # First occurrence of each task, in edge order, draws the truth.
+    _, first_positions = np.unique(tasks, return_index=True)
+    first_positions = np.sort(first_positions)
+    is_first = np.zeros(n_edges, dtype=bool)
+    is_first[first_positions] = True
+    n_truths = first_positions.size
+    # truth ordinal t -> does it pull a fresh 64-bit word?
+    truth_ordinals = np.arange(n_truths)
+    truth_fresh = (truth_ordinals + has0) % 2 == 0
+    # Per-edge count of fresh truth words consumed up to and
+    # including that edge (0/1 per edge, cumulative).
+    fresh_at_edge = np.zeros(n_edges, dtype=np.int64)
+    fresh_at_edge[first_positions] = truth_fresh.astype(np.int64)
+    fresh_cumulative = np.cumsum(fresh_at_edge)
+
+    total_words = int(fresh_cumulative[-1]) + n_edges
+    words = rng.bit_generator.random_raw(total_words)
+
+    # An edge's random() word comes after all earlier edges' words and
+    # after its own truth word (if that truth pulled one).
+    random_positions = fresh_cumulative + np.arange(n_edges)
+    uniforms = (words[random_positions] >> np.uint64(11)) * (2.0 ** -53)
+
+    # Truth half-words: fresh ordinals read the low half of their own
+    # word; buffered ordinals read the high half of the previous fresh
+    # ordinal's word (ordinal 0 reads the entry buffer when has0=1).
+    truth_words = np.zeros(n_truths, dtype=np.uint64)
+    truth_word_positions = (
+        fresh_cumulative[first_positions] - 1 + first_positions
+    )
+    truth_words[truth_fresh] = words[truth_word_positions[truth_fresh]]
+    halves = np.empty(n_truths, dtype=np.uint64)
+    halves[truth_fresh] = truth_words[truth_fresh] & np.uint64(0xFFFFFFFF)
+    if n_truths and not truth_fresh[0]:
+        halves[0] = np.uint64(buffered0)
+    stale = ~truth_fresh
+    stale[0:1] = False
+    if stale.any():
+        halves[stale] = truth_words[
+            np.flatnonzero(stale) - 1
+        ] >> np.uint64(32)
+    truths = (halves >> np.uint64(31)).astype(np.int64)
+
+    # Restore the half-word buffer: full iff an odd number of truth
+    # draws remains unconsumed from the last fresh word.  PCG64 never
+    # zeroes ``uinteger`` on consumption, so the value must be the
+    # last buffered half even when the flag says empty — state dicts
+    # are compared bit for bit in tests.
+    final_state = rng.bit_generator.state
+    final_state["has_uint32"] = (n_truths + has0) % 2
+    if truth_fresh.any():
+        last_fresh = int(np.flatnonzero(truth_fresh)[-1])
+        final_state["uinteger"] = int(
+            truth_words[last_fresh] >> np.uint64(32)
+        )
+    else:
+        final_state["uinteger"] = buffered0
+    rng.bit_generator.state = final_state
+
+    # `truths` is in first-occurrence (edge) order; reorder to sorted
+    # task order so the unique-inverse can broadcast it per edge.
+    _, inverse = np.unique(tasks, return_inverse=True)
+    truths_sorted = truths[np.argsort(tasks[first_positions])]
+    truth_per_edge = truths_sorted[inverse]
+
+    correct = uniforms < accuracy[workers, tasks]
+    answers = np.where(correct, truth_per_edge, 1 - truth_per_edge)
+
+    answer_set = AnswerSet()
+    truth_tasks = tasks[first_positions].tolist()
+    for task_index, truth in zip(truth_tasks, truths.tolist()):
+        answer_set.truths[task_index] = truth
+    # Group edges per task (stable sort keeps edge order within each
+    # task, so a repeated (worker, task) pair keeps its last answer,
+    # exactly like the reference loop's overwrite).
+    by_task = np.argsort(tasks, kind="stable")
+    sorted_tasks = tasks[by_task]
+    boundaries = np.flatnonzero(
+        np.diff(sorted_tasks, prepend=sorted_tasks[0] - 1)
+    )
+    grouped_workers = workers[by_task].tolist()
+    grouped_answers = answers[by_task].tolist()
+    starts = boundaries.tolist() + [n_edges]
+    groups = {
+        task_index: dict(
+            zip(grouped_workers[start:stop], grouped_answers[start:stop])
+        )
+        for task_index, start, stop in zip(
+            sorted_tasks[boundaries].tolist(), starts[:-1], starts[1:]
+        )
+    }
+    # Emit tasks in first-occurrence order — the insertion order the
+    # reference loop produces.
+    for task_index in truth_tasks:
+        answer_set.answers[task_index] = groups[task_index]
     return answer_set

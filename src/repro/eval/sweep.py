@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import ValidationError
 from repro.utils.rng import spawn_rngs
 from repro.utils.timer import Timer
 
@@ -21,29 +23,57 @@ class SweepPoint:
     elapsed: float
 
 
+def _measure_point(
+    args: tuple[
+        Callable[[object, np.random.Generator], float],
+        object,
+        int,
+        np.random.Generator,
+    ],
+) -> SweepPoint:
+    """Run one (parameter, repetition) measurement; top-level so
+    process pools can pickle it."""
+    measure, parameter, repetition, rng = args
+    with Timer() as timer:
+        value = measure(parameter, rng)
+    return SweepPoint(parameter, repetition, float(value), timer.elapsed)
+
+
 def sweep(
     parameter_values: Sequence[object],
     measure: Callable[[object, np.random.Generator], float],
     repetitions: int = 3,
     seed: int | None = 0,
+    workers: int = 1,
 ) -> list[SweepPoint]:
     """Measure a function over parameter values with seeded repetitions.
 
     ``measure(parameter, rng)`` returns the metric; each (parameter,
     repetition) pair gets an independent RNG derived from ``seed``.
+
+    ``workers > 1`` fans the points out over a process pool.  Every
+    point's generator is spawned up front from ``seed`` exactly as in
+    the serial path, so measured *values* are bit-identical to
+    ``workers=1`` and to each other regardless of scheduling; only the
+    ``elapsed`` timings (measured inside the worker) vary.  ``measure``
+    must be picklable (a top-level function or a picklable callable) —
+    closures and lambdas only work serially.
     """
+    if workers < 1:
+        raise ValidationError(f"workers must be >= 1, got {workers}")
     rngs = spawn_rngs(seed, len(parameter_values) * repetitions)
-    points: list[SweepPoint] = []
-    position = 0
-    for parameter in parameter_values:
-        for repetition in range(repetitions):
-            with Timer() as timer:
-                value = measure(parameter, rngs[position])
-            points.append(
-                SweepPoint(parameter, repetition, float(value), timer.elapsed)
-            )
-            position += 1
-    return points
+    jobs = [
+        (measure, parameter, repetition, rngs[position])
+        for position, (parameter, repetition) in enumerate(
+            (parameter, repetition)
+            for parameter in parameter_values
+            for repetition in range(repetitions)
+        )
+    ]
+    if workers == 1:
+        return [_measure_point(job) for job in jobs]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_measure_point, jobs))
 
 
 def aggregate(

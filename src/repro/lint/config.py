@@ -23,9 +23,9 @@ from dataclasses import dataclass, field
 #: core in the dependency DAG: letting the core reach up would create
 #: cycles and drag plotting/IO machinery into every solver import.
 DEFAULT_FORBIDDEN_IMPORTS: Mapping[str, frozenset[str]] = {
-    "core": frozenset({"eval", "sim", "benchmarks", "resilience"}),
-    "matching": frozenset({"eval", "sim", "benchmarks", "resilience"}),
-    "benefit": frozenset({"eval", "sim", "benchmarks", "resilience"}),
+    "core": frozenset({"eval", "sim", "benchmarks", "resilience", "perf"}),
+    "matching": frozenset({"eval", "sim", "benchmarks", "resilience", "perf"}),
+    "benefit": frozenset({"eval", "sim", "benchmarks", "resilience", "perf"}),
 }
 
 #: Modules (package prefixes) where broad ``except Exception`` is the
@@ -35,6 +35,21 @@ DEFAULT_FORBIDDEN_IMPORTS: Mapping[str, frozenset[str]] = {
 #: subtypes.
 DEFAULT_BROAD_EXCEPT_ALLOWED: frozenset[str] = frozenset(
     {"repro.resilience"}
+)
+
+#: Packages whose inner loops are performance-critical: R601 flags
+#: scalar Python accumulation over array subscripts there, because the
+#: same reduction written as a numpy gather is orders of magnitude
+#: faster and these modules sit inside every solver call.
+DEFAULT_PERF_HOT_MODULES: frozenset[str] = frozenset(
+    {"repro.matching", "repro.core.solvers"}
+)
+
+#: Module prefixes inside the hot set where scalar loops are the
+#: *point* — reference implementations kept deliberately loop-shaped
+#: so the vectorized hot paths have an independent oracle.
+DEFAULT_PERF_LOOP_ALLOWED: frozenset[str] = frozenset(
+    {"repro.matching.reference"}
 )
 
 #: ``repro.utils`` is the bottom layer: it may import other ``utils``
@@ -67,6 +82,11 @@ class LintConfig:
     float_eq_modules: frozenset[str] = frozenset()
     #: Module/package prefixes exempt from R501's broad-except ban.
     broad_except_allowed: frozenset[str] = DEFAULT_BROAD_EXCEPT_ALLOWED
+    #: Package prefixes R601 watches for scalar accumulation loops.
+    perf_hot_modules: frozenset[str] = DEFAULT_PERF_HOT_MODULES
+    #: Prefixes inside the hot set exempt from R601 (reference
+    #: implementations that are scalar on purpose).
+    perf_loop_allowed: frozenset[str] = DEFAULT_PERF_LOOP_ALLOWED
 
     def rule_enabled(self, rule_id: str) -> bool:
         if rule_id in self.ignore:

@@ -8,6 +8,7 @@ the registry, so adding a family is one module plus one import here.
 from repro.lint.rules import (  # noqa: F401  (imported for registration)
     layering,
     numeric,
+    perf,
     rng,
     robustness,
     solver_contract,

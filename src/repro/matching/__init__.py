@@ -10,7 +10,10 @@ solvers are built on:
   assignment (independent implementation used to cross-validate flow);
 * :mod:`hopcroft_karp` — maximum-cardinality bipartite matching;
 * :mod:`auction` — Bertsekas' ε-scaling auction algorithm (a third
-  independent optimum for cross-validation);
+  independent optimum for cross-validation), with sequential
+  (Gauss-Seidel) and batched (Jacobi) bidding modes;
+* :mod:`reference` — scalar-loop reference implementations the
+  vectorized hot paths are cross-validated and benchmarked against;
 * :mod:`b_matching` — capacitated maximum-weight b-matching via flow;
 * :mod:`online` — online bipartite matching: greedy, Ranking, and a
   two-phase sample-then-match algorithm.
@@ -27,6 +30,7 @@ from repro.matching.online import (
     ranking_matching,
     two_phase_matching,
 )
+from repro.matching.reference import hungarian_reference
 
 __all__ = [
     "FlowNetwork",
@@ -34,6 +38,7 @@ __all__ = [
     "auction_assignment",
     "hopcroft_karp",
     "hungarian",
+    "hungarian_reference",
     "max_weight_b_matching",
     "min_cost_flow",
     "online_greedy_matching",

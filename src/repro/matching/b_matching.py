@@ -21,6 +21,7 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.matching.graph import FlowNetwork
 from repro.matching.mincost_flow import min_cost_flow
+from repro.utils.stats import edge_matrix_sum
 
 
 def max_weight_b_matching(
@@ -98,5 +99,5 @@ def max_weight_b_matching(
         if arc in edge_arcs and amount > 0.5
     ]
     edges.sort()
-    total = float(sum(weights[i, j] for i, j in edges))
+    total = edge_matrix_sum(weights, edges)
     return edges, total

@@ -6,13 +6,16 @@ in O(n²·m) for an ``n × m`` cost matrix with ``n <= m``.  It solves the
 weight negate the matrix, and callers wanting partial assignment pad
 with zero columns.
 
-This implementation is independent of the min-cost-flow solver so the
-two can cross-validate each other in tests.
+The inner column scan — reduced-cost updates, the Dijkstra-style
+minimum over unreached columns, and the potential shift — runs as
+numpy masked reductions over all ``m`` columns at once; the scalar
+loop it replaces is preserved as
+:func:`repro.matching.reference.hungarian_reference` and the two are
+cross-validated on random instances.  Both are independent of the
+min-cost-flow solver, giving three optima to compare in tests.
 """
 
 from __future__ import annotations
-
-import math
 
 import numpy as np
 
@@ -48,54 +51,54 @@ def hungarian(cost: np.ndarray) -> tuple[list[int], float]:
     if not np.all(np.isfinite(cost)):
         raise ValidationError("cost matrix must be finite")
 
-    inf = math.inf
     # 1-indexed potentials; p[j] = row matched to column j (0 = free).
-    u = [0.0] * (n + 1)
-    v = [0.0] * (m + 1)
-    p = [0] * (m + 1)
-    way = [0] * (m + 1)
+    u = np.zeros(n + 1)
+    v = np.zeros(m + 1)
+    p = np.zeros(m + 1, dtype=np.int64)
+    way = np.zeros(m + 1, dtype=np.int64)
+    minv = np.empty(m + 1)
+    used = np.empty(m + 1, dtype=bool)
+    way_cols = way[1:]
+    minv_cols = minv[1:]
 
     for i in range(1, n + 1):
         p[0] = i
         j0 = 0
-        minv = [inf] * (m + 1)
-        used = [False] * (m + 1)
+        minv[:] = np.inf
+        used[:] = False
         while True:
             used[j0] = True
-            i0 = p[j0]
-            delta = inf
-            j1 = -1
-            row = cost[i0 - 1]
-            for j in range(1, m + 1):
-                if used[j]:
-                    continue
-                cur = row[j - 1] - u[i0] - v[j]
-                if cur < minv[j]:
-                    minv[j] = cur
-                    way[j] = j0
-                if minv[j] < delta:
-                    delta = minv[j]
-                    j1 = j
-            for j in range(m + 1):
-                if used[j]:
-                    u[p[j]] += delta
-                    v[j] -= delta
-                else:
-                    minv[j] -= delta
+            i0 = int(p[j0])
+            free = ~used[1:]
+            # Reduced costs of row i0 against every unreached column.
+            reduced = cost[i0 - 1] - (u[i0] + v[1:])
+            better = free & (reduced < minv_cols)
+            minv_cols[better] = reduced[better]
+            way_cols[better] = j0
+            # np.argmin takes the first minimum, matching the reference
+            # loop's strict `<` (lowest-index tie-break).
+            masked = np.where(free, minv_cols, np.inf)
+            j1 = int(np.argmin(masked)) + 1
+            delta = float(masked[j1 - 1])
+            # Shift potentials along the alternating tree: the rows
+            # p[used] are pairwise distinct (each reached column is
+            # matched to a different row), so fancy += is safe.
+            u[p[used]] += delta
+            v[used] -= delta
+            minv_cols[free] -= delta
             j0 = j1
             if p[j0] == 0:
                 break
         while j0 != 0:
-            j1 = way[j0]
+            j1 = int(way[j0])
             p[j0] = p[j1]
             j0 = j1
 
-    assignment = [-1] * n
-    for j in range(1, m + 1):
-        if p[j] != 0:
-            assignment[p[j] - 1] = j - 1
-    total = float(sum(cost[i, assignment[i]] for i in range(n)))
-    return assignment, total
+    assignment = np.full(n, -1, dtype=np.int64)
+    matched = np.flatnonzero(p[1:])
+    assignment[p[1 + matched] - 1] = matched
+    total = float(cost[np.arange(n), assignment].sum())
+    return assignment.tolist(), total
 
 
 def max_weight_assignment(weights: np.ndarray) -> tuple[list[int], float]:

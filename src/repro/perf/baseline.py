@@ -1,0 +1,124 @@
+"""Committed wall-time baselines and regression detection.
+
+The baseline file (``benchmarks/perf_baseline.json`` by convention,
+refreshed with ``python -m repro bench --update-baseline``) records
+the wall time of every case on the machine that committed it.  A
+bench run compares each case against its baseline entry and flags a
+*regression* when the measured time exceeds the baseline by more than
+the configured threshold.  The default threshold is deliberately
+loose (50%) because CI machines differ from the baseline machine —
+the check exists to catch algorithmic blowups, not percent-level
+drift.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ValidationError
+from repro.perf.harness import BenchResult
+
+BASELINE_SCHEMA = "repro-perf-baseline/1"
+DEFAULT_THRESHOLD = 0.5
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One case whose wall time blew past its baseline allowance."""
+
+    name: str
+    wall_time: float
+    baseline_time: float
+    ratio: float
+    threshold: float
+
+
+def save_baseline(
+    results: list[BenchResult], path: str | Path, tag: str
+) -> dict:
+    """Write the results into the baseline file; returns the payload.
+
+    Merges with an existing baseline: cases measured this run are
+    overwritten, others are kept.  That lets quick (CI-sized) and full
+    suite runs contribute entries to the same committed file — their
+    case names differ by instance size, so both tiers stay pinned.
+    """
+    existing = load_baseline(path)
+    cases = dict(existing["cases"]) if existing else {}
+    cases.update(
+        {
+            result.name: {
+                "suite": result.suite,
+                "size": result.size,
+                "solver": result.solver,
+                "wall_time": result.wall_time,
+            }
+            for result in results
+        }
+    )
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "tag": tag,
+        "cases": cases,
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def load_baseline(path: str | Path) -> dict | None:
+    """Parse a baseline file; ``None`` when the file does not exist."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    payload = json.loads(path.read_text())
+    if payload.get("schema") != BASELINE_SCHEMA:
+        raise ValidationError(
+            f"{path} is not a perf baseline "
+            f"(schema {payload.get('schema')!r}, "
+            f"expected {BASELINE_SCHEMA!r})"
+        )
+    return payload
+
+
+def baseline_time(baseline: dict | None, name: str) -> float | None:
+    """Baseline wall time for one case, if recorded."""
+    if baseline is None:
+        return None
+    entry = baseline.get("cases", {}).get(name)
+    if entry is None:
+        return None
+    return float(entry["wall_time"])
+
+
+def find_regressions(
+    results: list[BenchResult],
+    baseline: dict | None,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> list[Regression]:
+    """Cases slower than ``baseline * (1 + threshold)``.
+
+    Cases missing from the baseline (new benchmarks) are never
+    regressions — they get an entry on the next baseline refresh.
+    """
+    if threshold < 0:
+        raise ValidationError(f"threshold must be >= 0, got {threshold}")
+    regressions = []
+    for result in results:
+        allowed = baseline_time(baseline, result.name)
+        if allowed is None or allowed <= 0:
+            continue
+        if result.wall_time > allowed * (1.0 + threshold):
+            regressions.append(
+                Regression(
+                    name=result.name,
+                    wall_time=result.wall_time,
+                    baseline_time=allowed,
+                    ratio=result.wall_time / allowed,
+                    threshold=threshold,
+                )
+            )
+    return regressions

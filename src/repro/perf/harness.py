@@ -1,0 +1,366 @@
+"""Benchmark cases and suites for the performance harness.
+
+Three suites mirror the paper's scalability experiments plus a
+micro-level tier:
+
+* ``f7_scale_workers`` — |W| grows with |T| fixed (Figure 7 shape):
+  the Hungarian solve on market-derived benefit matrices, vectorized
+  against :func:`repro.matching.reference.hungarian_reference`, and
+  the end-to-end flow-solver pipeline.
+* ``f8_scale_tasks`` — |T| grows (Figure 8 shape): the auction solve
+  in batched Jacobi mode against the sequential Gauss-Seidel mode on
+  *specialist* square instances (each bidder strongly prefers its own
+  object — the low-contention regime Jacobi targets; see
+  ``docs/performance.md``), and the end-to-end greedy pipeline.
+* ``micro`` — hot-path microbenchmarks: batched
+  :func:`repro.crowd.answer_model.simulate_answers` against its
+  scalar reference, and :meth:`BenefitMatrices.side_totals` against a
+  Python-loop equivalent.
+
+Every case that has a reference implementation also records both
+checksums, so a bench run doubles as a cross-validation pass: a
+result whose checksums disagree fails the run regardless of timing.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.benefit.matrices import build_benefit_matrices
+from repro.benefit.mutual import LinearCombiner
+from repro.core.problem import MBAProblem
+from repro.core.solvers import get_solver
+from repro.crowd.answer_model import simulate_answers, simulate_answers_reference
+from repro.datagen.synthetic import SyntheticConfig, generate_market
+from repro.errors import ValidationError
+from repro.matching.auction import auction_assignment
+from repro.matching.hungarian import hungarian
+from repro.matching.reference import hungarian_reference
+from repro.utils.rng import as_rng
+
+SUITES = ("f7_scale_workers", "f8_scale_tasks", "micro")
+
+_FULL_SIZES = (200, 400, 800)
+_QUICK_SIZES = (60, 120)
+
+_CHECKSUM_RTOL = 1e-6
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Raw numbers one case runner produced."""
+
+    wall_time: float
+    reference_time: float | None
+    checksum: float
+    reference_checksum: float | None
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One named benchmark: a runner plus its identifying metadata."""
+
+    name: str
+    suite: str
+    size: int
+    solver: str
+    runner: Callable[[int], Measurement]
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """A finished case: metadata plus the measurement."""
+
+    name: str
+    suite: str
+    size: int
+    solver: str
+    wall_time: float
+    reference_time: float | None
+    checksum: float
+    reference_checksum: float | None
+
+    @property
+    def speedup(self) -> float | None:
+        """Reference wall time over vectorized wall time (None when
+        the case has no reference implementation)."""
+        if self.reference_time is None or self.wall_time <= 0:
+            return None
+        return self.reference_time / self.wall_time
+
+    @property
+    def checksums_match(self) -> bool:
+        """Cross-validation verdict; vacuously true without a
+        reference."""
+        if self.reference_checksum is None:
+            return True
+        scale = max(abs(self.checksum), abs(self.reference_checksum), 1.0)
+        return (
+            abs(self.checksum - self.reference_checksum)
+            <= _CHECKSUM_RTOL * scale
+        )
+
+
+def _best_of(fn: Callable[[], float], repeats: int) -> tuple[float, float]:
+    """(best wall time, last return value) over ``repeats`` runs.
+
+    Best-of-N is the standard defence against scheduler noise for
+    sub-second kernels; the return value is deterministic across
+    repeats so keeping the last one is safe.
+    """
+    best = float("inf")
+    value = 0.0
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def specialist_weights(n: int, seed: int) -> np.ndarray:
+    """A low-contention square benefit matrix.
+
+    Background benefits are crushed towards zero (``u**8``) and each
+    bidder gets one strongly dominant object on the diagonal, so
+    bidders mostly want *different* objects — the regime where
+    Jacobi's one-bid-per-person-per-round batching pays off.  Market
+    matrices from the paper's generator are near rank-1 (log-normal
+    payments dominate) and heavily contended; Gauss-Seidel stays the
+    better mode there, which is why it stays the default.
+    """
+    rng = as_rng(seed)
+    base = rng.random((n, n)) ** 8 * 0.3
+    return base + np.eye(n) * rng.uniform(1.0, 2.0, n)
+
+
+def _market_cost(n_workers: int, n_tasks: int, seed: int) -> np.ndarray:
+    """Maximization market benefit as a Hungarian min-cost matrix with
+    rows <= columns."""
+    market = generate_market(
+        SyntheticConfig(n_workers=n_workers, n_tasks=n_tasks), seed=seed
+    )
+    combined = build_benefit_matrices(market, LinearCombiner(0.5)).combined
+    cost = -combined
+    if cost.shape[0] > cost.shape[1]:
+        cost = cost.T
+    return cost
+
+
+def _hungarian_case(size: int, n_tasks: int, suite: str) -> BenchCase:
+    def runner(repeats: int) -> Measurement:
+        cost = _market_cost(size, n_tasks, seed=size)
+        wall, total = _best_of(lambda: hungarian(cost)[1], repeats)
+        ref_wall, ref_total = _best_of(
+            lambda: hungarian_reference(cost)[1], 1
+        )
+        return Measurement(wall, ref_wall, total, ref_total)
+
+    return BenchCase(
+        name=f"hungarian/n={size}",
+        suite=suite,
+        size=size,
+        solver="hungarian",
+        runner=runner,
+    )
+
+
+def _auction_case(size: int, suite: str) -> BenchCase:
+    def runner(repeats: int) -> Measurement:
+        weights = specialist_weights(size, seed=size)
+        wall, total = _best_of(
+            lambda: auction_assignment(weights, mode="jacobi")[1], repeats
+        )
+        ref_wall, ref_total = _best_of(
+            lambda: auction_assignment(weights, mode="gauss-seidel")[1],
+            repeats,
+        )
+        return Measurement(wall, ref_wall, total, ref_total)
+
+    return BenchCase(
+        name=f"auction/n={size}",
+        suite=suite,
+        size=size,
+        solver="auction",
+        runner=runner,
+    )
+
+
+def _pipeline_case(
+    solver_name: str, n_workers: int, n_tasks: int, size: int, suite: str
+) -> BenchCase:
+    def runner(repeats: int) -> Measurement:
+        market = generate_market(
+            SyntheticConfig(n_workers=n_workers, n_tasks=n_tasks), seed=size
+        )
+        problem = MBAProblem(market, combiner=LinearCombiner(0.5))
+        solver = get_solver(solver_name)
+        # End-to-end pipeline timings are seconds-long and far less
+        # noise-prone than the kernels, so one run is enough.
+        wall, total = _best_of(
+            lambda: solver.solve(problem, seed=0).combined_total(), 1
+        )
+        return Measurement(wall, None, total, None)
+
+    return BenchCase(
+        name=f"{solver_name}/n={size}",
+        suite=suite,
+        size=size,
+        solver=solver_name,
+        runner=runner,
+    )
+
+
+def _answers_case(n_workers: int, n_tasks: int) -> BenchCase:
+    n_edges = n_workers * n_tasks
+
+    def runner(repeats: int) -> Measurement:
+        market = generate_market(
+            SyntheticConfig(n_workers=n_workers, n_tasks=n_tasks), seed=7
+        )
+        edges = [
+            (w, t) for w in range(n_workers) for t in range(n_tasks)
+        ]
+
+        def checksum(simulate: Callable) -> float:
+            result = simulate(market, edges, seed=123)
+            return float(
+                sum(result.truths.values())
+                + sum(
+                    sum(by_worker.values())
+                    for by_worker in result.answers.values()
+                )
+            )
+
+        wall, total = _best_of(lambda: checksum(simulate_answers), repeats)
+        ref_wall, ref_total = _best_of(
+            lambda: checksum(simulate_answers_reference), 1
+        )
+        return Measurement(wall, ref_wall, total, ref_total)
+
+    return BenchCase(
+        name=f"simulate_answers/edges={n_edges}",
+        suite="micro",
+        size=n_edges,
+        solver="simulate_answers",
+        runner=runner,
+    )
+
+
+def _side_totals_case(
+    n_edges: int, iterations: int, seed: int = 5
+) -> BenchCase:
+    def runner(repeats: int) -> Measurement:
+        market = generate_market(
+            SyntheticConfig(n_workers=200, n_tasks=150), seed=11
+        )
+        matrices = build_benefit_matrices(market, LinearCombiner(0.5))
+        rng = as_rng(seed)
+        edges = list(
+            zip(
+                rng.integers(0, 200, n_edges).tolist(),
+                rng.integers(0, 150, n_edges).tolist(),
+            )
+        )
+
+        def vectorized() -> float:
+            req = wrk = 0.0
+            for _ in range(iterations):
+                req, wrk = matrices.side_totals(edges)
+            return req + wrk
+
+        def scalar() -> float:
+            req = wrk = 0.0
+            for _ in range(iterations):
+                req = sum(matrices.requester[w, t] for w, t in edges)
+                wrk = sum(matrices.worker[w, t] for w, t in edges)
+            return float(req + wrk)
+
+        wall, total = _best_of(vectorized, repeats)
+        ref_wall, ref_total = _best_of(scalar, 1)
+        return Measurement(wall, ref_wall, total, ref_total)
+
+    return BenchCase(
+        name=f"side_totals/edges={n_edges}",
+        suite="micro",
+        size=n_edges,
+        solver="side_totals",
+        runner=runner,
+    )
+
+
+def build_suites(
+    quick: bool = False, scale: float = 1.0
+) -> dict[str, list[BenchCase]]:
+    """All benchmark cases, grouped by suite name.
+
+    ``quick`` swaps in small instances (a CI smoke pass, seconds not
+    minutes); ``scale`` multiplies every instance size (minimum 10).
+    """
+    if scale <= 0:
+        raise ValidationError(f"scale must be positive, got {scale}")
+    sizes = [
+        max(10, int(round(s * scale)))
+        for s in (_QUICK_SIZES if quick else _FULL_SIZES)
+    ]
+    largest = max(sizes)
+    # The flow pipeline is O(n) augmentations over an O(n·m)-edge
+    # residual graph — minutes at kernel sizes — so it scales on a
+    # quarter-size ladder that keeps the whole suite under a minute.
+    flow_sizes = [max(10, size // 4) for size in sizes]
+    edge_count = 2_500 if quick else 50_000
+    f7 = [_hungarian_case(size, largest, "f7_scale_workers") for size in sizes]
+    f7 += [
+        _pipeline_case("flow", size, max(flow_sizes), size, "f7_scale_workers")
+        for size in flow_sizes
+    ]
+    f8 = [_auction_case(size, "f8_scale_tasks") for size in sizes]
+    f8 += [
+        _pipeline_case("greedy", sizes[0], size, size, "f8_scale_tasks")
+        for size in sizes
+    ]
+    micro = [
+        _answers_case(50 if quick else 250, edge_count // (50 if quick else 250)),
+        _side_totals_case(500 if quick else 5_000, 5 if quick else 20),
+    ]
+    return {"f7_scale_workers": f7, "f8_scale_tasks": f8, "micro": micro}
+
+
+def run_cases(
+    suites: dict[str, list[BenchCase]],
+    only: Sequence[str] | None = None,
+    repeats: int = 3,
+    progress: Callable[[str], None] | None = None,
+) -> list[BenchResult]:
+    """Run (a selection of) suites and collect results in order."""
+    if only is not None:
+        unknown = sorted(set(only) - set(suites))
+        if unknown:
+            raise ValidationError(
+                f"unknown suite(s): {', '.join(unknown)}; "
+                f"choose from {', '.join(sorted(suites))}"
+            )
+    results: list[BenchResult] = []
+    for suite_name, cases in suites.items():
+        if only is not None and suite_name not in only:
+            continue
+        for case in cases:
+            if progress is not None:
+                progress(f"{case.suite}: {case.name}")
+            measurement = case.runner(repeats)
+            results.append(
+                BenchResult(
+                    name=case.name,
+                    suite=case.suite,
+                    size=case.size,
+                    solver=case.solver,
+                    wall_time=measurement.wall_time,
+                    reference_time=measurement.reference_time,
+                    checksum=measurement.checksum,
+                    reference_checksum=measurement.reference_checksum,
+                )
+            )
+    return results

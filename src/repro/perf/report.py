@@ -1,0 +1,131 @@
+"""Machine-readable and human-readable bench reports.
+
+``python -m repro bench`` writes one ``BENCH_<tag>.json`` per run —
+the machine-readable artifact CI uploads — and prints the text
+rendering of the same payload.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+
+from repro.perf.baseline import Regression, baseline_time
+from repro.perf.harness import BenchResult
+
+BENCH_SCHEMA = "repro-perf-bench/1"
+
+
+def bench_payload(
+    results: list[BenchResult],
+    regressions: list[Regression],
+    baseline: dict | None,
+    tag: str,
+    threshold: float,
+    quick: bool,
+    scale: float,
+) -> dict:
+    """Assemble the full machine-readable report."""
+    cases = []
+    for result in results:
+        base = baseline_time(baseline, result.name)
+        cases.append(
+            {
+                "name": result.name,
+                "suite": result.suite,
+                "size": result.size,
+                "solver": result.solver,
+                "wall_time": result.wall_time,
+                "reference_time": result.reference_time,
+                "speedup": result.speedup,
+                "checksum": result.checksum,
+                "reference_checksum": result.reference_checksum,
+                "checksums_match": result.checksums_match,
+                "baseline_time": base,
+                "vs_baseline": (
+                    base / result.wall_time
+                    if base is not None and result.wall_time > 0
+                    else None
+                ),
+            }
+        )
+    mismatches = [r.name for r in results if not r.checksums_match]
+    return {
+        "schema": BENCH_SCHEMA,
+        "tag": tag,
+        "quick": quick,
+        "scale": scale,
+        "threshold": threshold,
+        "baseline_tag": baseline.get("tag") if baseline else None,
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "results": cases,
+        "regressions": [
+            {
+                "name": regression.name,
+                "wall_time": regression.wall_time,
+                "baseline_time": regression.baseline_time,
+                "ratio": regression.ratio,
+            }
+            for regression in regressions
+        ],
+        "checksum_mismatches": mismatches,
+        "ok": not regressions and not mismatches,
+    }
+
+
+def write_bench_json(payload: dict, directory: str | Path = ".") -> Path:
+    """Write ``BENCH_<tag>.json`` into ``directory``; returns the path."""
+    path = Path(directory) / f"BENCH_{payload['tag']}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def _fmt_secs(value: float | None) -> str:
+    return f"{value:8.4f}" if value is not None else "       -"
+
+
+def _fmt_ratio(value: float | None) -> str:
+    return f"{value:7.2f}x" if value is not None else "       -"
+
+
+def render_text(payload: dict) -> str:
+    """Human rendering of a bench payload."""
+    lines = [
+        f"bench tag={payload['tag']} "
+        f"quick={payload['quick']} scale={payload['scale']} "
+        f"threshold={payload['threshold']:.0%}",
+        f"{'case':<30s} {'wall(s)':>8s} {'ref(s)':>8s} {'speedup':>8s} "
+        f"{'vs_base':>8s} {'ok':>3s}",
+    ]
+    for case in payload["results"]:
+        ok = "ok" if case["checksums_match"] else "XX"
+        lines.append(
+            f"{case['name']:<30s} {case['wall_time']:8.4f} "
+            f"{_fmt_secs(case['reference_time'])} "
+            f"{_fmt_ratio(case['speedup'])} "
+            f"{_fmt_ratio(case['vs_baseline'])} {ok:>3s}"
+        )
+    if payload["checksum_mismatches"]:
+        lines.append(
+            "CROSS-VALIDATION FAILED: "
+            + ", ".join(payload["checksum_mismatches"])
+        )
+    if payload["regressions"]:
+        lines.append("regressions (wall time vs committed baseline):")
+        for regression in payload["regressions"]:
+            lines.append(
+                f"  {regression['name']}: {regression['wall_time']:.4f}s vs "
+                f"baseline {regression['baseline_time']:.4f}s "
+                f"({regression['ratio']:.2f}x, allowed "
+                f"{1 + payload['threshold']:.2f}x)"
+            )
+    elif payload["baseline_tag"] is None:
+        lines.append(
+            "no baseline found — run with --update-baseline to create one"
+        )
+    else:
+        lines.append("no regressions vs baseline "
+                     f"'{payload['baseline_tag']}'")
+    return "\n".join(lines)

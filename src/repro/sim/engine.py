@@ -50,9 +50,11 @@ class Simulation:
 
     def __init__(self, scenario: Scenario) -> None:
         self.scenario = scenario
+        self._mean_accuracy_cache: dict[int, float] | None = None
 
     def run(self, seed: SeedLike = None) -> SimulationResult:
         rng = as_rng(seed)
+        self._mean_accuracy_cache = None
         scenario = self.scenario
         policy = scenario.resilience_policy()
         if policy is not None:
@@ -320,11 +322,7 @@ class Simulation:
             # Weight by the planner-known accuracies (the planner's
             # model of workers; estimation from data is exercised by
             # the dawid-skene option).
-            accuracy_matrix = market.accuracy_matrix()
-            mean_accuracy = {
-                i: float(accuracy_matrix[i].mean())
-                for i in range(market.n_workers)
-            }
+            mean_accuracy = self._weighted_mean_accuracy(market)
             labels = weighted_majority_vote(answers, mean_accuracy, seed=rng)
         else:  # dawid-skene
             labels = dawid_skene(answers).labels
@@ -333,6 +331,31 @@ class Simulation:
         ]
         accuracy = sum(scored) / len(scored) if scored else float("nan")
         return accuracy, answers, labels
+
+    def _weighted_mean_accuracy(self, market) -> dict[int, float]:
+        """Per-worker mean planner accuracy for the weighted aggregator.
+
+        The full ``accuracy_matrix`` is an (n_workers, n_tasks) build
+        per call; with neither skill drift nor task refresh configured
+        the planner model never changes between rounds, so the means
+        are computed once per run and reused.  Any drift or refresh
+        disables the cache (worker churn only toggles ``active`` flags,
+        which do not enter the accuracy matrix).
+        """
+        scenario = self.scenario
+        cacheable = (
+            scenario.drift is None and scenario.task_refresh is None
+        )
+        if cacheable and self._mean_accuracy_cache is not None:
+            return self._mean_accuracy_cache
+        accuracy_matrix = market.accuracy_matrix()
+        means = accuracy_matrix.mean(axis=1)
+        mean_accuracy = {
+            i: float(means[i]) for i in range(market.n_workers)
+        }
+        if cacheable:
+            self._mean_accuracy_cache = mean_accuracy
+        return mean_accuracy
 
     @staticmethod
     def _drop_answers(

@@ -38,6 +38,22 @@ class Summary:
         )
 
 
+def edge_matrix_sum(
+    matrix: np.ndarray, edges: list[tuple[int, int]]
+) -> float:
+    """Sum of ``matrix[i, j]`` over an ``(i, j)`` edge list.
+
+    One fancy-indexed gather instead of a Python-level generator —
+    this reduction sits inside solver inner loops (objective
+    evaluation per candidate move), where the interpreter-loop form
+    dominates the profile (see R601 in docs/static-analysis.md).
+    """
+    if not edges:
+        return 0.0
+    index = np.asarray(edges, dtype=np.int64)
+    return float(matrix[index[:, 0], index[:, 1]].sum())
+
+
 def gini(values: np.ndarray | list[float]) -> float:
     """Gini coefficient of a non-negative sample.
 

@@ -109,3 +109,24 @@ class TestSweep:
     def test_timing_recorded(self):
         points = sweep([1], lambda p, rng: 0.0, repetitions=1)
         assert points[0].elapsed >= 0.0
+
+
+def _seeded_measure(parameter, rng):
+    """Top-level so the process pool can pickle it."""
+    return float(parameter) * 100.0 + float(rng.integers(1_000_000))
+
+
+class TestSweepParallel:
+    def test_parallel_values_bit_identical_to_serial(self):
+        serial = sweep([1, 2, 3], _seeded_measure, repetitions=2, seed=7)
+        parallel = sweep(
+            [1, 2, 3], _seeded_measure, repetitions=2, seed=7, workers=2
+        )
+        assert [p.value for p in parallel] == [p.value for p in serial]
+        assert [
+            (p.parameter, p.repetition) for p in parallel
+        ] == [(p.parameter, p.repetition) for p in serial]
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            sweep([1], _seeded_measure, workers=0)

@@ -521,6 +521,101 @@ class TestRobustnessRules:
         assert _only(lint_file(path, config), "R501") == []
 
 
+class TestPerfRules:
+    def test_r601_counting_loop_accumulation(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/matching/slow.py",
+            """\
+            def total(weights, n):
+                acc = 0.0
+                for i in range(n):
+                    for j in range(n):
+                        acc += weights[i, j]
+                return acc
+            """,
+        )
+        violations = _only(lint_file(path), "R601")
+        assert len(violations) == 1
+        assert violations[0].line == 5
+
+    def test_r601_sum_over_subscript_comprehension(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/core/solvers/slow.py",
+            """\
+            def objective(matrix, edges):
+                return sum(matrix[i, j] for i, j in edges)
+            """,
+        )
+        assert len(_only(lint_file(path), "R601")) == 1
+
+    def test_r601_scatter_updates_pass(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/matching/fine.py",
+            """\
+            def relax(dist, updates):
+                for i in range(len(updates)):
+                    dist[i] += updates[i]
+            """,
+        )
+        assert _only(lint_file(path), "R601") == []
+
+    def test_r601_silent_outside_hot_modules(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/eval/tables.py",
+            """\
+            def total(values, n):
+                acc = 0.0
+                for i in range(n):
+                    acc += values[i]
+                return acc
+            """,
+        )
+        assert _only(lint_file(path), "R601") == []
+
+    def test_r601_silent_in_reference_module(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/matching/reference.py",
+            """\
+            def total(cost, n):
+                acc = 0.0
+                for i in range(n):
+                    acc += cost[i, i]
+                return acc
+            """,
+        )
+        assert _only(lint_file(path), "R601") == []
+
+    def test_r601_pragma_waives_a_line(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/matching/waived.py",
+            """\
+            def total(matrix, edges):
+                return sum(matrix[i, j] for i, j in edges)  # lint: allow[R601]
+            """,
+        )
+        assert _only(lint_file(path), "R601") == []
+
+    def test_r601_custom_allowlist(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/core/solvers/scalar_ref.py",
+            """\
+            def total(matrix, edges):
+                return sum(matrix[i, j] for i, j in edges)
+            """,
+        )
+        config = LintConfig(
+            perf_loop_allowed=frozenset({"repro.core.solvers.scalar_ref"})
+        )
+        assert _only(lint_file(path, config), "R601") == []
+
+
 class TestEngineAndReport:
     def test_syntax_error_becomes_e999(self, tmp_path):
         path = _write(tmp_path, "repro/broken.py", "def f(:\n")

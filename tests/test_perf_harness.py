@@ -1,0 +1,219 @@
+"""Tests for the benchmark-regression harness (``repro.perf``)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ValidationError
+from repro.perf import (
+    SUITES,
+    BenchResult,
+    bench_payload,
+    build_suites,
+    find_regressions,
+    load_baseline,
+    render_text,
+    run_cases,
+    save_baseline,
+    write_bench_json,
+)
+
+
+def _result(name="hungarian/n=10", wall=0.5, ref=1.5, checksum=2.0):
+    return BenchResult(
+        name=name,
+        suite="f7_scale_workers",
+        size=10,
+        solver=name.split("/")[0],
+        wall_time=wall,
+        reference_time=ref,
+        checksum=checksum,
+        reference_checksum=checksum,
+    )
+
+
+class TestBenchResult:
+    def test_speedup(self):
+        assert _result(wall=0.5, ref=1.5).speedup == pytest.approx(3.0)
+
+    def test_speedup_none_without_reference(self):
+        assert _result(ref=None).speedup is None
+
+    def test_checksums_match_tolerance(self):
+        result = BenchResult(
+            name="x", suite="s", size=1, solver="x",
+            wall_time=1.0, reference_time=1.0,
+            checksum=100.0, reference_checksum=100.0 + 1e-7,
+        )
+        assert result.checksums_match
+
+    def test_checksum_mismatch_detected(self):
+        result = BenchResult(
+            name="x", suite="s", size=1, solver="x",
+            wall_time=1.0, reference_time=1.0,
+            checksum=100.0, reference_checksum=101.0,
+        )
+        assert not result.checksums_match
+
+
+class TestSuites:
+    def test_every_declared_suite_built(self):
+        suites = build_suites(quick=True)
+        assert set(suites) == set(SUITES)
+        assert all(suites.values())
+
+    def test_quick_instances_are_smaller(self):
+        quick = build_suites(quick=True)
+        full = build_suites(quick=False)
+        assert max(
+            c.size for c in quick["f7_scale_workers"]
+        ) < max(c.size for c in full["f7_scale_workers"])
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            build_suites(scale=0.0)
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValidationError):
+            run_cases(build_suites(quick=True), only=["f9_imaginary"])
+
+    def test_micro_suite_runs_and_cross_validates(self):
+        results = run_cases(
+            build_suites(quick=True), only=["micro"], repeats=1
+        )
+        assert {r.suite for r in results} == {"micro"}
+        assert all(r.wall_time > 0 for r in results)
+        assert all(r.checksums_match for r in results)
+        assert all(r.speedup is not None for r in results)
+
+
+class TestBaseline:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        results = [_result(), _result(name="auction/n=10", wall=0.2)]
+        save_baseline(results, path, tag="seed")
+        baseline = load_baseline(path)
+        assert baseline["tag"] == "seed"
+        assert baseline["cases"]["hungarian/n=10"]["wall_time"] == 0.5
+
+    def test_save_merges_with_existing(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline([_result(name="full/n=800", wall=2.0)], path, "full")
+        save_baseline([_result(name="quick/n=60", wall=0.1)], path, "quick")
+        baseline = load_baseline(path)
+        assert set(baseline["cases"]) == {"full/n=800", "quick/n=60"}
+        assert baseline["tag"] == "quick"
+
+    def test_missing_file_is_none(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") is None
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"schema": "something-else"}))
+        with pytest.raises(ValidationError):
+            load_baseline(path)
+
+    def test_regression_detected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline([_result(wall=0.1)], path, tag="seed")
+        baseline = load_baseline(path)
+        slow = [_result(wall=0.3)]
+        regressions = find_regressions(slow, baseline, threshold=0.5)
+        assert [r.name for r in regressions] == ["hungarian/n=10"]
+        assert regressions[0].ratio == pytest.approx(3.0)
+
+    def test_within_threshold_passes(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline([_result(wall=0.1)], path, tag="seed")
+        baseline = load_baseline(path)
+        assert not find_regressions(
+            [_result(wall=0.14)], baseline, threshold=0.5
+        )
+
+    def test_new_cases_are_not_regressions(self):
+        assert not find_regressions([_result()], None)
+        assert not find_regressions(
+            [_result(name="brand-new/n=1")],
+            {"schema": "repro-perf-baseline/1", "cases": {}},
+        )
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValidationError):
+            find_regressions([_result()], None, threshold=-0.1)
+
+
+class TestReport:
+    def _payload(self, results=None, regressions=()):
+        return bench_payload(
+            results if results is not None else [_result()],
+            list(regressions),
+            baseline=None,
+            tag="test",
+            threshold=0.5,
+            quick=True,
+            scale=1.0,
+        )
+
+    def test_payload_schema(self):
+        payload = self._payload()
+        assert payload["schema"] == "repro-perf-bench/1"
+        assert payload["ok"]
+        case = payload["results"][0]
+        for key in (
+            "name", "suite", "size", "solver", "wall_time",
+            "reference_time", "speedup", "checksum",
+            "reference_checksum", "checksums_match", "baseline_time",
+            "vs_baseline",
+        ):
+            assert key in case
+
+    def test_checksum_mismatch_fails_payload(self):
+        bad = BenchResult(
+            name="x", suite="s", size=1, solver="x",
+            wall_time=1.0, reference_time=1.0,
+            checksum=1.0, reference_checksum=2.0,
+        )
+        payload = self._payload(results=[bad])
+        assert payload["checksum_mismatches"] == ["x"]
+        assert not payload["ok"]
+
+    def test_write_bench_json(self, tmp_path):
+        path = write_bench_json(self._payload(), tmp_path)
+        assert path.name == "BENCH_test.json"
+        assert json.loads(path.read_text())["tag"] == "test"
+
+    def test_render_text_mentions_cases(self):
+        text = render_text(self._payload())
+        assert "hungarian/n=10" in text
+        assert "no baseline found" in text
+
+
+class TestBenchCli:
+    def _run(self, tmp_path, *extra):
+        return main(
+            [
+                "bench", "--quick", "--scale", "0.2", "--suite", "micro",
+                "--repeats", "1", "--tag", "clitest",
+                "--output-dir", str(tmp_path),
+                "--baseline", str(tmp_path / "baseline.json"), *extra,
+            ]
+        )
+
+    def test_update_baseline_then_clean_run(self, tmp_path, capsys):
+        assert self._run(tmp_path, "--update-baseline") == 0
+        assert (tmp_path / "baseline.json").exists()
+        assert self._run(tmp_path, "--threshold", "1000") == 0
+        payload = json.loads((tmp_path / "BENCH_clitest.json").read_text())
+        assert payload["ok"]
+        assert all(c["vs_baseline"] is not None for c in payload["results"])
+
+    def test_regression_fails_unless_no_fail(self, tmp_path, capsys):
+        assert self._run(tmp_path, "--update-baseline") == 0
+        baseline_path = tmp_path / "baseline.json"
+        baseline = json.loads(baseline_path.read_text())
+        for case in baseline["cases"].values():
+            case["wall_time"] /= 1e6  # make every case a regression
+        baseline_path.write_text(json.dumps(baseline))
+        assert self._run(tmp_path) == 1
+        assert self._run(tmp_path, "--no-fail") == 0

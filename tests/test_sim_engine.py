@@ -93,6 +93,42 @@ class TestSimulationRun:
         result = Simulation(scenario).run(seed=0)
         assert len(result.rounds) == 2
 
+    def test_weighted_aggregator_caches_mean_accuracy(self):
+        scenario = Scenario(
+            market=_market(n_workers=20, n_tasks=8),
+            n_rounds=3,
+            aggregator="weighted",
+            retention=None,
+        )
+        simulation = Simulation(scenario)
+        result = simulation.run(seed=0)
+        cache = simulation._mean_accuracy_cache
+        assert cache is not None
+        assert sorted(cache) == list(range(20))
+        # The cache holds exactly what an uncached recomputation gives.
+        fresh = scenario.market.accuracy_matrix().mean(axis=1)
+        assert cache == {
+            i: pytest.approx(float(fresh[i])) for i in range(20)
+        }
+        # A fresh run resets the cache rather than reusing a stale one.
+        simulation.run(seed=1)
+        assert simulation._mean_accuracy_cache is not None
+        assert len(result.rounds) == 3
+
+    def test_weighted_aggregator_with_drift_does_not_cache(self):
+        from repro.market.drift import SkillDriftModel
+
+        scenario = Scenario(
+            market=_market(n_workers=15, n_tasks=8),
+            n_rounds=2,
+            aggregator="weighted",
+            retention=None,
+            drift=SkillDriftModel(),
+        )
+        simulation = Simulation(scenario)
+        simulation.run(seed=0)
+        assert simulation._mean_accuracy_cache is None
+
     def test_task_refresh_hook(self):
         import dataclasses
 
