@@ -12,7 +12,9 @@ Four commands cover the operational surface a platform engineer needs:
 
 Plus operational commands: ``compare`` (solver comparison with CIs),
 ``events`` (continuous-time simulation), ``lint`` (static analysis),
-and ``bench`` (performance suites with baseline regression checks).
+``bench`` (performance suites with baseline regression checks), and
+``trace`` (replay/summarize a JSONL trace exported by a run with
+``--trace``; see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ import argparse
 import json
 import sys
 
+from repro import obs
 from repro.benefit.mutual import LinearCombiner
 from repro.core.problem import MBAProblem
 from repro.core.solvers import get_solver, list_solvers
@@ -96,6 +99,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--fault-seed", type=int, default=0,
         help="seed of the fault plan's own random stream",
     )
+    simulate.add_argument(
+        "--trace", metavar="PATH",
+        help="record per-round spans and counters (repro.obs) and "
+        "export them to PATH as JSONL; summarize with "
+        "`python -m repro trace PATH`",
+    )
 
     experiment = commands.add_parser(
         "experiment", help="run a registered evaluation experiment"
@@ -103,6 +112,11 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("id", choices=sorted(EXPERIMENTS))
     experiment.add_argument("--scale", type=float, default=1.0)
     experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument(
+        "--trace", metavar="PATH",
+        help="record spans and counters while the experiment runs and "
+        "export them to PATH as JSONL",
+    )
 
     compare = commands.add_parser(
         "compare",
@@ -211,6 +225,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "mismatches still fail)",
     )
 
+    trace = commands.add_parser(
+        "trace",
+        help="validate and summarize a JSONL trace exported with "
+        "--trace (top spans by self time, counter totals, per-round "
+        "table)",
+    )
+    trace.add_argument("path", help="trace JSONL path")
+    trace.add_argument(
+        "--top", type=int, default=10,
+        help="how many span names to list in the time ranking",
+    )
+
     return parser
 
 
@@ -260,7 +286,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         fault_plan=fault_plan,
         resilience=None if args.resilience == "off" else args.resilience,
     )
-    result = Simulation(scenario).run(seed=args.seed)
+    if args.trace:
+        with obs.tracing() as tracer:
+            result = Simulation(scenario).run(seed=args.seed)
+        path = obs.write_trace(tracer, args.trace, tag="simulate")
+        print(f"wrote trace ({len(tracer.spans)} spans) to {path}")
+    else:
+        result = Simulation(scenario).run(seed=args.seed)
     print(
         f"{'round':>5s} {'active':>6s} {'edges':>5s} {'accuracy':>8s} "
         f"{'participation':>13s} {'faulted':>7s} {'retries':>7s} "
@@ -287,7 +319,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    table = run_experiment(args.id, scale=args.scale, seed=args.seed)
+    if args.trace:
+        with obs.tracing() as tracer:
+            table = run_experiment(args.id, scale=args.scale, seed=args.seed)
+        path = obs.write_trace(tracer, args.trace, tag=f"experiment-{args.id}")
+        print(f"wrote trace ({len(tracer.spans)} spans) to {path}")
+    else:
+        table = run_experiment(args.id, scale=args.scale, seed=args.seed)
     print(table.render())
     return 0
 
@@ -397,12 +435,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     threshold = DEFAULT_THRESHOLD if args.threshold is None else args.threshold
     suites = build_suites(quick=args.quick, scale=args.scale)
-    results = run_cases(
-        suites,
-        only=args.suite,
-        repeats=args.repeats,
-        progress=lambda line: print(f"  running {line}", file=sys.stderr),
-    )
+    # Bench runs always collect obs metrics: the counters (bidding
+    # rounds, augmenting paths, ...) ship inside BENCH_<tag>.json so a
+    # wall-time change can be attributed to work done, not guessed at.
+    # Overhead is a handful of dict updates per solver call — far
+    # below the harness's measurement noise.
+    with obs.tracing() as tracer:
+        results = run_cases(
+            suites,
+            only=args.suite,
+            repeats=args.repeats,
+            progress=lambda line: print(f"  running {line}", file=sys.stderr),
+        )
+    obs_report = obs.RunReport.from_tracer(tracer).to_dict()
     if args.update_baseline:
         save_baseline(results, args.baseline, tag=args.tag)
         print(f"wrote baseline for {len(results)} cases to {args.baseline}")
@@ -419,6 +464,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         threshold=threshold,
         quick=args.quick,
         scale=args.scale,
+        obs_report=obs_report,
     )
     path = write_bench_json(payload, args.output_dir)
     print(render_text(payload))
@@ -427,6 +473,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 1
     if regressions and not args.no_fail:
         return 1
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    trace = obs.read_trace(args.path)
+    print(obs.summarize(trace, top=args.top))
     return 0
 
 
@@ -441,6 +493,7 @@ def main(argv: list[str] | None = None) -> int:
         "events": _cmd_events,
         "lint": _cmd_lint,
         "bench": _cmd_bench,
+        "trace": _cmd_trace,
     }
     try:
         return handlers[args.command](args)

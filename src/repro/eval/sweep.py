@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
+import multiprocessing
+import pickle
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ValidationError
 from repro.utils.rng import spawn_rngs
 from repro.utils.timer import Timer
@@ -29,14 +32,58 @@ def _measure_point(
         object,
         int,
         np.random.Generator,
+        bool,
     ],
-) -> SweepPoint:
+) -> tuple[SweepPoint, dict | None]:
     """Run one (parameter, repetition) measurement; top-level so
-    process pools can pickle it."""
-    measure, parameter, repetition, rng = args
-    with Timer() as timer:
-        value = measure(parameter, rng)
-    return SweepPoint(parameter, repetition, float(value), timer.elapsed)
+    process pools can pickle it.
+
+    ``collect`` marks jobs dispatched *to a pool worker* while the
+    parent had tracing on.  Such jobs run under a fresh local tracer
+    whose spans and metric snapshot ride home with the result for the
+    parent to merge — a fresh one explicitly, because ``fork``-method
+    workers inherit the parent's active tracer as a useless copy.  In
+    the parent (serial path) the active tracer records the span
+    directly and the payload stays ``None``.
+    """
+    measure, parameter, repetition, rng, collect = args
+    tracer = obs.enable() if collect else None
+    try:
+        with obs.span(
+            "sweep.point", parameter=repr(parameter), repetition=repetition
+        ):
+            with Timer() as timer:
+                value = measure(parameter, rng)
+        obs.count("sweep.points")
+    finally:
+        if collect:
+            obs.disable()
+    point = SweepPoint(parameter, repetition, float(value), timer.elapsed)
+    if tracer is None:
+        return point, None
+    return point, {
+        "spans": [span.to_dict() for span in tracer.spans],
+        "metrics": tracer.metrics.snapshot(),
+    }
+
+
+def _check_picklable(measure: Callable, workers: int) -> None:
+    """Fail fast — with an actionable message — on unpicklable sweeps.
+
+    Process pools pickle every job, and under the ``spawn`` start
+    method (the macOS/Windows default) the worker re-imports the
+    callable's module from scratch; a lambda or closure fails either
+    way, but mid-run and with an opaque ``PicklingError``.  Checking up
+    front turns that into an immediate :class:`ValidationError`.
+    """
+    try:
+        pickle.dumps(measure)
+    except (pickle.PicklingError, TypeError, AttributeError) as error:
+        raise ValidationError(
+            f"measure must be picklable to sweep with workers={workers}: "
+            "pass a module-level function (not a lambda or closure) whose "
+            f"module is importable in worker processes ({error})"
+        ) from None
 
 
 def sweep(
@@ -45,6 +92,7 @@ def sweep(
     repetitions: int = 3,
     seed: int | None = 0,
     workers: int = 1,
+    mp_context: str | None = None,
 ) -> list[SweepPoint]:
     """Measure a function over parameter values with seeded repetitions.
 
@@ -56,14 +104,36 @@ def sweep(
     the serial path, so measured *values* are bit-identical to
     ``workers=1`` and to each other regardless of scheduling; only the
     ``elapsed`` timings (measured inside the worker) vary.  ``measure``
-    must be picklable (a top-level function or a picklable callable) —
-    closures and lambdas only work serially.
+    must be picklable — a module-level function, not a lambda or
+    closure — and its module importable in a fresh interpreter, because
+    ``spawn``-method workers (the macOS/Windows default) re-import it;
+    violations fail fast with a :class:`ValidationError` instead of an
+    opaque mid-run ``PicklingError``.  ``mp_context`` selects the
+    multiprocessing start method (``"fork"``, ``"spawn"``,
+    ``"forkserver"``); ``None`` uses the platform default.
+
+    When tracing (:mod:`repro.obs`) is enabled, every point records a
+    ``sweep.point`` span; points measured in worker processes are
+    traced locally and merged back into the parent's tracer, so the
+    trace is complete either way.
     """
     if workers < 1:
         raise ValidationError(f"workers must be >= 1, got {workers}")
+    if workers > 1:
+        _check_picklable(measure, workers)
+    context = None
+    if mp_context is not None:
+        try:
+            context = multiprocessing.get_context(mp_context)
+        except ValueError:
+            raise ValidationError(
+                f"unknown multiprocessing context {mp_context!r}; "
+                "expected 'fork', 'spawn', or 'forkserver'"
+            ) from None
+    collect = obs.enabled() and workers > 1
     rngs = spawn_rngs(seed, len(parameter_values) * repetitions)
     jobs = [
-        (measure, parameter, repetition, rngs[position])
+        (measure, parameter, repetition, rngs[position], collect)
         for position, (parameter, repetition) in enumerate(
             (parameter, repetition)
             for parameter in parameter_values
@@ -71,9 +141,24 @@ def sweep(
         )
     ]
     if workers == 1:
-        return [_measure_point(job) for job in jobs]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_measure_point, jobs))
+        return [_measure_point(job)[0] for job in jobs]
+    with ProcessPoolExecutor(
+        max_workers=workers, mp_context=context
+    ) as pool:
+        outcomes = list(pool.map(_measure_point, jobs))
+    tracer = obs.active()
+    points = []
+    for point, payload in outcomes:
+        points.append(point)
+        if tracer is not None and payload is not None:
+            tracer.adopt(
+                [
+                    obs.SpanRecord.from_dict(span)
+                    for span in payload["spans"]
+                ],
+                payload["metrics"],
+            )
+    return points
 
 
 def aggregate(

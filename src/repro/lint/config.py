@@ -26,6 +26,14 @@ DEFAULT_FORBIDDEN_IMPORTS: Mapping[str, frozenset[str]] = {
     "core": frozenset({"eval", "sim", "benchmarks", "resilience", "perf"}),
     "matching": frozenset({"eval", "sim", "benchmarks", "resilience", "perf"}),
     "benefit": frozenset({"eval", "sim", "benchmarks", "resilience", "perf"}),
+    # ``repro.obs`` must be importable from *anywhere* — solvers and
+    # simulators alike call into it — so it may depend on nothing above
+    # the utils layer: only ``utils``, ``errors``, and itself.
+    "obs": frozenset({
+        "benchmarks", "benefit", "cli", "core", "crowd", "datagen",
+        "eval", "io", "lint", "market", "matching", "perf",
+        "resilience", "sim", "types",
+    }),
 }
 
 #: Modules (package prefixes) where broad ``except Exception`` is the
@@ -42,7 +50,7 @@ DEFAULT_BROAD_EXCEPT_ALLOWED: frozenset[str] = frozenset(
 #: same reduction written as a numpy gather is orders of magnitude
 #: faster and these modules sit inside every solver call.
 DEFAULT_PERF_HOT_MODULES: frozenset[str] = frozenset(
-    {"repro.matching", "repro.core.solvers"}
+    {"repro.matching", "repro.core.solvers", "repro.obs"}
 )
 
 #: Module prefixes inside the hot set where scalar loops are the

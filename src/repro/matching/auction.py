@@ -44,6 +44,7 @@ import math
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConvergenceError, ValidationError
 
 _MODES = ("gauss-seidel", "jacobi")
@@ -153,8 +154,10 @@ def auction_assignment(
     owner = [-1] * m  # column -> row
     assigned = [-1] * n  # row -> column
     rounds = 0
+    phases = 0
 
     while True:
+        phases += 1
         # Reset assignment each ε-phase (prices persist: that is the
         # point of scaling — good prices transfer between phases).
         owner = [-1] * m
@@ -193,6 +196,10 @@ def auction_assignment(
             break
         epsilon = max(epsilon / scaling, epsilon_final)
 
+    # Gauss-Seidel updates one price per bid, so bids == price updates.
+    obs.count("auction.bids", rounds)
+    obs.count("auction.price_updates", rounds)
+    obs.count("auction.phases", phases)
     total = float(weights[np.arange(n), np.asarray(assigned)].sum())
     return assigned, total
 
@@ -255,6 +262,8 @@ def _auction_jacobi(
     slack = np.full(n, np.inf)
     slack_valid = False
     rounds = 0
+    phases = 0
+    price_updates = 0
 
     def refresh(people: np.ndarray) -> None:
         """Re-scan full rows: cache top-K objects + the (K+1)-th value."""
@@ -294,6 +303,7 @@ def _auction_jacobi(
 
     refresh(np.arange(n, dtype=np.int64))
     while True:
+        phases += 1
         if (assigned >= 0).any():
             if not slack_valid:
                 holders = np.flatnonzero(assigned >= 0)
@@ -362,6 +372,7 @@ def _auction_jacobi(
                     second = max(best_value - span, float(thresh[person]))
                 obj = int(cols[best_slot])
                 prices[obj] += (best_value - second) + epsilon
+                price_updates += 1
                 previous = int(owner[obj])
                 owner[obj] = person
                 assigned[person] = obj
@@ -385,6 +396,7 @@ def _auction_jacobi(
             winners = order[first]
             won_obj = best_obj[winners]
             won_person = people[winners]
+            price_updates += int(winners.size)
             evicted = owner[won_obj]
             evicted = evicted[evicted >= 0]
             assigned[evicted] = -1
@@ -396,4 +408,7 @@ def _auction_jacobi(
         if epsilon <= epsilon_final:
             break
         epsilon = max(epsilon / scaling, epsilon_final)
+    obs.count("auction.bids", rounds)
+    obs.count("auction.price_updates", price_updates)
+    obs.count("auction.phases", phases)
     return assigned

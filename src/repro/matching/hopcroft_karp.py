@@ -10,6 +10,8 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Sequence
 
+from repro import obs
+
 INF = float("inf")
 
 
@@ -71,8 +73,12 @@ def hopcroft_karp(
         return False
 
     size = 0
+    phases = 0
     while bfs():
+        phases += 1
         for u in range(n_left):
             if match_left[u] == -1 and dfs(u):
                 size += 1
+    obs.count("hopcroft_karp.phases", phases)
+    obs.count("hopcroft_karp.augmenting_paths", size)
     return size, match_left, match_right

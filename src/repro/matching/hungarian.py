@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ValidationError
 
 
@@ -61,12 +62,14 @@ def hungarian(cost: np.ndarray) -> tuple[list[int], float]:
     way_cols = way[1:]
     minv_cols = minv[1:]
 
+    scan_steps = 0
     for i in range(1, n + 1):
         p[0] = i
         j0 = 0
         minv[:] = np.inf
         used[:] = False
         while True:
+            scan_steps += 1
             used[j0] = True
             i0 = int(p[j0])
             free = ~used[1:]
@@ -94,6 +97,10 @@ def hungarian(cost: np.ndarray) -> tuple[list[int], float]:
             p[j0] = p[j1]
             j0 = j1
 
+    # One augmenting path per row; scan steps are the Dijkstra-style
+    # column relaxations summed over all paths.
+    obs.count("hungarian.augmenting_paths", n)
+    obs.count("hungarian.scan_steps", scan_steps)
     assignment = np.full(n, -1, dtype=np.int64)
     matched = np.flatnonzero(p[1:])
     assignment[p[1 + matched] - 1] = matched

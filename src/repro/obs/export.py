@@ -1,0 +1,215 @@
+"""JSONL trace export with a stable, validated schema.
+
+A trace file is newline-delimited JSON with three event types::
+
+    {"type": "header", "schema": "repro-obs-trace/1", "tag": ...}
+    {"type": "span", "index": 0, "parent": null, "depth": 0,
+     "name": "round", "tags": {...}, "start": 0.0, "duration": 0.01}
+    ...
+    {"type": "metrics", "counters": {...}, "gauges": {...},
+     "histograms": {...}}
+
+The header is always the first line and the metrics event the last;
+span events appear in span-*enter* order, which is deterministic for a
+seeded run.  Only the fields named in :data:`WALL_TIME_FIELDS` are
+host measurements; every other field of every event is identical
+between two runs of the same seeded workload, which is what
+:func:`deterministic_events` strips down to (and what the determinism
+tests compare).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ValidationError
+from repro.obs.tracer import SpanRecord, Tracer
+
+TRACE_SCHEMA = "repro-obs-trace/1"
+
+#: Span fields that measure the host, not the workload.  Excluded from
+#: determinism comparisons; everything else must be bit-identical for
+#: identical seeds.
+WALL_TIME_FIELDS = ("start", "duration")
+
+_SPAN_KEYS = frozenset(
+    ("type", "index", "parent", "depth", "name", "tags", "start", "duration")
+)
+
+
+@dataclass
+class TraceData:
+    """A parsed trace file: header + spans + final metric snapshot."""
+
+    header: dict
+    spans: list[SpanRecord] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def tag(self) -> str:
+        return str(self.header.get("tag", ""))
+
+
+def write_trace(tracer: Tracer, path: str | Path, tag: str = "run") -> Path:
+    """Dump ``tracer`` to a JSONL trace file; returns the path.
+
+    Open spans are a bug in the instrumented code (a leaked context) —
+    they are refused rather than silently exported with NaN durations.
+    """
+    leaked = tracer.open_spans
+    if leaked:
+        names = ", ".join(sorted({span.name for span in leaked}))
+        raise ValidationError(
+            f"cannot export a trace with {len(leaked)} open span(s) "
+            f"({names}): exit every span context before exporting"
+        )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [
+        json.dumps(
+            {
+                "type": "header",
+                "schema": TRACE_SCHEMA,
+                "tag": tag,
+                "n_spans": len(tracer.spans),
+            },
+            sort_keys=True,
+        )
+    ]
+    for span in tracer.spans:
+        lines.append(
+            json.dumps({"type": "span", **span.to_dict()}, sort_keys=True)
+        )
+    lines.append(
+        json.dumps(
+            {"type": "metrics", **tracer.metrics.snapshot()}, sort_keys=True
+        )
+    )
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def _parse_line(line_number: int, line: str) -> dict:
+    try:
+        event = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ValidationError(
+            f"trace line {line_number} is not valid JSON: {error}"
+        ) from None
+    if not isinstance(event, dict) or "type" not in event:
+        raise ValidationError(
+            f"trace line {line_number} is not an event object with a "
+            "'type' field"
+        )
+    return event
+
+
+def _validate_span(line_number: int, event: dict) -> SpanRecord:
+    missing = sorted(_SPAN_KEYS - set(event))
+    unknown = sorted(set(event) - _SPAN_KEYS)
+    if missing or unknown:
+        detail = []
+        if missing:
+            detail.append(f"missing {', '.join(missing)}")
+        if unknown:
+            detail.append(f"unknown {', '.join(unknown)}")
+        raise ValidationError(
+            f"trace line {line_number}: malformed span event "
+            f"({'; '.join(detail)})"
+        )
+    if not isinstance(event["tags"], dict):
+        raise ValidationError(
+            f"trace line {line_number}: span tags must be an object"
+        )
+    try:
+        return SpanRecord.from_dict(event)
+    except (TypeError, ValueError) as error:
+        raise ValidationError(
+            f"trace line {line_number}: malformed span event ({error})"
+        ) from None
+
+
+def read_trace(path: str | Path) -> TraceData:
+    """Parse and validate a JSONL trace file.
+
+    Raises :class:`~repro.errors.ValidationError` on a missing file, a
+    wrong/old schema, malformed events, or a structurally inconsistent
+    span list (bad parent references / non-sequential indices).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"trace file not found: {path}")
+    lines = [
+        line for line in path.read_text().splitlines() if line.strip()
+    ]
+    if not lines:
+        raise ValidationError(f"{path} is empty, not a trace")
+    header = _parse_line(1, lines[0])
+    if header.get("type") != "header":
+        raise ValidationError(
+            f"{path}: first line must be the header event, got "
+            f"type={header.get('type')!r}"
+        )
+    if header.get("schema") != TRACE_SCHEMA:
+        raise ValidationError(
+            f"{path} is not a readable trace (schema "
+            f"{header.get('schema')!r}, expected {TRACE_SCHEMA!r})"
+        )
+    spans: list[SpanRecord] = []
+    metrics: dict = {}
+    saw_metrics = False
+    for line_number, line in enumerate(lines[1:], start=2):
+        event = _parse_line(line_number, line)
+        kind = event["type"]
+        if saw_metrics:
+            raise ValidationError(
+                f"trace line {line_number}: events after the final "
+                "metrics event"
+            )
+        if kind == "span":
+            spans.append(_validate_span(line_number, event))
+        elif kind == "metrics":
+            metrics = {
+                key: value
+                for key, value in event.items()
+                if key != "type"
+            }
+            saw_metrics = True
+        else:
+            raise ValidationError(
+                f"trace line {line_number}: unknown event type {kind!r}"
+            )
+    if not saw_metrics:
+        raise ValidationError(
+            f"{path}: truncated trace — no final metrics event"
+        )
+    for position, span in enumerate(spans):
+        if span.index != position:
+            raise ValidationError(
+                f"{path}: span indices must be sequential, got "
+                f"{span.index} at position {position}"
+            )
+        if span.parent is not None and not 0 <= span.parent < span.index:
+            raise ValidationError(
+                f"{path}: span {span.index} references parent "
+                f"{span.parent}, which is not an earlier span"
+            )
+    return TraceData(header=header, spans=spans, metrics=metrics)
+
+
+def deterministic_events(trace: TraceData) -> list[dict]:
+    """The trace's span events with wall-time fields stripped.
+
+    Two runs of the same seeded workload must produce identical lists
+    here — this is the exact comparison the determinism tests (and any
+    trace-diff tooling) use.
+    """
+    events = []
+    for span in trace.spans:
+        event = span.to_dict()
+        for fieldname in WALL_TIME_FIELDS:
+            event.pop(fieldname, None)
+        events.append(event)
+    return events

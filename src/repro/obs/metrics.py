@@ -1,0 +1,166 @@
+"""Named counters, gauges, and histograms.
+
+The registry is deliberately tiny: metric *identity* is the string
+name (dotted by convention: ``"auction.bids"``), values are floats,
+and everything serializes to a plain dict so snapshots travel across
+process boundaries and into JSON artifacts unchanged.
+
+* **counter** — monotone accumulator (``count``); merging adds.
+* **gauge** — last-written value (``gauge``); merging overwrites.
+* **histogram** — ``observe`` folds a sample into count/total/min/max;
+  merging combines the summaries.  Per-sample storage is deliberately
+  avoided: a simulation emits one observation per round per site and
+  the summary is what the reports table anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class HistogramSummary:
+    """Streaming summary of observed samples."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "HistogramSummary":
+        return cls(
+            count=int(payload["count"]),
+            total=float(payload["total"]),
+            min=float(payload["min"]),
+            max=float(payload["max"]),
+        )
+
+    def combine(self, other: "HistogramSummary") -> None:
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
+
+class Metrics:
+    """The mutable metric registry one tracer owns."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, HistogramSummary] = {}
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to counter ``name`` (creating it at 0)."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value``."""
+        self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold one sample into histogram ``name``."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = HistogramSummary()
+        histogram.observe(float(value))
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy, safe to pickle/JSON/merge elsewhere."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: histogram.to_dict()
+                for name, histogram in self.histograms.items()
+            },
+        }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker process) in."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.count(name, value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name, value)
+        for name, payload in snapshot.get("histograms", {}).items():
+            histogram = self.histograms.get(name)
+            incoming = HistogramSummary.from_dict(payload)
+            if histogram is None:
+                self.histograms[name] = incoming
+            else:
+                histogram.combine(incoming)
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """The metric snapshot attached to run/bench artifacts.
+
+    Everything except ``wall_time`` is deterministic for a seeded run;
+    ``wall_time`` (summed root-span durations) is a host measurement,
+    mirroring ``RoundMetrics.solver_wall_time``.
+    """
+
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, dict] = field(default_factory=dict)
+    n_spans: int = 0
+    wall_time: float = 0.0
+
+    @classmethod
+    def from_tracer(cls, tracer) -> "RunReport":
+        snapshot = tracer.metrics.snapshot()
+        closed = [span for span in tracer.spans if not span.open]
+        return cls(
+            counters=snapshot["counters"],
+            gauges=snapshot["gauges"],
+            histograms=snapshot["histograms"],
+            n_spans=len(tracer.spans),
+            wall_time=sum(
+                span.duration for span in closed if span.parent is None
+            ),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: dict(payload)
+                for name, payload in self.histograms.items()
+            },
+            "n_spans": self.n_spans,
+            "wall_time": self.wall_time,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunReport":
+        return cls(
+            counters=dict(payload.get("counters", {})),
+            gauges=dict(payload.get("gauges", {})),
+            histograms=dict(payload.get("histograms", {})),
+            n_spans=int(payload.get("n_spans", 0)),
+            wall_time=float(payload.get("wall_time", 0.0)),
+        )

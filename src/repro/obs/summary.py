@@ -1,0 +1,125 @@
+"""Human-readable replay of an exported trace.
+
+``python -m repro trace <run.jsonl>`` parses a trace (validating it
+against the schema as a side effect) and prints three views:
+
+* **top spans** — span names ranked by *self* time (duration minus
+  child durations), with call counts and totals, so the most expensive
+  stage is the first line regardless of nesting;
+* **counters** — every counter's total, plus gauges and histogram
+  summaries when present;
+* **per-round table** — one row per ``round`` span with its duration
+  and the durations of its direct children (assign / simulate /
+  aggregate / estimate), the drill-down view the simulation engine's
+  instrumentation is shaped for.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import TraceData
+
+
+def _by_name(trace: TraceData) -> list[tuple[str, int, float, float]]:
+    """(name, calls, total seconds, self seconds), sorted by self time."""
+    child_time: dict[int, float] = {}
+    for span in trace.spans:
+        if span.parent is not None and not span.open:
+            child_time[span.parent] = (
+                child_time.get(span.parent, 0.0) + span.duration
+            )
+    grouped: dict[str, tuple[int, float, float]] = {}
+    for span in trace.spans:
+        if span.open:
+            continue
+        self_time = span.duration - child_time.get(span.index, 0.0)
+        calls, total, self_total = grouped.get(span.name, (0, 0.0, 0.0))
+        grouped[span.name] = (
+            calls + 1,
+            total + span.duration,
+            self_total + self_time,
+        )
+    return sorted(
+        (
+            (name, calls, total, self_total)
+            for name, (calls, total, self_total) in grouped.items()
+        ),
+        key=lambda row: (-row[3], row[0]),
+    )
+
+
+def _round_rows(trace: TraceData) -> list[tuple[object, float, list]]:
+    """(round tag, duration, [(child name, duration), ...]) per round."""
+    children: dict[int, list] = {}
+    for span in trace.spans:
+        if span.parent is not None:
+            children.setdefault(span.parent, []).append(span)
+    rows = []
+    for span in trace.spans:
+        if span.name != "round" or span.open:
+            continue
+        stages = [
+            (child.name, child.duration)
+            for child in children.get(span.index, [])
+            if not child.open
+        ]
+        rows.append((span.tags.get("index", "?"), span.duration, stages))
+    return rows
+
+
+def summarize(trace: TraceData, top: int = 10) -> str:
+    """Render the summary text for one parsed trace."""
+    lines = [
+        f"trace tag={trace.tag!r} spans={len(trace.spans)}",
+        "",
+        f"top spans by self time (top {top}):",
+        f"  {'name':<28s} {'calls':>6s} {'total(s)':>9s} {'self(s)':>9s}",
+    ]
+    for name, calls, total, self_total in _by_name(trace)[:top]:
+        lines.append(
+            f"  {name:<28s} {calls:6d} {total:9.4f} {self_total:9.4f}"
+        )
+    counters = trace.metrics.get("counters", {})
+    gauges = trace.metrics.get("gauges", {})
+    histograms = trace.metrics.get("histograms", {})
+    if counters:
+        lines += ["", "counter totals:"]
+        for name in sorted(counters):
+            lines.append(f"  {name:<40s} {counters[name]:>12g}")
+    if gauges:
+        lines += ["", "gauges:"]
+        for name in sorted(gauges):
+            lines.append(f"  {name:<40s} {gauges[name]:>12g}")
+    if histograms:
+        lines += ["", "histograms (count / mean / min / max):"]
+        for name in sorted(histograms):
+            h = histograms[name]
+            count = int(h.get("count", 0))
+            mean = h.get("total", 0.0) / count if count else float("nan")
+            lines.append(
+                f"  {name:<32s} {count:6d} {mean:10.4g} "
+                f"{h.get('min', float('nan')):10.4g} "
+                f"{h.get('max', float('nan')):10.4g}"
+            )
+    rounds = _round_rows(trace)
+    if rounds:
+        stage_names: list[str] = []
+        for _tag, _duration, stages in rounds:
+            for name, _time in stages:
+                if name not in stage_names:
+                    stage_names.append(name)
+        header = f"  {'round':>5s} {'total(s)':>9s}" + "".join(
+            f" {name[:10]:>10s}" for name in stage_names
+        )
+        lines += ["", "per-round breakdown:", header]
+        for tag, duration, stages in rounds:
+            by_stage = {}
+            for name, stage_duration in stages:
+                by_stage[name] = by_stage.get(name, 0.0) + stage_duration
+            row = f"  {str(tag):>5s} {duration:9.4f}"
+            for name in stage_names:
+                if name in by_stage:
+                    row += f" {by_stage[name]:10.4f}"
+                else:
+                    row += f" {'-':>10s}"
+            lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,188 @@
+"""Nestable wall-clock spans.
+
+A :class:`Tracer` records a flat, ordered list of :class:`SpanRecord`
+entries; nesting is encoded structurally (``parent``/``depth``) rather
+than by building a tree, so export is a straight dump and replay tools
+can reconstruct whatever view they need.  Span *identity* fields
+(``index``, ``parent``, ``depth``, ``name``, ``tags``) are fully
+deterministic for a seeded run; only the two wall-time fields
+(``start``, ``duration``) vary between hosts — see
+:data:`repro.obs.export.WALL_TIME_FIELDS`.
+
+The tracer itself is cheap but not free; the free path lives in
+:mod:`repro.obs` (module-level :func:`repro.obs.span` returns a shared
+no-op context manager when tracing is disabled).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import Metrics
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or in-flight) span.
+
+    ``duration`` is NaN while the span is still open; exporters refuse
+    to write open spans (an open span means the instrumented code is
+    still running — or leaked a context).
+    """
+
+    index: int
+    parent: int | None
+    depth: int
+    name: str
+    tags: dict[str, object] = field(default_factory=dict)
+    #: Seconds since the tracer's origin (wall-time field).
+    start: float = 0.0
+    #: Seconds the span lasted (wall-time field; NaN while open).
+    duration: float = float("nan")
+
+    @property
+    def open(self) -> bool:
+        return math.isnan(self.duration)
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "parent": self.parent,
+            "depth": self.depth,
+            "name": self.name,
+            "tags": dict(self.tags),
+            "start": self.start,
+            "duration": self.duration,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SpanRecord":
+        return cls(
+            index=int(payload["index"]),
+            parent=(
+                int(payload["parent"])
+                if payload.get("parent") is not None
+                else None
+            ),
+            depth=int(payload["depth"]),
+            name=str(payload["name"]),
+            tags=dict(payload.get("tags", {})),
+            start=float(payload["start"]),
+            duration=float(payload["duration"]),
+        )
+
+
+class _SpanContext:
+    """The context manager :meth:`Tracer.span` hands out.
+
+    Appends its record at *enter* (so indices follow enter order, which
+    is deterministic) and stamps the duration at exit.  ``tag`` lets
+    instrumented code attach facts discovered mid-span — e.g. which
+    resilience tier finally delivered.
+    """
+
+    __slots__ = ("_tracer", "_record", "_t0")
+
+    def __init__(self, tracer: "Tracer", record: SpanRecord) -> None:
+        self._tracer = tracer
+        self._record = record
+        self._t0 = 0.0
+
+    def tag(self, **tags: object) -> "_SpanContext":
+        self._record.tags.update(tags)
+        return self
+
+    def __enter__(self) -> "_SpanContext":
+        self._t0 = time.perf_counter()
+        self._record.start = self._t0 - self._tracer._origin
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._record.duration = time.perf_counter() - self._t0
+        if exc_type is not None and "error" not in self._record.tags:
+            self._record.tags["error"] = exc_type.__name__
+        self._tracer._pop(self._record.index)
+        return False
+
+
+class Tracer:
+    """Span recorder plus a :class:`~repro.obs.metrics.Metrics` registry.
+
+    One tracer covers one logical run; enable it globally through
+    :func:`repro.obs.tracing` (or :func:`repro.obs.enable`) so library
+    code picks it up without plumbing.
+    """
+
+    def __init__(self) -> None:
+        self.metrics = Metrics()
+        self.spans: list[SpanRecord] = []
+        self._stack: list[int] = []
+        self._origin = time.perf_counter()
+
+    def span(self, name: str, /, **tags: object) -> _SpanContext:
+        """Open a nested span; use as a context manager.
+
+        ``name`` is positional-only so ``name=...`` can be a tag.
+        """
+        index = len(self.spans)
+        parent = self._stack[-1] if self._stack else None
+        record = SpanRecord(
+            index=index,
+            parent=parent,
+            depth=len(self._stack),
+            name=name,
+            tags=dict(tags),
+        )
+        self.spans.append(record)
+        self._stack.append(index)
+        return _SpanContext(self, record)
+
+    def _pop(self, index: int) -> None:
+        # Exiting out of order (a leaked inner span) unwinds to the
+        # exiting span; the leaked spans keep their NaN duration and
+        # the exporter reports them.
+        while self._stack and self._stack[-1] != index:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+
+    @property
+    def open_spans(self) -> list[SpanRecord]:
+        """Spans entered but never exited (normally empty)."""
+        return [record for record in self.spans if record.open]
+
+    def adopt(
+        self,
+        spans: list[SpanRecord],
+        snapshot: dict | None = None,
+    ) -> None:
+        """Merge spans (and a metrics snapshot) from another tracer.
+
+        Used to fold worker-process traces back into the parent: the
+        adopted spans are re-indexed after the existing ones, their
+        roots are parented under the currently open span (if any), and
+        their depths shift accordingly.  Counter/histogram snapshots
+        accumulate; gauges take the adopted value.
+        """
+        offset = len(self.spans)
+        base_parent = self._stack[-1] if self._stack else None
+        base_depth = len(self._stack)
+        for record in spans:
+            adopted = SpanRecord(
+                index=record.index + offset,
+                parent=(
+                    record.parent + offset
+                    if record.parent is not None
+                    else base_parent
+                ),
+                depth=record.depth + base_depth,
+                name=record.name,
+                tags=dict(record.tags),
+                start=record.start,
+                duration=record.duration,
+            )
+            self.spans.append(adopted)
+        if snapshot is not None:
+            self.metrics.merge_snapshot(snapshot)

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.benefit.matrices import build_benefit_matrices
 from repro.benefit.mutual import LinearCombiner
 from repro.core.problem import MBAProblem
@@ -350,7 +351,14 @@ def run_cases(
         for case in cases:
             if progress is not None:
                 progress(f"{case.suite}: {case.name}")
-            measurement = case.runner(repeats)
+            with obs.span(
+                "bench.case",
+                name=case.name,
+                suite=case.suite,
+                solver=case.solver,
+            ):
+                measurement = case.runner(repeats)
+            obs.count("bench.cases")
             results.append(
                 BenchResult(
                     name=case.name,

@@ -25,8 +25,15 @@ def bench_payload(
     threshold: float,
     quick: bool,
     scale: float,
+    obs_report: dict | None = None,
 ) -> dict:
-    """Assemble the full machine-readable report."""
+    """Assemble the full machine-readable report.
+
+    ``obs_report`` is a :class:`repro.obs.RunReport` dict — the
+    internal counters (bidding rounds, augmenting paths, …) collected
+    while the suites ran — so the artifact explains *why* a wall time
+    moved, not just that it did.
+    """
     cases = []
     for result in results:
         base = baseline_time(baseline, result.name)
@@ -61,6 +68,7 @@ def bench_payload(
         "machine": platform.machine(),
         "python": platform.python_version(),
         "results": cases,
+        "obs": obs_report,
         "regressions": [
             {
                 "name": regression.name,

@@ -28,6 +28,7 @@ import inspect
 import time
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.assignment import Assignment
 from repro.core.problem import MBAProblem
 from repro.core.solvers.base import Solver, get_solver, register_solver
@@ -176,6 +177,12 @@ class ResilientSolver(Solver):
             salvaged=salvaged,
             forced_failure=forced_failure,
         )
+        obs.count("resilience.solves")
+        obs.count("resilience.failed_attempts", len(attempts))
+        if tier > 0:
+            obs.count("resilience.fallback_solves")
+        if salvaged:
+            obs.count("resilience.salvaged_solves")
         self.last_report = report
         return assignment, report
 
@@ -201,13 +208,16 @@ class ResilientSolver(Solver):
                 seed,
                 attempts,
                 injected,
+                tier=0,
+                attempt_index=attempt,
             )
             if result is not None:
                 assignment, salvaged = result
                 return assignment, 0, self._primary_name, salvaged
         for tier, fallback in enumerate(self._fallbacks, start=1):
             result = self._attempt(
-                fallback, problem, seed, attempts, None
+                fallback, problem, seed, attempts, None,
+                tier=tier, attempt_index=0,
             )
             if result is not None:
                 assignment, salvaged = result
@@ -215,6 +225,50 @@ class ResilientSolver(Solver):
         return None
 
     def _attempt(
+        self,
+        solver: Solver,
+        problem: MBAProblem,
+        seed: SeedLike,
+        attempts: list[tuple[str, Exception]],
+        injected: str | None,
+        tier: int = 0,
+        attempt_index: int = 0,
+    ) -> tuple[Assignment, bool] | None:
+        """One traced attempt; ``None`` means it failed (and was logged).
+
+        The span carries the tier (0 = primary, k = k-th fallback),
+        the retry index within the tier, and the outcome: ``ok``,
+        ``salvaged``, or ``failed`` plus the failure's exception type
+        (with a ``fault`` tag when the failure was injected).
+        """
+        before = len(attempts)
+        with obs.span(
+            "attempt",
+            solver=solver.name,
+            tier=tier,
+            retry=attempt_index,
+        ) as attempt_span:
+            if injected is not None:
+                attempt_span.tag(fault=injected)
+            result = self._attempt_once(
+                solver, problem, seed, attempts, injected
+            )
+            if result is not None:
+                _assignment, salvaged = result
+                attempt_span.tag(
+                    outcome="salvaged" if salvaged else "ok"
+                )
+            else:
+                failure = (
+                    type(attempts[-1][1]).__name__
+                    if len(attempts) > before
+                    else "unknown"
+                )
+                attempt_span.tag(outcome="failed", error=failure)
+        obs.count("resilience.attempts")
+        return result
+
+    def _attempt_once(
         self,
         solver: Solver,
         problem: MBAProblem,

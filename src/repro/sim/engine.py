@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro import obs
 from repro.core.assignment import Assignment
 from repro.core.fairness import benefit_gini
 from repro.core.problem import MBAProblem
@@ -92,118 +93,146 @@ class Simulation:
         )
 
         for round_index in range(scenario.n_rounds):
-            faults = (
-                plan.for_round(round_index) if plan is not None else None
-            )
-            tasks = self._round_tasks(round_index)
-            market = LaborMarket(
-                workers, tasks, base.taxonomy, base.requesters
-            )
-            active = market.active_worker_indices()
-            if not tasks or not active:
-                # Nothing posted, or nobody to do it: an empty round,
-                # not an error — the run continues.
-                result.rounds.append(self._empty_round(round_index, market))
-                continue
-
-            # Plan on estimated skills when an estimator is configured;
-            # account and realize on the true market either way.
-            true_problem = MBAProblem(market, combiner=scenario.combiner)
-            planning_problem = (
-                MBAProblem(
-                    estimator.estimated_market(market),
-                    combiner=scenario.combiner,
+            with obs.span("round", index=round_index) as round_span:
+                faults = (
+                    plan.for_round(round_index) if plan is not None else None
                 )
-                if estimator is not None
-                else true_problem
-            )
-            planned, report = self._solve_round(
-                solver, planning_problem, rng, faults
-            )
-            if planned is None:
-                # Infeasible round or exhausted solver stack: the
-                # round is lost, the run continues.
+                tasks = self._round_tasks(round_index)
+                market = LaborMarket(
+                    workers, tasks, base.taxonomy, base.requesters
+                )
+                active = market.active_worker_indices()
+                if not tasks or not active:
+                    # Nothing posted, or nobody to do it: an empty
+                    # round, not an error — the run continues.
+                    obs.count("sim.empty_rounds")
+                    round_span.tag(outcome="empty")
+                    result.rounds.append(
+                        self._empty_round(round_index, market)
+                    )
+                    continue
+
+                # Plan on estimated skills when an estimator is
+                # configured; account and realize on the true market
+                # either way.
+                true_problem = MBAProblem(market, combiner=scenario.combiner)
+                planning_problem = (
+                    MBAProblem(
+                        estimator.estimated_market(market),
+                        combiner=scenario.combiner,
+                    )
+                    if estimator is not None
+                    else true_problem
+                )
+                with obs.span(
+                    "assign", solver=scenario.solver_name
+                ) as assign_span:
+                    planned, report = self._solve_round(
+                        solver, planning_problem, rng, faults
+                    )
+                    assign_span.tag(
+                        tier=report.tier, retries=report.retries
+                    )
+                obs.count("sim.solver_retries", report.retries)
+                if planned is None:
+                    # Infeasible round or exhausted solver stack: the
+                    # round is lost, the run continues.
+                    obs.count("sim.degraded_rounds")
+                    round_span.tag(outcome="degraded")
+                    result.rounds.append(
+                        self._empty_round(
+                            round_index,
+                            market,
+                            solver_retries=report.retries,
+                            fallback_tier=-1,
+                            solver_wall_time=report.wall_time,
+                        )
+                    )
+                    continue
+                assignment = Assignment(
+                    true_problem, list(planned.edges), solver_name=solver.name
+                )
+
+                declined = 0
+                if scenario.workers_decline:
+                    worker_matrix = true_problem.benefits.worker
+                    accepted = [
+                        (i, j)
+                        for i, j in assignment.edges
+                        if worker_matrix[i, j] >= 0
+                    ]
+                    declined = len(assignment.edges) - len(accepted)
+                    assignment = Assignment(
+                        true_problem, accepted, solver_name=solver.name
+                    )
+
+                # Unfulfilled edges — worker no-shows and mid-round
+                # task cancellations — vanish from realization *and*
+                # accounting: no answer, no pay, no practice, no
+                # satisfaction.
+                faulted = 0
+                if faults is not None:
+                    assignment, faulted = self._apply_edge_faults(
+                        true_problem, assignment, faults, market.n_tasks
+                    )
+
+                solver.observe_round(true_problem, assignment)
+
+                # Dropped answers: the work happened (and is paid /
+                # accounted), but the answer never reaches aggregation.
+                dropped = (
+                    faults.dropped_answers(assignment.edges)
+                    if faults is not None
+                    else frozenset()
+                )
+                accuracy, answers, labels = self._realize_answers(
+                    market, assignment, rng, dropped
+                )
+                faulted += len(dropped)
+                if estimator is not None and answers is not None:
+                    with obs.span("estimate", tasks=len(answers.answers)):
+                        self._update_estimator(
+                            estimator, market, answers, labels, rng
+                        )
+                churned = self._apply_retention(
+                    retention, market, assignment, rng
+                )
+                if scenario.drift is not None:
+                    scenario.drift.apply(market, list(assignment.edges))
+
+                obs.count("sim.rounds")
+                obs.count("sim.assigned_edges", len(assignment))
+                obs.count("sim.declined_edges", declined)
+                obs.count("sim.faulted_edges", faulted)
+                obs.count("sim.churned_workers", churned)
                 result.rounds.append(
-                    self._empty_round(
-                        round_index,
-                        market,
+                    RoundMetrics(
+                        round_index=round_index,
+                        n_active_workers=len(active),
+                        n_assigned_edges=len(assignment),
+                        requester_benefit=assignment.requester_total(),
+                        worker_benefit=assignment.worker_total(),
+                        combined_benefit=assignment.combined_total(),
+                        aggregated_accuracy=accuracy,
+                        participation_rate=(
+                            sum(w.active for w in market.workers)
+                            / market.n_workers
+                        ),
+                        benefit_gini=benefit_gini(assignment),
+                        churned_workers=churned,
+                        declined_edges=declined,
+                        faulted_edges=faulted,
                         solver_retries=report.retries,
-                        fallback_tier=-1,
+                        fallback_tier=report.tier,
                         solver_wall_time=report.wall_time,
                     )
                 )
-                continue
-            assignment = Assignment(
-                true_problem, list(planned.edges), solver_name=solver.name
-            )
-
-            declined = 0
-            if scenario.workers_decline:
-                worker_matrix = true_problem.benefits.worker
-                accepted = [
-                    (i, j)
-                    for i, j in assignment.edges
-                    if worker_matrix[i, j] >= 0
-                ]
-                declined = len(assignment.edges) - len(accepted)
-                assignment = Assignment(
-                    true_problem, accepted, solver_name=solver.name
-                )
-
-            # Unfulfilled edges — worker no-shows and mid-round task
-            # cancellations — vanish from realization *and* accounting:
-            # no answer, no pay, no practice, no satisfaction.
-            faulted = 0
-            if faults is not None:
-                assignment, faulted = self._apply_edge_faults(
-                    true_problem, assignment, faults, market.n_tasks
-                )
-
-            solver.observe_round(true_problem, assignment)
-
-            # Dropped answers: the work happened (and is paid /
-            # accounted), but the answer never reaches aggregation.
-            dropped = (
-                faults.dropped_answers(assignment.edges)
-                if faults is not None
-                else frozenset()
-            )
-            accuracy, answers, labels = self._realize_answers(
-                market, assignment, rng, dropped
-            )
-            faulted += len(dropped)
-            if estimator is not None and answers is not None:
-                self._update_estimator(
-                    estimator, market, answers, labels, rng
-                )
-            churned = self._apply_retention(
-                retention, market, assignment, rng
-            )
-            if scenario.drift is not None:
-                scenario.drift.apply(market, list(assignment.edges))
-
-            result.rounds.append(
-                RoundMetrics(
-                    round_index=round_index,
-                    n_active_workers=len(active),
-                    n_assigned_edges=len(assignment),
-                    requester_benefit=assignment.requester_total(),
-                    worker_benefit=assignment.worker_total(),
-                    combined_benefit=assignment.combined_total(),
-                    aggregated_accuracy=accuracy,
-                    participation_rate=(
-                        sum(w.active for w in market.workers)
-                        / market.n_workers
-                    ),
-                    benefit_gini=benefit_gini(assignment),
-                    churned_workers=churned,
-                    declined_edges=declined,
-                    faulted_edges=faulted,
-                    solver_retries=report.retries,
-                    fallback_tier=report.tier,
-                    solver_wall_time=report.wall_time,
-                )
-            )
+        if obs.enabled():
+            # Snapshot of the active tracer's metrics as of run end —
+            # exactly this run's numbers when the run is traced in
+            # isolation (``with obs.tracing(): sim.run()``), cumulative
+            # when several runs share one tracer.
+            result.report = obs.RunReport.from_tracer(obs.active())
         return result
 
     # -- helpers ---------------------------------------------------------
@@ -310,22 +339,28 @@ class Simulation:
         edges = list(assignment.edges)
         if not edges:
             return float("nan"), None, {}
-        answers = simulate_answers(market, edges, seed=rng)
+        with obs.span("simulate", edges=len(edges)):
+            answers = simulate_answers(market, edges, seed=rng)
         if dropped:
             answers = self._drop_answers(answers, dropped)
             if not answers.answers:
                 return float("nan"), None, {}
         aggregator = self.scenario.aggregator
-        if aggregator == "majority":
-            labels = majority_vote(answers, seed=rng)
-        elif aggregator == "weighted":
-            # Weight by the planner-known accuracies (the planner's
-            # model of workers; estimation from data is exercised by
-            # the dawid-skene option).
-            mean_accuracy = self._weighted_mean_accuracy(market)
-            labels = weighted_majority_vote(answers, mean_accuracy, seed=rng)
-        else:  # dawid-skene
-            labels = dawid_skene(answers).labels
+        with obs.span(
+            "aggregate", aggregator=aggregator, tasks=len(answers.answers)
+        ):
+            if aggregator == "majority":
+                labels = majority_vote(answers, seed=rng)
+            elif aggregator == "weighted":
+                # Weight by the planner-known accuracies (the
+                # planner's model of workers; estimation from data is
+                # exercised by the dawid-skene option).
+                mean_accuracy = self._weighted_mean_accuracy(market)
+                labels = weighted_majority_vote(
+                    answers, mean_accuracy, seed=rng
+                )
+            else:  # dawid-skene
+                labels = dawid_skene(answers).labels
         scored = [
             labels[task] == truth for task, truth in answers.truths.items()
         ]

@@ -6,6 +6,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import RunReport
+
 
 @dataclass(frozen=True)
 class RoundMetrics:
@@ -44,16 +46,37 @@ class RoundMetrics:
 
 @dataclass
 class SimulationResult:
-    """All rounds of one run, with convenience aggregates."""
+    """All rounds of one run, with convenience aggregates.
+
+    Aggregates over *measured* quantities (accuracy, participation)
+    exclude rounds with ``fallback_tier == -1``: those rounds were
+    degraded to empty because no solver tier delivered, so their
+    metrics describe the failure, not the workload — folding them in
+    would let an infrastructure outage masquerade as a policy effect.
+    The degradation stays visible through :attr:`degraded_rounds` and
+    the per-round records themselves.
+    """
 
     solver_name: str
     rounds: list[RoundMetrics] = field(default_factory=list)
+    #: Metric snapshot from the active tracer (``repro.obs``) at run
+    #: end; ``None`` for untraced runs.
+    report: "RunReport | None" = None
 
     def series(self, attribute: str) -> np.ndarray:
         """Per-round values of one :class:`RoundMetrics` attribute."""
         return np.array(
             [getattr(r, attribute) for r in self.rounds], dtype=float
         )
+
+    def measured_rounds(self) -> list[RoundMetrics]:
+        """Rounds actually served by some solver tier.
+
+        Excludes rounds degraded to empty (``fallback_tier == -1``);
+        genuinely empty rounds (no tasks / no active workers) count as
+        measured — tier 0 served them, there was just nothing to do.
+        """
+        return [r for r in self.rounds if r.fallback_tier != -1]
 
     @property
     def total_requester_benefit(self) -> float:
@@ -69,12 +92,27 @@ class SimulationResult:
 
         Empty rounds record NaN accuracy (there is nothing to score);
         they are *skipped*, not propagated — one no-answer round must
-        not poison the whole run's aggregate.  NaN only when no round
+        not poison the whole run's aggregate.  Degraded rounds
+        (``fallback_tier == -1``) are likewise excluded.  NaN —
+        silently, never via a ``RuntimeWarning`` — when no round
         produced answers at all.
         """
-        acc = self.series("aggregated_accuracy")
+        acc = np.array(
+            [r.aggregated_accuracy for r in self.measured_rounds()],
+            dtype=float,
+        )
         acc = acc[~np.isnan(acc)]
         return float(acc.mean()) if acc.size else float("nan")
+
+    @property
+    def mean_participation(self) -> float:
+        """Mean participation rate over measured (non-degraded) rounds.
+
+        NaN when every round was degraded — a run where no solver tier
+        ever delivered has no participation measurement to report.
+        """
+        rates = [r.participation_rate for r in self.measured_rounds()]
+        return float(np.mean(rates)) if rates else float("nan")
 
     @property
     def total_faulted_edges(self) -> int:

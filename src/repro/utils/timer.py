@@ -8,22 +8,35 @@ import time
 class Timer:
     """Context manager measuring elapsed wall-clock seconds.
 
+    ``elapsed`` is live: read inside the ``with`` block it returns the
+    time accumulated *so far*; after the block exits it freezes at the
+    final duration.  Re-entering the same instance restarts the clock.
+
     Example::
 
         with Timer() as t:
             solver.solve(problem)
-        print(t.elapsed)
+            print(t.elapsed)  # running total, mid-flight
+        print(t.elapsed)      # frozen final duration
     """
 
     def __init__(self) -> None:
         self._start: float | None = None
-        self.elapsed: float = 0.0
+        self._elapsed: float = 0.0
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since ``__enter__`` while running; frozen after exit."""
+        if self._start is not None:
+            return time.perf_counter() - self._start
+        return self._elapsed
 
     def __enter__(self) -> "Timer":
+        self._elapsed = 0.0
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         if self._start is not None:
-            self.elapsed = time.perf_counter() - self._start
+            self._elapsed = time.perf_counter() - self._start
             self._start = None

@@ -130,3 +130,27 @@ class TestSweepParallel:
     def test_workers_must_be_positive(self):
         with pytest.raises(ValidationError):
             sweep([1], _seeded_measure, workers=0)
+
+    def test_spawn_context_matches_serial(self):
+        # spawn re-imports the measure's module in a fresh interpreter —
+        # the strictest start method (and the macOS/Windows default).
+        serial = sweep([1, 2, 3], _seeded_measure, repetitions=2, seed=7)
+        spawned = sweep(
+            [1, 2, 3], _seeded_measure, repetitions=2, seed=7,
+            workers=2, mp_context="spawn",
+        )
+        assert [p.value for p in spawned] == [p.value for p in serial]
+
+    def test_lambda_rejected_up_front(self):
+        # Regression: this used to surface mid-run as an opaque
+        # PicklingError out of the pool; now it fails fast.
+        with pytest.raises(ValidationError, match="picklable"):
+            sweep([1], lambda p, rng: float(p), workers=2)
+
+    def test_lambda_fine_when_serial(self):
+        points = sweep([1], lambda p, rng: float(p), repetitions=1)
+        assert points[0].value == 1.0
+
+    def test_unknown_mp_context_rejected(self):
+        with pytest.raises(ValidationError, match="multiprocessing context"):
+            sweep([1], _seeded_measure, workers=2, mp_context="thread")

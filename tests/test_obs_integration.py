@@ -1,0 +1,207 @@
+"""End-to-end tests: tracing threaded through the engine, the
+resilience executor, the sweep harness, and the CLI."""
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.core.problem import MBAProblem
+from repro.datagen.synthetic import SyntheticConfig, generate_market
+from repro.eval.sweep import sweep
+from repro.resilience import FaultPlan, ResilientSolver
+from repro.sim.engine import Simulation
+from repro.sim.scenario import Scenario
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def _market(seed=0, **kwargs):
+    defaults = dict(n_workers=20, n_tasks=10)
+    defaults.update(kwargs)
+    return generate_market(SyntheticConfig(**defaults), seed=seed)
+
+
+def _scenario(**kwargs):
+    defaults = dict(
+        market=_market(), solver_name="greedy", n_rounds=3, retention=None
+    )
+    defaults.update(kwargs)
+    return Scenario(**defaults)
+
+
+class TestTracedSimulation:
+    def test_round_spans_and_stages(self):
+        with obs.tracing() as tracer:
+            result = Simulation(_scenario()).run(seed=0)
+        rounds = [s for s in tracer.spans if s.name == "round"]
+        assert [s.tags["index"] for s in rounds] == [0, 1, 2]
+        assert all(s.parent is None for s in rounds)
+        stage_names = {
+            s.name for s in tracer.spans if s.parent is not None
+        }
+        assert {"assign", "simulate", "aggregate"} <= stage_names
+        assert not tracer.open_spans
+        assert tracer.metrics.counters["sim.rounds"] == 3.0
+        assert tracer.metrics.counters["sim.assigned_edges"] > 0
+        assert result.report is not None
+        assert result.report.counters == tracer.metrics.counters
+
+    def test_untraced_run_has_no_report(self):
+        result = Simulation(_scenario()).run(seed=0)
+        assert result.report is None
+
+    def test_estimator_round_records_estimate_span(self):
+        from repro.crowd import BetaSkillEstimator
+
+        scenario = _scenario(estimator=BetaSkillEstimator())
+        with obs.tracing() as tracer:
+            Simulation(scenario).run(seed=0)
+        assert any(s.name == "estimate" for s in tracer.spans)
+
+    def test_matching_counters_recorded(self):
+        with obs.tracing() as tracer:
+            Simulation(_scenario(solver_name="flow")).run(seed=0)
+        counters = tracer.metrics.counters
+        assert counters["sim.rounds"] == 3.0
+        assert counters["sim.assigned_edges"] > 0
+
+    def test_auction_counters_recorded(self):
+        with obs.tracing() as tracer:
+            Simulation(_scenario(solver_name="auction")).run(seed=0)
+        counters = tracer.metrics.counters
+        assert counters["auction.bids"] > 0
+        assert counters["auction.price_updates"] > 0
+        assert counters["auction.phases"] > 0
+
+    def test_tracing_does_not_change_results(self):
+        plain = Simulation(_scenario()).run(seed=3)
+        with obs.tracing():
+            traced = Simulation(_scenario()).run(seed=3)
+        assert [
+            (r.n_assigned_edges, r.combined_benefit) for r in plain.rounds
+        ] == [
+            (r.n_assigned_edges, r.combined_benefit) for r in traced.rounds
+        ]
+
+
+class TestTraceDeterminism:
+    def _trace(self, tmp_path, name):
+        scenario = _scenario(
+            solver_name="auction",
+            fault_plan=FaultPlan.uniform(0.3, seed=13),
+            resilience="default",
+        )
+        with obs.tracing() as tracer:
+            Simulation(scenario).run(seed=0)
+        return obs.read_trace(
+            obs.write_trace(tracer, tmp_path / name, tag="det")
+        )
+
+    def test_identical_seeds_identical_traces_modulo_wall_time(
+        self, tmp_path
+    ):
+        first = self._trace(tmp_path, "a.jsonl")
+        second = self._trace(tmp_path, "b.jsonl")
+        assert obs.deterministic_events(first) == obs.deterministic_events(
+            second
+        )
+        assert first.metrics["counters"] == second.metrics["counters"]
+
+
+class TestTracedResilience:
+    def test_attempt_spans_with_retry_and_fault_tags(self):
+        solver = ResilientSolver(primary="greedy")
+        problem = MBAProblem(_market())
+        with obs.tracing() as tracer:
+            solver.solve_resilient(
+                problem, seed=0, forced_failure="convergence"
+            )
+        attempts = [s for s in tracer.spans if s.name == "attempt"]
+        assert len(attempts) >= 2, "forced failure must cost one attempt"
+        first = attempts[0]
+        assert first.tags["tier"] == 0
+        assert first.tags["fault"] == "convergence"
+        assert first.tags["outcome"] == "failed"
+        assert "error" in first.tags
+        assert attempts[1].tags["retry"] == 1
+        assert attempts[-1].tags["outcome"] in ("ok", "salvaged")
+        counters = tracer.metrics.counters
+        assert counters["resilience.solves"] == 1.0
+        assert counters["resilience.failed_attempts"] >= 1.0
+
+
+class TestTracedSweep:
+    def test_serial_sweep_records_points(self):
+        with obs.tracing() as tracer:
+            sweep([1, 2], _sweep_measure, repetitions=2, seed=0)
+        points = [s for s in tracer.spans if s.name == "sweep.point"]
+        assert len(points) == 4
+        assert tracer.metrics.counters["sweep.points"] == 4.0
+
+    def test_parallel_sweep_merges_worker_traces(self):
+        with obs.tracing() as tracer:
+            sweep([1, 2], _sweep_measure, repetitions=2, seed=0, workers=2)
+        points = [s for s in tracer.spans if s.name == "sweep.point"]
+        assert len(points) == 4
+        assert tracer.metrics.counters["sweep.points"] == 4.0
+
+    def test_untraced_sweep_records_nothing(self):
+        sweep([1], _sweep_measure, repetitions=1, workers=2)
+        assert obs.active() is None
+
+
+def _sweep_measure(parameter, rng):
+    """Top-level so the process pool can pickle it."""
+    return float(parameter) + float(rng.random())
+
+
+class TestTraceCli:
+    def test_simulate_trace_then_summarize(self, tmp_path, capsys):
+        market_path = tmp_path / "market.json"
+        trace_path = tmp_path / "run.jsonl"
+        assert main(
+            ["generate", "synthetic-uniform", str(market_path),
+             "--workers", "15", "--tasks", "8", "--seed", "1"]
+        ) == 0
+        assert main(
+            ["simulate", str(market_path), "--rounds", "2",
+             "--no-retention", "--trace", str(trace_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wrote trace" in out
+        assert trace_path.exists()
+
+        trace = obs.read_trace(trace_path)
+        assert trace.tag == "simulate"
+        assert sum(1 for s in trace.spans if s.name == "round") == 2
+
+        assert main(["trace", str(trace_path)]) == 0
+        summary = capsys.readouterr().out
+        assert "per-round breakdown:" in summary
+        assert "sim.rounds" in summary
+
+    def test_trace_cli_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["trace", str(bad)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_simulate_without_trace_flag_writes_nothing(
+        self, tmp_path, capsys
+    ):
+        market_path = tmp_path / "market.json"
+        main(
+            ["generate", "synthetic-uniform", str(market_path),
+             "--workers", "15", "--tasks", "8", "--seed", "1"]
+        )
+        assert main(
+            ["simulate", str(market_path), "--rounds", "1",
+             "--no-retention"]
+        ) == 0
+        assert "wrote trace" not in capsys.readouterr().out
+        assert not obs.enabled()

@@ -18,6 +18,7 @@ from repro.perf import (
     save_baseline,
     write_bench_json,
 )
+from repro.perf.baseline import baseline_time
 
 
 def _result(name="hungarian/n=10", wall=0.5, ref=1.5, checksum=2.0):
@@ -143,6 +144,62 @@ class TestBaseline:
             find_regressions([_result()], None, threshold=-0.1)
 
 
+class TestBaselineEdgeCases:
+    """Dedicated coverage for the degenerate baseline shapes that used
+    to be untested: missing entries, zero/near-zero times, old schemas."""
+
+    def _baseline(self, **times):
+        return {
+            "schema": "repro-perf-baseline/1",
+            "tag": "edge",
+            "cases": {
+                name: {"suite": "s", "size": 1, "solver": "x",
+                       "wall_time": wall}
+                for name, wall in times.items()
+            },
+        }
+
+    def test_missing_entry_yields_no_baseline_time(self):
+        baseline = self._baseline(**{"hungarian/n=10": 0.5})
+        assert baseline_time(baseline, "auction/n=10") is None
+
+    def test_missing_entry_is_never_a_regression(self):
+        baseline = self._baseline(**{"other/n=1": 0.001})
+        assert not find_regressions([_result(wall=100.0)], baseline)
+
+    def test_zero_baseline_time_skipped_without_dividing(self):
+        # A corrupt or hand-edited entry with wall_time 0 must not
+        # raise ZeroDivisionError computing the ratio — it is skipped.
+        baseline = self._baseline(**{"hungarian/n=10": 0.0})
+        assert not find_regressions([_result(wall=100.0)], baseline)
+
+    def test_negative_baseline_time_skipped(self):
+        baseline = self._baseline(**{"hungarian/n=10": -0.5})
+        assert not find_regressions([_result(wall=100.0)], baseline)
+
+    def test_tiny_positive_baseline_still_detects(self):
+        # Near-zero but positive entries stay live: the ratio is huge
+        # and finite, and the case is correctly flagged.
+        baseline = self._baseline(**{"hungarian/n=10": 1e-12})
+        regressions = find_regressions([_result(wall=0.5)], baseline)
+        assert [r.name for r in regressions] == ["hungarian/n=10"]
+        assert regressions[0].ratio > 1e6
+
+    def test_older_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(
+            json.dumps({"schema": "repro-perf-baseline/0", "cases": {}})
+        )
+        with pytest.raises(ValidationError, match="repro-perf-baseline/1"):
+            load_baseline(path)
+
+    def test_schemaless_payload_rejected(self, tmp_path):
+        path = tmp_path / "bare.json"
+        path.write_text(json.dumps({"cases": {}}))
+        with pytest.raises(ValidationError):
+            load_baseline(path)
+
+
 class TestReport:
     def _payload(self, results=None, regressions=()):
         return bench_payload(
@@ -188,6 +245,17 @@ class TestReport:
         assert "hungarian/n=10" in text
         assert "no baseline found" in text
 
+    def test_payload_carries_obs_report(self):
+        report = {"counters": {"bench.cases": 1.0}, "gauges": {},
+                  "histograms": {}, "n_spans": 1, "wall_time": 0.1}
+        payload = bench_payload(
+            [_result()], [], baseline=None, tag="t", threshold=0.5,
+            quick=True, scale=1.0, obs_report=report,
+        )
+        assert payload["obs"] == report
+        # Omitting it stays valid (older callers / hand-built payloads).
+        assert self._payload()["obs"] is None
+
 
 class TestBenchCli:
     def _run(self, tmp_path, *extra):
@@ -207,6 +275,11 @@ class TestBenchCli:
         payload = json.loads((tmp_path / "BENCH_clitest.json").read_text())
         assert payload["ok"]
         assert all(c["vs_baseline"] is not None for c in payload["results"])
+        # The artifact carries the obs counters collected during the run.
+        assert payload["obs"]["counters"]["bench.cases"] == len(
+            payload["results"]
+        )
+        assert payload["obs"]["n_spans"] >= len(payload["results"])
 
     def test_regression_fails_unless_no_fail(self, tmp_path, capsys):
         assert self._run(tmp_path, "--update-baseline") == 0

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import warnings
 
 import pytest
 
@@ -28,7 +29,8 @@ def _market(seed=0, **kwargs):
     return generate_market(SyntheticConfig(**defaults), seed=seed)
 
 
-def _round(index, *, edges=0, accuracy=float("nan")):
+def _round(index, *, edges=0, accuracy=float("nan"), tier=0,
+           participation=1.0):
     return RoundMetrics(
         round_index=index,
         n_active_workers=10,
@@ -37,9 +39,10 @@ def _round(index, *, edges=0, accuracy=float("nan")):
         worker_benefit=0.0,
         combined_benefit=0.0,
         aggregated_accuracy=accuracy,
-        participation_rate=1.0,
+        participation_rate=participation,
         benefit_gini=0.0,
         churned_workers=0,
+        fallback_tier=tier,
     )
 
 
@@ -252,3 +255,69 @@ class TestNanSkippingAggregates:
 
     def test_cumulative_accuracy_empty_result(self):
         assert SimulationResult(solver_name="x").cumulative_accuracy().size == 0
+
+
+class TestDegradedRoundAggregates:
+    """Regression: all-NaN / degraded runs must aggregate silently and
+    degraded rounds must not contaminate measured aggregates."""
+
+    def test_all_nan_mean_accuracy_is_silent(self):
+        result = SimulationResult(
+            solver_name="x", rounds=[_round(0), _round(1)]
+        )
+        with warnings.catch_warnings():
+            # A RuntimeWarning ("Mean of empty slice") would raise here.
+            warnings.simplefilter("error")
+            assert math.isnan(result.mean_accuracy)
+            # Empty-but-served rounds still measure participation.
+            assert result.mean_participation == pytest.approx(1.0)
+
+    def test_empty_result_aggregates_are_silent_nan(self):
+        result = SimulationResult(solver_name="x")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert math.isnan(result.mean_accuracy)
+            assert math.isnan(result.mean_participation)
+
+    def test_degraded_rounds_excluded_from_mean_accuracy(self):
+        # The degraded round carries a (bogus) accuracy of 0.0 — it
+        # describes the failure, not the workload, and must be skipped.
+        result = SimulationResult(
+            solver_name="x",
+            rounds=[
+                _round(0, edges=4, accuracy=0.8),
+                _round(1, accuracy=0.0, tier=-1),
+                _round(2, edges=4, accuracy=0.6),
+            ],
+        )
+        assert result.mean_accuracy == pytest.approx(0.7)
+
+    def test_degraded_rounds_excluded_from_participation(self):
+        result = SimulationResult(
+            solver_name="x",
+            rounds=[
+                _round(0, edges=4, accuracy=0.8, participation=0.5),
+                _round(1, tier=-1, participation=0.0),
+                _round(2, edges=4, accuracy=0.6, participation=0.7),
+            ],
+        )
+        assert result.mean_participation == pytest.approx(0.6)
+
+    def test_all_degraded_run_aggregates_to_nan(self):
+        result = SimulationResult(
+            solver_name="x",
+            rounds=[_round(0, tier=-1), _round(1, tier=-1)],
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert math.isnan(result.mean_accuracy)
+            assert math.isnan(result.mean_participation)
+        assert result.measured_rounds() == []
+
+    def test_measured_rounds_keeps_genuinely_empty_rounds(self):
+        # Empty-but-served rounds (tier 0, nothing to do) stay measured.
+        result = SimulationResult(
+            solver_name="x",
+            rounds=[_round(0), _round(1, tier=-1)],
+        )
+        assert [r.round_index for r in result.measured_rounds()] == [0]

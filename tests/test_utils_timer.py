@@ -1,0 +1,52 @@
+"""Regression tests for the live ``Timer.elapsed`` property."""
+
+import time
+
+from repro.utils.timer import Timer
+
+
+class TestTimerLiveElapsed:
+    def test_elapsed_is_zero_before_use(self):
+        assert Timer().elapsed == 0.0
+
+    def test_elapsed_reads_live_inside_block(self):
+        # Regression: ``elapsed`` used to be a plain attribute stamped
+        # only on ``__exit__``, so mid-block reads always returned 0.0.
+        with Timer() as timer:
+            time.sleep(0.01)
+            mid = timer.elapsed
+            assert mid > 0.0
+            time.sleep(0.01)
+            later = timer.elapsed
+            assert later > mid
+
+    def test_elapsed_freezes_after_exit(self):
+        with Timer() as timer:
+            time.sleep(0.005)
+        frozen = timer.elapsed
+        assert frozen > 0.0
+        time.sleep(0.005)
+        assert timer.elapsed == frozen
+
+    def test_reentry_restarts_the_clock(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.02)
+        first = timer.elapsed
+        with timer:
+            second_mid = timer.elapsed
+            assert second_mid < first
+        assert timer.elapsed < first + 0.02
+
+    def test_frozen_even_if_block_raises(self):
+        timer = Timer()
+        try:
+            with timer:
+                time.sleep(0.005)
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        frozen = timer.elapsed
+        assert frozen > 0.0
+        time.sleep(0.005)
+        assert timer.elapsed == frozen
