@@ -12,9 +12,11 @@ Four commands cover the operational surface a platform engineer needs:
 
 Plus operational commands: ``compare`` (solver comparison with CIs),
 ``events`` (continuous-time simulation), ``lint`` (static analysis),
-``bench`` (performance suites with baseline regression checks), and
+``bench`` (performance suites with baseline regression checks),
 ``trace`` (replay/summarize a JSONL trace exported by a run with
-``--trace``; see ``docs/observability.md``).
+``--trace``), and ``obs`` (cross-run observability: the run registry,
+``obs diff`` regression detection, and the ``obs report`` HTML
+dashboard; see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -39,6 +41,19 @@ from repro.market.retention import RetentionModel
 from repro.resilience import RESILIENCE_PROFILES, FaultPlan
 from repro.sim.engine import Simulation
 from repro.sim.scenario import Scenario
+
+
+def _add_register_arguments(parser: argparse.ArgumentParser) -> None:
+    """``--register``/``--registry`` for every command with ``--trace``."""
+    parser.add_argument(
+        "--register", action="store_true",
+        help="archive the exported trace in the run registry so later "
+        "runs can `obs diff`/`obs report` against it (requires --trace)",
+    )
+    parser.add_argument(
+        "--registry", default=obs.DEFAULT_REGISTRY_ROOT, metavar="DIR",
+        help="run-registry directory (default: %(default)s)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -105,6 +120,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "export them to PATH as JSONL; summarize with "
         "`python -m repro trace PATH`",
     )
+    simulate.add_argument(
+        "--live", action="store_true",
+        help="with --trace: stream one span/counter line per round as "
+        "it closes, instead of staying silent until the run ends",
+    )
+    _add_register_arguments(simulate)
 
     experiment = commands.add_parser(
         "experiment", help="run a registered evaluation experiment"
@@ -117,6 +138,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="record spans and counters while the experiment runs and "
         "export them to PATH as JSONL",
     )
+    _add_register_arguments(experiment)
 
     compare = commands.add_parser(
         "compare",
@@ -135,6 +157,12 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--instances", type=int, default=20)
     compare.add_argument("--lam", type=float, default=0.5)
     compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument(
+        "--trace", metavar="PATH",
+        help="record spans and counters during the comparison and "
+        "export them to PATH as JSONL",
+    )
+    _add_register_arguments(compare)
 
     events = commands.add_parser(
         "events", help="run the event-driven continuous-time simulation"
@@ -149,6 +177,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--policy", default="greedy", choices=("greedy", "threshold")
     )
     events.add_argument("--seed", type=int, default=0)
+    events.add_argument(
+        "--trace", metavar="PATH",
+        help="record spans and counters during the event simulation "
+        "and export them to PATH as JSONL",
+    )
+    _add_register_arguments(events)
 
     lint = commands.add_parser(
         "lint",
@@ -224,6 +258,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="report regressions but exit 0 anyway (checksum "
         "mismatches still fail)",
     )
+    bench.add_argument(
+        "--registry", default=None, metavar="DIR",
+        help="run registry used to span-diff this run against the "
+        "previous bench run of the same tag (default: "
+        "<output-dir>/.repro-runs)",
+    )
+    bench.add_argument(
+        "--no-register", action="store_true",
+        help="skip archiving this run's trace and the advisory span "
+        "diff against the previous run of the same tag",
+    )
 
     trace = commands.add_parser(
         "trace",
@@ -236,6 +281,99 @@ def _build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=10,
         help="how many span names to list in the time ranking",
     )
+
+    obs_cmd = commands.add_parser(
+        "obs",
+        help="cross-run observability: the run registry "
+        "(register/list/prune), span-level regression diffs, and the "
+        "self-contained HTML dashboard",
+    )
+    obs_actions = obs_cmd.add_subparsers(dest="obs_command", required=True)
+
+    obs_register = obs_actions.add_parser(
+        "register", help="archive a trace file in the run registry"
+    )
+    obs_register.add_argument("trace", help="trace JSONL path")
+    obs_register.add_argument(
+        "--tag", default=None,
+        help="registry tag (default: the trace header's tag)",
+    )
+    obs_register.add_argument("--seed", type=int, default=None)
+    obs_register.add_argument(
+        "--scenario", default=None,
+        help="free-form scenario label stored in the index",
+    )
+
+    obs_list = obs_actions.add_parser(
+        "list", help="list registered runs, oldest first"
+    )
+    obs_list.add_argument("--tag", default=None, help="only this tag")
+
+    obs_prune = obs_actions.add_parser(
+        "prune", help="drop all but the newest KEEP registered runs"
+    )
+    obs_prune.add_argument("keep", type=int, metavar="KEEP")
+    obs_prune.add_argument("--tag", default=None, help="only this tag")
+
+    obs_diff = obs_actions.add_parser(
+        "diff",
+        help="per-span self-time/counter diff of two runs; exits 1 "
+        "when span self time regresses beyond the threshold",
+    )
+    obs_diff.add_argument(
+        "a", help="baseline run: trace path, run-id prefix, or tag"
+    )
+    obs_diff.add_argument(
+        "b", help="candidate run: trace path, run-id prefix, or tag"
+    )
+    obs_diff.add_argument(
+        "--threshold", type=float, default=obs.DEFAULT_DIFF_THRESHOLD,
+        help="regression allowance as a fraction of baseline self "
+        "time (default %(default)s: flag beyond 1.5x)",
+    )
+    obs_diff.add_argument(
+        "--noise-floor", type=float, default=obs.DEFAULT_NOISE_FLOOR,
+        help="ignore self-time growth below this many seconds "
+        "(default %(default)s)",
+    )
+    obs_diff.add_argument(
+        "--top", type=int, default=15,
+        help="how many span rows to print",
+    )
+
+    obs_report = obs_actions.add_parser(
+        "report",
+        help="render a run as a self-contained HTML dashboard "
+        "(timeline, flame view, counter sparklines); give two runs "
+        "for a side-by-side diff section",
+    )
+    obs_report.add_argument(
+        "runs", nargs="+", metavar="RUN",
+        help="one run, or `BASELINE CANDIDATE` (each a trace path, "
+        "run-id prefix, or tag)",
+    )
+    obs_report.add_argument(
+        "--output", default="obs_report.html", metavar="PATH",
+        help="HTML output path (default: %(default)s)",
+    )
+    obs_report.add_argument(
+        "--title", default=None, help="page title override"
+    )
+    obs_report.add_argument(
+        "--threshold", type=float, default=obs.DEFAULT_DIFF_THRESHOLD,
+        help="diff regression threshold (two-run form only)",
+    )
+    obs_report.add_argument(
+        "--noise-floor", type=float, default=obs.DEFAULT_NOISE_FLOOR,
+        help="diff noise floor in seconds (two-run form only)",
+    )
+
+    for sub in (obs_register, obs_list, obs_prune, obs_diff, obs_report):
+        sub.add_argument(
+            "--registry", default=obs.DEFAULT_REGISTRY_ROOT,
+            metavar="DIR",
+            help="run-registry directory (default: %(default)s)",
+        )
 
     return parser
 
@@ -270,6 +408,81 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _finish_trace(
+    tracer: obs.Tracer,
+    args: argparse.Namespace,
+    tag: str,
+    scenario: str | None = None,
+) -> None:
+    """Export a command's tracer and (with ``--register``) archive it."""
+    path = obs.write_trace(tracer, args.trace, tag=tag)
+    print(f"wrote trace ({len(tracer.spans)} spans) to {path}")
+    if getattr(args, "register", False):
+        registry = obs.RunRegistry(args.registry)
+        entry = registry.register(
+            path,
+            tag=tag,
+            seed=getattr(args, "seed", None),
+            scenario=scenario,
+            git_rev=obs.current_git_rev(),
+        )
+        print(
+            f"registered run {entry.tag}@{entry.run_id} "
+            f"in {registry.root}"
+        )
+
+
+def _live_printer(tracer: obs.Tracer):
+    """Tracer sink for ``simulate --trace --live``.
+
+    Child spans close before their parent, so by the time the sink
+    sees a root ``round`` span every stage inside it is already
+    recorded; spans appended after the round opened are exactly the
+    ones with a higher index, so the scan stays bounded by the round's
+    own size.  Counters are cumulative, so per-round work is the delta
+    against the previous round's snapshot.
+    """
+    last_counters: dict[str, float] = {}
+
+    def on_close(record: obs.SpanRecord) -> None:
+        if record.name != "round" or record.depth != 0:
+            return
+        stages: dict[str, float] = {}
+        for span in tracer.spans[record.index + 1:]:
+            if span.parent == record.index and not span.open:
+                stages[span.name] = (
+                    stages.get(span.name, 0.0) + span.duration
+                )
+        counters = tracer.metrics.counters
+        deltas = {
+            name: counters[name] - last_counters.get(name, 0.0)
+            for name in sorted(counters)
+            if counters[name] != last_counters.get(name, 0.0)
+        }
+        last_counters.clear()
+        last_counters.update(counters)
+        index = record.tags.get("index", "?")
+        outcome = record.tags.get("outcome", "ok")
+        parts = [f"[round {index}] {record.duration:.4f}s {outcome}"]
+        if stages:
+            parts.append(
+                " ".join(
+                    f"{name}={duration:.4f}s"
+                    for name, duration in stages.items()
+                )
+            )
+        if deltas:
+            parts.append(
+                " ".join(
+                    f"{name}=+{value:g}"
+                    for name, value in deltas.items()
+                )
+            )
+        print(" | ".join(parts), flush=True)
+
+    return on_close
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     market = load_market(args.market)
     fault_plan = (
@@ -286,11 +499,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         fault_plan=fault_plan,
         resilience=None if args.resilience == "off" else args.resilience,
     )
+    if args.live and not args.trace:
+        print("error: --live requires --trace", file=sys.stderr)
+        return 2
     if args.trace:
-        with obs.tracing() as tracer:
+        tracer = obs.Tracer()
+        if args.live:
+            tracer.sink = _live_printer(tracer)
+        with obs.tracing(tracer):
             result = Simulation(scenario).run(seed=args.seed)
-        path = obs.write_trace(tracer, args.trace, tag="simulate")
-        print(f"wrote trace ({len(tracer.spans)} spans) to {path}")
+        _finish_trace(
+            tracer, args, tag="simulate",
+            scenario=f"{args.solver}:{args.market}",
+        )
     else:
         result = Simulation(scenario).run(seed=args.seed)
     print(
@@ -322,8 +543,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.trace:
         with obs.tracing() as tracer:
             table = run_experiment(args.id, scale=args.scale, seed=args.seed)
-        path = obs.write_trace(tracer, args.trace, tag=f"experiment-{args.id}")
-        print(f"wrote trace ({len(tracer.spans)} spans) to {path}")
+        _finish_trace(
+            tracer, args, tag=f"experiment-{args.id}", scenario=args.id
+        )
     else:
         table = run_experiment(args.id, scale=args.scale, seed=args.seed)
     print(table.render())
@@ -338,13 +560,29 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     def factory(rng):
         return make(n_workers=args.workers, n_tasks=args.tasks, seed=rng)
 
-    table, _comparisons = compare_solvers(
-        factory,
-        args.solvers,
-        n_instances=args.instances,
-        lam=args.lam,
-        seed=args.seed,
-    )
+    def run():
+        return compare_solvers(
+            factory,
+            args.solvers,
+            n_instances=args.instances,
+            lam=args.lam,
+            seed=args.seed,
+        )
+
+    if args.trace:
+        with obs.tracing() as tracer:
+            with obs.span(
+                "compare",
+                workload=args.workload,
+                solvers=",".join(args.solvers),
+            ):
+                table, _comparisons = run()
+        _finish_trace(
+            tracer, args, tag="compare",
+            scenario=f"{args.workload}:{','.join(args.solvers)}",
+        )
+    else:
+        table, _comparisons = run()
     print(table.render())
     return 0
 
@@ -361,7 +599,16 @@ def _cmd_events(args: argparse.Namespace) -> int:
         session_length=args.session,
         policy=args.policy,
     )
-    result = EventSimulation(market, config).run(seed=args.seed)
+    if args.trace:
+        with obs.tracing() as tracer:
+            with obs.span("events", policy=args.policy):
+                result = EventSimulation(market, config).run(seed=args.seed)
+        _finish_trace(
+            tracer, args, tag="events",
+            scenario=f"{args.policy}:{args.market}",
+        )
+    else:
+        result = EventSimulation(market, config).run(seed=args.seed)
     print(
         f"posted {result.posted_tasks} | filled {len(result.assignments)} "
         f"({100 * result.fill_rate:.1f}%) | expired {result.expired_tasks}"
@@ -421,12 +668,15 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
     from repro.perf import (
         DEFAULT_THRESHOLD,
         bench_payload,
         build_suites,
         find_regressions,
         load_baseline,
+        register_and_diff,
         render_text,
         run_cases,
         save_baseline,
@@ -469,6 +719,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     path = write_bench_json(payload, args.output_dir)
     print(render_text(payload))
     print(f"wrote {path}")
+    if not args.no_register:
+        # Advisory span-level diff against the previous run of this
+        # tag: the committed baseline above decides the exit code; the
+        # diff localizes *which stage* moved when it does.
+        registry_root = (
+            args.registry
+            if args.registry is not None
+            else str(Path(args.output_dir) / obs.DEFAULT_REGISTRY_ROOT)
+        )
+        entry, trace_diff = register_and_diff(
+            tracer, tag=args.tag, registry_root=registry_root
+        )
+        print(
+            f"registered bench trace {entry.tag}@{entry.run_id} "
+            f"in {registry_root}"
+        )
+        if trace_diff is not None:
+            print()
+            print(obs.render_diff(trace_diff))
     if payload["checksum_mismatches"]:
         return 1
     if regressions and not args.no_fail:
@@ -480,6 +749,97 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     trace = obs.read_trace(args.path)
     print(obs.summarize(trace, top=args.top))
     return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    registry = obs.RunRegistry(args.registry)
+    if args.obs_command == "register":
+        entry = registry.register(
+            args.trace,
+            tag=args.tag,
+            seed=args.seed,
+            scenario=args.scenario,
+            git_rev=obs.current_git_rev(),
+        )
+        print(
+            f"registered run {entry.tag}@{entry.run_id} "
+            f"in {registry.root}"
+        )
+        return 0
+    if args.obs_command == "list":
+        entries = registry.entries(tag=args.tag)
+        if not entries:
+            print(f"no registered runs in {registry.root}")
+            return 0
+        print(
+            f"{'run_id':<16s} {'tag':<20s} {'spans':>6s} {'seed':>6s} "
+            f"{'git':<10s} scenario"
+        )
+        for entry in entries:
+            print(
+                f"{entry.run_id:<16s} {entry.tag:<20s} "
+                f"{entry.n_spans:6d} "
+                f"{'-' if entry.seed is None else entry.seed:>6} "
+                f"{entry.git_rev or '-':<10s} {entry.scenario or '-'}"
+            )
+        return 0
+    if args.obs_command == "prune":
+        removed = registry.prune(args.keep, tag=args.tag)
+        for entry in removed:
+            print(f"pruned {entry.tag}@{entry.run_id}")
+        print(f"removed {len(removed)} run(s)")
+        return 0
+    if args.obs_command == "diff":
+        path_a, label_a = obs.resolve_trace(args.a, registry)
+        path_b, label_b = obs.resolve_trace(args.b, registry)
+        diff = obs.diff_traces(
+            obs.read_trace(path_a),
+            obs.read_trace(path_b),
+            threshold=args.threshold,
+            noise_floor=args.noise_floor,
+            label_a=label_a,
+            label_b=label_b,
+        )
+        print(obs.render_diff(diff, top=args.top))
+        return 0 if diff.ok else 1
+    if args.obs_command == "report":
+        if len(args.runs) > 2:
+            print(
+                "error: obs report takes one run, or BASELINE "
+                "CANDIDATE",
+                file=sys.stderr,
+            )
+            return 2
+        diff = None
+        if len(args.runs) == 2:
+            path_a, label_a = obs.resolve_trace(args.runs[0], registry)
+            path_b, label_b = obs.resolve_trace(args.runs[1], registry)
+            trace = obs.read_trace(path_b)
+            diff = obs.diff_traces(
+                obs.read_trace(path_a),
+                trace,
+                threshold=args.threshold,
+                noise_floor=args.noise_floor,
+                label_a=label_a,
+                label_b=label_b,
+            )
+            label = label_b
+        else:
+            path, label = obs.resolve_trace(args.runs[0], registry)
+            trace = obs.read_trace(path)
+        title = args.title or f"repro trace report — {label}"
+        html = obs.render_html(trace, title=title, diff=diff)
+        from pathlib import Path
+
+        output = Path(args.output)
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(html)
+        print(f"wrote report for {label} to {output}")
+        if diff is not None and not diff.ok:
+            names = ", ".join(d.name for d in diff.regressions)
+            print(f"note: diff section flags regression(s): {names}")
+        return 0
+    raise ReproError(f"unknown obs subcommand {args.obs_command!r}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -494,6 +854,7 @@ def main(argv: list[str] | None = None) -> int:
         "lint": _cmd_lint,
         "bench": _cmd_bench,
         "trace": _cmd_trace,
+        "obs": _cmd_obs,
     }
     try:
         return handlers[args.command](args)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ValidationError
 from repro.matching.graph import FlowNetwork
 from repro.matching.mincost_flow import min_cost_flow
@@ -99,5 +100,8 @@ def max_weight_b_matching(
         if arc in edge_arcs and amount > 0.5
     ]
     edges.sort()
+    obs.count("b_matching.augmentations", result.augmentations)
+    obs.count("b_matching.candidate_edges", len(edge_arcs))
+    obs.count("b_matching.matched_edges", len(edges))
     total = edge_matrix_sum(weights, edges)
     return edges, total

@@ -24,6 +24,7 @@ import heapq
 import math
 from dataclasses import dataclass
 
+from repro import obs
 from repro.errors import SolverError
 from repro.matching.graph import FlowNetwork
 
@@ -38,6 +39,8 @@ class MinCostFlowResult:
     cost: float
     #: flow on each *forward* arc, indexed by arc id (even indices).
     arc_flow: dict[int, float]
+    #: how many augmenting paths were pushed (work-done metric).
+    augmentations: int = 0
 
 
 def min_cost_flow(
@@ -56,6 +59,8 @@ def min_cost_flow(
     potential = _initial_potentials(network, source)
     total_flow = 0.0
     total_cost = 0.0
+    augmentations = 0
+    pushes = 0
 
     while total_flow < max_flow - _EPS:
         dist, parent_arc = _dijkstra(network, source, potential)
@@ -83,16 +88,25 @@ def min_cost_flow(
         while v != source:
             arc = parent_arc[v]
             network.push(arc, bottleneck)
+            pushes += 1
             v = network.to[arc ^ 1]
+        augmentations += 1
         total_flow += bottleneck
         total_cost += bottleneck * path_cost
 
+    obs.count("mincost_flow.augmentations", augmentations)
+    obs.count("mincost_flow.pushes", pushes)
     arc_flow = {
         arc: network.flow_on(arc)
         for arc in range(0, len(network.to), 2)
         if network.flow_on(arc) > _EPS
     }
-    return MinCostFlowResult(flow=total_flow, cost=total_cost, arc_flow=arc_flow)
+    return MinCostFlowResult(
+        flow=total_flow,
+        cost=total_cost,
+        arc_flow=arc_flow,
+        augmentations=augmentations,
+    )
 
 
 def _initial_potentials(network: FlowNetwork, source: int) -> list[float]:

@@ -25,6 +25,7 @@ from collections import deque
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ValidationError
 
 
@@ -85,13 +86,18 @@ def deferred_acceptance(
         i for i in range(n) if worker_capacities[i] > 0 and proposal_order[i]
     )
 
+    proposal_rounds = 0
+    proposals = 0
+    displacements = 0
     while free:
         i = free.popleft()
+        proposal_rounds += 1
         while (
             len(held_by_worker[i]) < worker_capacities[i]
             and proposal_order[i]
         ):
             j = proposal_order[i].popleft()
+            proposals += 1
             capacity = task_capacities[j]
             if capacity <= 0:
                 continue
@@ -107,9 +113,13 @@ def deferred_acceptance(
                     held_by_worker[worst].discard(j)
                     held_by_task[j].append(i)
                     held_by_worker[i].add(j)
+                    displacements += 1
                     if proposal_order[worst]:
                         free.append(worst)
         # A displaced worker re-enters via the free queue above.
+    obs.count("stable.proposal_rounds", proposal_rounds)
+    obs.count("stable.proposals", proposals)
+    obs.count("stable.displacements", displacements)
 
     return sorted(
         (i, j) for j in range(m) for i in held_by_task[j]

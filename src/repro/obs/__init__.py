@@ -28,6 +28,19 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
+from repro.obs.diff import (
+    DEFAULT_DIFF_THRESHOLD,
+    DEFAULT_NOISE_FLOOR,
+    CounterDelta,
+    SpanDelta,
+    SpanStat,
+    TraceDiff,
+    diff_traces,
+    qualified_names,
+    render_diff,
+    round_stats,
+    span_stats,
+)
 from repro.obs.export import (
     TRACE_SCHEMA,
     WALL_TIME_FIELDS,
@@ -36,29 +49,54 @@ from repro.obs.export import (
     read_trace,
     write_trace,
 )
+from repro.obs.html import render_html
 from repro.obs.metrics import HistogramSummary, Metrics, RunReport
+from repro.obs.registry import (
+    DEFAULT_REGISTRY_ROOT,
+    RunEntry,
+    RunRegistry,
+    current_git_rev,
+    resolve_trace,
+)
 from repro.obs.summary import summarize
 from repro.obs.tracer import SpanRecord, Tracer
 
 __all__ = [
+    "DEFAULT_DIFF_THRESHOLD",
+    "DEFAULT_NOISE_FLOOR",
+    "DEFAULT_REGISTRY_ROOT",
     "TRACE_SCHEMA",
     "WALL_TIME_FIELDS",
+    "CounterDelta",
     "HistogramSummary",
     "Metrics",
+    "RunEntry",
+    "RunRegistry",
     "RunReport",
+    "SpanDelta",
     "SpanRecord",
+    "SpanStat",
     "TraceData",
+    "TraceDiff",
     "Tracer",
     "active",
     "count",
+    "current_git_rev",
     "deterministic_events",
+    "diff_traces",
     "disable",
     "enable",
     "enabled",
     "gauge",
     "observe",
+    "qualified_names",
     "read_trace",
+    "render_diff",
+    "render_html",
+    "resolve_trace",
+    "round_stats",
     "span",
+    "span_stats",
     "summarize",
     "tracing",
     "write_trace",

@@ -1,0 +1,294 @@
+"""Cross-run trace diffing with span-level regression detection.
+
+The perf baseline gate (:mod:`repro.perf.baseline`) watches one wall
+time per bench case; this differ watches every *span*.  Two traces are
+aligned by **qualified span name** — the span's ancestor names joined
+with dots, so the ``assign`` stage inside a ``round`` span reads
+``round.assign`` — and, within a name, by the enclosing round's
+``index`` tag.  For each qualified name the differ compares call
+counts, total *self* time (duration minus child durations, clamped at
+zero), and for each counter its totals.
+
+Wall time is a host measurement, so regression detection carries two
+knobs:
+
+* ``noise_floor`` — seconds of self time below which a span can never
+  regress (sub-floor spans are timing noise by definition);
+* ``threshold`` — the allowed growth fraction: a span regresses when
+  its self time exceeds ``baseline * (1 + threshold)`` *and* the
+  absolute growth clears the noise floor.
+
+Counters are deterministic for seeded runs, so counter deltas carry no
+noise floor — any drift is real work-done drift and is reported (but
+never fails the diff by itself; the exit signal is time).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.obs.export import TraceData
+
+DEFAULT_DIFF_THRESHOLD = 0.5
+DEFAULT_NOISE_FLOOR = 0.05
+
+
+@dataclass(frozen=True)
+class SpanStat:
+    """Aggregated view of one qualified span name in one trace."""
+
+    name: str
+    calls: int = 0
+    total_time: float = 0.0
+    self_time: float = 0.0
+
+
+@dataclass(frozen=True)
+class SpanDelta:
+    """One qualified span name, compared across two traces."""
+
+    name: str
+    calls_a: int
+    calls_b: int
+    self_a: float
+    self_b: float
+    regressed: bool
+
+    @property
+    def delta(self) -> float:
+        return self.self_b - self.self_a
+
+    @property
+    def ratio(self) -> float:
+        """Self-time growth factor (inf for a span new in B)."""
+        if self.self_a <= 0.0:
+            return float("inf") if self.self_b > 0.0 else 1.0
+        return self.self_b / self.self_a
+
+
+@dataclass(frozen=True)
+class CounterDelta:
+    """One counter, compared across two traces."""
+
+    name: str
+    value_a: float
+    value_b: float
+
+    @property
+    def delta(self) -> float:
+        return self.value_b - self.value_a
+
+
+@dataclass(frozen=True)
+class TraceDiff:
+    """The full comparison of two traces (A = baseline, B = candidate)."""
+
+    label_a: str
+    label_b: str
+    threshold: float
+    noise_floor: float
+    spans: list[SpanDelta] = field(default_factory=list)
+    counters: list[CounterDelta] = field(default_factory=list)
+    #: (round tag, qualified name) self times for the side-by-side
+    #: view; ``None`` marks a (round, name) absent from that trace.
+    rounds: list[tuple[object, str, float | None, float | None]] = field(
+        default_factory=list
+    )
+
+    @property
+    def regressions(self) -> list[SpanDelta]:
+        return [delta for delta in self.spans if delta.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _self_times(trace: TraceData) -> list[float]:
+    """Per-span self time, clamped at zero (clock jitter can make a
+    child-duration sum exceed its parent's measured duration)."""
+    child_time = [0.0] * len(trace.spans)
+    for span in trace.spans:
+        if span.parent is not None and not span.open:
+            child_time[span.parent] += span.duration
+    return [
+        0.0 if span.open else max(0.0, span.duration - child_time[span.index])
+        for span in trace.spans
+    ]
+
+
+def qualified_names(trace: TraceData) -> list[str]:
+    """Each span's dotted ancestor path (``round.assign``), in order."""
+    names: list[str] = []
+    for span in trace.spans:
+        if span.parent is None:
+            names.append(span.name)
+        else:
+            names.append(f"{names[span.parent]}.{span.name}")
+    return names
+
+
+def _round_tags(trace: TraceData) -> list[object]:
+    """The enclosing ``round`` span's ``index`` tag per span (or None)."""
+    tags: list[object] = []
+    for span in trace.spans:
+        if span.name == "round":
+            tags.append(span.tags.get("index"))
+        elif span.parent is not None:
+            tags.append(tags[span.parent])
+        else:
+            tags.append(None)
+    return tags
+
+
+def span_stats(trace: TraceData) -> dict[str, SpanStat]:
+    """Per-qualified-name call count, total time, and self time."""
+    names = qualified_names(trace)
+    self_times = _self_times(trace)
+    stats: dict[str, SpanStat] = {}
+    for span, name, self_time in zip(trace.spans, names, self_times):
+        previous = stats.get(name, SpanStat(name=name))
+        stats[name] = SpanStat(
+            name=name,
+            calls=previous.calls + 1,
+            total_time=previous.total_time
+            + (0.0 if span.open else span.duration),
+            self_time=previous.self_time + self_time,
+        )
+    return stats
+
+
+def round_stats(trace: TraceData) -> dict[tuple[object, str], float]:
+    """Self time per (round tag, qualified name), rounds only."""
+    names = qualified_names(trace)
+    self_times = _self_times(trace)
+    tags = _round_tags(trace)
+    per_round: dict[tuple[object, str], float] = {}
+    for name, self_time, tag in zip(names, self_times, tags):
+        if tag is None:
+            continue
+        key = (tag, name)
+        per_round[key] = per_round.get(key, 0.0) + self_time
+    return per_round
+
+
+def diff_traces(
+    trace_a: TraceData,
+    trace_b: TraceData,
+    threshold: float = DEFAULT_DIFF_THRESHOLD,
+    noise_floor: float = DEFAULT_NOISE_FLOOR,
+    label_a: str = "A",
+    label_b: str = "B",
+) -> TraceDiff:
+    """Compare candidate ``trace_b`` against baseline ``trace_a``."""
+    if threshold < 0:
+        raise ValidationError(f"threshold must be >= 0, got {threshold}")
+    if noise_floor < 0:
+        raise ValidationError(
+            f"noise floor must be >= 0, got {noise_floor}"
+        )
+    stats_a = span_stats(trace_a)
+    stats_b = span_stats(trace_b)
+    deltas: list[SpanDelta] = []
+    for name in sorted(set(stats_a) | set(stats_b)):
+        a = stats_a.get(name, SpanStat(name=name))
+        b = stats_b.get(name, SpanStat(name=name))
+        growth = b.self_time - a.self_time
+        regressed = (
+            growth > noise_floor
+            and b.self_time > a.self_time * (1.0 + threshold)
+        )
+        deltas.append(
+            SpanDelta(
+                name=name,
+                calls_a=a.calls,
+                calls_b=b.calls,
+                self_a=a.self_time,
+                self_b=b.self_time,
+                regressed=regressed,
+            )
+        )
+    deltas.sort(key=lambda d: (not d.regressed, -abs(d.delta), d.name))
+
+    counters_a = trace_a.metrics.get("counters", {})
+    counters_b = trace_b.metrics.get("counters", {})
+    counters = [
+        CounterDelta(
+            name=name,
+            value_a=float(counters_a.get(name, 0.0)),
+            value_b=float(counters_b.get(name, 0.0)),
+        )
+        for name in sorted(set(counters_a) | set(counters_b))
+    ]
+
+    per_round_a = round_stats(trace_a)
+    per_round_b = round_stats(trace_b)
+    rounds = [
+        (
+            tag,
+            name,
+            per_round_a.get((tag, name)),
+            per_round_b.get((tag, name)),
+        )
+        for tag, name in sorted(
+            set(per_round_a) | set(per_round_b),
+            key=lambda key: (str(key[0]), key[1]),
+        )
+    ]
+    return TraceDiff(
+        label_a=label_a,
+        label_b=label_b,
+        threshold=threshold,
+        noise_floor=noise_floor,
+        spans=deltas,
+        counters=counters,
+        rounds=rounds,
+    )
+
+
+def _fmt_ratio(ratio: float) -> str:
+    if math.isinf(ratio):
+        return "    new"
+    return f"{ratio:6.2f}x"
+
+
+def render_diff(diff: TraceDiff, top: int = 15) -> str:
+    """Human rendering: span table, counter drift, verdict."""
+    lines = [
+        f"trace diff: {diff.label_a} -> {diff.label_b} "
+        f"(threshold {diff.threshold:.0%}, noise floor "
+        f"{diff.noise_floor * 1000:.0f}ms)",
+        "",
+        f"  {'span':<34s} {'calls':>11s} {'self A(s)':>9s} "
+        f"{'self B(s)':>9s} {'ratio':>7s}",
+    ]
+    shown = diff.spans[:top]
+    for delta in shown:
+        calls = f"{delta.calls_a}->{delta.calls_b}"
+        marker = "  REGRESSED" if delta.regressed else ""
+        lines.append(
+            f"  {delta.name:<34s} {calls:>11s} {delta.self_a:9.4f} "
+            f"{delta.self_b:9.4f} {_fmt_ratio(delta.ratio)}{marker}"
+        )
+    hidden = len(diff.spans) - len(shown)
+    if hidden > 0:
+        lines.append(f"  ... {hidden} more span name(s) not shown")
+    drifted = [c for c in diff.counters if c.delta != 0]
+    if drifted:
+        lines += ["", "counter drift (deterministic work done):"]
+        for counter in drifted:
+            lines.append(
+                f"  {counter.name:<40s} {counter.value_a:>12g} -> "
+                f"{counter.value_b:>12g} ({counter.delta:+g})"
+            )
+    lines.append("")
+    if diff.ok:
+        lines.append("no span regressions")
+    else:
+        names = ", ".join(delta.name for delta in diff.regressions)
+        lines.append(
+            f"{len(diff.regressions)} span regression(s): {names}"
+        )
+    return "\n".join(lines)

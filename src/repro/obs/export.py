@@ -152,10 +152,22 @@ def read_trace(path: str | Path) -> TraceData:
             f"{path}: first line must be the header event, got "
             f"type={header.get('type')!r}"
         )
-    if header.get("schema") != TRACE_SCHEMA:
+    schema = header.get("schema")
+    if schema != TRACE_SCHEMA:
+        if isinstance(schema, str) and schema.startswith(
+            "repro-obs-trace/"
+        ):
+            # A versioned trace from a different writer: name the
+            # mismatch precisely — "upgrade the reader" is a different
+            # fix than "this is not a trace at all".
+            raise ValidationError(
+                f"{path} uses trace schema {schema!r}, but this reader "
+                f"understands {TRACE_SCHEMA!r} — re-export the trace or "
+                "upgrade repro to a version that reads it"
+            )
         raise ValidationError(
             f"{path} is not a readable trace (schema "
-            f"{header.get('schema')!r}, expected {TRACE_SCHEMA!r})"
+            f"{schema!r}, expected {TRACE_SCHEMA!r})"
         )
     spans: list[SpanRecord] = []
     metrics: dict = {}

@@ -1,0 +1,546 @@
+"""Self-contained HTML dashboard for exported traces.
+
+``python -m repro obs report`` renders one trace (optionally with a
+diff against a baseline trace) into a single HTML file with **no
+external fetches** — styles are inline, charts are inline SVG, and
+there is no JavaScript at all, so the file opens identically from a
+laptop, a CI artifact store, or an air-gapped archive.  Hover detail
+rides on native ``title`` tooltips.
+
+Four views:
+
+* **summary tiles** — tag, span count, wall time, round count;
+* **per-round timeline** — one stacked bar per round, segmented by
+  stage (assign / simulate / aggregate / …), widths proportional to
+  duration;
+* **flame view** — every span as a rect positioned by ``start`` and
+  sized by ``duration``, rows by ``depth``, built straight from the
+  flat index/parent/depth records;
+* **sparklines** — per-round series (round duration, per-stage
+  durations) plus the counter/gauge/histogram totals table;
+* **diff table** — when a baseline is supplied, the side-by-side
+  span/counter comparison with regressions flagged by icon + label.
+
+Colors follow the repo's chart conventions: categorical hues are
+assigned to stage names in fixed first-appearance order (never
+cycled); past eight distinct names everything folds into a muted
+"other".  Light and dark palettes are both explicit (the dark steps
+are re-stepped hues, not an automatic inversion) and switch on
+``prefers-color-scheme``.
+"""
+
+from __future__ import annotations
+
+from html import escape
+
+from repro.obs.diff import TraceDiff, _fmt_ratio, span_stats
+from repro.obs.export import TraceData
+
+#: Categorical slots (light / dark), fixed assignment order.
+_SERIES_LIGHT = (
+    "#2a78d6", "#eb6834", "#1baf7a", "#eda100",
+    "#e87ba4", "#008300", "#4a3aa7", "#e34948",
+)
+_SERIES_DARK = (
+    "#3987e5", "#d95926", "#199e70", "#c98500",
+    "#d55181", "#008300", "#9085e9", "#e66767",
+)
+_OTHER = "#898781"
+
+_FLAME_SPAN_CAP = 2000
+
+_STYLE = """
+.viz-root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted: #898781;
+  --grid: #e1e0d9;
+  --baseline: #c3c2b7;
+  --border: rgba(11, 11, 11, 0.10);
+  --critical: #d03b3b;
+%(light_series)s
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: var(--page);
+  color: var(--text-primary);
+  margin: 0;
+  padding: 24px;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted: #898781;
+    --grid: #2c2c2a;
+    --baseline: #383835;
+    --border: rgba(255, 255, 255, 0.10);
+    --critical: #d03b3b;
+%(dark_series)s
+  }
+}
+:root[data-theme="dark"] .viz-root {
+  color-scheme: dark;
+  --surface-1: #1a1a19;
+  --page: #0d0d0d;
+  --text-primary: #ffffff;
+  --text-secondary: #c3c2b7;
+  --text-muted: #898781;
+  --grid: #2c2c2a;
+  --baseline: #383835;
+  --border: rgba(255, 255, 255, 0.10);
+  --critical: #d03b3b;
+%(dark_series)s
+}
+.viz-root h1 { font-size: 20px; margin: 0 0 4px; }
+.viz-root h2 { font-size: 15px; margin: 28px 0 10px; }
+.viz-root .subtitle { color: var(--text-secondary); margin: 0 0 20px; }
+.viz-root section {
+  background: var(--surface-1);
+  border: 1px solid var(--border);
+  border-radius: 8px;
+  padding: 16px;
+  margin-bottom: 16px;
+}
+.viz-root .tiles { display: flex; gap: 16px; flex-wrap: wrap; }
+.viz-root .tile { min-width: 120px; }
+.viz-root .tile .value { font-size: 24px; }
+.viz-root .tile .label {
+  color: var(--text-secondary); font-size: 12px;
+}
+.viz-root .legend {
+  display: flex; gap: 14px; flex-wrap: wrap;
+  font-size: 12px; color: var(--text-secondary); margin: 6px 0 10px;
+}
+.viz-root .legend .swatch {
+  display: inline-block; width: 10px; height: 10px;
+  border-radius: 3px; margin-right: 5px; vertical-align: baseline;
+}
+.viz-root .lane { display: flex; align-items: center; margin: 3px 0; }
+.viz-root .lane .lane-label {
+  width: 70px; font-size: 12px; color: var(--text-secondary);
+  font-variant-numeric: tabular-nums;
+}
+.viz-root .lane .lane-total {
+  width: 90px; font-size: 12px; color: var(--text-secondary);
+  text-align: right; font-variant-numeric: tabular-nums;
+}
+.viz-root .lane .bar {
+  flex: 1; display: flex; height: 16px;
+}
+.viz-root .lane .seg {
+  height: 16px; border-radius: 4px; margin-right: 2px;
+}
+.viz-root table {
+  border-collapse: collapse; font-size: 13px; width: 100%%;
+}
+.viz-root th {
+  text-align: left; color: var(--text-secondary); font-weight: 600;
+  border-bottom: 1px solid var(--baseline); padding: 4px 10px 4px 0;
+}
+.viz-root td {
+  border-bottom: 1px solid var(--grid); padding: 4px 10px 4px 0;
+  font-variant-numeric: tabular-nums;
+}
+.viz-root td.num, .viz-root th.num { text-align: right; }
+.viz-root .regressed { color: var(--critical); font-weight: 600; }
+.viz-root .spark-row { display: flex; align-items: center; gap: 12px; }
+.viz-root .spark-row .spark-label {
+  width: 180px; font-size: 12px; color: var(--text-secondary);
+}
+.viz-root .spark-row .spark-last {
+  width: 90px; font-size: 12px; text-align: right;
+  font-variant-numeric: tabular-nums;
+}
+.viz-root .note { color: var(--text-muted); font-size: 12px; }
+.viz-root svg text {
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+"""
+
+
+def _series_vars(palette: tuple[str, ...], indent: str) -> str:
+    return "\n".join(
+        f"{indent}--series-{slot + 1}: {color};"
+        for slot, color in enumerate(palette)
+    )
+
+
+def _slot_color(name: str, order: dict[str, int]) -> str:
+    """CSS color for a series name; fixed first-appearance slots,
+    folding to the muted 'other' past the eighth distinct name."""
+    slot = order.setdefault(name, len(order))
+    if slot >= len(_SERIES_LIGHT):
+        return _OTHER
+    return f"var(--series-{slot + 1})"
+
+
+def _tile(label: str, value: str) -> str:
+    return (
+        '<div class="tile"><div class="value">'
+        f"{escape(value)}</div>"
+        f'<div class="label">{escape(label)}</div></div>'
+    )
+
+
+def _round_rows(
+    trace: TraceData,
+) -> list[tuple[object, float, list[tuple[str, float]]]]:
+    """(round tag, duration, ordered (stage, duration) list) per round."""
+    children: dict[int, list] = {}
+    for span in trace.spans:
+        if span.parent is not None:
+            children.setdefault(span.parent, []).append(span)
+    rows = []
+    for span in trace.spans:
+        if span.name != "round" or span.open:
+            continue
+        stages: list[tuple[str, float]] = []
+        for child in children.get(span.index, []):
+            if not child.open:
+                stages.append((child.name, child.duration))
+        rows.append((span.tags.get("index", "?"), span.duration, stages))
+    return rows
+
+
+def _legend(names: list[str], order: dict[str, int]) -> str:
+    if len(names) < 2:
+        return ""
+    items = "".join(
+        '<span><span class="swatch" style="background:'
+        f'{_slot_color(name, order)}"></span>{escape(name)}</span>'
+        for name in names
+    )
+    return f'<div class="legend">{items}</div>'
+
+
+def _timeline_section(trace: TraceData, order: dict[str, int]) -> str:
+    rounds = _round_rows(trace)
+    body: list[str]
+    if not rounds:
+        body = ['<p class="note">no round spans in this trace</p>']
+    else:
+        longest = max(duration for _tag, duration, _stages in rounds)
+        longest = longest if longest > 0 else 1.0
+        stage_names: list[str] = []
+        for _tag, _duration, stages in rounds:
+            for name, _time in stages:
+                if name not in stage_names:
+                    stage_names.append(name)
+        for name in stage_names:
+            _slot_color(name, order)  # pin slots in stage order
+        body = [_legend(stage_names, order)]
+        for tag, duration, stages in rounds:
+            segments = []
+            accounted = 0.0
+            for name, stage_duration in stages:
+                accounted += stage_duration
+                width = 100.0 * stage_duration / longest
+                tip = f"round {tag} {name}: {stage_duration:.4f}s"
+                segments.append(
+                    f'<div class="seg" title="{escape(tip)}" '
+                    f'style="width:{width:.2f}%;background:'
+                    f'{_slot_color(name, order)}"></div>'
+                )
+            remainder = max(0.0, duration - accounted)
+            if remainder > 0:
+                width = 100.0 * remainder / longest
+                tip = f"round {tag} (self): {remainder:.4f}s"
+                segments.append(
+                    f'<div class="seg" title="{escape(tip)}" '
+                    f'style="width:{width:.2f}%;background:var(--grid)">'
+                    "</div>"
+                )
+            body.append(
+                f'<div class="lane"><div class="lane-label">'
+                f"{escape(str(tag))}</div>"
+                f'<div class="bar">{"".join(segments)}</div>'
+                f'<div class="lane-total">{duration:.4f}s</div></div>'
+            )
+    return (
+        '<section id="timeline"><h2>Per-round timeline</h2>'
+        + "".join(body)
+        + "</section>"
+    )
+
+
+def _flame_section(trace: TraceData, order: dict[str, int]) -> str:
+    closed = [span for span in trace.spans if not span.open]
+    if not closed:
+        return (
+            '<section id="flame"><h2>Flame view</h2>'
+            '<p class="note">no closed spans</p></section>'
+        )
+    spans = sorted(closed, key=lambda s: -s.duration)[:_FLAME_SPAN_CAP]
+    dropped = len(closed) - len(spans)
+    spans.sort(key=lambda s: s.index)
+    extent = max(s.start + s.duration for s in spans)
+    extent = extent if extent > 0 else 1.0
+    depth = max(s.depth for s in spans)
+    width, row = 1000.0, 18
+    height = (depth + 1) * row
+    rects = []
+    for span in spans:
+        x = width * span.start / extent
+        w = max(1.0, width * span.duration / extent)
+        y = span.depth * row
+        tags = ", ".join(
+            f"{key}={value}" for key, value in span.tags.items()
+        )
+        tip = f"{span.name}: {span.duration:.4f}s"
+        if tags:
+            tip += f" [{tags}]"
+        label = ""
+        if w > 60:
+            label = (
+                f'<text x="{x + 4:.1f}" y="{y + 12}" font-size="11" '
+                f'fill="var(--text-primary)">{escape(span.name)}</text>'
+            )
+        rects.append(
+            f'<g><rect x="{x:.1f}" y="{y}" width="{w:.1f}" '
+            f'height="{row - 2}" rx="3" '
+            f'fill="{_slot_color(span.name, order)}">'
+            f"<title>{escape(tip)}</title></rect>{label}</g>"
+        )
+    note = (
+        f'<p class="note">showing the {len(spans)} widest spans; '
+        f"{dropped} narrower span(s) omitted</p>"
+        if dropped > 0
+        else ""
+    )
+    return (
+        '<section id="flame"><h2>Flame view</h2>'
+        f'<svg viewBox="0 0 {width:.0f} {height}" width="100%" '
+        f'height="{height}" role="img" '
+        'aria-label="span flame view">'
+        + "".join(rects)
+        + f"</svg>{note}</section>"
+    )
+
+
+def _sparkline(values: list[float], color: str) -> str:
+    width, height, pad = 260.0, 28.0, 2.0
+    if len(values) == 1:
+        values = values * 2
+    low, high = min(values), max(values)
+    spread = (high - low) if high > low else 1.0
+    step = (width - 2 * pad) / (len(values) - 1)
+    points = " ".join(
+        f"{pad + i * step:.1f},"
+        f"{height - pad - (height - 2 * pad) * (v - low) / spread:.1f}"
+        for i, v in enumerate(values)
+    )
+    return (
+        f'<svg viewBox="0 0 {width:.0f} {height:.0f}" '
+        f'width="{width:.0f}" height="{height:.0f}">'
+        f'<polyline points="{points}" fill="none" stroke="{color}" '
+        'stroke-width="2" stroke-linejoin="round" '
+        'stroke-linecap="round"/></svg>'
+    )
+
+
+def _round_series(
+    trace: TraceData,
+) -> list[tuple[str, list[float]]]:
+    """Per-round numeric series: round duration, then each stage's."""
+    rounds = _round_rows(trace)
+    if not rounds:
+        return []
+    series: list[tuple[str, list[float]]] = [
+        ("round total (s)", [duration for _t, duration, _s in rounds])
+    ]
+    stage_names: list[str] = []
+    for _tag, _duration, stages in rounds:
+        for name, _time in stages:
+            if name not in stage_names:
+                stage_names.append(name)
+    for name in stage_names:
+        per_round = []
+        for _tag, _duration, stages in rounds:
+            per_round.append(
+                sum(t for n, t in stages if n == name)
+            )
+        series.append((f"{name} (s)", per_round))
+    return series
+
+
+def _counters_section(trace: TraceData, order: dict[str, int]) -> str:
+    parts = ['<section id="counters"><h2>Counters and round series</h2>']
+    series = _round_series(trace)
+    if series:
+        for label, values in series:
+            stage = label.removesuffix(" (s)")
+            color = (
+                "var(--text-muted)"
+                if stage == "round total"
+                else _slot_color(stage, order)
+            )
+            parts.append(
+                '<div class="spark-row">'
+                f'<div class="spark-label">{escape(label)}</div>'
+                f"{_sparkline(values, color)}"
+                f'<div class="spark-last">last {values[-1]:.4f}</div>'
+                "</div>"
+            )
+    counters = trace.metrics.get("counters", {})
+    gauges = trace.metrics.get("gauges", {})
+    histograms = trace.metrics.get("histograms", {})
+    if counters or gauges:
+        rows = "".join(
+            f"<tr><td>{escape(name)}</td><td>counter</td>"
+            f'<td class="num">{counters[name]:g}</td></tr>'
+            for name in sorted(counters)
+        ) + "".join(
+            f"<tr><td>{escape(name)}</td><td>gauge</td>"
+            f'<td class="num">{gauges[name]:g}</td></tr>'
+            for name in sorted(gauges)
+        )
+        parts.append(
+            "<table><thead><tr><th>metric</th><th>kind</th>"
+            '<th class="num">value</th></tr></thead>'
+            f"<tbody>{rows}</tbody></table>"
+        )
+    if histograms:
+        rows = []
+        for name in sorted(histograms):
+            h = histograms[name]
+            count = int(h.get("count", 0))
+            mean = h.get("total", 0.0) / count if count else 0.0
+            rows.append(
+                f"<tr><td>{escape(name)}</td>"
+                f'<td class="num">{count}</td>'
+                f'<td class="num">{mean:.4g}</td>'
+                f'<td class="num">{h.get("min", 0.0):.4g}</td>'
+                f'<td class="num">{h.get("max", 0.0):.4g}</td></tr>'
+            )
+        parts.append(
+            "<table><thead><tr><th>histogram</th>"
+            '<th class="num">count</th><th class="num">mean</th>'
+            '<th class="num">min</th><th class="num">max</th>'
+            f'</tr></thead><tbody>{"".join(rows)}</tbody></table>'
+        )
+    if len(parts) == 1:
+        parts.append('<p class="note">no metrics recorded</p>')
+    parts.append("</section>")
+    return "".join(parts)
+
+
+def _diff_section(diff: TraceDiff) -> str:
+    rows = []
+    for delta in diff.spans:
+        verdict = (
+            '<span class="regressed">&#9650; REGRESSED</span>'
+            if delta.regressed
+            else "ok"
+        )
+        rows.append(
+            f"<tr><td>{escape(delta.name)}</td>"
+            f'<td class="num">{delta.calls_a}</td>'
+            f'<td class="num">{delta.calls_b}</td>'
+            f'<td class="num">{delta.self_a:.4f}</td>'
+            f'<td class="num">{delta.self_b:.4f}</td>'
+            f'<td class="num">{escape(_fmt_ratio(delta.ratio).strip())}'
+            f"</td><td>{verdict}</td></tr>"
+        )
+    counter_rows = "".join(
+        f"<tr><td>{escape(c.name)}</td>"
+        f'<td class="num">{c.value_a:g}</td>'
+        f'<td class="num">{c.value_b:g}</td>'
+        f'<td class="num">{c.delta:+g}</td></tr>'
+        for c in diff.counters
+        if c.delta != 0
+    )
+    counters_table = (
+        "<h2>Counter drift</h2><table><thead><tr><th>counter</th>"
+        f'<th class="num">{escape(diff.label_a)}</th>'
+        f'<th class="num">{escape(diff.label_b)}</th>'
+        f'<th class="num">&#916;</th></tr></thead>'
+        f"<tbody>{counter_rows}</tbody></table>"
+        if counter_rows
+        else ""
+    )
+    verdict = (
+        '<p class="note">no span regressions</p>'
+        if diff.ok
+        else (
+            f'<p class="regressed">&#9650; {len(diff.regressions)} span '
+            "regression(s) beyond threshold "
+            f"{diff.threshold:.0%}</p>"
+        )
+    )
+    return (
+        '<section id="diff"><h2>Diff: '
+        f"{escape(diff.label_a)} &#8594; {escape(diff.label_b)}</h2>"
+        f"{verdict}"
+        "<table><thead><tr><th>span</th>"
+        f'<th class="num">calls {escape(diff.label_a)}</th>'
+        f'<th class="num">calls {escape(diff.label_b)}</th>'
+        f'<th class="num">self {escape(diff.label_a)} (s)</th>'
+        f'<th class="num">self {escape(diff.label_b)} (s)</th>'
+        '<th class="num">ratio</th><th>verdict</th></tr></thead>'
+        f'<tbody>{"".join(rows)}</tbody></table>'
+        f"{counters_table}</section>"
+    )
+
+
+def render_html(
+    trace: TraceData,
+    title: str = "repro trace report",
+    diff: TraceDiff | None = None,
+) -> str:
+    """Render one trace (plus an optional diff) to a full HTML page."""
+    order: dict[str, int] = {}
+    stats = span_stats(trace)
+    wall = sum(
+        span.duration
+        for span in trace.spans
+        if span.parent is None and not span.open
+    )
+    n_rounds = sum(
+        1 for span in trace.spans if span.name == "round"
+    )
+    tiles = [
+        _tile("tag", trace.tag or "-"),
+        _tile("spans", str(len(trace.spans))),
+        _tile("span names", str(len(stats))),
+        _tile("wall time (s)", f"{wall:.4f}"),
+        _tile("rounds", str(n_rounds)),
+    ]
+    summary = (
+        '<section id="summary"><div class="tiles">'
+        + "".join(tiles)
+        + "</div></section>"
+    )
+    style = _STYLE % {
+        "light_series": _series_vars(_SERIES_LIGHT, "  "),
+        "dark_series": _series_vars(_SERIES_DARK, "    "),
+    }
+    sections = [
+        summary,
+        _timeline_section(trace, order),
+        _flame_section(trace, order),
+        _counters_section(trace, order),
+    ]
+    if diff is not None:
+        sections.append(_diff_section(diff))
+    rounds_note = (
+        f"{n_rounds} round(s)" if n_rounds else "no round spans"
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">'
+        '<meta name="viewport" '
+        'content="width=device-width, initial-scale=1">'
+        f"<title>{escape(title)}</title>"
+        f"<style>{style}</style></head>"
+        '<body class="viz-root">'
+        f"<h1>{escape(title)}</h1>"
+        f'<p class="subtitle">trace tag {escape(trace.tag or "-")!s} '
+        f"&#183; {len(trace.spans)} spans &#183; {rounds_note}</p>"
+        + "".join(sections)
+        + "</body></html>\n"
+    )

@@ -1,0 +1,338 @@
+"""Append-only on-disk registry of exported traces.
+
+A trace file observes one run; the registry makes runs *comparable*
+across time.  It is a directory (``.repro-runs/`` by default) holding
+
+* one archived copy of every registered trace, stored under its
+  content digest (``<run_id>.jsonl``), and
+* ``index.jsonl`` — one JSON line per registration, append-only, in
+  registration order.
+
+Identity is the trace's *content*: ``run_id`` is a SHA-256 prefix of
+the file bytes, so registering the same trace twice is idempotent (the
+existing entry is returned, nothing is appended) and an archived trace
+can never drift from its index entry.  Metadata (tag, seed, scenario,
+git revision) travels in the index, not in the trace file, so the
+archived bytes stay exactly what the run exported.
+
+Lookup accepts three spellings, tried in this order by
+:func:`resolve_trace`: an existing file path, a ``run_id`` prefix, and
+a tag (resolving to the most recently registered run of that tag).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ValidationError
+from repro.obs.export import TraceData, read_trace, write_trace
+
+DEFAULT_REGISTRY_ROOT = ".repro-runs"
+REGISTRY_SCHEMA = "repro-obs-registry/1"
+_INDEX_NAME = "index.jsonl"
+_DIGEST_CHARS = 16
+
+
+@dataclass(frozen=True)
+class RunEntry:
+    """One registered run: where its trace lives plus its metadata."""
+
+    run_id: str
+    tag: str
+    n_spans: int
+    seed: int | None = None
+    scenario: str | None = None
+    git_rev: str | None = None
+    registered_at: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": REGISTRY_SCHEMA,
+            "run_id": self.run_id,
+            "tag": self.tag,
+            "n_spans": self.n_spans,
+            "seed": self.seed,
+            "scenario": self.scenario,
+            "git_rev": self.git_rev,
+            "registered_at": self.registered_at,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunEntry":
+        return cls(
+            run_id=str(payload["run_id"]),
+            tag=str(payload["tag"]),
+            n_spans=int(payload["n_spans"]),
+            seed=(
+                int(payload["seed"])
+                if payload.get("seed") is not None
+                else None
+            ),
+            scenario=(
+                str(payload["scenario"])
+                if payload.get("scenario") is not None
+                else None
+            ),
+            git_rev=(
+                str(payload["git_rev"])
+                if payload.get("git_rev") is not None
+                else None
+            ),
+            registered_at=float(payload.get("registered_at", 0.0)),
+            extra=dict(payload.get("extra", {})),
+        )
+
+
+def current_git_rev(cwd: str | Path | None = None) -> str | None:
+    """The short HEAD revision, or ``None`` outside a git checkout."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if completed.returncode != 0:
+        return None
+    rev = completed.stdout.strip()
+    return rev or None
+
+
+class RunRegistry:
+    """The on-disk run store.  Cheap to construct; lazy on disk."""
+
+    def __init__(self, root: str | Path = DEFAULT_REGISTRY_ROOT) -> None:
+        self.root = Path(root)
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / _INDEX_NAME
+
+    def trace_path(self, entry: RunEntry | str) -> Path:
+        """Where the archived trace for ``entry`` lives."""
+        run_id = entry.run_id if isinstance(entry, RunEntry) else entry
+        return self.root / f"{run_id}.jsonl"
+
+    # -- registration ----------------------------------------------------
+
+    def register(
+        self,
+        trace_path: str | Path,
+        tag: str | None = None,
+        seed: int | None = None,
+        scenario: str | None = None,
+        git_rev: str | None = None,
+        **extra: object,
+    ) -> RunEntry:
+        """Archive a trace file and append its index entry.
+
+        The trace is validated (:func:`repro.obs.export.read_trace`)
+        before anything touches the registry, so the archive never
+        holds an unreadable file.  Registering a byte-identical trace
+        again returns the existing entry untouched — the index is
+        append-only and never gains duplicates.
+        """
+        trace_path = Path(trace_path)
+        trace = read_trace(trace_path)
+        content = trace_path.read_bytes()
+        run_id = hashlib.sha256(content).hexdigest()[:_DIGEST_CHARS]
+        existing = self._by_id(run_id)
+        if existing is not None:
+            return existing
+        entry = RunEntry(
+            run_id=run_id,
+            tag=tag if tag is not None else trace.tag,
+            n_spans=len(trace.spans),
+            seed=seed,
+            scenario=scenario,
+            git_rev=git_rev,
+            registered_at=time.time(),
+            extra=dict(extra),
+        )
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.trace_path(entry).write_bytes(content)
+        with self.index_path.open("a") as handle:
+            handle.write(json.dumps(entry.to_dict(), sort_keys=True) + "\n")
+        return entry
+
+    def register_tracer(
+        self,
+        tracer,
+        tag: str = "run",
+        seed: int | None = None,
+        scenario: str | None = None,
+        git_rev: str | None = None,
+        **extra: object,
+    ) -> RunEntry:
+        """Export a live tracer straight into the registry.
+
+        Writes the trace to a scratch file inside the registry root,
+        registers it (renaming it to its digest), and removes the
+        scratch copy.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        scratch = self.root / f".incoming-{id(tracer)}.jsonl"
+        try:
+            write_trace(tracer, scratch, tag=tag)
+            return self.register(
+                scratch,
+                tag=tag,
+                seed=seed,
+                scenario=scenario,
+                git_rev=git_rev,
+                **extra,
+            )
+        finally:
+            scratch.unlink(missing_ok=True)
+
+    # -- lookup ----------------------------------------------------------
+
+    def entries(self, tag: str | None = None) -> list[RunEntry]:
+        """All index entries in registration order (optionally by tag)."""
+        if not self.index_path.exists():
+            return []
+        entries = []
+        for line_number, line in enumerate(
+            self.index_path.read_text().splitlines(), start=1
+        ):
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+                entry = RunEntry.from_dict(payload)
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                raise ValidationError(
+                    f"{self.index_path} line {line_number} is not a valid "
+                    "registry entry — the index is corrupt"
+                ) from None
+            if payload.get("schema") != REGISTRY_SCHEMA:
+                raise ValidationError(
+                    f"{self.index_path} line {line_number} has schema "
+                    f"{payload.get('schema')!r}, expected "
+                    f"{REGISTRY_SCHEMA!r}"
+                )
+            if tag is None or entry.tag == tag:
+                entries.append(entry)
+        return entries
+
+    def latest(self, tag: str | None = None) -> RunEntry | None:
+        """The most recently registered entry (optionally by tag)."""
+        entries = self.entries(tag=tag)
+        return entries[-1] if entries else None
+
+    def get(self, ref: str) -> RunEntry:
+        """Entry whose ``run_id`` starts with ``ref`` (unambiguously)."""
+        matches = [
+            entry
+            for entry in self.entries()
+            if entry.run_id.startswith(ref)
+        ]
+        if not matches:
+            raise ValidationError(
+                f"no registered run matches id {ref!r} "
+                f"(registry: {self.root})"
+            )
+        if len(matches) > 1:
+            ids = ", ".join(entry.run_id for entry in matches)
+            raise ValidationError(
+                f"run id {ref!r} is ambiguous: matches {ids}"
+            )
+        return matches[0]
+
+    def _by_id(self, run_id: str) -> RunEntry | None:
+        for entry in self.entries():
+            if entry.run_id == run_id:
+                return entry
+        return None
+
+    def read(self, entry: RunEntry | str) -> TraceData:
+        """Parse the archived trace behind an entry (or run id)."""
+        path = self.trace_path(entry)
+        if not path.exists():
+            run_id = entry.run_id if isinstance(entry, RunEntry) else entry
+            raise ValidationError(
+                f"registry index lists run {run_id} but its trace file "
+                f"is missing: {path}"
+            )
+        return read_trace(path)
+
+    # -- maintenance -----------------------------------------------------
+
+    def prune(self, keep: int, tag: str | None = None) -> list[RunEntry]:
+        """Drop all but the newest ``keep`` runs (optionally one tag).
+
+        Removes both the archived trace files and their index lines
+        (the index is rewritten preserving order) and returns the
+        entries that were removed.  Entries of other tags are never
+        touched when ``tag`` is given.
+        """
+        if keep < 0:
+            raise ValidationError(f"keep must be >= 0, got {keep}")
+        all_entries = self.entries()
+        candidates = [
+            entry
+            for entry in all_entries
+            if tag is None or entry.tag == tag
+        ]
+        doomed = candidates[: max(0, len(candidates) - keep)]
+        if not doomed:
+            return []
+        doomed_ids = {entry.run_id for entry in doomed}
+        survivors = [
+            entry
+            for entry in all_entries
+            if entry.run_id not in doomed_ids
+        ]
+        lines = [
+            json.dumps(entry.to_dict(), sort_keys=True)
+            for entry in survivors
+        ]
+        self.index_path.write_text(
+            "\n".join(lines) + "\n" if lines else ""
+        )
+        for entry in doomed:
+            self.trace_path(entry).unlink(missing_ok=True)
+        return doomed
+
+
+def resolve_trace(
+    ref: str, registry: RunRegistry | None = None
+) -> tuple[Path, str]:
+    """Turn a CLI trace reference into ``(path, label)``.
+
+    ``ref`` may be a trace file path, a registered run-id prefix, or a
+    tag (most recent run of that tag wins).  The label names what was
+    matched, for diff/report output.
+    """
+    path = Path(ref)
+    if path.exists():
+        return path, str(ref)
+    registry = registry if registry is not None else RunRegistry()
+    entries = registry.entries()
+    by_prefix = [e for e in entries if e.run_id.startswith(ref)]
+    if len(by_prefix) == 1:
+        entry = by_prefix[0]
+        return registry.trace_path(entry), f"{entry.tag}@{entry.run_id}"
+    if len(by_prefix) > 1:
+        ids = ", ".join(entry.run_id for entry in by_prefix)
+        raise ValidationError(f"run id {ref!r} is ambiguous: matches {ids}")
+    latest = registry.latest(tag=ref)
+    if latest is not None:
+        return (
+            registry.trace_path(latest),
+            f"{latest.tag}@{latest.run_id}",
+        )
+    raise ValidationError(
+        f"{ref!r} is neither a trace file, a registered run id, nor a "
+        f"registered tag (registry: {registry.root})"
+    )

@@ -31,7 +31,12 @@ def _by_name(trace: TraceData) -> list[tuple[str, int, float, float]]:
     for span in trace.spans:
         if span.open:
             continue
-        self_time = span.duration - child_time.get(span.index, 0.0)
+        # Clamped at zero: when child durations sum past the parent's
+        # measured duration (clock jitter at microsecond scales), a
+        # negative "self time" is measurement noise, not a credit.
+        self_time = max(
+            0.0, span.duration - child_time.get(span.index, 0.0)
+        )
         calls, total, self_total = grouped.get(span.name, (0, 0.0, 0.0))
         grouped[span.name] = (
             calls + 1,
@@ -47,22 +52,35 @@ def _by_name(trace: TraceData) -> list[tuple[str, int, float, float]]:
     )
 
 
-def _round_rows(trace: TraceData) -> list[tuple[object, float, list]]:
-    """(round tag, duration, [(child name, duration), ...]) per round."""
+def _round_rows(
+    trace: TraceData,
+) -> list[tuple[object, float | None, list]]:
+    """(round tag, duration, [(child name, duration), ...]) per round.
+
+    Open spans (still running, or leaked) are *rendered*, not dropped:
+    an open round or stage carries ``None`` for its duration and the
+    table marks it ``(open)`` — silence would misread as "this stage
+    never ran".
+    """
     children: dict[int, list] = {}
     for span in trace.spans:
         if span.parent is not None:
             children.setdefault(span.parent, []).append(span)
     rows = []
     for span in trace.spans:
-        if span.name != "round" or span.open:
+        if span.name != "round":
             continue
         stages = [
-            (child.name, child.duration)
+            (child.name, None if child.open else child.duration)
             for child in children.get(span.index, [])
-            if not child.open
         ]
-        rows.append((span.tags.get("index", "?"), span.duration, stages))
+        rows.append(
+            (
+                span.tags.get("index", "?"),
+                None if span.open else span.duration,
+                stages,
+            )
+        )
     return rows
 
 
@@ -111,14 +129,25 @@ def summarize(trace: TraceData, top: int = 10) -> str:
             f" {name[:10]:>10s}" for name in stage_names
         )
         lines += ["", "per-round breakdown:", header]
+
+        def fmt(value: float | None, width: int) -> str:
+            if value is None:
+                return f" {'(open)':>{width}s}"
+            return f" {value:{width}.4f}"
+
         for tag, duration, stages in rounds:
-            by_stage = {}
+            by_stage: dict[str, float | None] = {}
             for name, stage_duration in stages:
-                by_stage[name] = by_stage.get(name, 0.0) + stage_duration
-            row = f"  {str(tag):>5s} {duration:9.4f}"
+                if stage_duration is None or by_stage.get(name, 0.0) is None:
+                    by_stage[name] = None  # an open stage taints the cell
+                else:
+                    by_stage[name] = (
+                        by_stage.get(name, 0.0) + stage_duration
+                    )
+            row = f"  {str(tag):>5s}" + fmt(duration, 9)
             for name in stage_names:
                 if name in by_stage:
-                    row += f" {by_stage[name]:10.4f}"
+                    row += fmt(by_stage[name], 10)
                 else:
                     row += f" {'-':>10s}"
             lines.append(row)

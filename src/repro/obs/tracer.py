@@ -113,11 +113,20 @@ class Tracer:
     One tracer covers one logical run; enable it globally through
     :func:`repro.obs.tracing` (or :func:`repro.obs.enable`) so library
     code picks it up without plumbing.
+
+    ``sink`` is the live-streaming hook: a callable invoked with each
+    :class:`SpanRecord` the moment that span *closes* (duration already
+    stamped), so a long run can surface progress — per-round lines,
+    tickers — while it is still running instead of only at export
+    time.  The sink observes; it must not mutate the record.  Sink
+    errors propagate (a broken progress printer should fail loudly,
+    not silently skew what the user sees).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, sink=None) -> None:
         self.metrics = Metrics()
         self.spans: list[SpanRecord] = []
+        self.sink = sink
         self._stack: list[int] = []
         self._origin = time.perf_counter()
 
@@ -147,6 +156,8 @@ class Tracer:
             self._stack.pop()
         if self._stack:
             self._stack.pop()
+        if self.sink is not None:
+            self.sink(self.spans[index])
 
     @property
     def open_spans(self) -> list[SpanRecord]:

@@ -19,6 +19,7 @@ from repro.perf.harness import (
     BenchCase,
     BenchResult,
     build_suites,
+    register_and_diff,
     run_cases,
 )
 from repro.perf.report import bench_payload, render_text, write_bench_json
@@ -33,6 +34,7 @@ __all__ = [
     "build_suites",
     "find_regressions",
     "load_baseline",
+    "register_and_diff",
     "render_text",
     "run_cases",
     "save_baseline",

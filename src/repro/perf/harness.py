@@ -32,6 +32,18 @@ import numpy as np
 
 from repro import obs
 from repro.benefit.matrices import build_benefit_matrices
+from repro.obs.diff import (
+    DEFAULT_DIFF_THRESHOLD,
+    DEFAULT_NOISE_FLOOR,
+    TraceDiff,
+    diff_traces,
+)
+from repro.obs.registry import (
+    DEFAULT_REGISTRY_ROOT,
+    RunEntry,
+    RunRegistry,
+    current_git_rev,
+)
 from repro.benefit.mutual import LinearCombiner
 from repro.core.problem import MBAProblem
 from repro.core.solvers import get_solver
@@ -328,6 +340,43 @@ def build_suites(
         _side_totals_case(500 if quick else 5_000, 5 if quick else 20),
     ]
     return {"f7_scale_workers": f7, "f8_scale_tasks": f8, "micro": micro}
+
+
+def register_and_diff(
+    tracer,
+    tag: str,
+    registry_root: str | None = None,
+    threshold: float = DEFAULT_DIFF_THRESHOLD,
+    noise_floor: float = DEFAULT_NOISE_FLOOR,
+) -> tuple[RunEntry, TraceDiff | None]:
+    """Archive a bench run's trace and span-diff it against the last
+    registered run of the same tag.
+
+    The committed wall-time baseline (:mod:`repro.perf.baseline`)
+    gates one number per case; this diff localizes *which stage* moved
+    — per-span self time plus the deterministic work counters — by
+    comparing against run history in the trace registry.  Returns
+    ``(entry, diff)``; ``diff`` is ``None`` on a tag's first run, or
+    when the new trace is byte-identical to the previous one.
+    """
+    registry = RunRegistry(
+        registry_root if registry_root is not None else DEFAULT_REGISTRY_ROOT
+    )
+    previous = registry.latest(tag=tag)
+    entry = registry.register_tracer(
+        tracer, tag=tag, git_rev=current_git_rev()
+    )
+    if previous is None or previous.run_id == entry.run_id:
+        return entry, None
+    diff = diff_traces(
+        registry.read(previous),
+        registry.read(entry),
+        threshold=threshold,
+        noise_floor=noise_floor,
+        label_a=f"{previous.tag}@{previous.run_id}",
+        label_b=f"{entry.tag}@{entry.run_id}",
+    )
+    return entry, diff
 
 
 def run_cases(

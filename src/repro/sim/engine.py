@@ -201,6 +201,7 @@ class Simulation:
                     scenario.drift.apply(market, list(assignment.edges))
 
                 obs.count("sim.rounds")
+                round_span.tag(outcome="ok", edges=len(assignment))
                 obs.count("sim.assigned_edges", len(assignment))
                 obs.count("sim.declined_edges", declined)
                 obs.count("sim.faulted_edges", faulted)

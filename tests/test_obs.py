@@ -346,3 +346,139 @@ class TestSummarize:
         trace = read_trace(write_trace(Tracer(), tmp_path / "e.jsonl"))
         text = summarize(trace)
         assert "spans=0" in text
+
+    def test_negative_self_time_clamped_to_zero(self):
+        # Clock jitter: a child's measured duration exceeds its
+        # parent's.  Self time must clamp at zero, never go negative.
+        from repro.obs import TRACE_SCHEMA, TraceData
+
+        trace = TraceData(
+            header={"schema": TRACE_SCHEMA, "tag": "t", "n_spans": 2},
+            spans=[
+                SpanRecord(
+                    index=0, parent=None, depth=0, name="round",
+                    tags={"index": 0}, start=0.0, duration=0.5,
+                ),
+                SpanRecord(
+                    index=1, parent=0, depth=1, name="assign",
+                    tags={}, start=0.0, duration=0.7,
+                ),
+            ],
+            metrics={},
+        )
+        text = summarize(trace)
+        assert "-0." not in text
+        assert "   0.0000" in text
+
+    def test_open_spans_rendered_as_open_not_dropped(self):
+        from repro.obs import TRACE_SCHEMA, TraceData
+
+        trace = TraceData(
+            header={"schema": TRACE_SCHEMA, "tag": "t", "n_spans": 3},
+            spans=[
+                SpanRecord(
+                    index=0, parent=None, depth=0, name="round",
+                    tags={"index": 0}, start=0.0, duration=0.5,
+                ),
+                SpanRecord(
+                    index=1, parent=0, depth=1, name="assign",
+                    tags={}, start=0.0, duration=float("nan"),
+                ),
+                SpanRecord(
+                    index=2, parent=None, depth=0, name="round",
+                    tags={"index": 1}, start=0.6,
+                    duration=float("nan"),
+                ),
+            ],
+            metrics={},
+        )
+        text = summarize(trace)
+        # Both the open stage and the open round appear, marked.
+        assert text.count("(open)") == 2
+        assert "    1" in text  # the open round's row is present
+
+
+class TestExportErrorPaths:
+    """Satellite coverage: the read-side failure modes a partially
+    written or future-version trace file can present."""
+
+    def _lines(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("round", index=0):
+            with tracer.span("assign"):
+                pass
+        tracer.metrics.count("sim.rounds")
+        path = write_trace(tracer, tmp_path / "run.jsonl", tag="unit")
+        return path, path.read_text().splitlines()
+
+    def test_truncated_final_line_rejected(self, tmp_path):
+        # A crashed writer leaves the last line half-flushed.
+        path, lines = self._lines(tmp_path)
+        path.write_text(
+            "\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2]
+        )
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            read_trace(path)
+
+    def test_duplicate_span_index_rejected(self, tmp_path):
+        path, lines = self._lines(tmp_path)
+        event = json.loads(lines[1])
+        assert event["type"] == "span"
+        lines.insert(2, json.dumps(event, sort_keys=True))
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValidationError, match="sequential"):
+            read_trace(path)
+
+    def test_future_schema_gets_actionable_error(self, tmp_path):
+        # A v2 trace must raise a ValidationError that names both
+        # schemas — never a KeyError from blindly indexing new fields.
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            json.dumps(
+                {"type": "header", "schema": "repro-obs-trace/2",
+                 "tag": "x", "n_spans": 0, "new_field": {"a": 1}}
+            )
+            + "\n"
+            + json.dumps({"type": "metrics"})
+            + "\n"
+        )
+        with pytest.raises(ValidationError) as excinfo:
+            read_trace(path)
+        message = str(excinfo.value)
+        assert "repro-obs-trace/2" in message
+        assert "repro-obs-trace/1" in message
+        assert "upgrade" in message
+
+
+class TestTracerSink:
+    def test_sink_sees_spans_in_close_order(self):
+        closed = []
+        tracer = Tracer(sink=lambda record: closed.append(record.name))
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert closed == ["inner", "outer"]
+
+    def test_sink_records_are_closed_with_duration(self):
+        seen = []
+        tracer = Tracer(sink=seen.append)
+        with tracer.span("work"):
+            pass
+        assert not seen[0].open
+        assert seen[0].duration >= 0.0
+
+    def test_sink_errors_propagate(self):
+        def boom(record):
+            raise RuntimeError("sink broke")
+
+        tracer = Tracer(sink=boom)
+        with pytest.raises(RuntimeError, match="sink broke"):
+            with tracer.span("work"):
+                pass
+
+    def test_no_sink_is_default(self):
+        tracer = Tracer()
+        assert tracer.sink is None
+        with tracer.span("work"):
+            pass
+        assert len(tracer.spans) == 1

@@ -1,0 +1,320 @@
+"""Tests for ``repro.obs.diff`` and the ``obs diff`` CLI.
+
+The acceptance bar for the differ is two-sided: diffing two traces of
+the *same* seeded run must report no regressions (and exit 0), while a
+synthetic trace whose ``round.assign`` self time is inflated past the
+threshold must regress (and exit non-zero).  Both live in
+:class:`TestObsDiffCli`.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.errors import ValidationError
+from repro.obs import (
+    TRACE_SCHEMA,
+    SpanRecord,
+    TraceData,
+    diff_traces,
+    qualified_names,
+    render_diff,
+    round_stats,
+    span_stats,
+)
+from repro.obs.diff import _fmt_ratio, _self_times
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def _span(index, parent, depth, name, duration, tags=None, start=0.0):
+    return SpanRecord(
+        index=index, parent=parent, depth=depth, name=name,
+        tags=dict(tags or {}), start=start, duration=duration,
+    )
+
+
+def _trace(spans, counters=None):
+    return TraceData(
+        header={"schema": TRACE_SCHEMA, "tag": "t", "n_spans": len(spans)},
+        spans=list(spans),
+        metrics={"counters": dict(counters or {})},
+    )
+
+
+def _round_trace(assign_seconds, counters=None):
+    """One round (tagged index=0) holding one assign stage."""
+    return _trace(
+        [
+            _span(0, None, 0, "round", assign_seconds + 0.1, {"index": 0}),
+            _span(1, 0, 1, "assign", assign_seconds, start=0.01),
+        ],
+        counters=counters,
+    )
+
+
+class TestAlignment:
+    def test_qualified_names_dot_ancestor_path(self):
+        trace = _trace(
+            [
+                _span(0, None, 0, "round", 1.0, {"index": 0}),
+                _span(1, 0, 1, "assign", 0.5),
+                _span(2, 1, 2, "solve", 0.4),
+                _span(3, None, 0, "aggregate", 0.2),
+            ]
+        )
+        assert qualified_names(trace) == [
+            "round", "round.assign", "round.assign.solve", "aggregate",
+        ]
+
+    def test_self_time_subtracts_children(self):
+        trace = _trace(
+            [
+                _span(0, None, 0, "round", 1.0),
+                _span(1, 0, 1, "assign", 0.7),
+            ]
+        )
+        selfs = _self_times(trace)
+        assert selfs[0] == pytest.approx(0.3)
+        assert selfs[1] == pytest.approx(0.7)
+
+    def test_self_time_clamped_at_zero(self):
+        # Clock jitter: children sum past the parent's own duration.
+        trace = _trace(
+            [
+                _span(0, None, 0, "round", 0.5),
+                _span(1, 0, 1, "assign", 0.4),
+                _span(2, 0, 1, "simulate", 0.3),
+            ]
+        )
+        assert _self_times(trace)[0] == 0.0
+
+    def test_open_span_contributes_zero(self):
+        trace = _trace(
+            [
+                _span(0, None, 0, "round", 1.0),
+                _span(1, 0, 1, "leaked", float("nan")),
+            ]
+        )
+        assert _self_times(trace)[1] == 0.0
+        assert span_stats(trace)["round.leaked"].total_time == 0.0
+
+    def test_span_stats_aggregate_calls(self):
+        trace = _trace(
+            [
+                _span(0, None, 0, "round", 1.0, {"index": 0}),
+                _span(1, 0, 1, "assign", 0.5),
+                _span(2, None, 0, "round", 2.0, {"index": 1}),
+                _span(3, 2, 1, "assign", 1.5),
+            ]
+        )
+        stats = span_stats(trace)
+        assert stats["round"].calls == 2
+        assert stats["round"].self_time == pytest.approx(1.0)
+        assert stats["round.assign"].calls == 2
+        assert stats["round.assign"].self_time == pytest.approx(2.0)
+
+    def test_round_stats_key_on_round_tag(self):
+        trace = _trace(
+            [
+                _span(0, None, 0, "round", 1.0, {"index": 0}),
+                _span(1, 0, 1, "assign", 0.5),
+                _span(2, None, 0, "round", 2.0, {"index": 1}),
+                _span(3, 2, 1, "assign", 1.5),
+                _span(4, None, 0, "bench.case", 0.1),
+            ]
+        )
+        per_round = round_stats(trace)
+        assert per_round[(0, "round.assign")] == pytest.approx(0.5)
+        assert per_round[(1, "round.assign")] == pytest.approx(1.5)
+        assert (None, "bench.case") not in per_round
+
+
+class TestDiffTraces:
+    def test_identical_traces_no_regressions(self):
+        a = _round_trace(0.4, {"work": 10})
+        diff = diff_traces(a, _round_trace(0.4, {"work": 10}))
+        assert diff.ok
+        assert diff.regressions == []
+        assert all(d.ratio == pytest.approx(1.0) for d in diff.spans)
+        assert all(c.delta == 0 for c in diff.counters)
+
+    def test_inflated_span_regresses(self):
+        diff = diff_traces(_round_trace(0.4), _round_trace(1.2))
+        assert not diff.ok
+        names = [d.name for d in diff.regressions]
+        assert names == ["round.assign"]
+        # Regressions sort first.
+        assert diff.spans[0].name == "round.assign"
+        assert diff.spans[0].ratio == pytest.approx(3.0)
+
+    def test_noise_floor_suppresses_tiny_growth(self):
+        # 5x ratio, but 40µs of absolute growth: noise, not regression.
+        diff = diff_traces(_round_trace(0.00001), _round_trace(0.00005))
+        assert diff.ok
+
+    def test_threshold_allows_bounded_growth(self):
+        # +0.1s growth clears the floor but stays under 1.5x.
+        diff = diff_traces(_round_trace(1.0), _round_trace(1.1))
+        assert diff.ok
+        diff = diff_traces(
+            _round_trace(1.0), _round_trace(1.1), threshold=0.05
+        )
+        assert not diff.ok
+
+    def test_span_new_in_candidate_has_inf_ratio(self):
+        a = _trace([_span(0, None, 0, "round", 0.1, {"index": 0})])
+        b = _trace(
+            [
+                _span(0, None, 0, "round", 0.1, {"index": 0}),
+                _span(1, None, 0, "extra", 1.0),
+            ]
+        )
+        diff = diff_traces(a, b)
+        extra = next(d for d in diff.spans if d.name == "extra")
+        assert math.isinf(extra.ratio)
+        assert extra.calls_a == 0 and extra.calls_b == 1
+        assert extra.regressed
+        assert _fmt_ratio(extra.ratio).strip() == "new"
+
+    def test_counter_drift_reported_but_never_fails(self):
+        diff = diff_traces(
+            _round_trace(0.4, {"work": 10, "gone": 1}),
+            _round_trace(0.4, {"work": 25, "fresh": 2}),
+        )
+        assert diff.ok
+        by_name = {c.name: c for c in diff.counters}
+        assert by_name["work"].delta == 15
+        assert by_name["gone"].delta == -1
+        assert by_name["fresh"].delta == 2
+
+    def test_rounds_side_by_side_with_absent_marker(self):
+        a = _round_trace(0.4)
+        b = _trace(
+            [
+                _span(0, None, 0, "round", 0.5, {"index": 0}),
+                _span(1, 0, 1, "assign", 0.4),
+                _span(2, None, 0, "round", 0.5, {"index": 1}),
+                _span(3, 2, 1, "assign", 0.4),
+            ]
+        )
+        diff = diff_traces(a, b)
+        rows = {
+            (tag, name): (va, vb) for tag, name, va, vb in diff.rounds
+        }
+        assert rows[(1, "round.assign")][0] is None
+        assert rows[(1, "round.assign")][1] == pytest.approx(0.4)
+
+    def test_invalid_knobs_rejected(self):
+        a = _round_trace(0.4)
+        with pytest.raises(ValidationError, match="threshold"):
+            diff_traces(a, a, threshold=-0.1)
+        with pytest.raises(ValidationError, match="noise floor"):
+            diff_traces(a, a, noise_floor=-1.0)
+
+
+class TestRenderDiff:
+    def test_render_mentions_everything(self):
+        diff = diff_traces(
+            _round_trace(0.4, {"work": 10}),
+            _round_trace(1.2, {"work": 30}),
+            label_a="base",
+            label_b="cand",
+        )
+        text = render_diff(diff)
+        assert "base -> cand" in text
+        assert "round.assign" in text
+        assert "REGRESSED" in text
+        assert "counter drift" in text
+        assert "work" in text
+        assert "1 span regression(s): round.assign" in text
+
+    def test_render_clean_verdict_and_top_cap(self):
+        diff = diff_traces(_round_trace(0.4), _round_trace(0.4))
+        text = render_diff(diff, top=1)
+        assert "no span regressions" in text
+        assert "more span name(s) not shown" in text
+
+
+def _write_market(tmp_path):
+    market = tmp_path / "market.json"
+    assert main(
+        ["generate", "synthetic-uniform", str(market),
+         "--workers", "15", "--tasks", "8", "--seed", "1"]
+    ) == 0
+    return market
+
+
+def _simulate_trace(tmp_path, market, name, seed=0):
+    path = tmp_path / name
+    assert main(
+        ["simulate", str(market), "--rounds", "3", "--no-retention",
+         "--seed", str(seed), "--trace", str(path)]
+    ) == 0
+    return path
+
+
+def _inflate_assign(src, dst, extra_seconds=1.0):
+    """Copy a trace, inflating every assign span (and its enclosing
+    round, so only round.assign's *self* time moves)."""
+    lines = []
+    for line in src.read_text().splitlines():
+        event = json.loads(line)
+        if event.get("type") == "span" and event["name"] in (
+            "round", "assign"
+        ):
+            event["duration"] += extra_seconds
+        lines.append(json.dumps(event, sort_keys=True))
+    dst.write_text("\n".join(lines) + "\n")
+    return dst
+
+
+class TestObsDiffCli:
+    def test_same_seed_traces_diff_clean(self, tmp_path, capsys):
+        market = _write_market(tmp_path)
+        a = _simulate_trace(tmp_path, market, "a.jsonl", seed=0)
+        b = _simulate_trace(tmp_path, market, "b.jsonl", seed=0)
+        capsys.readouterr()
+        assert main(["obs", "diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "no span regressions" in out
+        assert "round.assign" in out
+        # Same seed: deterministic counters line up exactly.
+        assert "counter drift" not in out
+
+    def test_inflated_assign_fails_with_nonzero_exit(
+        self, tmp_path, capsys
+    ):
+        market = _write_market(tmp_path)
+        a = _simulate_trace(tmp_path, market, "a.jsonl")
+        b = _inflate_assign(a, tmp_path / "slow.jsonl")
+        capsys.readouterr()
+        assert main(["obs", "diff", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        assert "round.assign" in out
+
+    def test_diff_knob_flags(self, tmp_path, capsys):
+        market = _write_market(tmp_path)
+        a = _simulate_trace(tmp_path, market, "a.jsonl")
+        b = _inflate_assign(a, tmp_path / "slow.jsonl")
+        # A huge noise floor forgives the inflation.
+        assert main(
+            ["obs", "diff", str(a), str(b), "--noise-floor", "10"]
+        ) == 0
+        capsys.readouterr()
+
+    def test_unresolvable_reference_errors(self, tmp_path, capsys):
+        assert main(
+            ["obs", "diff", "nope-a", "nope-b",
+             "--registry", str(tmp_path / "reg")]
+        ) == 1
+        assert "neither a trace file" in capsys.readouterr().err

@@ -1,0 +1,194 @@
+"""Tests for the self-contained HTML dashboard (``repro.obs.html``).
+
+The acceptance bar: ``obs report`` emits one HTML file with no network
+fetches and no external JS/CSS, and the page carries the timeline,
+flame-view, and counter-sparkline sections.
+"""
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.obs import (
+    TRACE_SCHEMA,
+    SpanRecord,
+    TraceData,
+    Tracer,
+    diff_traces,
+    render_html,
+    write_trace,
+)
+from repro.obs.html import _FLAME_SPAN_CAP, _SERIES_LIGHT
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def _traced(rounds=2):
+    tracer = Tracer()
+    for index in range(rounds):
+        with tracer.span("round", index=index):
+            with tracer.span("assign"):
+                pass
+            with tracer.span("simulate"):
+                pass
+    tracer.metrics.count("sim.rounds", rounds)
+    tracer.metrics.gauge("pool", 4)
+    tracer.metrics.observe("latency", 0.5)
+    return tracer
+
+
+def _trace(tmp_path, name="run.jsonl", **kwargs):
+    return obs.read_trace(
+        write_trace(_traced(**kwargs), tmp_path / name, tag="unit")
+    )
+
+
+class TestRenderHtml:
+    def test_sections_present_and_self_contained(self, tmp_path):
+        html = render_html(_trace(tmp_path))
+        assert html.startswith("<!DOCTYPE html>")
+        assert 'id="timeline"' in html
+        assert 'id="flame"' in html
+        assert 'id="counters"' in html
+        assert 'id="summary"' in html
+        # Self-contained: no scripts, no external fetches of any kind.
+        assert "<script" not in html
+        assert "http://" not in html
+        assert "https://" not in html
+        assert "<link" not in html
+        assert "@import" not in html
+        assert "url(" not in html
+
+    def test_timeline_and_sparklines_carry_stage_data(self, tmp_path):
+        html = render_html(_trace(tmp_path, rounds=3))
+        assert "assign" in html
+        assert "round total (s)" in html
+        assert "<polyline" in html
+        assert html.count('class="lane"') == 3
+        # Two stage names -> a legend is required.
+        assert 'class="legend"' in html
+
+    def test_metrics_tables(self, tmp_path):
+        html = render_html(_trace(tmp_path))
+        assert "sim.rounds" in html
+        assert "pool" in html
+        assert "latency" in html
+
+    def test_dark_mode_and_palette_declared(self, tmp_path):
+        html = render_html(_trace(tmp_path))
+        assert "prefers-color-scheme: dark" in html
+        assert 'data-theme="dark"' in html
+        for color in _SERIES_LIGHT[:2]:
+            assert color in html
+
+    def test_title_escaped(self, tmp_path):
+        html = render_html(
+            _trace(tmp_path), title="<run> & friends"
+        )
+        assert "<title>&lt;run&gt; &amp; friends</title>" in html
+        assert "<run> & friends" not in html
+
+    def test_roundless_trace_says_so(self):
+        trace = TraceData(
+            header={"schema": TRACE_SCHEMA, "tag": "t", "n_spans": 1},
+            spans=[
+                SpanRecord(
+                    index=0, parent=None, depth=0, name="bench.case",
+                    tags={}, start=0.0, duration=0.5,
+                )
+            ],
+            metrics={},
+        )
+        html = render_html(trace)
+        assert "no round spans" in html
+
+    def test_flame_cap_is_announced_not_silent(self):
+        n = _FLAME_SPAN_CAP + 100
+        spans = [
+            SpanRecord(
+                index=i, parent=None, depth=0, name="tick", tags={},
+                start=float(i), duration=1.0 + i / n,
+            )
+            for i in range(n)
+        ]
+        trace = TraceData(
+            header={"schema": TRACE_SCHEMA, "tag": "t", "n_spans": n},
+            spans=spans,
+            metrics={},
+        )
+        html = render_html(trace)
+        assert f"showing the {_FLAME_SPAN_CAP} widest spans" in html
+        assert "100 narrower span(s) omitted" in html
+
+    def test_diff_section_with_regression_marker(self, tmp_path):
+        base = _trace(tmp_path, "a.jsonl")
+        # Candidate with every duration inflated well past threshold.
+        slow = TraceData(
+            header=dict(base.header),
+            spans=[
+                SpanRecord(
+                    index=s.index, parent=s.parent, depth=s.depth,
+                    name=s.name, tags=dict(s.tags), start=s.start,
+                    duration=s.duration + 2.0,
+                )
+                for s in base.spans
+            ],
+            metrics={"counters": {"sim.rounds": 5.0}},
+        )
+        diff = diff_traces(base, slow, label_a="A", label_b="B")
+        html = render_html(slow, diff=diff)
+        assert 'id="diff"' in html
+        assert "REGRESSED" in html
+        assert "&#9650;" in html  # icon + label, never color alone
+        assert "Counter drift" in html
+
+    def test_clean_diff_has_no_regression_marker(self, tmp_path):
+        base = _trace(tmp_path, "a.jsonl")
+        diff = diff_traces(base, base)
+        html = render_html(base, diff=diff)
+        assert 'id="diff"' in html
+        assert "no span regressions" in html
+        assert "REGRESSED" not in html
+
+
+class TestObsReportCli:
+    def _trace_file(self, tmp_path, name="run.jsonl"):
+        return write_trace(_traced(), tmp_path / name, tag="unit")
+
+    def test_single_run_report(self, tmp_path, capsys):
+        trace = self._trace_file(tmp_path)
+        out_path = tmp_path / "report.html"
+        assert main(
+            ["obs", "report", str(trace), "--output", str(out_path)]
+        ) == 0
+        assert "wrote report" in capsys.readouterr().out
+        html = out_path.read_text()
+        assert 'id="timeline"' in html
+        assert 'id="flame"' in html
+        assert 'id="counters"' in html
+        assert 'id="diff"' not in html
+        assert "<script" not in html
+
+    def test_two_run_report_includes_diff(self, tmp_path, capsys):
+        a = self._trace_file(tmp_path, "a.jsonl")
+        b = self._trace_file(tmp_path, "b.jsonl")
+        out_path = tmp_path / "report.html"
+        assert main(
+            ["obs", "report", str(a), str(b),
+             "--output", str(out_path)]
+        ) == 0
+        capsys.readouterr()
+        assert 'id="diff"' in out_path.read_text()
+
+    def test_three_runs_rejected(self, tmp_path, capsys):
+        a = self._trace_file(tmp_path)
+        assert main(
+            ["obs", "report", str(a), str(a), str(a),
+             "--output", str(tmp_path / "r.html")]
+        ) == 2
+        assert "BASELINE" in capsys.readouterr().err

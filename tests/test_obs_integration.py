@@ -205,3 +205,131 @@ class TestTraceCli:
         ) == 0
         assert "wrote trace" not in capsys.readouterr().out
         assert not obs.enabled()
+
+
+class TestSolverWorkCounters:
+    """Satellite: flow/b-matching/stable emit work counters mirroring
+    the auction/hungarian instrumentation."""
+
+    def test_flow_solver_records_mincost_and_bmatching(self):
+        with obs.tracing() as tracer:
+            Simulation(_scenario(solver_name="flow")).run(seed=0)
+        counters = tracer.metrics.counters
+        assert counters["mincost_flow.augmentations"] > 0
+        assert counters["mincost_flow.pushes"] > 0
+        assert counters["b_matching.augmentations"] > 0
+        assert counters["b_matching.candidate_edges"] > 0
+        assert counters["b_matching.matched_edges"] > 0
+        # Every augmenting path pushes at least one arc.
+        assert (
+            counters["mincost_flow.pushes"]
+            >= counters["mincost_flow.augmentations"]
+        )
+
+    def test_stable_matching_records_proposal_counters(self):
+        with obs.tracing() as tracer:
+            Simulation(
+                _scenario(solver_name="stable-matching")
+            ).run(seed=0)
+        counters = tracer.metrics.counters
+        assert counters["stable.proposal_rounds"] > 0
+        assert counters["stable.proposals"] > 0
+        assert "stable.displacements" in counters
+
+    def test_counters_deterministic_across_runs(self):
+        def run():
+            with obs.tracing() as tracer:
+                Simulation(_scenario(solver_name="flow")).run(seed=4)
+            return dict(tracer.metrics.counters)
+
+        assert run() == run()
+
+
+class TestLiveStreaming:
+    def _market_path(self, tmp_path):
+        market = tmp_path / "market.json"
+        assert main(
+            ["generate", "synthetic-uniform", str(market),
+             "--workers", "12", "--tasks", "6", "--seed", "1"]
+        ) == 0
+        return market
+
+    def test_live_prints_per_round_lines(self, tmp_path, capsys):
+        market = self._market_path(tmp_path)
+        assert main(
+            ["simulate", str(market), "--rounds", "3", "--no-retention",
+             "--trace", str(tmp_path / "run.jsonl"), "--live"]
+        ) == 0
+        out = capsys.readouterr().out
+        for index in range(3):
+            assert f"[round {index}]" in out
+        # Stage timings and per-round counter deltas ride each line.
+        assert "assign=" in out
+        assert "sim.rounds=+1" in out
+
+    def test_live_requires_trace(self, tmp_path, capsys):
+        market = self._market_path(tmp_path)
+        assert main(
+            ["simulate", str(market), "--rounds", "1", "--live"]
+        ) == 2
+        assert "--live requires --trace" in capsys.readouterr().err
+
+    def test_live_lines_interleave_before_summary(
+        self, tmp_path, capsys
+    ):
+        market = self._market_path(tmp_path)
+        assert main(
+            ["simulate", str(market), "--rounds", "2", "--no-retention",
+             "--trace", str(tmp_path / "run.jsonl"), "--live"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.index("[round 0]") < out.index("wrote trace")
+
+
+class TestTracedCompareAndEvents:
+    def test_compare_trace_and_register(self, tmp_path, capsys):
+        trace_path = tmp_path / "cmp.jsonl"
+        reg = tmp_path / "reg"
+        assert main(
+            ["compare", "greedy", "random",
+             "--workers", "12", "--tasks", "6", "--instances", "3",
+             "--trace", str(trace_path),
+             "--register", "--registry", str(reg)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wrote trace" in out
+        assert "registered run compare@" in out
+        trace = obs.read_trace(trace_path)
+        assert trace.tag == "compare"
+        assert any(s.name == "compare" for s in trace.spans)
+        entry = obs.RunRegistry(reg).latest(tag="compare")
+        assert entry is not None
+        assert entry.scenario == "synthetic-uniform:greedy,random"
+
+    def test_events_trace_and_register(self, tmp_path, capsys):
+        market = tmp_path / "market.json"
+        assert main(
+            ["generate", "synthetic-uniform", str(market),
+             "--workers", "12", "--tasks", "6", "--seed", "1"]
+        ) == 0
+        trace_path = tmp_path / "ev.jsonl"
+        reg = tmp_path / "reg"
+        assert main(
+            ["events", str(market), "--horizon", "20",
+             "--trace", str(trace_path),
+             "--register", "--registry", str(reg)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wrote trace" in out
+        assert "registered run events@" in out
+        trace = obs.read_trace(trace_path)
+        assert trace.tag == "events"
+        assert any(s.name == "events" for s in trace.spans)
+        assert obs.RunRegistry(reg).latest(tag="events") is not None
+
+    def test_round_spans_tag_ok_outcome(self):
+        with obs.tracing() as tracer:
+            Simulation(_scenario()).run(seed=0)
+        rounds = [s for s in tracer.spans if s.name == "round"]
+        assert all(s.tags.get("outcome") == "ok" for s in rounds)
+        assert all(s.tags.get("edges", 0) > 0 for s in rounds)

@@ -1,0 +1,328 @@
+"""Tests for the run registry (``repro.obs.registry``) and its CLI.
+
+The acceptance bar: registration is content-addressed and idempotent
+(double-register returns the same entry and appends nothing), and a
+diff against a registry entry is *identical* to a diff against the raw
+trace file it archived.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.errors import ValidationError
+from repro.obs import (
+    RunRegistry,
+    Tracer,
+    current_git_rev,
+    diff_traces,
+    read_trace,
+    render_diff,
+    resolve_trace,
+    write_trace,
+)
+from repro.obs.registry import REGISTRY_SCHEMA
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def _traced(rounds=1, extra_counts=0):
+    tracer = Tracer()
+    for index in range(rounds):
+        with tracer.span("round", index=index):
+            with tracer.span("assign"):
+                pass
+    tracer.metrics.count("sim.rounds", rounds + extra_counts)
+    return tracer
+
+
+def _trace_file(tmp_path, name="run.jsonl", **kwargs):
+    return write_trace(_traced(**kwargs), tmp_path / name, tag="unit")
+
+
+class TestRegister:
+    def test_register_archives_and_indexes(self, tmp_path):
+        registry = RunRegistry(tmp_path / "reg")
+        path = _trace_file(tmp_path)
+        entry = registry.register(
+            path, tag="unit", seed=7, scenario="s", git_rev="abc123"
+        )
+        assert len(entry.run_id) == 16
+        assert entry.tag == "unit"
+        assert entry.seed == 7
+        assert entry.scenario == "s"
+        assert entry.git_rev == "abc123"
+        assert entry.n_spans == 2
+        archived = registry.trace_path(entry)
+        assert archived.exists()
+        assert archived.read_bytes() == path.read_bytes()
+        assert registry.index_path.exists()
+
+    def test_double_register_is_idempotent(self, tmp_path):
+        registry = RunRegistry(tmp_path / "reg")
+        path = _trace_file(tmp_path)
+        first = registry.register(path, tag="unit")
+        second = registry.register(path, tag="renamed")
+        assert second == first
+        assert len(registry.entries()) == 1
+        assert (
+            len(registry.index_path.read_text().splitlines()) == 1
+        )
+
+    def test_tag_defaults_to_trace_header(self, tmp_path):
+        registry = RunRegistry(tmp_path / "reg")
+        entry = registry.register(_trace_file(tmp_path))
+        assert entry.tag == "unit"
+
+    def test_invalid_trace_never_touches_registry(self, tmp_path):
+        registry = RunRegistry(tmp_path / "reg")
+        garbage = tmp_path / "garbage.jsonl"
+        garbage.write_text("not json\n")
+        with pytest.raises(ValidationError):
+            registry.register(garbage)
+        assert not registry.index_path.exists()
+
+    def test_register_tracer_cleans_scratch(self, tmp_path):
+        registry = RunRegistry(tmp_path / "reg")
+        entry = registry.register_tracer(_traced(), tag="live", seed=3)
+        assert entry.tag == "live"
+        assert registry.trace_path(entry).exists()
+        leftovers = [
+            p for p in registry.root.iterdir()
+            if p.name.startswith(".incoming-")
+        ]
+        assert leftovers == []
+        trace = registry.read(entry)
+        assert trace.tag == "live"
+
+    def test_entry_roundtrips_through_index(self, tmp_path):
+        registry = RunRegistry(tmp_path / "reg")
+        written = registry.register(
+            _trace_file(tmp_path), tag="unit", seed=1, note="hi"
+        )
+        reread = registry.entries()[0]
+        assert reread == written
+        assert reread.extra == {"note": "hi"}
+
+
+class TestLookup:
+    def _registry(self, tmp_path):
+        registry = RunRegistry(tmp_path / "reg")
+        a = registry.register(
+            _trace_file(tmp_path, "a.jsonl", rounds=1), tag="sim"
+        )
+        b = registry.register(
+            _trace_file(tmp_path, "b.jsonl", rounds=2), tag="sim"
+        )
+        c = registry.register(
+            _trace_file(tmp_path, "c.jsonl", rounds=3), tag="bench"
+        )
+        return registry, a, b, c
+
+    def test_entries_and_tag_filter(self, tmp_path):
+        registry, a, b, c = self._registry(tmp_path)
+        assert registry.entries() == [a, b, c]
+        assert registry.entries(tag="sim") == [a, b]
+
+    def test_latest(self, tmp_path):
+        registry, _a, b, c = self._registry(tmp_path)
+        assert registry.latest() == c
+        assert registry.latest(tag="sim") == b
+        assert registry.latest(tag="absent") is None
+
+    def test_get_by_unambiguous_prefix(self, tmp_path):
+        registry, a, _b, _c = self._registry(tmp_path)
+        assert registry.get(a.run_id[:8]) == a
+        with pytest.raises(ValidationError, match="no registered run"):
+            registry.get("zzzzzz")
+        with pytest.raises(ValidationError, match="ambiguous"):
+            registry.get("")
+
+    def test_missing_archived_trace_is_reported(self, tmp_path):
+        registry, a, _b, _c = self._registry(tmp_path)
+        registry.trace_path(a).unlink()
+        with pytest.raises(ValidationError, match="missing"):
+            registry.read(a)
+
+    def test_corrupt_index_line_rejected(self, tmp_path):
+        registry, _a, _b, _c = self._registry(tmp_path)
+        with registry.index_path.open("a") as handle:
+            handle.write("{broken\n")
+        with pytest.raises(ValidationError, match="corrupt"):
+            registry.entries()
+
+    def test_wrong_index_schema_rejected(self, tmp_path):
+        registry = RunRegistry(tmp_path / "reg")
+        entry = registry.register(_trace_file(tmp_path), tag="sim")
+        payload = entry.to_dict()
+        payload["schema"] = "repro-obs-registry/9"
+        registry.index_path.write_text(
+            json.dumps(payload, sort_keys=True) + "\n"
+        )
+        with pytest.raises(ValidationError, match=REGISTRY_SCHEMA):
+            registry.entries()
+
+
+class TestPrune:
+    def test_prune_keeps_newest(self, tmp_path):
+        registry = RunRegistry(tmp_path / "reg")
+        entries = [
+            registry.register(
+                _trace_file(tmp_path, f"{i}.jsonl", rounds=i + 1),
+                tag="sim",
+            )
+            for i in range(4)
+        ]
+        removed = registry.prune(2)
+        assert removed == entries[:2]
+        assert registry.entries() == entries[2:]
+        assert not registry.trace_path(entries[0]).exists()
+        assert registry.trace_path(entries[3]).exists()
+
+    def test_prune_by_tag_spares_other_tags(self, tmp_path):
+        registry = RunRegistry(tmp_path / "reg")
+        sim = registry.register(
+            _trace_file(tmp_path, "s.jsonl", rounds=1), tag="sim"
+        )
+        bench = registry.register(
+            _trace_file(tmp_path, "b.jsonl", rounds=2), tag="bench"
+        )
+        removed = registry.prune(0, tag="sim")
+        assert removed == [sim]
+        assert registry.entries() == [bench]
+
+    def test_prune_nothing_to_do(self, tmp_path):
+        registry = RunRegistry(tmp_path / "reg")
+        registry.register(_trace_file(tmp_path), tag="sim")
+        assert registry.prune(5) == []
+        with pytest.raises(ValidationError, match="keep"):
+            registry.prune(-1)
+
+
+class TestResolveTrace:
+    def test_path_wins(self, tmp_path):
+        path = _trace_file(tmp_path)
+        resolved, label = resolve_trace(
+            str(path), RunRegistry(tmp_path / "reg")
+        )
+        assert resolved == path
+        assert label == str(path)
+
+    def test_run_id_prefix_and_tag(self, tmp_path):
+        registry = RunRegistry(tmp_path / "reg")
+        entry = registry.register(_trace_file(tmp_path), tag="sim")
+        by_id, label = resolve_trace(entry.run_id[:8], registry)
+        assert by_id == registry.trace_path(entry)
+        assert label == f"sim@{entry.run_id}"
+        by_tag, _ = resolve_trace("sim", registry)
+        assert by_tag == registry.trace_path(entry)
+
+    def test_unknown_reference(self, tmp_path):
+        with pytest.raises(ValidationError, match="neither"):
+            resolve_trace("ghost", RunRegistry(tmp_path / "reg"))
+
+
+class TestRegistryDiffEquivalence:
+    def test_diff_against_entry_equals_diff_against_file(self, tmp_path):
+        """Acceptance: registry round-trip is deterministic — the
+        archived bytes diff identically to the raw file."""
+        registry = RunRegistry(tmp_path / "reg")
+        a = _trace_file(tmp_path, "a.jsonl", rounds=2)
+        b = _trace_file(tmp_path, "b.jsonl", rounds=3)
+        entry_a = registry.register(a, tag="sim")
+        entry_b = registry.register(b, tag="sim")
+        via_files = diff_traces(read_trace(a), read_trace(b))
+        via_registry = diff_traces(
+            registry.read(entry_a), registry.read(entry_b)
+        )
+        assert render_diff(via_files) == render_diff(via_registry)
+        assert via_files.spans == via_registry.spans
+        assert via_files.counters == via_registry.counters
+
+
+class TestCurrentGitRev:
+    def test_inside_this_repo(self):
+        rev = current_git_rev()
+        assert rev is None or (
+            isinstance(rev, str) and len(rev) >= 4
+        )
+
+    def test_outside_a_checkout(self, tmp_path):
+        assert current_git_rev(cwd=tmp_path) is None
+
+
+class TestObsRegistryCli:
+    def _registered(self, tmp_path, capsys):
+        trace = _trace_file(tmp_path)
+        reg = tmp_path / "reg"
+        assert main(
+            ["obs", "register", str(trace), "--registry", str(reg),
+             "--tag", "sim", "--seed", "5", "--scenario", "unit-test"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "registered run sim@" in out
+        return reg
+
+    def test_register_then_list(self, tmp_path, capsys):
+        reg = self._registered(tmp_path, capsys)
+        assert main(["obs", "list", "--registry", str(reg)]) == 0
+        out = capsys.readouterr().out
+        assert "sim" in out
+        assert "unit-test" in out
+
+    def test_list_empty_registry(self, tmp_path, capsys):
+        assert main(
+            ["obs", "list", "--registry", str(tmp_path / "reg")]
+        ) == 0
+        assert "no registered runs" in capsys.readouterr().out
+
+    def test_prune_cli(self, tmp_path, capsys):
+        reg = self._registered(tmp_path, capsys)
+        assert main(
+            ["obs", "prune", "0", "--registry", str(reg)]
+        ) == 0
+        assert "removed 1 run(s)" in capsys.readouterr().out
+        assert main(["obs", "list", "--registry", str(reg)]) == 0
+        assert "no registered runs" in capsys.readouterr().out
+
+    def test_diff_by_tag_reference(self, tmp_path, capsys):
+        reg = tmp_path / "reg"
+        a = _trace_file(tmp_path, "a.jsonl")
+        assert main(
+            ["obs", "register", str(a), "--registry", str(reg),
+             "--tag", "sim"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["obs", "diff", "sim", str(a), "--registry", str(reg)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "no span regressions" in out
+        assert "sim@" in out
+
+    def test_simulate_register_flag(self, tmp_path, capsys):
+        market = tmp_path / "market.json"
+        assert main(
+            ["generate", "synthetic-uniform", str(market),
+             "--workers", "12", "--tasks", "6", "--seed", "2"]
+        ) == 0
+        reg = tmp_path / "reg"
+        assert main(
+            ["simulate", str(market), "--rounds", "2", "--no-retention",
+             "--trace", str(tmp_path / "run.jsonl"),
+             "--register", "--registry", str(reg)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "registered run simulate@" in out
+        registry = RunRegistry(reg)
+        entry = registry.latest(tag="simulate")
+        assert entry is not None
+        assert entry.seed == 0
+        assert entry.scenario == f"flow:{market}"

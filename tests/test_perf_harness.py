@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro import obs
 from repro.cli import main
 from repro.errors import ValidationError
 from repro.perf import (
@@ -13,6 +14,7 @@ from repro.perf import (
     build_suites,
     find_regressions,
     load_baseline,
+    register_and_diff,
     render_text,
     run_cases,
     save_baseline,
@@ -290,3 +292,82 @@ class TestBenchCli:
         baseline_path.write_text(json.dumps(baseline))
         assert self._run(tmp_path) == 1
         assert self._run(tmp_path, "--no-fail") == 0
+
+
+class TestRegisterAndDiff:
+    def _tracer(self, work=1):
+        tracer = obs.Tracer()
+        for index in range(work):
+            with tracer.span("bench.case", name=f"case{index}"):
+                pass
+        tracer.metrics.count("bench.cases", work)
+        return tracer
+
+    def test_first_run_registers_without_diff(self, tmp_path):
+        entry, diff = register_and_diff(
+            self._tracer(), tag="t", registry_root=tmp_path / "reg"
+        )
+        assert entry.tag == "t"
+        assert diff is None
+
+    def test_second_run_diffs_against_previous(self, tmp_path):
+        root = tmp_path / "reg"
+        register_and_diff(self._tracer(), tag="t", registry_root=root)
+        entry, diff = register_and_diff(
+            self._tracer(), tag="t", registry_root=root
+        )
+        assert diff is not None
+        assert diff.label_b == f"t@{entry.run_id}"
+        # Microsecond spans sit under the noise floor: no regression.
+        assert diff.ok
+
+    def test_counter_drift_surfaces_in_diff(self, tmp_path):
+        root = tmp_path / "reg"
+        register_and_diff(
+            self._tracer(work=1), tag="t", registry_root=root
+        )
+        _entry, diff = register_and_diff(
+            self._tracer(work=3), tag="t", registry_root=root
+        )
+        drift = {c.name: c.delta for c in diff.counters}
+        assert drift["bench.cases"] == 2
+
+    def test_tags_are_isolated(self, tmp_path):
+        root = tmp_path / "reg"
+        register_and_diff(self._tracer(), tag="a", registry_root=root)
+        _entry, diff = register_and_diff(
+            self._tracer(work=2), tag="b", registry_root=root
+        )
+        assert diff is None  # first run of tag "b"
+
+
+class TestBenchCliAutoDiff:
+    def _run(self, tmp_path, *extra):
+        return main(
+            [
+                "bench", "--quick", "--scale", "0.2", "--suite", "micro",
+                "--repeats", "1", "--tag", "difftest",
+                "--output-dir", str(tmp_path),
+                "--baseline", str(tmp_path / "baseline.json"),
+                "--no-fail", *extra,
+            ]
+        )
+
+    def test_bench_registers_and_diffs_same_tag(self, tmp_path, capsys):
+        assert self._run(tmp_path) == 0
+        first = capsys.readouterr().out
+        assert "registered bench trace difftest@" in first
+        assert "trace diff:" not in first  # nothing to compare yet
+        registry = obs.RunRegistry(tmp_path / ".repro-runs")
+        assert len(registry.entries(tag="difftest")) == 1
+        assert self._run(tmp_path) == 0
+        second = capsys.readouterr().out
+        assert "trace diff: difftest@" in second
+        assert "bench.case" in second
+        assert len(registry.entries(tag="difftest")) == 2
+
+    def test_no_register_skips_registry(self, tmp_path, capsys):
+        assert self._run(tmp_path, "--no-register") == 0
+        out = capsys.readouterr().out
+        assert "registered bench trace" not in out
+        assert not (tmp_path / ".repro-runs").exists()
