@@ -12,6 +12,9 @@ Four commands cover the operational surface a platform engineer needs:
 
 Plus operational commands: ``compare`` (solver comparison with CIs),
 ``events`` (continuous-time simulation), ``lint`` (static analysis),
+``spec`` (scenario spec files: ``check`` validates them without
+building a market, ``expand`` enumerates their ``[axes]`` lattice,
+``schema`` prints the knob catalogue; see ``docs/scenarios.md``),
 ``bench`` (performance suites with baseline regression checks),
 ``trace`` (replay/summarize a JSONL trace exported by a run with
 ``--trace``), and ``obs`` (cross-run observability: the run registry,
@@ -209,6 +212,50 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
+    )
+
+    spec = commands.add_parser(
+        "spec",
+        help="scenario specs: statically check TOML/JSON spec files, "
+        "expand their [axes] lattice, print the knob schema",
+    )
+    spec_actions = spec.add_subparsers(dest="spec_command", required=True)
+
+    spec_check = spec_actions.add_parser(
+        "check",
+        help="validate spec files without building a single market; "
+        "exits 1 on any error diagnostic",
+    )
+    spec_check.add_argument(
+        "paths", nargs="+", help="spec files (.toml or .json)"
+    )
+    spec_check.add_argument(
+        "--strict", action="store_true",
+        help="treat warnings as errors",
+    )
+
+    spec_expand = spec_actions.add_parser(
+        "expand",
+        help="enumerate the spec's [axes] product, keeping only "
+        "checker-clean scenarios (dropped corners are counted)",
+    )
+    spec_expand.add_argument("path", help="spec file (.toml or .json)")
+    spec_expand.add_argument(
+        "--sample", type=int, default=None, metavar="K",
+        help="deterministically subsample K valid points",
+    )
+    spec_expand.add_argument(
+        "--seed", type=int, default=0,
+        help="seed of the --sample draw",
+    )
+    spec_expand.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit one JSON object per point (id, axes, payload) "
+        "instead of the table",
+    )
+
+    spec_actions.add_parser(
+        "schema", help="print the declared knob catalogue"
     )
 
     bench = commands.add_parser(
@@ -667,6 +714,103 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_spec(args: argparse.Namespace) -> int:
+    # Imported here and kept simulation-free on the check/expand paths:
+    # a spec must be judged valid or invalid before any market exists.
+    from repro.spec import (
+        SCENARIO_KNOBS,
+        check_spec,
+        expand,
+        sample,
+    )
+    from repro.spec.constraints import RegistryView
+
+    if args.spec_command == "check":
+        view = RegistryView.live()
+        failures = 0
+        for path in args.paths:
+            result = check_spec(path, view=view)
+            bad = result.errors or (args.strict and result.warnings)
+            if bad:
+                failures += 1
+                print(f"{path}: FAIL")
+            else:
+                print(
+                    f"{path}: ok"
+                    + (
+                        f" ({len(result.warnings)} warning(s))"
+                        if result.warnings
+                        else ""
+                    )
+                )
+            for diagnostic in result.diagnostics:
+                print(f"  {diagnostic.render()}")
+        print(
+            f"{len(args.paths) - failures}/{len(args.paths)} spec(s) valid"
+        )
+        return 1 if failures else 0
+    if args.spec_command == "expand":
+        lattice = (
+            expand(args.path)
+            if args.sample is None
+            else sample(args.path, args.sample, seed=args.seed)
+        )
+        if args.as_json:
+            for point in lattice.points:
+                print(
+                    json.dumps(
+                        {
+                            "id": point.id,
+                            "axes": point.axis_values,
+                            "payload": point.payload,
+                        },
+                        sort_keys=True,
+                    )
+                )
+            return 0
+        axes = sorted(lattice.base.axes)
+        header = " ".join(f"{name:<24s}" for name in axes)
+        print(f"{'id':<20s} {header}".rstrip())
+        for point in lattice.points:
+            row = " ".join(
+                f"{point.axis_values[name]!s:<24s}" for name in axes
+            )
+            print(f"{point.id:<20s} {row}".rstrip())
+        print(
+            f"\n{len(lattice.points)} valid scenario(s) of "
+            f"{lattice.enumerated} enumerated"
+            + (
+                f"; {len(lattice.dropped)} dropped by the checker"
+                if lattice.dropped
+                else ""
+            )
+        )
+        for dropped in lattice.dropped:
+            codes = ", ".join(
+                sorted({d.code for d in dropped.diagnostics})
+            )
+            print(f"  dropped {dropped.axis_values} ({codes})")
+        return 0
+    if args.spec_command == "schema":
+        section = None
+        for knob in SCENARIO_KNOBS:
+            prefix = knob.name.split(".", 1)[0]
+            if prefix != section:
+                section = prefix
+                print(f"[{section}]")
+            name = knob.name.split(".", 1)[1]
+            domain = knob.domain.render()
+            default = (
+                "(required)" if knob.required else repr(knob.default)
+            )
+            print(
+                f"  {name:<20s} {knob.type:<6s} {default:<12s} "
+                f"{domain:<18s} {knob.description}"
+            )
+        return 0
+    raise ReproError(f"unknown spec subcommand {args.spec_command!r}")
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -852,6 +996,7 @@ def main(argv: list[str] | None = None) -> int:
         "compare": _cmd_compare,
         "events": _cmd_events,
         "lint": _cmd_lint,
+        "spec": _cmd_spec,
         "bench": _cmd_bench,
         "trace": _cmd_trace,
         "obs": _cmd_obs,

@@ -35,9 +35,12 @@ from repro.core.solvers.base import (
     LAZY_SOLVER_MODULES,
     SOLVER_REGISTRY,
     Solver,
+    accepted_solver_kwargs,
     get_solver,
     list_solvers,
     register_solver,
+    solver_signature,
+    validate_solver_kwargs,
 )
 from repro.core.solvers.batched import OnlineBatchSolver
 from repro.core.solvers.budgeted import BudgetedFlowSolver
@@ -76,7 +79,10 @@ __all__ = [
     "Solver",
     "StableMatchingSolver",
     "WorkerOnlySolver",
+    "accepted_solver_kwargs",
     "get_solver",
     "list_solvers",
     "register_solver",
+    "solver_signature",
+    "validate_solver_kwargs",
 ]

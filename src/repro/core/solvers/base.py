@@ -4,10 +4,11 @@ from __future__ import annotations
 
 import abc
 import importlib
+import inspect
 
 from repro.core.assignment import Assignment
 from repro.core.problem import MBAProblem
-from repro.errors import UnknownSolverError
+from repro.errors import ConfigurationError, UnknownSolverError
 from repro.utils.rng import SeedLike
 
 SOLVER_REGISTRY: dict[str, type["Solver"]] = {}
@@ -57,6 +58,73 @@ def list_solvers() -> list[str]:
     for name in LAZY_SOLVER_MODULES:
         _load_lazy(name)
     return sorted(SOLVER_REGISTRY)
+
+
+def solver_signature(name: str) -> inspect.Signature:
+    """Constructor signature of the registered solver ``name``."""
+    _load_lazy(name)
+    try:
+        cls = SOLVER_REGISTRY[name]
+    except KeyError:
+        known = set(SOLVER_REGISTRY) | set(LAZY_SOLVER_MODULES)
+        raise UnknownSolverError(name, list(known)) from None
+    return inspect.signature(cls.__init__)
+
+
+def accepted_solver_kwargs(name: str) -> frozenset[str] | None:
+    """Keyword names the solver's constructor accepts.
+
+    ``None`` means the constructor takes ``**kwargs`` and any key is
+    formally acceptable (nothing can be checked statically).
+    """
+    parameters = [
+        parameter
+        for parameter_name, parameter in solver_signature(
+            name
+        ).parameters.items()
+        if parameter_name != "self"
+    ]
+    if any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters
+    ):
+        return None
+    return frozenset(
+        parameter.name
+        for parameter in parameters
+        if parameter.kind
+        in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        )
+    )
+
+
+def validate_solver_kwargs(name: str, kwargs: dict) -> None:
+    """Reject ``solver_kwargs`` keys the solver's constructor rejects.
+
+    A typo'd key would otherwise surface as a ``TypeError`` at the
+    first ``get_solver`` call — round 1 of a long run.  Checking the
+    signature up front turns it into a :class:`ConfigurationError` at
+    scenario (or spec) construction time.
+    """
+    if not kwargs:
+        # Still resolve the name so a typo'd solver fails here too.
+        _load_lazy(name)
+        if name not in SOLVER_REGISTRY:
+            known = set(SOLVER_REGISTRY) | set(LAZY_SOLVER_MODULES)
+            raise UnknownSolverError(name, list(known))
+        return
+    accepted = accepted_solver_kwargs(name)
+    if accepted is None:
+        return
+    unknown = sorted(set(kwargs) - accepted)
+    if unknown:
+        raise ConfigurationError(
+            f"solver {name!r} does not accept solver_kwargs key(s) "
+            f"{', '.join(repr(key) for key in unknown)}; accepted: "
+            f"{', '.join(sorted(accepted)) or '(none)'}"
+        )
 
 
 class Solver(abc.ABC):

@@ -10,14 +10,17 @@ from repro.eval.experiments import EXPERIMENTS, run_experiment
 from repro.eval.plotting import ascii_chart, chart_from_table
 from repro.eval.report import Table
 from repro.eval.significance import compare_solvers
-from repro.eval.sweep import sweep
+from repro.eval.sweep import SpecSweep, measure_spec_point, sweep, sweep_spec
 
 __all__ = [
     "EXPERIMENTS",
+    "SpecSweep",
     "Table",
     "ascii_chart",
     "chart_from_table",
     "compare_solvers",
+    "measure_spec_point",
     "run_experiment",
     "sweep",
+    "sweep_spec",
 ]

@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import pickle
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -14,6 +16,9 @@ from repro import obs
 from repro.errors import ValidationError
 from repro.utils.rng import spawn_rngs
 from repro.utils.timer import Timer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.spec.lattice import Lattice
 
 
 @dataclass(frozen=True)
@@ -159,6 +164,88 @@ def sweep(
                 payload["metrics"],
             )
     return points
+
+
+def measure_spec_point(
+    parameter: object, rng: np.random.Generator
+) -> float:
+    """Default spec-sweep measure: simulate and return mean accuracy.
+
+    ``parameter`` is the canonical JSON of one lattice point's payload
+    (a string so it is hashable for :func:`aggregate` and picklable for
+    process pools); the repetition's ``rng`` seeds the simulation, so
+    repetitions vary exactly as in any other sweep while the scenario
+    itself stays pinned by the payload.
+    """
+    from repro.sim.engine import Simulation
+    from repro.spec.compile import compile_spec
+
+    scenario = compile_spec(json.loads(str(parameter)))
+    result = Simulation(scenario).run(seed=rng)
+    return float(result.mean_accuracy)
+
+
+@dataclass(frozen=True)
+class SpecSweep:
+    """A sweep driven by a spec's ``[axes]`` lattice."""
+
+    lattice: "Lattice"
+    points: list[SweepPoint]
+
+    def by_scenario(self) -> dict[str, tuple[float, float]]:
+        """Scenario id -> (mean value, mean elapsed), lattice order."""
+        parameters = aggregate(self.points)
+        result = {}
+        for point in self.lattice.points:
+            parameter = json.dumps(point.payload, sort_keys=True)
+            if parameter in parameters:
+                result[point.id] = parameters[parameter]
+        return result
+
+
+def sweep_spec(
+    source,
+    measure: Callable[[object, np.random.Generator], float] | None = None,
+    repetitions: int = 3,
+    seed: int | None = 0,
+    workers: int = 1,
+    mp_context: str | None = None,
+    limit: int | None = None,
+) -> SpecSweep:
+    """Sweep the checker-clean lattice of a scenario spec.
+
+    The spec's ``[axes]`` product is expanded and statically checked
+    first (see :func:`repro.spec.lattice.expand`), so the sweep only
+    ever spends compute on valid scenarios; invalid corners are dropped
+    by the checker, not discovered at simulation time.  Each surviving
+    point is passed to ``measure`` as the canonical JSON string of its
+    sparse payload — hashable, picklable, and recompilable via
+    :func:`repro.spec.compile.compile_spec` — which is what lets the
+    existing process-pool machinery in :func:`sweep` fan spec points
+    out unchanged.  ``measure`` defaults to :func:`measure_spec_point`
+    (mean simulated accuracy).  ``limit`` subsamples the lattice
+    deterministically from ``seed``.
+    """
+    from repro.spec.lattice import expand, sample
+
+    lattice = (
+        expand(source)
+        if limit is None
+        else sample(source, limit, seed=seed)
+    )
+    parameters = [
+        json.dumps(point.payload, sort_keys=True)
+        for point in lattice.points
+    ]
+    points = sweep(
+        parameters,
+        measure if measure is not None else measure_spec_point,
+        repetitions=repetitions,
+        seed=seed,
+        workers=workers,
+        mp_context=mp_context,
+    )
+    return SpecSweep(lattice=lattice, points=points)
 
 
 def aggregate(

@@ -23,16 +23,22 @@ from dataclasses import dataclass, field
 #: core in the dependency DAG: letting the core reach up would create
 #: cycles and drag plotting/IO machinery into every solver import.
 DEFAULT_FORBIDDEN_IMPORTS: Mapping[str, frozenset[str]] = {
-    "core": frozenset({"eval", "sim", "benchmarks", "resilience", "perf"}),
-    "matching": frozenset({"eval", "sim", "benchmarks", "resilience", "perf"}),
-    "benefit": frozenset({"eval", "sim", "benchmarks", "resilience", "perf"}),
+    "core": frozenset(
+        {"eval", "sim", "benchmarks", "resilience", "perf", "spec"}
+    ),
+    "matching": frozenset(
+        {"eval", "sim", "benchmarks", "resilience", "perf", "spec"}
+    ),
+    "benefit": frozenset(
+        {"eval", "sim", "benchmarks", "resilience", "perf", "spec"}
+    ),
     # ``repro.obs`` must be importable from *anywhere* — solvers and
     # simulators alike call into it — so it may depend on nothing above
     # the utils layer: only ``utils``, ``errors``, and itself.
     "obs": frozenset({
         "benchmarks", "benefit", "cli", "core", "crowd", "datagen",
         "eval", "io", "lint", "market", "matching", "perf",
-        "resilience", "sim", "types",
+        "resilience", "sim", "spec", "types",
     }),
 }
 
@@ -95,6 +101,14 @@ class LintConfig:
     #: Prefixes inside the hot set exempt from R601 (reference
     #: implementations that are scalar on purpose).
     perf_loop_allowed: frozenset[str] = DEFAULT_PERF_LOOP_ALLOWED
+    #: Module holding the ``Scenario`` dataclass R701/R704 audit
+    #: against the spec schema.
+    spec_scenario_module: str = "repro.sim.scenario"
+    #: Module holding the CLI parser R702 audits for unbound flags.
+    spec_cli_module: str = "repro.cli"
+    #: Module holding the constraint catalogue R703 audits for
+    #: undeclared knob references.
+    spec_constraints_module: str = "repro.spec.constraints"
 
     def rule_enabled(self, rule_id: str) -> bool:
         if rule_id in self.ignore:

@@ -12,4 +12,5 @@ from repro.lint.rules import (  # noqa: F401  (imported for registration)
     rng,
     robustness,
     solver_contract,
+    spec_integrity,
 )

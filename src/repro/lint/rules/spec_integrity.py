@@ -1,0 +1,247 @@
+"""R7 — config integrity: the spec schema and the code stay in sync.
+
+The schema in :mod:`repro.spec.schema` claims to describe three pieces
+of code it does not import: the ``Scenario`` dataclass, the ``simulate``
+CLI surface, and the constraint catalogue.  Nothing at runtime forces
+those claims to stay true — a new ``Scenario`` field, a new ``--flag``,
+or a constraint referencing a renamed knob would silently open a gap
+between what specs can express and what the code accepts.  These rules
+close the loop statically, the same way R1–R6 police RNG discipline and
+layering:
+
+* **R701** — every ``Scenario`` dataclass field is either bound to a
+  schema knob (``Knob.scenario_field``) or explicitly waived in
+  ``UNSPECCED_SCENARIO_FIELDS`` with a reason;
+* **R702** — every ``--flag`` of the ``simulate`` subcommand maps to a
+  schema knob (``Knob.cli_flag``) or is a declared operational flag
+  (``CLI_OPERATIONAL_FLAGS``);
+* **R703** — every knob a :class:`repro.spec.constraints.Constraint`
+  declares in its ``knobs=`` tuple exists in the schema (and the tuple
+  is a literal, so this check cannot be defeated);
+* **R704** — where a bound ``Scenario`` field has a literal default,
+  it equals the schema's scenario-side default for that knob.
+
+The rules anchor on configurable module paths (``spec_*_module`` in
+:class:`repro.lint.config.LintConfig`) so fixtures can exercise them
+under ``tmp_path``.  The schema itself is imported lazily at check
+time — it is stdlib-only data, so this keeps the linter runnable over
+arbitrary trees without the simulation stack.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.base import (
+    FileContext,
+    Rule,
+    Violation,
+    dotted_name,
+    register_rule,
+)
+
+
+def _scenario_class(ctx: FileContext) -> ast.ClassDef | None:
+    for node in ctx.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == "Scenario":
+            return node
+    return None
+
+
+def _dataclass_fields(
+    node: ast.ClassDef,
+) -> Iterator[tuple[str, ast.AnnAssign]]:
+    for item in node.body:
+        if (
+            isinstance(item, ast.AnnAssign)
+            and isinstance(item.target, ast.Name)
+            and not item.target.id.startswith("_")
+        ):
+            yield item.target.id, item
+
+
+@register_rule
+class ScenarioFieldsInSchema(Rule):
+    id = "R701"
+    family = "config-integrity"
+    summary = "every Scenario field must be schema-covered (or waived)"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.module != ctx.config.spec_scenario_module:
+            return
+        node = _scenario_class(ctx)
+        if node is None:
+            return
+        from repro.spec.schema import scenario_field_coverage
+
+        covered = scenario_field_coverage()
+        for name, item in _dataclass_fields(node):
+            if name not in covered:
+                yield ctx.violation(
+                    item,
+                    self.id,
+                    f"Scenario field {name!r} is not bound to any spec "
+                    "knob — declare a Knob with scenario_field="
+                    f"{name!r} in repro.spec.schema, or waive it in "
+                    "UNSPECCED_SCENARIO_FIELDS with a reason",
+                )
+
+
+def _simulate_parser_names(tree: ast.Module) -> set[str]:
+    """Variables assigned from ``*.add_parser("simulate", ...)``."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if not (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "add_parser"
+            and value.args
+            and isinstance(value.args[0], ast.Constant)
+            and value.args[0].value == "simulate"
+        ):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+@register_rule
+class SimulateFlagsInSchema(Rule):
+    id = "R702"
+    family = "config-integrity"
+    summary = "every simulate --flag must map to a spec knob"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.module != ctx.config.spec_cli_module:
+            return
+        parsers = _simulate_parser_names(ctx.tree)
+        if not parsers:
+            return
+        from repro.spec.schema import CLI_OPERATIONAL_FLAGS, cli_flag_map
+
+        bound = set(cli_flag_map()) | set(CLI_OPERATIONAL_FLAGS)
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_argument"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in parsers
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+                and node.args[0].value.startswith("--")
+            ):
+                continue
+            flag = node.args[0].value
+            if flag not in bound:
+                yield ctx.violation(
+                    node,
+                    self.id,
+                    f"simulate flag {flag!r} has no spec-schema binding "
+                    "— give its knob cli_flag="
+                    f"{flag!r}, or list it in CLI_OPERATIONAL_FLAGS if "
+                    "it configures the harness rather than the scenario",
+                )
+
+
+@register_rule
+class ConstraintKnobsDeclared(Rule):
+    id = "R703"
+    family = "config-integrity"
+    summary = "constraints may only reference declared knobs"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.module != ctx.config.spec_constraints_module:
+            return
+        from repro.spec.schema import KNOBS
+
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and dotted_name(node.func) is not None
+                and dotted_name(node.func).split(".")[-1] == "Constraint"
+            ):
+                continue
+            knobs_kw = next(
+                (kw for kw in node.keywords if kw.arg == "knobs"), None
+            )
+            if knobs_kw is None:
+                yield ctx.violation(
+                    node,
+                    self.id,
+                    "Constraint without a knobs= keyword — the knob "
+                    "tuple must be spelled literally so it can be "
+                    "checked against the schema",
+                )
+                continue
+            value = knobs_kw.value
+            if not (
+                isinstance(value, ast.Tuple)
+                and all(
+                    isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                    for element in value.elts
+                )
+            ):
+                yield ctx.violation(
+                    knobs_kw.value,
+                    self.id,
+                    "Constraint knobs= must be a literal tuple of knob "
+                    "name strings (computed tuples defeat the static "
+                    "schema check)",
+                )
+                continue
+            for element in value.elts:
+                if element.value not in KNOBS:  # type: ignore[union-attr]
+                    yield ctx.violation(
+                        element,
+                        self.id,
+                        f"constraint references undeclared knob "
+                        f"{element.value!r}",  # type: ignore[union-attr]
+                    )
+
+
+@register_rule
+class ScenarioDefaultsMatchSchema(Rule):
+    id = "R704"
+    family = "config-integrity"
+    summary = "Scenario literal defaults must equal the schema's"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.module != ctx.config.spec_scenario_module:
+            return
+        node = _scenario_class(ctx)
+        if node is None:
+            return
+        from repro.spec.schema import SAME_AS_DEFAULT, SCENARIO_KNOBS
+
+        literal_defaults = {
+            name: item
+            for name, item in _dataclass_fields(node)
+            if isinstance(item.value, ast.Constant)
+        }
+        for knob in SCENARIO_KNOBS:
+            field = knob.scenario_field
+            if field is None or field not in literal_defaults:
+                continue
+            expected = (
+                knob.default
+                if knob.scenario_default is SAME_AS_DEFAULT
+                else knob.scenario_default
+            )
+            item = literal_defaults[field]
+            actual = item.value.value  # type: ignore[union-attr]
+            if actual != expected or type(actual) is not type(expected):
+                yield ctx.violation(
+                    item,
+                    self.id,
+                    f"Scenario.{field} defaults to {actual!r} but the "
+                    f"schema ({knob.name}) says {expected!r} — change "
+                    "one so specs and direct construction agree",
+                )

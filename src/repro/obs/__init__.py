@@ -55,6 +55,7 @@ from repro.obs.registry import (
     DEFAULT_REGISTRY_ROOT,
     RunEntry,
     RunRegistry,
+    content_id,
     current_git_rev,
     resolve_trace,
 )
@@ -80,6 +81,7 @@ __all__ = [
     "TraceDiff",
     "Tracer",
     "active",
+    "content_id",
     "count",
     "current_git_rev",
     "deterministic_events",

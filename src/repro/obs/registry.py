@@ -90,6 +90,20 @@ class RunEntry:
         )
 
 
+def content_id(payload: object, chars: int = _DIGEST_CHARS) -> str:
+    """Durable content-addressed id for a JSON-serializable payload.
+
+    Canonical JSON (sorted keys, no whitespace variance) hashed with
+    SHA-256, truncated like the registry's trace ``run_id``s.  Used to
+    tag generated scenarios (see :mod:`repro.spec.lattice`) with ids
+    that are stable across processes, hosts, and insertion order.
+    """
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:chars]
+
+
 def current_git_rev(cwd: str | Path | None = None) -> str | None:
     """The short HEAD revision, or ``None`` outside a git checkout."""
     try:

@@ -9,7 +9,7 @@ from repro.core.assignment import Assignment
 from repro.core.fairness import benefit_gini
 from repro.core.problem import MBAProblem
 from repro.core.solvers import get_solver
-from repro.crowd.aggregation import dawid_skene, majority_vote, weighted_majority_vote
+from repro.crowd.aggregation import get_aggregator
 from repro.crowd.answer_model import AnswerSet, simulate_answers
 from repro.crowd.estimation import BetaSkillEstimator
 from repro.errors import (
@@ -346,22 +346,21 @@ class Simulation:
             answers = self._drop_answers(answers, dropped)
             if not answers.answers:
                 return float("nan"), None, {}
-        aggregator = self.scenario.aggregator
+        aggregator = get_aggregator(self.scenario.aggregator)
         with obs.span(
-            "aggregate", aggregator=aggregator, tasks=len(answers.answers)
+            "aggregate",
+            aggregator=aggregator.name,
+            tasks=len(answers.answers),
         ):
-            if aggregator == "majority":
-                labels = majority_vote(answers, seed=rng)
-            elif aggregator == "weighted":
-                # Weight by the planner-known accuracies (the
-                # planner's model of workers; estimation from data is
-                # exercised by the dawid-skene option).
-                mean_accuracy = self._weighted_mean_accuracy(market)
-                labels = weighted_majority_vote(
-                    answers, mean_accuracy, seed=rng
-                )
-            else:  # dawid-skene
-                labels = dawid_skene(answers).labels
+            # Weight-hungry aggregators get the planner-known
+            # accuracies (the planner's model of workers; estimation
+            # from data is exercised by the dawid-skene option).
+            weights = (
+                self._weighted_mean_accuracy(market)
+                if aggregator.needs_weights
+                else None
+            )
+            labels = aggregator.run(answers, weights=weights, seed=rng)
         scored = [
             labels[task] == truth for task, truth in answers.truths.items()
         ]

@@ -6,6 +6,8 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.benefit.mutual import LinearCombiner, MutualCombiner
+from repro.core.solvers import validate_solver_kwargs
+from repro.crowd.aggregation import aggregator_names
 from repro.crowd.estimation import BetaSkillEstimator
 from repro.errors import ConfigurationError
 from repro.market.drift import SkillDriftModel
@@ -38,7 +40,10 @@ class Scenario:
     retention:
         Worker retention model (None disables churn entirely).
     aggregator:
-        ``"majority"``, ``"weighted"``, or ``"dawid-skene"``.
+        A name from
+        :data:`repro.crowd.aggregation.AGGREGATOR_REGISTRY` (e.g.
+        ``"majority"``, ``"weighted"``, ``"dawid-skene"``); the legal
+        set is derived from the registry, never hardcoded here.
     task_refresh:
         Callable ``round_index -> list[Task]`` producing the round's
         tasks; defaults to reusing the market's initial tasks each
@@ -98,10 +103,14 @@ class Scenario:
             raise ConfigurationError(
                 f"n_rounds must be >= 1, got {self.n_rounds}"
             )
-        if self.aggregator not in ("majority", "weighted", "dawid-skene"):
+        if self.aggregator not in aggregator_names():
             raise ConfigurationError(
-                f"unknown aggregator {self.aggregator!r}"
+                f"unknown aggregator {self.aggregator!r}; known: "
+                f"{', '.join(aggregator_names())}"
             )
+        # A typo'd solver name or solver_kwargs key must fail here, at
+        # construction, not at round 1 of a long run.
+        validate_solver_kwargs(self.solver_name, self.solver_kwargs)
         if not 0.0 <= self.gold_fraction <= 1.0:
             raise ConfigurationError(
                 f"gold_fraction must lie in [0, 1], got {self.gold_fraction}"

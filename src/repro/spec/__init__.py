@@ -1,0 +1,94 @@
+"""repro.spec — declarative scenario specs, statically checked.
+
+A scenario spec is a TOML/JSON file describing one simulation setup
+(plus optional ``[axes]`` sweeps); this package is its toolchain:
+
+* :mod:`repro.spec.schema` — every knob declared once (type, domain,
+  default, Scenario/CLI bindings); pure data, stdlib-only;
+* :mod:`repro.spec.compile` — load → normalize → check → compile; an
+  invalid spec is rejected with pointed diagnostics *before any
+  simulation import*;
+* :mod:`repro.spec.constraints` — the C2xx/W3xx cross-parameter rules
+  and the :class:`RegistryView` they resolve names against;
+* :mod:`repro.spec.lattice` — expand/sample the valid scenario lattice
+  with durable content-addressed ids.
+
+The R7xx lint rules (:mod:`repro.lint.rules.spec_integrity`) hold this
+schema and the code it describes together; ``docs/scenarios.md`` is
+the user-facing guide.
+
+Layering: sits above ``repro.obs`` and the registries; nothing inside
+``repro.core``/``matching``/``benefit``/``obs`` may import it
+(enforced by lint rule R301).  Keep this module import-light — the
+checker must not pull in the simulation stack.
+"""
+
+from __future__ import annotations
+
+from repro.spec.compile import (
+    CheckResult,
+    SpecError,
+    check_spec,
+    compile_spec,
+    dump_spec,
+    load_spec,
+    normalize,
+)
+from repro.spec.constraints import (
+    CONSTRAINTS,
+    Constraint,
+    RegistryView,
+    SpecDiagnostic,
+    run_constraints,
+)
+from repro.spec.lattice import (
+    DroppedPoint,
+    Lattice,
+    LatticePoint,
+    expand,
+    sample,
+    scenario_id,
+)
+from repro.spec.schema import (
+    KNOBS,
+    SCENARIO_KNOBS,
+    SPEC_SCHEMA_VERSION,
+    Domain,
+    Knob,
+    NormalizedSpec,
+    cli_flag_map,
+    defaults,
+    knob_names,
+    scenario_field_coverage,
+)
+
+__all__ = [
+    "CONSTRAINTS",
+    "KNOBS",
+    "SCENARIO_KNOBS",
+    "SPEC_SCHEMA_VERSION",
+    "CheckResult",
+    "Constraint",
+    "Domain",
+    "DroppedPoint",
+    "Knob",
+    "Lattice",
+    "LatticePoint",
+    "NormalizedSpec",
+    "RegistryView",
+    "SpecDiagnostic",
+    "SpecError",
+    "check_spec",
+    "cli_flag_map",
+    "compile_spec",
+    "defaults",
+    "dump_spec",
+    "expand",
+    "knob_names",
+    "load_spec",
+    "normalize",
+    "run_constraints",
+    "sample",
+    "scenario_id",
+    "scenario_field_coverage",
+]

@@ -1,0 +1,493 @@
+"""Load, normalize, statically check, and compile scenario specs.
+
+The pipeline is strictly staged so each stage stays cheap and
+import-light:
+
+1. :func:`load_spec` — parse a ``.toml``/``.json`` file into a raw
+   payload (stdlib only);
+2. :func:`normalize` — flatten the payload onto the declared knob set,
+   reporting structural ``D1xx`` diagnostics (unknown sections/knobs,
+   type and domain violations, malformed axes);
+3. :func:`check_spec` — resolve registry-valued domains against a
+   :class:`~repro.spec.constraints.RegistryView` and run the ``C2xx``
+   cross-parameter constraints.  **No simulation import happens here**,
+   which is what lets ``python -m repro spec check`` gate CI without
+   building a single market;
+4. :func:`compile_spec` — the only stage that imports the simulation
+   stack, turning a *checked* spec into a concrete
+   :class:`repro.sim.scenario.Scenario`.
+
+:func:`dump_spec` inverts normalization *sparsely* — only explicitly
+set knobs are emitted — so compile → dump → recompile is the identity
+on both effective values and explicitness (several constraints key on
+the latter).
+
+Structural diagnostic codes:
+
+=====  ==================================================================
+D101   missing or wrong ``schema`` version header
+D102   unknown section or knob (or a section that is not a table)
+D103   required knob not set
+D104   value has the wrong type for its knob
+D105   value outside the knob's domain (static or registry-resolved)
+D106   malformed ``[axes]`` entry
+=====  ==================================================================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.spec.constraints import (
+    RegistryView,
+    SpecDiagnostic,
+    run_constraints,
+)
+from repro.spec.schema import (
+    KNOBS,
+    SCENARIO_KNOBS,
+    SECTIONS,
+    SPEC_SCHEMA_VERSION,
+    Knob,
+    NormalizedSpec,
+    defaults,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.scenario import Scenario
+
+#: Raw payloads, paths, or already-normalized specs are all accepted
+#: by the check/compile entry points.
+SpecSource = "str | Path | dict | NormalizedSpec"
+
+
+class SpecError(ConfigurationError):
+    """A spec failed its static check; carries the diagnostics."""
+
+    def __init__(self, result: "CheckResult", source: str = "spec"):
+        self.result = result
+        lines = [diag.render() for diag in result.errors]
+        super().__init__(
+            f"{source} failed validation with {len(lines)} error(s):\n  "
+            + "\n  ".join(lines)
+        )
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of a static spec check.
+
+    ``spec`` is the normalized spec when structure was sound enough to
+    build one (even if constraints then failed), ``None`` when the file
+    was structurally unusable.
+    """
+
+    spec: NormalizedSpec | None
+    diagnostics: tuple[SpecDiagnostic, ...]
+
+    @property
+    def errors(self) -> tuple[SpecDiagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == "error")
+
+    @property
+    def warnings(self) -> tuple[SpecDiagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == "warning")
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def render(self) -> str:
+        if not self.diagnostics:
+            return "ok"
+        return "\n".join(diag.render() for diag in self.diagnostics)
+
+
+def load_spec(path: str | Path) -> dict:
+    """Parse a spec file into a raw payload, dispatching on suffix."""
+    path = Path(path)
+    if path.suffix == ".toml":
+        try:
+            import tomllib
+        except ModuleNotFoundError:
+            raise ConfigurationError(
+                "TOML specs need Python 3.11+ (stdlib tomllib); on older "
+                "interpreters re-save the spec as .json"
+            ) from None
+        with open(path, "rb") as handle:
+            return tomllib.load(handle)
+    if path.suffix == ".json":
+        return json.loads(path.read_text(encoding="utf-8"))
+    raise ConfigurationError(
+        f"unrecognized spec suffix {path.suffix!r} for {path}; "
+        "use .toml or .json"
+    )
+
+
+def _type_error(knob: Knob, value: object) -> str | None:
+    expected = knob.type
+    if expected == "bool":
+        ok = isinstance(value, bool)
+    elif expected == "int":
+        ok = isinstance(value, int) and not isinstance(value, bool)
+    elif expected == "float":
+        ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+    elif expected == "str":
+        ok = isinstance(value, str)
+    elif expected == "table":
+        ok = isinstance(value, dict) and all(
+            isinstance(key, str) for key in value
+        )
+    else:  # pragma: no cover - schema bug, not a user error
+        raise ConfigurationError(
+            f"knob {knob.name!r} declares unknown type {expected!r}"
+        )
+    if ok:
+        return None
+    return (
+        f"expected {expected}, got {type(value).__name__} ({value!r})"
+    )
+
+
+def _domain_error(knob: Knob, value: object) -> str | None:
+    """Static domain check; registry domains resolve in check_spec."""
+    domain = knob.domain
+    if domain.kind == "range":
+        if not domain.low <= value <= domain.high:  # type: ignore[operator]
+            return f"value {value!r} outside domain {domain.render()}"
+        return None
+    if domain.kind == "choice" and value not in domain.choices:
+        return f"value {value!r} not one of {domain.render()}"
+    return None
+
+
+def _flatten_axes(body: dict, prefix: str = "") -> list[tuple[str, object]]:
+    """``{"scenario": {"lam": [...]}}`` and ``{"scenario.lam": [...]}``
+    both flatten to ``[("scenario.lam", [...])]``."""
+    flat: list[tuple[str, object]] = []
+    for key, value in body.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.extend(_flatten_axes(value, prefix=f"{name}."))
+        else:
+            flat.append((name, value))
+    return flat
+
+
+def normalize(
+    payload: dict,
+) -> tuple[NormalizedSpec | None, list[SpecDiagnostic]]:
+    """Flatten a raw payload onto the schema, collecting D1xx findings.
+
+    Returns ``(spec, diagnostics)``; ``spec`` is ``None`` only when the
+    payload is not even a table.
+    """
+    diagnostics: list[SpecDiagnostic] = []
+
+    def structural(code: str, knob: str, message: str) -> None:
+        diagnostics.append(
+            SpecDiagnostic(code=code, knob=knob, message=message)
+        )
+
+    if not isinstance(payload, dict):
+        structural(
+            "D102",
+            "(root)",
+            f"spec root must be a table, got {type(payload).__name__}",
+        )
+        return None, diagnostics
+
+    declared = payload.get("schema")
+    if declared != SPEC_SCHEMA_VERSION:
+        structural(
+            "D101",
+            "schema",
+            f"spec must declare schema = {SPEC_SCHEMA_VERSION!r}, "
+            + (f"got {declared!r}" if declared else "none found"),
+        )
+
+    values = defaults()
+    explicit: set[str] = set()
+    axes: dict[str, list] = {}
+
+    for section, body in payload.items():
+        if section == "schema":
+            continue
+        if section not in SECTIONS:
+            structural(
+                "D102",
+                section,
+                f"unknown section [{section}]; known sections: "
+                + ", ".join(SECTIONS),
+            )
+            continue
+        if not isinstance(body, dict):
+            structural(
+                "D102",
+                section,
+                f"section [{section}] must be a table, got "
+                f"{type(body).__name__}",
+            )
+            continue
+        if section == "axes":
+            _normalize_axes(body, axes, structural)
+            continue
+        for key, value in body.items():
+            name = f"{section}.{key}"
+            knob = KNOBS.get(name)
+            if knob is None:
+                known = ", ".join(
+                    k.name for k in SCENARIO_KNOBS
+                    if k.name.startswith(section + ".")
+                )
+                structural(
+                    "D102", name, f"unknown knob; [{section}] has: {known}"
+                )
+                continue
+            message = _type_error(knob, value)
+            if message is not None:
+                structural("D104", name, message)
+                continue
+            message = _domain_error(knob, value)
+            if message is not None:
+                structural("D105", name, message)
+                continue
+            values[name] = value
+            explicit.add(name)
+
+    for knob in SCENARIO_KNOBS:
+        if knob.required and knob.name not in explicit:
+            structural(
+                "D103",
+                knob.name,
+                f"required knob is not set ({knob.description})",
+            )
+
+    for name in sorted(set(axes) & explicit):
+        structural(
+            "D106",
+            name,
+            "knob appears both as a scalar and as an axis; pick one",
+        )
+
+    spec = NormalizedSpec(
+        values=values, explicit=frozenset(explicit), axes=axes
+    )
+    return spec, diagnostics
+
+
+def _normalize_axes(body: dict, axes: dict, structural) -> None:
+    for name, value in _flatten_axes(body):
+        knob = KNOBS.get(name)
+        if knob is None:
+            structural("D106", name, "axis over an undeclared knob")
+            continue
+        if not knob.axis:
+            structural(
+                "D106",
+                name,
+                f"knob cannot be swept ({knob.type} knobs are structural)",
+            )
+            continue
+        if not isinstance(value, list) or not value:
+            structural(
+                "D106",
+                name,
+                f"axis must be a non-empty list, got {value!r}",
+            )
+            continue
+        bad = False
+        for item in value:
+            message = _type_error(knob, item) or _domain_error(knob, item)
+            if message is not None:
+                structural("D106", name, f"axis value {item!r}: {message}")
+                bad = True
+        if not bad:
+            axes[name] = list(value)
+
+
+def _registry_diagnostics(
+    spec: NormalizedSpec, view: RegistryView
+) -> list[SpecDiagnostic]:
+    """D105 findings for registry-valued knobs, including axis values."""
+    diagnostics = []
+    for name in sorted(spec.explicit | set(spec.axes)):
+        knob = KNOBS[name]
+        if knob.domain.kind != "registry":
+            continue
+        allowed = set(knob.domain.choices) | set(
+            view.registry_values(knob.domain.registry)
+        )
+        candidates = [spec[name]] if spec.is_set(name) else []
+        candidates.extend(spec.axes.get(name, ()))
+        for value in candidates:
+            if value in allowed:
+                continue
+            known = ", ".join(str(a) for a in sorted(allowed, key=str))
+            diagnostics.append(
+                SpecDiagnostic(
+                    code="D105",
+                    knob=name,
+                    message=(
+                        f"{value!r} is not in the {knob.domain.registry} "
+                        f"registry; known: {known}"
+                    ),
+                )
+            )
+    return diagnostics
+
+
+def check_spec(
+    source, view: RegistryView | None = None
+) -> CheckResult:
+    """Statically check a spec from a path, payload, or normalized form.
+
+    Structure first (D1xx), then registry resolution (D105), then —
+    only on structurally sound specs — the cross-parameter constraints
+    (C2xx errors and W3xx warnings).  Never imports simulation code.
+    """
+    if isinstance(source, NormalizedSpec):
+        spec, diagnostics = source, []
+    else:
+        payload = (
+            load_spec(source)
+            if isinstance(source, (str, Path))
+            else source
+        )
+        spec, diagnostics = normalize(payload)
+        if spec is None:
+            return CheckResult(spec=None, diagnostics=tuple(diagnostics))
+    if view is None:
+        view = RegistryView.live()
+    diagnostics = list(diagnostics)
+    diagnostics.extend(_registry_diagnostics(spec, view))
+    if not any(d.severity == "error" for d in diagnostics):
+        diagnostics.extend(run_constraints(spec, view))
+    return CheckResult(spec=spec, diagnostics=tuple(diagnostics))
+
+
+def dump_spec(spec: NormalizedSpec) -> dict:
+    """The sparse payload form: explicitly set knobs and axes only.
+
+    ``normalize(dump_spec(s))`` reproduces ``s`` exactly — values,
+    explicitness, and axes — which the round-trip tests pin down.
+    """
+    payload: dict = {"schema": SPEC_SCHEMA_VERSION}
+    for name in sorted(spec.explicit):
+        section, key = name.split(".", 1)
+        payload.setdefault(section, {})[key] = spec.values[name]
+    if spec.axes:
+        payload["axes"] = {
+            name: list(values) for name, values in sorted(spec.axes.items())
+        }
+    return payload
+
+
+def compile_spec(
+    source, view: RegistryView | None = None
+) -> "Scenario":
+    """Compile a checked spec into a concrete Scenario.
+
+    The only spec-stage function that imports the simulation stack;
+    raises :class:`SpecError` (with every diagnostic) before touching
+    it if the spec does not pass :func:`check_spec`.
+    """
+    result = check_spec(source, view=view)
+    if not result.ok:
+        name = source if isinstance(source, (str, Path)) else "spec"
+        raise SpecError(result, source=str(name))
+    spec = result.spec
+    assert spec is not None
+
+    from repro.benefit.mutual import make_combiner
+    from repro.crowd.estimation import BetaSkillEstimator
+    from repro.datagen.traces import workload_registry
+    from repro.market.drift import SkillDriftModel
+    from repro.market.retention import RetentionModel
+    from repro.sim.scenario import Scenario
+
+    workload = workload_registry()[str(spec["market.workload"])]
+    market = workload(
+        int(spec["market.workers"]),  # type: ignore[arg-type]
+        int(spec["market.tasks"]),  # type: ignore[arg-type]
+        seed=int(spec["market.seed"]),  # type: ignore[arg-type]
+    )
+    retention = None
+    if spec["retention.enabled"]:
+        retention = RetentionModel(
+            smoothing=float(spec["retention.smoothing"]),  # type: ignore[arg-type]
+            expectation=float(spec["retention.expectation"]),  # type: ignore[arg-type]
+            sharpness=float(spec["retention.sharpness"]),  # type: ignore[arg-type]
+            base_stay=float(spec["retention.base_stay"]),  # type: ignore[arg-type]
+            rejoin_probability=float(spec["retention.rejoin_probability"]),  # type: ignore[arg-type]
+        )
+    estimator = None
+    if spec["estimator.enabled"]:
+        estimator = BetaSkillEstimator(
+            prior_a=float(spec["estimator.prior_a"]),  # type: ignore[arg-type]
+            prior_b=float(spec["estimator.prior_b"]),  # type: ignore[arg-type]
+            per_category=bool(spec["estimator.per_category"]),
+        )
+    drift = None
+    if spec["drift.enabled"]:
+        drift = SkillDriftModel(
+            learning_rate=float(spec["drift.learning_rate"]),  # type: ignore[arg-type]
+            decay_rate=float(spec["drift.decay_rate"]),  # type: ignore[arg-type]
+            ceiling=float(spec["drift.ceiling"]),  # type: ignore[arg-type]
+            floor=float(spec["drift.floor"]),  # type: ignore[arg-type]
+        )
+    resilience = (
+        None
+        if str(spec["scenario.resilience"]) == "off"
+        else str(spec["scenario.resilience"])
+    )
+    return Scenario(
+        market=market,
+        solver_name=str(spec["scenario.solver"]),
+        solver_kwargs=dict(spec["scenario.solver_kwargs"] or {}),  # type: ignore[arg-type]
+        combiner=make_combiner(
+            str(spec["scenario.combiner"]), float(spec["scenario.lam"])  # type: ignore[arg-type]
+        ),
+        n_rounds=int(spec["scenario.n_rounds"]),  # type: ignore[arg-type]
+        retention=retention,
+        aggregator=str(spec["scenario.aggregator"]),
+        estimator=estimator,
+        gold_fraction=float(spec["scenario.gold_fraction"]),  # type: ignore[arg-type]
+        workers_decline=bool(spec["scenario.workers_decline"]),
+        drift=drift,
+        fault_plan=_fault_plan(spec),
+        resilience=resilience,
+    )
+
+
+def _fault_plan(spec: NormalizedSpec):
+    """Build the FaultPlan: uniform base, explicit per-kind overrides."""
+    import dataclasses
+
+    from repro.resilience import FaultPlan
+
+    rate = float(spec["faults.rate"])  # type: ignore[arg-type]
+    individual = {
+        kind: float(spec[f"faults.{kind}"])  # type: ignore[arg-type]
+        for kind in (
+            "no_show_rate",
+            "answer_drop_rate",
+            "task_cancel_rate",
+            "solver_failure_rate",
+        )
+    }
+    if not (rate > 0 or any(value > 0 for value in individual.values())):
+        return None
+    plan = FaultPlan.uniform(rate, seed=int(spec["faults.seed"]))  # type: ignore[arg-type]
+    overrides = {
+        kind: value
+        for kind, value in individual.items()
+        if spec.is_set(f"faults.{kind}")
+    }
+    if overrides:
+        plan = dataclasses.replace(plan, **overrides)
+    return plan

@@ -659,5 +659,186 @@ class TestEngineAndReport:
 
     def test_rule_catalogue_lists_every_family(self):
         catalogue = render_rule_list()
-        for rule_id in ("R101", "R201", "R301", "R401", "R501"):
+        for rule_id in ("R101", "R201", "R301", "R401", "R501", "R601", "R701"):
             assert rule_id in catalogue
+
+
+class TestSpecIntegrityRules:
+    def test_r701_unbound_scenario_field(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/sim/scenario.py",
+            """\
+            class Scenario:
+                solver_name: str = "flow"
+                mystery_knob: int = 3
+            """,
+        )
+        hits = _only(lint_file(path), "R701")
+        assert len(hits) == 1
+        assert "mystery_knob" in hits[0].message
+        assert hits[0].line == 3
+
+    def test_r701_waived_and_bound_fields_silent(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/sim/scenario.py",
+            """\
+            class Scenario:
+                solver_name: str = "flow"
+                task_refresh: object = None
+            """,
+        )
+        assert _only(lint_file(path), "R701") == []
+
+    def test_r701_ignores_other_modules(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/eval/scratch.py",
+            """\
+            class Scenario:
+                mystery_knob: int = 3
+            """,
+        )
+        assert _only(lint_file(path), "R701") == []
+
+    def test_r702_unbound_simulate_flag(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/cli.py",
+            """\
+            import argparse
+
+
+            def build():
+                parser = argparse.ArgumentParser()
+                sub = parser.add_subparsers()
+                simulate = sub.add_parser("simulate")
+                simulate.add_argument("--solver")
+                simulate.add_argument("--trace")
+                simulate.add_argument("--mystery-flag")
+                return parser
+            """,
+        )
+        hits = _only(lint_file(path), "R702")
+        assert len(hits) == 1
+        assert "--mystery-flag" in hits[0].message
+
+    def test_r702_ignores_other_subcommands(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/cli.py",
+            """\
+            import argparse
+
+
+            def build():
+                parser = argparse.ArgumentParser()
+                sub = parser.add_subparsers()
+                bench = sub.add_parser("bench")
+                bench.add_argument("--anything-goes")
+                return parser
+            """,
+        )
+        assert _only(lint_file(path), "R702") == []
+
+    def test_r703_undeclared_knob(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/spec/constraints.py",
+            """\
+            C = Constraint(
+                id="C999",
+                knobs=("scenario.solver", "scenario.mystery"),
+                summary="x",
+                check=None,
+            )
+            """,
+        )
+        hits = _only(lint_file(path), "R703")
+        assert len(hits) == 1
+        assert "scenario.mystery" in hits[0].message
+
+    def test_r703_computed_tuple_rejected(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/spec/constraints.py",
+            """\
+            NAMES = ("scenario.solver",)
+            C = Constraint(id="C999", knobs=tuple(NAMES), summary="x")
+            """,
+        )
+        hits = _only(lint_file(path), "R703")
+        assert len(hits) == 1
+        assert "literal tuple" in hits[0].message
+
+    def test_r703_missing_knobs_keyword(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/spec/constraints.py",
+            'C = Constraint(id="C999", summary="x")\n',
+        )
+        hits = _only(lint_file(path), "R703")
+        assert len(hits) == 1
+        assert "knobs=" in hits[0].message
+
+    def test_r703_declared_knobs_silent(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/spec/constraints.py",
+            """\
+            C = Constraint(
+                id="C999",
+                knobs=("scenario.solver", "scenario.lam"),
+                summary="x",
+                check=None,
+            )
+            """,
+        )
+        assert _only(lint_file(path), "R703") == []
+
+    def test_r704_drifted_literal_default(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/sim/scenario.py",
+            """\
+            class Scenario:
+                solver_name: str = "greedy"
+            """,
+        )
+        hits = _only(lint_file(path), "R704")
+        assert len(hits) == 1
+        assert "'greedy'" in hits[0].message
+        assert "'flow'" in hits[0].message
+
+    def test_r704_matching_default_silent(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/sim/scenario.py",
+            """\
+            class Scenario:
+                solver_name: str = "flow"
+            """,
+        )
+        assert _only(lint_file(path), "R704") == []
+
+    def test_r704_type_mismatch_counts_as_drift(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/sim/scenario.py",
+            """\
+            class Scenario:
+                n_rounds: int = 10.0
+            """,
+        )
+        assert len(_only(lint_file(path), "R704")) == 1
+
+    def test_live_repo_is_r7xx_clean(self):
+        src = Path(__file__).resolve().parent.parent / "src" / "repro"
+        result = lint_paths(
+            [src],
+            LintConfig(
+                select=frozenset({"R701", "R702", "R703", "R704"})
+            ),
+        )
+        assert result.ok, render_text(result)

@@ -1,0 +1,134 @@
+"""The spec schema's own invariants, including the reverse direction
+of R701: the lint rule proves every ``Scenario`` field is declared in
+the schema; these tests prove every schema claim points at something
+real (fields, flags, registries), so the two directions together pin
+schema and code to each other."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.cli import _build_parser
+from repro.sim.scenario import Scenario
+from repro.spec.constraints import RegistryView
+from repro.spec.schema import (
+    CLI_OPERATIONAL_FLAGS,
+    KNOBS,
+    SCENARIO_KNOBS,
+    UNSPECCED_SCENARIO_FIELDS,
+    NormalizedSpec,
+    cli_flag_map,
+    defaults,
+    knob_names,
+    scenario_field_coverage,
+)
+
+
+class TestCatalogue:
+    def test_knob_names_unique_and_dotted(self):
+        names = [knob.name for knob in SCENARIO_KNOBS]
+        assert len(names) == len(set(names))
+        assert all("." in name for name in names)
+
+    def test_lookup_matches_catalogue(self):
+        assert set(KNOBS) == set(knob_names())
+        assert len(knob_names()) == len(SCENARIO_KNOBS)
+
+    def test_every_knob_has_description(self):
+        undocumented = [
+            knob.name for knob in SCENARIO_KNOBS if not knob.description
+        ]
+        assert undocumented == []
+
+    def test_defaults_lie_inside_their_domains(self):
+        for knob in SCENARIO_KNOBS:
+            if knob.required or knob.domain.kind != "range":
+                continue
+            assert knob.domain.low <= knob.default <= knob.domain.high, (
+                knob.name
+            )
+
+    def test_defaults_covers_every_knob(self):
+        assert set(defaults()) == set(KNOBS)
+
+
+class TestScenarioCoverageBothDirections:
+    def test_schema_covers_every_scenario_field(self):
+        fields = {field.name for field in dataclasses.fields(Scenario)}
+        assert fields <= scenario_field_coverage()
+
+    def test_schema_claims_no_phantom_fields(self):
+        # The reverse of R701: a knob binding (or waiver) naming a
+        # field the dataclass no longer has is schema rot.
+        fields = {field.name for field in dataclasses.fields(Scenario)}
+        assert scenario_field_coverage() <= fields
+
+    def test_waivers_carry_reasons(self):
+        for field, reason in UNSPECCED_SCENARIO_FIELDS.items():
+            assert isinstance(reason, str) and len(reason) > 10, field
+
+
+class TestCliBindingsBothDirections:
+    @pytest.fixture
+    def simulate_flags(self):
+        parser = _build_parser()
+        subparsers = next(
+            action
+            for action in parser._actions
+            if hasattr(action, "choices") and action.choices
+            and "simulate" in action.choices
+        )
+        simulate = subparsers.choices["simulate"]
+        return {
+            option
+            for action in simulate._actions
+            for option in action.option_strings
+            if option.startswith("--")
+        }
+
+    def test_every_bound_flag_exists_on_the_parser(self, simulate_flags):
+        # The reverse of R702: a cli_flag binding for a flag the parser
+        # no longer defines would silently stop being checkable.
+        missing = set(cli_flag_map()) - simulate_flags
+        assert missing == set()
+
+    def test_operational_flags_exist_on_the_parser(self, simulate_flags):
+        assert CLI_OPERATIONAL_FLAGS <= (simulate_flags | {"--help"})
+
+    def test_flags_unique_across_knobs(self):
+        flags = [
+            knob.cli_flag for knob in SCENARIO_KNOBS if knob.cli_flag
+        ]
+        assert len(flags) == len(set(flags))
+
+
+class TestRegistryReferences:
+    def test_every_registry_domain_resolves_on_the_live_view(self):
+        view = RegistryView.live()
+        for knob in SCENARIO_KNOBS:
+            if knob.domain.kind != "registry":
+                continue
+            values = view.registry_values(knob.domain.registry)
+            assert values, knob.name
+            if not knob.required:
+                assert knob.default in set(values) | set(
+                    knob.domain.choices
+                ), knob.name
+
+    def test_unknown_registry_reference_raises(self):
+        with pytest.raises(ValueError, match="unknown registry"):
+            RegistryView.live().registry_values("nonsense")
+
+
+class TestNormalizedSpec:
+    def test_explicitness_is_tracked_separately_from_values(self):
+        spec = NormalizedSpec(
+            values={"a.b": 1, "c.d": 2},
+            explicit=frozenset({"a.b"}),
+            axes={},
+        )
+        assert spec["a.b"] == 1
+        assert spec.is_set("a.b")
+        assert not spec.is_set("c.d")
