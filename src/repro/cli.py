@@ -10,7 +10,9 @@ Four commands cover the operational surface a platform engineer needs:
 * ``experiment`` — run one of the registered evaluation experiments
   and print its table (and, for figure-type results, an ASCII chart).
 
-Plus operational commands: ``compare`` (solver comparison with CIs),
+Plus operational commands: ``sweep`` (spec-lattice sweeps under the
+supervised pool with ``--checkpoint``/``--resume`` durability and
+chaos injection), ``compare`` (solver comparison with CIs),
 ``events`` (continuous-time simulation), ``lint`` (static analysis),
 ``spec`` (scenario spec files: ``check`` validates them without
 building a market, ``expand`` enumerates their ``[axes]`` lattice,
@@ -101,6 +103,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable worker churn",
     )
     simulate.add_argument(
+        "--checkpoint", metavar="DIR",
+        help="checkpoint directory: the full simulation state is "
+        "saved atomically each round so an interrupted run can "
+        "--resume bit-identically (see docs/resilience.md)",
+    )
+    simulate.add_argument(
+        "--resume", action="store_true",
+        help="resume from the state saved under --checkpoint instead "
+        "of starting at round 0",
+    )
+    simulate.add_argument(
         "--resilience", default="off",
         choices=("off", *sorted(RESILIENCE_PROFILES)),
         help="wrap the solver in the resilient executor (deadline, "
@@ -142,6 +155,79 @@ def _build_parser() -> argparse.ArgumentParser:
         "export them to PATH as JSONL",
     )
     _add_register_arguments(experiment)
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="sweep a scenario spec's [axes] lattice under the "
+        "supervised process pool, with checkpoint/resume durability "
+        "and optional chaos injection",
+    )
+    sweep.add_argument("spec", help="spec file (.toml or .json)")
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size; 1 runs serially in this process",
+    )
+    sweep.add_argument(
+        "--repetitions", type=int, default=3,
+        help="seeded repetitions per lattice point",
+    )
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--limit", type=int, default=None, metavar="K",
+        help="deterministically subsample K valid lattice points",
+    )
+    sweep.add_argument(
+        "--mp-context", default=None,
+        choices=("fork", "spawn", "forkserver"),
+        help="multiprocessing start method (default: the platform's)",
+    )
+    # Durability knobs: an unset flag (None default) falls back to the
+    # spec's [runtime] table, so specs carry their own policy and the
+    # command line only overrides it.
+    sweep.add_argument(
+        "--checkpoint", default=None, metavar="DIR",
+        help="checkpoint directory: completed points persist "
+        "atomically as they finish (default: runtime.checkpoint_dir)",
+    )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="skip the points already recorded under the checkpoint "
+        "directory (or set runtime.resume in the spec)",
+    )
+    sweep.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-point wall-clock bound under the pool; 0 disables "
+        "(default: runtime.task_timeout)",
+    )
+    sweep.add_argument(
+        "--max-point-retries", type=int, default=None, metavar="N",
+        help="retries with seeded backoff for a point that raises "
+        "(default: runtime.max_point_retries)",
+    )
+    sweep.add_argument(
+        "--quarantine-after", type=int, default=None, metavar="N",
+        help="definite crashes after which a point is quarantined "
+        "(default: runtime.quarantine_after)",
+    )
+    # Chaos injection (durability testing; needs --workers > 1).
+    sweep.add_argument(
+        "--chaos-kill", type=float, default=0.0, metavar="RATE",
+        help="SIGKILL the worker before a point with RATE",
+    )
+    sweep.add_argument(
+        "--chaos-hang", type=float, default=0.0, metavar="RATE",
+        help="hang the worker before a point with RATE (needs "
+        "--task-timeout to recover)",
+    )
+    sweep.add_argument(
+        "--chaos-slow", type=float, default=0.0, metavar="RATE",
+        help="delay a point with RATE",
+    )
+    sweep.add_argument("--chaos-seed", type=int, default=0)
+    sweep.add_argument(
+        "--chaos-hang-seconds", type=float, default=3600.0,
+        help="how long an injected hang sleeps",
+    )
 
     compare = commands.add_parser(
         "compare",
@@ -549,18 +635,35 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.live and not args.trace:
         print("error: --live requires --trace", file=sys.stderr)
         return 2
-    if args.trace:
-        tracer = obs.Tracer()
-        if args.live:
-            tracer.sink = _live_printer(tracer)
-        with obs.tracing(tracer):
-            result = Simulation(scenario).run(seed=args.seed)
-        _finish_trace(
-            tracer, args, tag="simulate",
-            scenario=f"{args.solver}:{args.market}",
-        )
-    else:
-        result = Simulation(scenario).run(seed=args.seed)
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint", file=sys.stderr)
+        return 2
+    run_kwargs = dict(
+        seed=args.seed, checkpoint=args.checkpoint, resume=args.resume
+    )
+    try:
+        if args.trace:
+            tracer = obs.Tracer()
+            if args.live:
+                tracer.sink = _live_printer(tracer)
+            with obs.tracing(tracer):
+                result = Simulation(scenario).run(**run_kwargs)
+            _finish_trace(
+                tracer, args, tag="simulate",
+                scenario=f"{args.solver}:{args.market}",
+            )
+        else:
+            result = Simulation(scenario).run(**run_kwargs)
+    except KeyboardInterrupt:
+        if args.checkpoint:
+            print(
+                f"\ninterrupted; state saved — rerun with "
+                f"--checkpoint {args.checkpoint} --resume to continue",
+                file=sys.stderr,
+            )
+        else:
+            print("\ninterrupted", file=sys.stderr)
+        return 130
     print(
         f"{'round':>5s} {'active':>6s} {'edges':>5s} {'accuracy':>8s} "
         f"{'participation':>13s} {'faulted':>7s} {'retries':>7s} "
@@ -596,6 +699,104 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     else:
         table = run_experiment(args.id, scale=args.scale, seed=args.seed)
     print(table.render())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.eval.sweep import sweep_spec
+    from repro.resilience.faults import ChaosPlan
+    from repro.resilience.runtime import RuntimePolicy
+    from repro.spec.compile import load_spec, normalize
+
+    # The spec's [runtime] table supplies the durability defaults; an
+    # explicitly-given flag (non-None) overrides it.  Lattice checking
+    # itself happens inside sweep_spec.
+    spec, diagnostics = normalize(load_spec(args.spec))
+    errors = [d for d in diagnostics if d.severity == "error"]
+    if spec is None or errors:
+        for diagnostic in errors or diagnostics:
+            print(f"  {diagnostic.render()}", file=sys.stderr)
+        print(f"error: invalid spec {args.spec}", file=sys.stderr)
+        return 2
+    checkpoint = (
+        args.checkpoint
+        if args.checkpoint is not None
+        else str(spec["runtime.checkpoint_dir"]) or None
+    )
+    resume = args.resume or bool(spec["runtime.resume"])
+    if resume and checkpoint is None:
+        print(
+            "error: --resume requires --checkpoint (or "
+            "runtime.checkpoint_dir in the spec)",
+            file=sys.stderr,
+        )
+        return 2
+    task_timeout = (
+        args.task_timeout
+        if args.task_timeout is not None
+        else float(spec["runtime.task_timeout"])  # type: ignore[arg-type]
+    )
+    policy = RuntimePolicy(
+        task_timeout=task_timeout if task_timeout > 0 else None,
+        max_point_retries=(
+            args.max_point_retries
+            if args.max_point_retries is not None
+            else int(spec["runtime.max_point_retries"])  # type: ignore[arg-type]
+        ),
+        quarantine_after=(
+            args.quarantine_after
+            if args.quarantine_after is not None
+            else int(spec["runtime.quarantine_after"])  # type: ignore[arg-type]
+        ),
+    )
+    chaos = None
+    if args.chaos_kill or args.chaos_hang or args.chaos_slow:
+        chaos = ChaosPlan(
+            seed=args.chaos_seed,
+            kill_rate=args.chaos_kill,
+            hang_rate=args.chaos_hang,
+            slow_rate=args.chaos_slow,
+            hang_seconds=args.chaos_hang_seconds,
+        )
+    result = sweep_spec(
+        args.spec,
+        repetitions=args.repetitions,
+        seed=args.seed,
+        workers=args.workers,
+        mp_context=args.mp_context,
+        limit=args.limit,
+        checkpoint=checkpoint,
+        resume=resume,
+        policy=policy,
+        chaos=chaos,
+    )
+    by_scenario = result.by_scenario()
+    if by_scenario:
+        print(f"{'scenario':<20s} {'mean value':>10s} {'mean time':>10s}")
+        for scenario_id, (value, elapsed) in by_scenario.items():
+            print(f"{scenario_id:<20s} {value:10.4f} {elapsed:9.3f}s")
+    stats = result.stats
+    print(
+        f"\nsweep: completed {stats.completed} | skipped {stats.skipped} "
+        f"| retries {stats.retries} | worker restarts "
+        f"{stats.worker_restarts} | timeouts {stats.timeouts} | "
+        f"quarantined {len(stats.quarantined)}"
+    )
+    for task in stats.quarantined:
+        print(
+            f"  quarantined point {task.position}: {task.reason} "
+            f"({task.crashes} crash(es), {task.errors} error(s))"
+        )
+    if stats.interrupted:
+        hint = (
+            f" — rerun with --checkpoint {checkpoint} --resume"
+            if checkpoint
+            else ""
+        )
+        print(f"interrupted{hint}", file=sys.stderr)
+        return 130
+    if stats.quarantined:
+        return 1
     return 0
 
 
@@ -993,6 +1194,7 @@ def main(argv: list[str] | None = None) -> int:
         "solve": _cmd_solve,
         "simulate": _cmd_simulate,
         "experiment": _cmd_experiment,
+        "sweep": _cmd_sweep,
         "compare": _cmd_compare,
         "events": _cmd_events,
         "lint": _cmd_lint,

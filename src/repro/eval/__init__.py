@@ -10,7 +10,14 @@ from repro.eval.experiments import EXPERIMENTS, run_experiment
 from repro.eval.plotting import ascii_chart, chart_from_table
 from repro.eval.report import Table
 from repro.eval.significance import compare_solvers
-from repro.eval.sweep import SpecSweep, measure_spec_point, sweep, sweep_spec
+from repro.eval.sweep import (
+    SpecSweep,
+    SweepOutcome,
+    measure_spec_point,
+    run_sweep,
+    sweep,
+    sweep_spec,
+)
 
 __all__ = [
     "EXPERIMENTS",
@@ -19,8 +26,10 @@ __all__ = [
     "ascii_chart",
     "chart_from_table",
     "compare_solvers",
+    "SweepOutcome",
     "measure_spec_point",
     "run_experiment",
+    "run_sweep",
     "sweep",
     "sweep_spec",
 ]

@@ -1,4 +1,14 @@
-"""Parameter sweeps with repetition and timing."""
+"""Parameter sweeps with repetition, timing, and run-level durability.
+
+Sweeps are *restartable work*, not one-shot loops: with a checkpoint
+directory every completed (parameter, repetition) point is persisted
+atomically the moment it finishes, and ``resume=True`` skips the
+recorded points bit-identically (each point's RNG is spawned up front
+from the sweep seed, so values never depend on which process — or
+which *run* — computed them).  With ``workers > 1`` the points execute
+under :class:`repro.resilience.runtime.SupervisedPool`, which survives
+worker crashes, hangs, and Ctrl-C; see ``docs/resilience.md``.
+"""
 
 from __future__ import annotations
 
@@ -6,14 +16,21 @@ import json
 import multiprocessing
 import pickle
 from collections.abc import Callable, Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro import obs
 from repro.errors import ValidationError
+from repro.resilience.faults import ChaosPlan
+from repro.resilience.runtime import (
+    CheckpointStore,
+    RunStats,
+    RuntimePolicy,
+    SupervisedPool,
+)
 from repro.utils.rng import spawn_rngs
 from repro.utils.timer import Timer
 
@@ -91,39 +108,97 @@ def _check_picklable(measure: Callable, workers: int) -> None:
         ) from None
 
 
-def sweep(
+@dataclass(frozen=True)
+class SweepOutcome:
+    """The full result of a durable sweep run.
+
+    ``points`` holds the completed measurements in canonical job order
+    (parameter-major, repetition-minor); quarantined or interrupted
+    points are simply absent.  ``stats`` is the supervision ledger —
+    check ``stats.interrupted`` and ``stats.quarantined`` before
+    treating the sweep as complete.
+    """
+
+    points: list[SweepPoint]
+    stats: RunStats
+    checkpoint_dir: Path | None = None
+
+    @property
+    def complete(self) -> bool:
+        return not self.stats.interrupted and not self.stats.quarantined
+
+
+def _point_key(parameter: object, repetition: int) -> str:
+    """Checkpoint key for one (parameter, repetition) measurement."""
+    return CheckpointStore.key_for(
+        ["sweep-point", repr(parameter), int(repetition)]
+    )
+
+
+def _point_record(position: int, point: SweepPoint) -> dict:
+    return {
+        "position": position,
+        "parameter": repr(point.parameter),
+        "repetition": point.repetition,
+        "value": point.value,
+        "elapsed": point.elapsed,
+    }
+
+
+def run_sweep(
     parameter_values: Sequence[object],
     measure: Callable[[object, np.random.Generator], float],
     repetitions: int = 3,
     seed: int | None = 0,
     workers: int = 1,
     mp_context: str | None = None,
-) -> list[SweepPoint]:
-    """Measure a function over parameter values with seeded repetitions.
+    checkpoint: str | Path | None = None,
+    resume: bool = False,
+    policy: RuntimePolicy | None = None,
+    chaos: ChaosPlan | None = None,
+) -> SweepOutcome:
+    """Measure a function over parameter values, durably.
 
     ``measure(parameter, rng)`` returns the metric; each (parameter,
     repetition) pair gets an independent RNG derived from ``seed``.
+    All generators are spawned up front, so measured *values* are
+    bit-identical across worker counts, scheduling orders, retries,
+    and checkpoint resumes; only ``elapsed`` timings vary.
 
-    ``workers > 1`` fans the points out over a process pool.  Every
-    point's generator is spawned up front from ``seed`` exactly as in
-    the serial path, so measured *values* are bit-identical to
-    ``workers=1`` and to each other regardless of scheduling; only the
-    ``elapsed`` timings (measured inside the worker) vary.  ``measure``
+    ``checkpoint`` names a :class:`CheckpointStore` directory: every
+    completed point is recorded atomically as it finishes, keyed by
+    the content id of its ``(parameter repr, repetition)`` identity,
+    and the store's manifest fingerprints the whole sweep
+    configuration (a mismatched directory is refused).  ``resume=True``
+    loads the recorded points and computes only the rest.  Checkpoint
+    identity relies on ``repr(parameter)`` being stable across runs —
+    true for strings, numbers, and the canonical-JSON parameters of
+    :func:`sweep_spec`.
+
+    ``workers > 1`` runs the points under a supervised process pool
+    (timeouts, seeded-backoff retries, broken-pool recovery, poison
+    quarantine — see :class:`RuntimePolicy`), optionally sabotaged by
+    a seeded :class:`ChaosPlan` for durability testing.  ``measure``
     must be picklable — a module-level function, not a lambda or
-    closure — and its module importable in a fresh interpreter, because
-    ``spawn``-method workers (the macOS/Windows default) re-import it;
-    violations fail fast with a :class:`ValidationError` instead of an
-    opaque mid-run ``PicklingError``.  ``mp_context`` selects the
-    multiprocessing start method (``"fork"``, ``"spawn"``,
-    ``"forkserver"``); ``None`` uses the platform default.
+    closure — and its module importable in a fresh interpreter;
+    violations fail fast with a :class:`ValidationError`.
 
-    When tracing (:mod:`repro.obs`) is enabled, every point records a
-    ``sweep.point`` span; points measured in worker processes are
-    traced locally and merged back into the parent's tracer, so the
-    trace is complete either way.
+    ``KeyboardInterrupt``/SIGTERM do not propagate: workers are torn
+    down, the completed points are returned, and
+    ``stats.interrupted`` is set — with a checkpoint directory the
+    interrupted run resumes exactly where it stopped.
     """
     if workers < 1:
         raise ValidationError(f"workers must be >= 1, got {workers}")
+    if resume and checkpoint is None:
+        raise ValidationError(
+            "resume=True needs a checkpoint directory to resume from"
+        )
+    if chaos is not None and workers == 1:
+        raise ValidationError(
+            "chaos injection sabotages pool workers; it needs "
+            "workers > 1"
+        )
     if workers > 1:
         _check_picklable(measure, workers)
     context = None
@@ -137,33 +212,132 @@ def sweep(
             ) from None
     collect = obs.enabled() and workers > 1
     rngs = spawn_rngs(seed, len(parameter_values) * repetitions)
+    identities = [
+        (parameter, repetition)
+        for parameter in parameter_values
+        for repetition in range(repetitions)
+    ]
     jobs = [
         (measure, parameter, repetition, rngs[position], collect)
-        for position, (parameter, repetition) in enumerate(
-            (parameter, repetition)
-            for parameter in parameter_values
-            for repetition in range(repetitions)
-        )
+        for position, (parameter, repetition) in enumerate(identities)
     ]
-    if workers == 1:
-        return [_measure_point(job)[0] for job in jobs]
-    with ProcessPoolExecutor(
-        max_workers=workers, mp_context=context
-    ) as pool:
-        outcomes = list(pool.map(_measure_point, jobs))
-    tracer = obs.active()
-    points = []
-    for point, payload in outcomes:
-        points.append(point)
-        if tracer is not None and payload is not None:
-            tracer.adopt(
-                [
-                    obs.SpanRecord.from_dict(span)
-                    for span in payload["spans"]
-                ],
-                payload["metrics"],
+    store = None
+    done: dict[int, SweepPoint] = {}
+    if checkpoint is not None:
+        store = CheckpointStore(
+            checkpoint,
+            {
+                "kind": "sweep",
+                "measure": f"{measure.__module__}.{measure.__qualname__}",
+                "parameters": [repr(p) for p in parameter_values],
+                "repetitions": repetitions,
+                "seed": seed,
+            },
+        )
+        if resume:
+            with obs.span("runtime.resume", kind="sweep") as span:
+                for position, (parameter, repetition) in enumerate(
+                    identities
+                ):
+                    record = store.load(_point_key(parameter, repetition))
+                    if record is None:
+                        continue
+                    done[position] = SweepPoint(
+                        parameter,
+                        repetition,
+                        float(record["value"]),
+                        float(record["elapsed"]),
+                    )
+                span.tag(skipped=len(done))
+            obs.count("resilience.runtime.checkpoint.hits", len(done))
+    remaining = [
+        position for position in range(len(jobs)) if position not in done
+    ]
+
+    def _record(position: int, point: SweepPoint) -> None:
+        if store is not None:
+            store.store(
+                _point_key(point.parameter, point.repetition),
+                _point_record(position, point),
             )
-    return points
+
+    if workers == 1:
+        stats = RunStats(skipped=len(done))
+        try:
+            for position in remaining:
+                point, _ = _measure_point(jobs[position])
+                done[position] = point
+                stats.completed += 1
+                _record(position, point)
+        except KeyboardInterrupt:
+            stats.interrupted = True
+            obs.count("resilience.runtime.interrupts")
+    else:
+        tracer = obs.active()
+
+        def _on_result(index: int, outcome) -> None:
+            point, payload = outcome
+            if tracer is not None and payload is not None:
+                tracer.adopt(
+                    [
+                        obs.SpanRecord.from_dict(span)
+                        for span in payload["spans"]
+                    ],
+                    payload["metrics"],
+                )
+            _record(remaining[index], point)
+
+        pool = SupervisedPool(
+            workers, policy=policy, chaos=chaos, mp_context=context
+        )
+        results, stats = pool.run(
+            _measure_point,
+            [jobs[position] for position in remaining],
+            on_result=_on_result,
+        )
+        stats.skipped += len(done)
+        for index, (point, _) in results.items():
+            done[remaining[index]] = point
+    points = [done[position] for position in sorted(done)]
+    return SweepOutcome(
+        points=points,
+        stats=stats,
+        checkpoint_dir=Path(checkpoint) if checkpoint is not None else None,
+    )
+
+
+def sweep(
+    parameter_values: Sequence[object],
+    measure: Callable[[object, np.random.Generator], float],
+    repetitions: int = 3,
+    seed: int | None = 0,
+    workers: int = 1,
+    mp_context: str | None = None,
+    checkpoint: str | Path | None = None,
+    resume: bool = False,
+    policy: RuntimePolicy | None = None,
+    chaos: ChaosPlan | None = None,
+) -> list[SweepPoint]:
+    """Measure a function over parameter values with seeded repetitions.
+
+    The classic list-of-points view of :func:`run_sweep` — same
+    durability machinery (checkpoints, supervision, chaos), but
+    returning just the completed points.  Callers that need the
+    supervision ledger (interrupted? quarantined? resumed?) use
+    :func:`run_sweep` directly.
+    """
+    return run_sweep(
+        parameter_values,
+        measure,
+        repetitions=repetitions,
+        seed=seed,
+        workers=workers,
+        mp_context=mp_context,
+        checkpoint=checkpoint,
+        resume=resume,
+        policy=policy,
+        chaos=chaos,
+    ).points
 
 
 def measure_spec_point(
@@ -187,10 +361,16 @@ def measure_spec_point(
 
 @dataclass(frozen=True)
 class SpecSweep:
-    """A sweep driven by a spec's ``[axes]`` lattice."""
+    """A sweep driven by a spec's ``[axes]`` lattice.
+
+    ``stats`` carries the supervision ledger when the sweep ran with
+    durability features (``None`` predates them in saved pickles and
+    means "ran to completion serially").
+    """
 
     lattice: "Lattice"
     points: list[SweepPoint]
+    stats: RunStats | None = None
 
     def by_scenario(self) -> dict[str, tuple[float, float]]:
         """Scenario id -> (mean value, mean elapsed), lattice order."""
@@ -211,6 +391,10 @@ def sweep_spec(
     workers: int = 1,
     mp_context: str | None = None,
     limit: int | None = None,
+    checkpoint: str | Path | None = None,
+    resume: bool = False,
+    policy: RuntimePolicy | None = None,
+    chaos: ChaosPlan | None = None,
 ) -> SpecSweep:
     """Sweep the checker-clean lattice of a scenario spec.
 
@@ -225,6 +409,11 @@ def sweep_spec(
     out unchanged.  ``measure`` defaults to :func:`measure_spec_point`
     (mean simulated accuracy).  ``limit`` subsamples the lattice
     deterministically from ``seed``.
+
+    The durability knobs (``checkpoint``, ``resume``, ``policy``,
+    ``chaos``) pass straight through to :func:`run_sweep`; spec-sweep
+    parameters are canonical JSON strings, so their checkpoint
+    identities are stable across processes and hosts.
     """
     from repro.spec.lattice import expand, sample
 
@@ -237,15 +426,21 @@ def sweep_spec(
         json.dumps(point.payload, sort_keys=True)
         for point in lattice.points
     ]
-    points = sweep(
+    outcome = run_sweep(
         parameters,
         measure if measure is not None else measure_spec_point,
         repetitions=repetitions,
         seed=seed,
         workers=workers,
         mp_context=mp_context,
+        checkpoint=checkpoint,
+        resume=resume,
+        policy=policy,
+        chaos=chaos,
     )
-    return SpecSweep(lattice=lattice, points=points)
+    return SpecSweep(
+        lattice=lattice, points=outcome.points, stats=outcome.stats
+    )
 
 
 def aggregate(

@@ -24,8 +24,31 @@ from repro.market.requester import Requester
 from repro.market.task import Task
 from repro.market.worker import Worker
 from repro.sim.metrics import RoundMetrics, SimulationResult
+from repro.utils.atomic import atomic_write_text
 
 FORMAT_VERSION = 1
+
+
+def atomic_write_json(
+    path: str | Path,
+    payload: Any,
+    indent: int | None = 2,
+    sort_keys: bool = False,
+) -> Path:
+    """Write a JSON artifact atomically (temp file + fsync + rename).
+
+    The single sanctioned way to persist a durable JSON artifact —
+    market snapshots, simulation results, bench payloads, checkpoint
+    records: a crash mid-write leaves either the previous file or the
+    new one, never a torn hybrid.  ``allow_nan`` is always off; encode
+    NaN explicitly (see :func:`result_to_dict`) so files stay strict
+    JSON.  Lint rule R503 forbids the raw ``open(path, "w")`` + dump
+    pattern in artifact-producing modules, pointing here.
+    """
+    text = json.dumps(
+        payload, indent=indent, sort_keys=sort_keys, allow_nan=False
+    )
+    return atomic_write_text(Path(path), text + "\n")
 
 
 # -- markets ----------------------------------------------------------------
@@ -110,10 +133,8 @@ def market_from_dict(payload: dict[str, Any]) -> LaborMarket:
 
 
 def save_market(market: LaborMarket, path: str | Path) -> None:
-    """Write a market snapshot to a JSON file."""
-    Path(path).write_text(
-        json.dumps(market_to_dict(market), indent=2, allow_nan=False)
-    )
+    """Write a market snapshot to a JSON file (atomically)."""
+    atomic_write_json(path, market_to_dict(market))
 
 
 def load_market(path: str | Path) -> LaborMarket:
@@ -221,10 +242,8 @@ def result_from_dict(payload: dict[str, Any]) -> SimulationResult:
 
 
 def save_result(result: SimulationResult, path: str | Path) -> None:
-    """Write a simulation result to a JSON file."""
-    Path(path).write_text(
-        json.dumps(result_to_dict(result), indent=2, allow_nan=False)
-    )
+    """Write a simulation result to a JSON file (atomically)."""
+    atomic_write_json(path, result_to_dict(result))
 
 
 def load_result(path: str | Path) -> SimulationResult:

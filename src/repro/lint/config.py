@@ -51,6 +51,24 @@ DEFAULT_BROAD_EXCEPT_ALLOWED: frozenset[str] = frozenset(
     {"repro.resilience"}
 )
 
+#: Modules that produce *durable* artifacts (saved markets and
+#: results, BENCH json, registered traces, checkpoints).  R503 forbids
+#: raw write-mode ``open`` / ``Path.write_text`` / ``write_bytes``
+#: there: a crash mid-write leaves a truncated file that a later
+#: ``--resume`` or ``obs diff`` trusts, so every durable write must go
+#: through :mod:`repro.utils.atomic` (write-then-rename).  Append-mode
+#: opens stay legal — appending one line is the correct primitive for
+#: the registry's index log.
+DEFAULT_DURABLE_WRITE_MODULES: frozenset[str] = frozenset(
+    {
+        "repro.io",
+        "repro.perf",
+        "repro.obs.export",
+        "repro.obs.registry",
+        "repro.resilience.runtime",
+    }
+)
+
 #: Packages whose inner loops are performance-critical: R601 flags
 #: scalar Python accumulation over array subscripts there, because the
 #: same reduction written as a numpy gather is orders of magnitude
@@ -96,6 +114,9 @@ class LintConfig:
     float_eq_modules: frozenset[str] = frozenset()
     #: Module/package prefixes exempt from R501's broad-except ban.
     broad_except_allowed: frozenset[str] = DEFAULT_BROAD_EXCEPT_ALLOWED
+    #: Module/package prefixes whose file writes R503 requires to be
+    #: atomic (write-then-rename via ``repro.utils.atomic``).
+    durable_write_modules: frozenset[str] = DEFAULT_DURABLE_WRITE_MODULES
     #: Package prefixes R601 watches for scalar accumulation loops.
     perf_hot_modules: frozenset[str] = DEFAULT_PERF_HOT_MODULES
     #: Prefixes inside the hot set exempt from R601 (reference

@@ -15,6 +15,16 @@ module outside the sanctioned containment layer
 :class:`~repro.errors.ReproError` subtype that names the failure you
 can actually handle; genuinely deliberate broad handlers take the
 ``# lint: allow[R501]`` pragma so every exception stays greppable.
+
+**R503** guards the durability contract the checkpoint/resume
+machinery rests on: in the modules that produce durable artifacts
+(``LintConfig.durable_write_modules`` — saved markets, BENCH json,
+registered traces, checkpoint records) a raw write-mode ``open`` or
+``Path.write_text``/``write_bytes`` can be killed mid-write and leave
+a truncated file that a later ``--resume`` or ``obs diff`` trusts.
+Durable writes go through :mod:`repro.utils.atomic` (write a temp
+file, fsync, rename); append-mode opens stay legal because appending
+one index line *is* the atomic primitive for a log.
 """
 
 from __future__ import annotations
@@ -81,4 +91,79 @@ class NoBroadExcept(Rule):
                     "concrete ReproError subtype, or route the failure "
                     "through repro.resilience (broad containment is "
                     "its job)",
+                )
+
+
+def _open_write_mode(call: ast.Call) -> str | None:
+    """The write-mode string of an ``open``-style call, if any.
+
+    Covers ``open(path, "w")`` and ``path.open("wb")`` — mode as the
+    second positional argument of the builtin, the first of the
+    method, or the ``mode=`` keyword of either.  Append (``a``) and
+    read modes return ``None``; so does a dynamic (non-literal) mode,
+    which this rule cannot judge.
+    """
+    if isinstance(call.func, ast.Name) and call.func.id == "open":
+        positional_mode = 1
+    elif isinstance(call.func, ast.Attribute) and call.func.attr == "open":
+        positional_mode = 0
+    else:
+        return None
+    mode: ast.AST | None = None
+    if len(call.args) > positional_mode:
+        mode = call.args[positional_mode]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if not isinstance(mode, ast.Constant) or not isinstance(
+        mode.value, str
+    ):
+        return None
+    if {"w", "x"} & set(mode.value):
+        return mode.value
+    return None
+
+
+@register_rule
+class AtomicDurableWrites(Rule):
+    id = "R503"
+    family = "robustness"
+    summary = (
+        "durable artifacts must be written atomically via "
+        "repro.utils.atomic, not raw open(.., 'w')/write_text"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        module = ctx.module
+        policed = any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in ctx.config.durable_write_modules
+        )
+        if not policed:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("write_text", "write_bytes")
+            ):
+                yield ctx.violation(
+                    node,
+                    self.id,
+                    f"`.{node.func.attr}(...)` in a durable-artifact "
+                    "module is not crash-safe — use "
+                    "repro.utils.atomic (write-then-rename) so a "
+                    "killed process never leaves a truncated file",
+                )
+                continue
+            mode = _open_write_mode(node)
+            if mode is not None:
+                yield ctx.violation(
+                    node,
+                    self.id,
+                    f"write-mode `open(..., {mode!r})` in a "
+                    "durable-artifact module is not crash-safe — use "
+                    "repro.utils.atomic (write-then-rename); "
+                    "append-mode logs are exempt",
                 )

@@ -26,6 +26,7 @@ from pathlib import Path
 
 from repro.errors import ValidationError
 from repro.obs.tracer import SpanRecord, Tracer
+from repro.utils.atomic import atomic_write_text
 
 TRACE_SCHEMA = "repro-obs-trace/1"
 
@@ -66,7 +67,6 @@ def write_trace(tracer: Tracer, path: str | Path, tag: str = "run") -> Path:
             f"({names}): exit every span context before exporting"
         )
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     lines = [
         json.dumps(
             {
@@ -87,8 +87,7 @@ def write_trace(tracer: Tracer, path: str | Path, tag: str = "run") -> Path:
             {"type": "metrics", **tracer.metrics.snapshot()}, sort_keys=True
         )
     )
-    path.write_text("\n".join(lines) + "\n")
-    return path
+    return atomic_write_text(path, "\n".join(lines) + "\n")
 
 
 def _parse_line(line_number: int, line: str) -> dict:

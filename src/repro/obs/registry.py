@@ -31,6 +31,7 @@ from pathlib import Path
 
 from repro.errors import ValidationError
 from repro.obs.export import TraceData, read_trace, write_trace
+from repro.utils.atomic import atomic_write_bytes, atomic_write_text
 
 DEFAULT_REGISTRY_ROOT = ".repro-runs"
 REGISTRY_SCHEMA = "repro-obs-registry/1"
@@ -174,7 +175,11 @@ class RunRegistry:
             extra=dict(extra),
         )
         self.root.mkdir(parents=True, exist_ok=True)
-        self.trace_path(entry).write_bytes(content)
+        atomic_write_bytes(self.trace_path(entry), content)
+        # The index append stays a plain append: a single short write
+        # of one line is the correct primitive for an append-only log,
+        # and rewriting the whole index per registration would race
+        # concurrent registrars.
         with self.index_path.open("a") as handle:
             handle.write(json.dumps(entry.to_dict(), sort_keys=True) + "\n")
         return entry
@@ -311,8 +316,8 @@ class RunRegistry:
             json.dumps(entry.to_dict(), sort_keys=True)
             for entry in survivors
         ]
-        self.index_path.write_text(
-            "\n".join(lines) + "\n" if lines else ""
+        atomic_write_text(
+            self.index_path, "\n".join(lines) + "\n" if lines else ""
         )
         for entry in doomed:
             self.trace_path(entry).unlink(missing_ok=True)

@@ -63,9 +63,9 @@ def save_baseline(
         "tag": tag,
         "cases": cases,
     }
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    from repro.io import atomic_write_json
+
+    atomic_write_json(Path(path), payload, sort_keys=True)
     return payload
 
 

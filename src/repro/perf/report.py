@@ -84,10 +84,16 @@ def bench_payload(
 
 
 def write_bench_json(payload: dict, directory: str | Path = ".") -> Path:
-    """Write ``BENCH_<tag>.json`` into ``directory``; returns the path."""
+    """Write ``BENCH_<tag>.json`` into ``directory``; returns the path.
+
+    Written atomically: a bench run killed mid-write leaves either no
+    artifact or a complete one, never a torn JSON that poisons a later
+    ``--baseline`` comparison.
+    """
+    from repro.io import atomic_write_json
+
     path = Path(directory) / f"BENCH_{payload['tag']}.json"
-    path.write_text(json.dumps(payload, indent=2) + "\n")
-    return path
+    return atomic_write_json(path, payload)
 
 
 def _fmt_secs(value: float | None) -> str:

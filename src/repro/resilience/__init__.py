@@ -16,7 +16,15 @@ multi-round simulation degrades instead of crashing):
 * :class:`ResilientSolver` (:mod:`repro.resilience.executor`) — wraps
   any registered solver with deadlines, escalating retries, partial-
   result salvage, and an ordered fallback chain, reporting which tier
-  actually delivered via :class:`SolveReport`.
+  actually delivered via :class:`SolveReport`;
+* :class:`ChaosPlan` (:mod:`repro.resilience.faults`) — seeded
+  *process-level* sabotage (worker kill / hang / slowdown) for
+  durability testing;
+* :class:`CheckpointStore` / :class:`SupervisedPool`
+  (:mod:`repro.resilience.runtime`) — run-level durability: atomic
+  checkpoints that make sweeps and simulations resumable, and a
+  supervised process pool with timeouts, seeded-backoff retries,
+  broken-pool recovery, and poison-task quarantine.
 
 Importing this package registers the ``"resilient"`` solver with the
 core registry (``get_solver("resilient", primary="auction")``); the
@@ -30,7 +38,9 @@ from repro.resilience.executor import (
     SolveReport,
 )
 from repro.resilience.faults import (
+    CHAOS_ACTIONS,
     SOLVER_FAILURE_MODES,
+    ChaosPlan,
     FaultPlan,
     RoundFaults,
 )
@@ -39,15 +49,31 @@ from repro.resilience.policy import (
     RetryPolicy,
     get_profile,
 )
+from repro.resilience.runtime import (
+    CHECKPOINT_SCHEMA,
+    CheckpointStore,
+    QuarantinedTask,
+    RunStats,
+    RuntimePolicy,
+    SupervisedPool,
+)
 
 __all__ = [
     "BUDGET_KWARGS",
+    "CHAOS_ACTIONS",
+    "CHECKPOINT_SCHEMA",
+    "ChaosPlan",
+    "CheckpointStore",
     "FaultPlan",
+    "QuarantinedTask",
     "RESILIENCE_PROFILES",
     "ResilientSolver",
     "RetryPolicy",
     "RoundFaults",
+    "RunStats",
+    "RuntimePolicy",
     "SOLVER_FAILURE_MODES",
     "SolveReport",
+    "SupervisedPool",
     "get_profile",
 ]

@@ -36,6 +36,9 @@ solver failure   the assignment service fails an attempt — either a
 
 from __future__ import annotations
 
+import os
+import signal
+import time
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
@@ -190,3 +193,102 @@ class RoundFaults:
         return frozenset(
             edge for edge, hit in zip(edges, mask) if hit
         )
+
+
+# -- process-level chaos ------------------------------------------------------
+
+#: Process sabotage a :class:`ChaosPlan` may inject, in the order one
+#: uniform draw is partitioned by ``decision``.
+CHAOS_ACTIONS = ("kill", "hang", "slow")
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Seeded sabotage of *worker processes*, for durability testing.
+
+    Where :class:`FaultPlan` injects market faults (the workload lies),
+    a ``ChaosPlan`` injects process faults (the machine lies): a pool
+    worker is SIGKILLed mid-task, hangs past its wall-clock timeout, or
+    merely runs slow.  The supervised pool
+    (:class:`repro.resilience.runtime.SupervisedPool`) must absorb all
+    three without corrupting results — that is exactly what the chaos
+    tests and the CI chaos-smoke job assert.
+
+    Decisions are addressed by ``(plan seed, task position, attempt)``
+    via :func:`repro.utils.rng.derive_rng`, so a task's fate does not
+    depend on scheduling order and re-running a chaos scenario replays
+    the same sabotage.  ``max_injections_per_task`` bounds how many
+    attempts of one task may be sabotaged (attempts at or beyond the
+    bound are left alone), which guarantees every run terminates: after
+    at most that many retries each task gets a clean attempt.
+    """
+
+    seed: int = 0
+    kill_rate: float = 0.0
+    hang_rate: float = 0.0
+    slow_rate: float = 0.0
+    hang_seconds: float = 3600.0
+    slow_seconds: float = 0.05
+    max_injections_per_task: int = 1
+
+    def __post_init__(self) -> None:
+        _check_rate("kill_rate", self.kill_rate)
+        _check_rate("hang_rate", self.hang_rate)
+        _check_rate("slow_rate", self.slow_rate)
+        total = self.kill_rate + self.hang_rate + self.slow_rate
+        if total > 1.0:
+            raise ConfigurationError(
+                "chaos rates must sum to <= 1 (they partition one "
+                f"uniform draw), got {total}"
+            )
+        if self.hang_seconds < 0 or self.slow_seconds < 0:
+            raise ConfigurationError("chaos delays must be >= 0")
+        if self.max_injections_per_task < 0:
+            raise ConfigurationError(
+                "max_injections_per_task must be >= 0, got "
+                f"{self.max_injections_per_task}"
+            )
+
+    @property
+    def injects_anything(self) -> bool:
+        return (
+            self.max_injections_per_task > 0
+            and (self.kill_rate > 0 or self.hang_rate > 0
+                 or self.slow_rate > 0)
+        )
+
+    def decision(self, position: int, attempt: int) -> str | None:
+        """The sabotage (if any) for one ``(task, attempt)`` pair.
+
+        Pure and deterministic — tests call this from the parent to
+        predict exactly which tasks a seeded run will sabotage.
+        """
+        if attempt >= self.max_injections_per_task:
+            return None
+        draw = derive_rng(self.seed, position, attempt).random()
+        edge = 0.0
+        for action, rate in zip(
+            CHAOS_ACTIONS, (self.kill_rate, self.hang_rate, self.slow_rate)
+        ):
+            edge += rate
+            if draw < edge:
+                return action
+        return None
+
+    def execute(self, position: int, attempt: int) -> str | None:
+        """Carry out this attempt's sabotage (runs *in the worker*).
+
+        ``kill`` SIGKILLs the worker process (the parent sees a broken
+        pool), ``hang`` sleeps ``hang_seconds`` (the parent's task
+        timeout must fire), ``slow`` sleeps ``slow_seconds`` and lets
+        the task proceed.  Returns the action taken, ``None`` for a
+        clean attempt.
+        """
+        action = self.decision(position, attempt)
+        if action == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif action == "hang":
+            time.sleep(self.hang_seconds)
+        elif action == "slow":
+            time.sleep(self.slow_seconds)
+        return action

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import dataclasses
+import pickle
+from pathlib import Path
 
 from repro import obs
 from repro.core.assignment import Assignment
@@ -16,14 +18,19 @@ from repro.errors import (
     InfeasibleError,
     ResilienceExhaustedError,
     SolverError,
+    ValidationError,
 )
 from repro.market.market import LaborMarket
 from repro.market.retention import RetentionModel
-from repro.resilience import ResilientSolver, SolveReport
+from repro.resilience import CheckpointStore, ResilientSolver, SolveReport
 from repro.sim.metrics import RoundMetrics, SimulationResult
 from repro.sim.scenario import Scenario
+from repro.utils.atomic import atomic_write_bytes
 from repro.utils.rng import SeedLike, as_rng
 from repro.utils.timer import Timer
+
+SIM_STATE_SCHEMA = "repro-sim-checkpoint/1"
+_STATE_NAME = "state.pkl"
 
 
 class Simulation:
@@ -53,10 +60,48 @@ class Simulation:
         self.scenario = scenario
         self._mean_accuracy_cache: dict[int, float] | None = None
 
-    def run(self, seed: SeedLike = None) -> SimulationResult:
+    def run(
+        self,
+        seed: SeedLike = None,
+        checkpoint: str | Path | None = None,
+        resume: bool = False,
+        checkpoint_every: int = 1,
+    ) -> SimulationResult:
+        """Simulate the scenario, optionally durably.
+
+        ``checkpoint`` names a directory: after each completed round
+        the full mutable state (RNG, workers, retention, estimator,
+        solver memory, collected metrics) is pickled, and the snapshot
+        is written atomically every ``checkpoint_every`` rounds, at
+        the final round, and on ``KeyboardInterrupt`` (which then
+        re-raises, so callers see the interrupt).  ``resume=True``
+        restores the latest snapshot and continues — the resumed run
+        is bit-identical to one that never stopped, because the
+        snapshot carries the exact generator state.
+
+        The checkpoint fingerprint covers everything that shapes the
+        per-round values *except* ``n_rounds``, so an interrupted
+        3-round checkpoint can resume into a 10-round horizon.
+        ``task_refresh`` is code, not data — changing it between runs
+        is not detected.
+        """
         rng = as_rng(seed)
         self._mean_accuracy_cache = None
         scenario = self.scenario
+        if checkpoint_every < 1:
+            raise ValidationError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        if resume and checkpoint is None:
+            raise ValidationError(
+                "resume=True needs a checkpoint directory to resume "
+                "from"
+            )
+        store = (
+            CheckpointStore(checkpoint, self._fingerprint(rng))
+            if checkpoint is not None
+            else None
+        )
         policy = scenario.resilience_policy()
         if policy is not None:
             solver = ResilientSolver(
@@ -92,142 +137,197 @@ class Simulation:
             else None
         )
 
-        for round_index in range(scenario.n_rounds):
-            with obs.span("round", index=round_index) as round_span:
-                faults = (
-                    plan.for_round(round_index) if plan is not None else None
-                )
-                tasks = self._round_tasks(round_index)
-                market = LaborMarket(
-                    workers, tasks, base.taxonomy, base.requesters
-                )
-                active = market.active_worker_indices()
-                if not tasks or not active:
-                    # Nothing posted, or nobody to do it: an empty
-                    # round, not an error — the run continues.
-                    obs.count("sim.empty_rounds")
-                    round_span.tag(outcome="empty")
-                    result.rounds.append(
-                        self._empty_round(round_index, market)
-                    )
-                    continue
-
-                # Plan on estimated skills when an estimator is
-                # configured; account and realize on the true market
-                # either way.
-                true_problem = MBAProblem(market, combiner=scenario.combiner)
-                planning_problem = (
-                    MBAProblem(
-                        estimator.estimated_market(market),
-                        combiner=scenario.combiner,
-                    )
-                    if estimator is not None
-                    else true_problem
-                )
+        start_round = 0
+        latest: bytes | None = None
+        if resume and store is not None:
+            snapshot = self._load_snapshot(store)
+            if snapshot is not None:
+                rng = snapshot["rng"]
+                workers = snapshot["workers"]
+                retention = snapshot["retention"]
+                estimator = snapshot["estimator"]
+                solver = snapshot["solver"]
+                result.rounds = snapshot["rounds"]
+                start_round = snapshot["next_round"]
                 with obs.span(
-                    "assign", solver=scenario.solver_name
-                ) as assign_span:
-                    planned, report = self._solve_round(
-                        solver, planning_problem, rng, faults
+                    "runtime.resume", kind="simulation",
+                    rounds=start_round,
+                ):
+                    obs.count(
+                        "resilience.runtime.checkpoint.hits", start_round
                     )
-                    assign_span.tag(
-                        tier=report.tier, retries=report.retries
-                    )
-                obs.count("sim.solver_retries", report.retries)
-                if planned is None:
-                    # Infeasible round or exhausted solver stack: the
-                    # round is lost, the run continues.
-                    obs.count("sim.degraded_rounds")
-                    round_span.tag(outcome="degraded")
-                    result.rounds.append(
-                        self._empty_round(
-                            round_index,
-                            market,
-                            solver_retries=report.retries,
-                            fallback_tier=-1,
-                            solver_wall_time=report.wall_time,
-                        )
-                    )
-                    continue
-                assignment = Assignment(
-                    true_problem, list(planned.edges), solver_name=solver.name
-                )
+        if start_round > scenario.n_rounds:
+            # Resuming into a *shorter* horizon: the extra rounds are
+            # already computed; report exactly the asked-for prefix.
+            result.rounds = result.rounds[: scenario.n_rounds]
+            start_round = scenario.n_rounds
 
-                declined = 0
-                if scenario.workers_decline:
-                    worker_matrix = true_problem.benefits.worker
-                    accepted = [
-                        (i, j)
-                        for i, j in assignment.edges
-                        if worker_matrix[i, j] >= 0
-                    ]
-                    declined = len(assignment.edges) - len(accepted)
-                    assignment = Assignment(
-                        true_problem, accepted, solver_name=solver.name
-                    )
-
-                # Unfulfilled edges — worker no-shows and mid-round
-                # task cancellations — vanish from realization *and*
-                # accounting: no answer, no pay, no practice, no
-                # satisfaction.
-                faulted = 0
-                if faults is not None:
-                    assignment, faulted = self._apply_edge_faults(
-                        true_problem, assignment, faults, market.n_tasks
-                    )
-
-                solver.observe_round(true_problem, assignment)
-
-                # Dropped answers: the work happened (and is paid /
-                # accounted), but the answer never reaches aggregation.
-                dropped = (
-                    faults.dropped_answers(assignment.edges)
-                    if faults is not None
-                    else frozenset()
-                )
-                accuracy, answers, labels = self._realize_answers(
-                    market, assignment, rng, dropped
-                )
-                faulted += len(dropped)
-                if estimator is not None and answers is not None:
-                    with obs.span("estimate", tasks=len(answers.answers)):
-                        self._update_estimator(
-                            estimator, market, answers, labels, rng
-                        )
-                churned = self._apply_retention(
-                    retention, market, assignment, rng
-                )
-                if scenario.drift is not None:
-                    scenario.drift.apply(market, list(assignment.edges))
-
-                obs.count("sim.rounds")
-                round_span.tag(outcome="ok", edges=len(assignment))
-                obs.count("sim.assigned_edges", len(assignment))
-                obs.count("sim.declined_edges", declined)
-                obs.count("sim.faulted_edges", faulted)
-                obs.count("sim.churned_workers", churned)
+        def _run_round(round_index: int, round_span) -> None:
+            faults = (
+                plan.for_round(round_index) if plan is not None else None
+            )
+            tasks = self._round_tasks(round_index)
+            market = LaborMarket(
+                workers, tasks, base.taxonomy, base.requesters
+            )
+            active = market.active_worker_indices()
+            if not tasks or not active:
+                # Nothing posted, or nobody to do it: an empty
+                # round, not an error — the run continues.
+                obs.count("sim.empty_rounds")
+                round_span.tag(outcome="empty")
                 result.rounds.append(
-                    RoundMetrics(
-                        round_index=round_index,
-                        n_active_workers=len(active),
-                        n_assigned_edges=len(assignment),
-                        requester_benefit=assignment.requester_total(),
-                        worker_benefit=assignment.worker_total(),
-                        combined_benefit=assignment.combined_total(),
-                        aggregated_accuracy=accuracy,
-                        participation_rate=(
-                            sum(w.active for w in market.workers)
-                            / market.n_workers
-                        ),
-                        benefit_gini=benefit_gini(assignment),
-                        churned_workers=churned,
-                        declined_edges=declined,
-                        faulted_edges=faulted,
+                    self._empty_round(round_index, market)
+                )
+                return
+
+            # Plan on estimated skills when an estimator is
+            # configured; account and realize on the true market
+            # either way.
+            true_problem = MBAProblem(market, combiner=scenario.combiner)
+            planning_problem = (
+                MBAProblem(
+                    estimator.estimated_market(market),
+                    combiner=scenario.combiner,
+                )
+                if estimator is not None
+                else true_problem
+            )
+            with obs.span(
+                "assign", solver=scenario.solver_name
+            ) as assign_span:
+                planned, report = self._solve_round(
+                    solver, planning_problem, rng, faults
+                )
+                assign_span.tag(
+                    tier=report.tier, retries=report.retries
+                )
+            obs.count("sim.solver_retries", report.retries)
+            if planned is None:
+                # Infeasible round or exhausted solver stack: the
+                # round is lost, the run continues.
+                obs.count("sim.degraded_rounds")
+                round_span.tag(outcome="degraded")
+                result.rounds.append(
+                    self._empty_round(
+                        round_index,
+                        market,
                         solver_retries=report.retries,
-                        fallback_tier=report.tier,
+                        fallback_tier=-1,
                         solver_wall_time=report.wall_time,
                     )
                 )
+                return
+            assignment = Assignment(
+                true_problem, list(planned.edges), solver_name=solver.name
+            )
+
+            declined = 0
+            if scenario.workers_decline:
+                worker_matrix = true_problem.benefits.worker
+                accepted = [
+                    (i, j)
+                    for i, j in assignment.edges
+                    if worker_matrix[i, j] >= 0
+                ]
+                declined = len(assignment.edges) - len(accepted)
+                assignment = Assignment(
+                    true_problem, accepted, solver_name=solver.name
+                )
+
+            # Unfulfilled edges — worker no-shows and mid-round
+            # task cancellations — vanish from realization *and*
+            # accounting: no answer, no pay, no practice, no
+            # satisfaction.
+            faulted = 0
+            if faults is not None:
+                assignment, faulted = self._apply_edge_faults(
+                    true_problem, assignment, faults, market.n_tasks
+                )
+
+            solver.observe_round(true_problem, assignment)
+
+            # Dropped answers: the work happened (and is paid /
+            # accounted), but the answer never reaches aggregation.
+            dropped = (
+                faults.dropped_answers(assignment.edges)
+                if faults is not None
+                else frozenset()
+            )
+            accuracy, answers, labels = self._realize_answers(
+                market, assignment, rng, dropped
+            )
+            faulted += len(dropped)
+            if estimator is not None and answers is not None:
+                with obs.span("estimate", tasks=len(answers.answers)):
+                    self._update_estimator(
+                        estimator, market, answers, labels, rng
+                    )
+            churned = self._apply_retention(
+                retention, market, assignment, rng
+            )
+            if scenario.drift is not None:
+                scenario.drift.apply(market, list(assignment.edges))
+
+            obs.count("sim.rounds")
+            round_span.tag(outcome="ok", edges=len(assignment))
+            obs.count("sim.assigned_edges", len(assignment))
+            obs.count("sim.declined_edges", declined)
+            obs.count("sim.faulted_edges", faulted)
+            obs.count("sim.churned_workers", churned)
+            result.rounds.append(
+                RoundMetrics(
+                    round_index=round_index,
+                    n_active_workers=len(active),
+                    n_assigned_edges=len(assignment),
+                    requester_benefit=assignment.requester_total(),
+                    worker_benefit=assignment.worker_total(),
+                    combined_benefit=assignment.combined_total(),
+                    aggregated_accuracy=accuracy,
+                    participation_rate=(
+                        sum(w.active for w in market.workers)
+                        / market.n_workers
+                    ),
+                    benefit_gini=benefit_gini(assignment),
+                    churned_workers=churned,
+                    declined_edges=declined,
+                    faulted_edges=faulted,
+                    solver_retries=report.retries,
+                    fallback_tier=report.tier,
+                    solver_wall_time=report.wall_time,
+                )
+            )
+
+        state_path = (
+            store.root / _STATE_NAME if store is not None else None
+        )
+        try:
+            for round_index in range(start_round, scenario.n_rounds):
+                with obs.span("round", index=round_index) as round_span:
+                    _run_round(round_index, round_span)
+                if store is None:
+                    continue
+                # Serialize after *every* round (the only moment the
+                # state is consistent) so an interrupt always has a
+                # snapshot to flush; write it out on the configured
+                # cadence and at the end of the run.
+                latest = self._snapshot_bytes(
+                    store, round_index + 1, rng, workers, retention,
+                    estimator, solver, result,
+                )
+                rounds_done = round_index + 1 - start_round
+                if (
+                    rounds_done % checkpoint_every == 0
+                    or round_index + 1 == scenario.n_rounds
+                ):
+                    atomic_write_bytes(state_path, latest)
+                    obs.count("resilience.runtime.checkpoint.writes")
+        except KeyboardInterrupt:
+            if state_path is not None and latest is not None:
+                atomic_write_bytes(state_path, latest)
+                obs.count("resilience.runtime.checkpoint.writes")
+            obs.count("resilience.runtime.interrupts")
+            raise
         if obs.enabled():
             # Snapshot of the active tracer's metrics as of run end —
             # exactly this run's numbers when the run is traced in
@@ -235,6 +335,90 @@ class Simulation:
             # when several runs share one tracer.
             result.report = obs.RunReport.from_tracer(obs.active())
         return result
+
+    # -- checkpointing ---------------------------------------------------
+
+    def _fingerprint(self, rng) -> dict:
+        """What makes checkpointed rounds reusable.
+
+        Everything that shapes per-round values: the market, the full
+        model stack (via their stable dataclass/custom reprs), and the
+        *initial* generator state.  ``n_rounds`` is deliberately
+        absent — the horizon says how long to run, not what the rounds
+        contain — so a short run's checkpoint extends into a longer
+        one.  ``task_refresh`` is a callable (code, not data) and
+        cannot be fingerprinted; see :meth:`run`.
+        """
+        from repro.io import market_to_dict
+
+        scenario = self.scenario
+        policy = scenario.resilience_policy()
+        return {
+            "kind": "simulation",
+            "market": market_to_dict(scenario.market),
+            "solver": scenario.solver_name,
+            "solver_kwargs": scenario.solver_kwargs,
+            "combiner": repr(scenario.combiner),
+            "retention": repr(scenario.retention),
+            "estimator": repr(scenario.estimator),
+            "drift": repr(scenario.drift),
+            "fault_plan": repr(scenario.fault_plan),
+            "aggregator": scenario.aggregator,
+            "gold_fraction": scenario.gold_fraction,
+            "workers_decline": scenario.workers_decline,
+            "resilience": repr(policy),
+            "rng_state": rng.bit_generator.state,
+        }
+
+    def _snapshot_bytes(
+        self, store, next_round, rng, workers, retention, estimator,
+        solver, result,
+    ) -> bytes:
+        payload = {
+            "schema": SIM_STATE_SCHEMA,
+            "fingerprint_id": store.fingerprint_id,
+            "next_round": next_round,
+            "rng": rng,
+            "workers": workers,
+            "retention": retention,
+            "estimator": estimator,
+            "solver": solver,
+            "rounds": list(result.rounds),
+        }
+        try:
+            return pickle.dumps(payload)
+        except (pickle.PicklingError, TypeError, AttributeError) as error:
+            raise ValidationError(
+                "simulation state is not picklable, so it cannot be "
+                f"checkpointed ({error}); drop the checkpoint option "
+                "or make the scenario's models picklable"
+            ) from None
+
+    @staticmethod
+    def _load_snapshot(store) -> dict | None:
+        """The latest state snapshot, or ``None`` for a fresh start."""
+        path = store.root / _STATE_NAME
+        if not path.exists():
+            return None
+        try:
+            payload = pickle.loads(path.read_bytes())
+        except (pickle.UnpicklingError, EOFError, AttributeError):
+            raise ValidationError(
+                f"checkpoint state {path} is unreadable — remove the "
+                "checkpoint directory to start fresh"
+            ) from None
+        if payload.get("schema") != SIM_STATE_SCHEMA:
+            raise ValidationError(
+                f"{path} has schema {payload.get('schema')!r}, "
+                f"expected {SIM_STATE_SCHEMA!r}"
+            )
+        if payload.get("fingerprint_id") != store.fingerprint_id:
+            raise ValidationError(
+                f"checkpoint state {path} belongs to a different run "
+                "configuration — point --checkpoint at a fresh "
+                "directory"
+            )
+        return payload
 
     # -- helpers ---------------------------------------------------------
 

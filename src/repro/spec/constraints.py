@@ -268,6 +268,20 @@ def _nonlinear_combiner_edge_solver(spec: NormalizedSpec, view: RegistryView):
     )
 
 
+def _resume_needs_checkpoint_dir(
+    spec: NormalizedSpec, view: RegistryView
+):
+    if not spec["runtime.resume"]:
+        return None
+    if str(spec["runtime.checkpoint_dir"]):
+        return None
+    return (
+        "runtime.resume is on but runtime.checkpoint_dir is empty — "
+        "there is no checkpoint directory to resume from; set "
+        "runtime.checkpoint_dir (or --checkpoint)"
+    )
+
+
 def _estimator_without_gold(spec: NormalizedSpec, view: RegistryView):
     if not spec["estimator.enabled"]:
         return None
@@ -334,6 +348,12 @@ CONSTRAINTS: tuple[Constraint, ...] = (
         knobs=("scenario.solver", "scenario.resilience"),
         summary="no resilient executor wrapped in itself",
         check=_no_double_resilience,
+    ),
+    Constraint(
+        id="C208",
+        knobs=("runtime.resume", "runtime.checkpoint_dir"),
+        summary="resume requires a checkpoint directory",
+        check=_resume_needs_checkpoint_dir,
     ),
     Constraint(
         id="W301",

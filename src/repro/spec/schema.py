@@ -152,6 +152,61 @@ SCENARIO_KNOBS: tuple[Knob, ...] = (
         cli_flag="--seed",
         description="seed of the simulation run itself",
     ),
+    # -- run durability --------------------------------------------------
+    Knob(
+        name="runtime.checkpoint_dir",
+        type="str",
+        default="",
+        cli_flag="--checkpoint",
+        axis=False,
+        description=(
+            "checkpoint directory for resumable runs; empty disables "
+            "checkpointing"
+        ),
+    ),
+    Knob(
+        name="runtime.resume",
+        type="bool",
+        default=False,
+        cli_flag="--resume",
+        axis=False,
+        description=(
+            "skip work already recorded in the checkpoint directory"
+        ),
+    ),
+    Knob(
+        name="runtime.task_timeout",
+        type="float",
+        default=0.0,
+        domain=NON_NEGATIVE,
+        axis=False,
+        description=(
+            "per-task wall-clock bound (seconds) under the supervised "
+            "pool; 0 disables the timeout"
+        ),
+    ),
+    Knob(
+        name="runtime.max_point_retries",
+        type="int",
+        default=2,
+        domain=NON_NEGATIVE,
+        axis=False,
+        description=(
+            "retries (with seeded backoff) for a sweep point that "
+            "raises, before it is quarantined"
+        ),
+    ),
+    Knob(
+        name="runtime.quarantine_after",
+        type="int",
+        default=3,
+        domain=AT_LEAST_ONE,
+        axis=False,
+        description=(
+            "definite crashes (kill/hang) after which a poison point "
+            "is quarantined instead of retried"
+        ),
+    ),
     # -- scenario core ---------------------------------------------------
     Knob(
         name="scenario.solver",

@@ -1,5 +1,6 @@
 """Small shared utilities: RNG plumbing, validation, timing, statistics."""
 
+from repro.utils.atomic import atomic_write_bytes, atomic_write_text
 from repro.utils.rng import as_rng, spawn_rngs
 from repro.utils.timer import Timer
 from repro.utils.validation import (
@@ -12,6 +13,8 @@ from repro.utils.validation import (
 __all__ = [
     "Timer",
     "as_rng",
+    "atomic_write_bytes",
+    "atomic_write_text",
     "check_fraction",
     "check_nonnegative",
     "check_positive",

@@ -1,0 +1,91 @@
+"""Crash-safe file writes: temp file + fsync + ``os.replace``.
+
+A durable artifact — a checkpoint record, a registered trace, a bench
+result — must never be observable half-written: a reader that races a
+writer (or a process that dies mid-``write``) would otherwise see a
+torn file that parses as garbage or, worse, parses cleanly as a
+truncated payload.  POSIX gives an atomicity primitive for exactly
+this: ``rename(2)`` within one filesystem either fully installs the
+new name or leaves the old file untouched.  Every helper here
+
+1. writes the full payload to a uniquely named temp file *in the
+   destination directory* (same filesystem, so the rename is atomic);
+2. flushes and ``fsync``\\ s the temp file so the bytes are on disk
+   before the name is;
+3. ``os.replace``\\ s it over the destination (atomic on POSIX and
+   Windows);
+4. best-effort ``fsync``\\ s the directory so the rename itself
+   survives a power loss.
+
+This module is the *only* place in the library that may open durable
+artifact files for writing — lint rule R503 forbids raw
+``open(path, "w")`` / ``Path.write_text`` in the artifact-producing
+modules, routing them here (or through the :func:`repro.io` wrappers).
+
+Layering: sits at the bottom with the rest of ``repro.utils`` —
+stdlib only — so even :mod:`repro.obs` may import it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Atomically replace ``path``'s contents with ``data``.
+
+    The destination directory is created if missing.  On any failure
+    the destination is untouched and the temp file is removed; there
+    is never a moment where ``path`` exists with partial contents.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        mode="wb",
+        dir=path.parent,
+        prefix=f".{path.name}.",
+        suffix=".tmp",
+        delete=False,
+    )
+    tmp = Path(handle.name)
+    try:
+        with handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        # On success the replace consumed the temp file; on failure
+        # remove it so crashes never litter the artifact directory.
+        with contextlib.suppress(FileNotFoundError):
+            os.unlink(tmp)
+    _fsync_directory(path.parent)
+    return path
+
+
+def atomic_write_text(
+    path: str | Path, text: str, encoding: str = "utf-8"
+) -> Path:
+    """Atomically replace ``path``'s contents with ``text``."""
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush the directory entry so the rename survives power loss.
+
+    Best-effort: some platforms/filesystems refuse to open or fsync a
+    directory — the file itself is already synced, so a failure here
+    only weakens (never breaks) the guarantee.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        with contextlib.suppress(OSError):
+            os.fsync(fd)
+    finally:
+        os.close(fd)

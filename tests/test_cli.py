@@ -75,6 +75,123 @@ class TestSimulate:
         assert out.count("\n") >= 5
 
 
+class TestSimulateDurability:
+    @pytest.fixture
+    def market_path(self, tmp_path):
+        path = tmp_path / "m.json"
+        main([
+            "generate", "synthetic-uniform", str(path),
+            "--workers", "12", "--tasks", "6", "--seed", "1",
+        ])
+        return path
+
+    def test_resume_requires_checkpoint(self, market_path, capsys):
+        code = main(["simulate", str(market_path), "--resume"])
+        assert code == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_checkpoint_then_resume_matches_straight_run(
+        self, market_path, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "ckpt"
+        main([
+            "simulate", str(market_path), "--rounds", "2",
+            "--checkpoint", str(ckpt),
+        ])
+        capsys.readouterr()
+        code = main([
+            "simulate", str(market_path), "--rounds", "4",
+            "--checkpoint", str(ckpt), "--resume",
+        ])
+        assert code == 0
+        resumed = capsys.readouterr().out
+        assert main(["simulate", str(market_path), "--rounds", "4"]) == 0
+        straight = capsys.readouterr().out
+        assert resumed == straight
+
+
+class TestSweep:
+    SPEC = """\
+schema = "repro-spec/1"
+
+[market]
+workload = "synthetic-uniform"
+workers = 20
+tasks = 10
+seed = 0
+
+[scenario]
+n_rounds = 2
+
+[axes]
+"scenario.solver" = ["flow", "greedy"]
+"""
+
+    @pytest.fixture
+    def spec_path(self, tmp_path):
+        path = tmp_path / "spec.toml"
+        path.write_text(self.SPEC)
+        return path
+
+    def test_sweep_prints_stats_line(self, spec_path, capsys):
+        code = main([
+            "sweep", str(spec_path), "--repetitions", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "completed 2" in out
+        assert "quarantined 0" in out
+        assert out.count("sc-") == 2
+
+    def test_sweep_checkpoint_resume_skips(
+        self, spec_path, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "ckpt"
+        main([
+            "sweep", str(spec_path), "--repetitions", "1",
+            "--checkpoint", str(ckpt),
+        ])
+        first = capsys.readouterr().out
+        code = main([
+            "sweep", str(spec_path), "--repetitions", "1",
+            "--checkpoint", str(ckpt), "--resume",
+        ])
+        assert code == 0
+        second = capsys.readouterr().out
+        assert "skipped 2" in second
+        assert "completed 0" in second
+        # identical measured values either way
+        assert first.splitlines()[:3] == second.splitlines()[:3]
+
+    def test_sweep_resume_requires_checkpoint(self, spec_path, capsys):
+        code = main(["sweep", str(spec_path), "--resume"])
+        assert code == 2
+        assert "checkpoint" in capsys.readouterr().err
+
+    def test_sweep_invalid_spec_rejected(self, tmp_path, capsys):
+        path = tmp_path / "bad.toml"
+        path.write_text('schema = "repro-spec/1"\n[nope]\nx = 1\n')
+        code = main(["sweep", str(path)])
+        assert code == 2
+        assert "invalid spec" in capsys.readouterr().err
+
+    def test_sweep_runtime_table_supplies_defaults(
+        self, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "ckpt"
+        spec = tmp_path / "spec.toml"
+        spec.write_text(
+            self.SPEC + f'\n[runtime]\ncheckpoint_dir = "{ckpt}"\n'
+        )
+        assert main(["sweep", str(spec), "--repetitions", "1"]) == 0
+        capsys.readouterr()
+        code = main([
+            "sweep", str(spec), "--repetitions", "1", "--resume",
+        ])
+        assert code == 0
+        assert "skipped 2" in capsys.readouterr().out
+
+
 class TestExperiment:
     def test_runs_small_experiment(self, capsys):
         code = main(["experiment", "T1", "--scale", "0.1"])

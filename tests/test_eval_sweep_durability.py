@@ -1,0 +1,170 @@
+"""Durability tests for ``repro.eval.sweep``.
+
+The contract under test: sweep *values* are a pure function of
+``(parameters, repetitions, seed)`` — worker counts, crashes, chaos
+injection, interrupts, and checkpoint resumes may change *how* the
+points get computed, never *what* they are.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.eval.sweep import SweepOutcome, run_sweep, sweep
+from repro.resilience import ChaosPlan, RuntimePolicy
+
+PARAMETERS = [1, 2, 3]
+
+
+def metric(parameter, rng):
+    return float(parameter) * 10 + rng.random()
+
+
+def _values(points):
+    return [(p.parameter, p.repetition, p.value) for p in points]
+
+
+class TestBitIdentity:
+    def test_parallel_equals_serial(self):
+        serial = sweep(PARAMETERS, metric, repetitions=2, seed=5)
+        parallel = run_sweep(
+            PARAMETERS, metric, repetitions=2, seed=5, workers=3
+        )
+        assert _values(parallel.points) == _values(serial)
+
+    def test_chaos_does_not_change_values(self):
+        serial = sweep(PARAMETERS, metric, repetitions=2, seed=5)
+        chaotic = run_sweep(
+            PARAMETERS,
+            metric,
+            repetitions=2,
+            seed=5,
+            workers=2,
+            policy=RuntimePolicy(backoff_base=0.01),
+            chaos=ChaosPlan(seed=3, kill_rate=0.4),
+        )
+        assert _values(chaotic.points) == _values(serial)
+        assert chaotic.stats.worker_restarts >= 1
+
+    def test_checkpoint_resume_is_bit_identical(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        serial = sweep(PARAMETERS, metric, repetitions=2, seed=5)
+        first = run_sweep(
+            PARAMETERS, metric, repetitions=2, seed=5, checkpoint=ckpt
+        )
+        assert first.stats.completed == 6
+        second = run_sweep(
+            PARAMETERS,
+            metric,
+            repetitions=2,
+            seed=5,
+            checkpoint=ckpt,
+            resume=True,
+        )
+        assert second.stats.skipped == 6
+        assert second.stats.completed == 0
+        assert _values(second.points) == _values(serial)
+
+    def test_resume_computes_only_the_rest(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        full = run_sweep(
+            PARAMETERS, metric, repetitions=2, seed=5, checkpoint=ckpt
+        )
+        # Drop two records to fake an interrupted run.
+        records = sorted((ckpt / "records").glob("*.json"))
+        assert len(records) == 6
+        for record in records[:2]:
+            record.unlink()
+        resumed = run_sweep(
+            PARAMETERS,
+            metric,
+            repetitions=2,
+            seed=5,
+            checkpoint=ckpt,
+            resume=True,
+        )
+        assert resumed.stats.skipped == 4
+        assert resumed.stats.completed == 2
+        assert _values(resumed.points) == _values(full.points)
+
+
+class TestCheckpointGuards:
+    def test_mismatched_sweep_refused(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        run_sweep(PARAMETERS, metric, repetitions=2, seed=5, checkpoint=ckpt)
+        with pytest.raises(ValidationError, match="fingerprint"):
+            run_sweep(
+                PARAMETERS, metric, repetitions=2, seed=6, checkpoint=ckpt
+            )
+
+    def test_resume_requires_checkpoint(self):
+        with pytest.raises(ValidationError, match="resume"):
+            run_sweep(PARAMETERS, metric, resume=True)
+
+    def test_chaos_requires_pool(self):
+        with pytest.raises(ValidationError, match="workers"):
+            run_sweep(
+                PARAMETERS, metric, chaos=ChaosPlan(seed=1, kill_rate=0.5)
+            )
+
+    def test_unpicklable_measure_fails_fast(self):
+        with pytest.raises(ValidationError, match="picklable"):
+            run_sweep(PARAMETERS, lambda p, rng: 0.0, workers=2)
+
+
+class TestOutcome:
+    def test_outcome_shape(self, tmp_path):
+        outcome = run_sweep(
+            PARAMETERS,
+            metric,
+            repetitions=1,
+            seed=0,
+            checkpoint=tmp_path / "ckpt",
+        )
+        assert isinstance(outcome, SweepOutcome)
+        assert outcome.complete
+        assert outcome.checkpoint_dir == Path(tmp_path / "ckpt")
+        assert len(outcome.points) == 3
+
+    def test_interrupt_returns_partial_and_resumes(self, tmp_path, monkeypatch):
+        # `import repro.eval.sweep` resolves to the `sweep` *function*
+        # re-exported by the package, so reach the module explicitly.
+        import importlib
+
+        sweep_module = importlib.import_module("repro.eval.sweep")
+
+        ckpt = tmp_path / "ckpt"
+        serial = sweep(PARAMETERS, metric, repetitions=2, seed=5)
+
+        real = sweep_module._measure_point
+        calls = {"n": 0}
+
+        def interrupting(args):
+            if calls["n"] == 2:
+                raise KeyboardInterrupt
+            calls["n"] += 1
+            return real(args)
+
+        monkeypatch.setattr(sweep_module, "_measure_point", interrupting)
+        partial = run_sweep(
+            PARAMETERS, metric, repetitions=2, seed=5, checkpoint=ckpt
+        )
+        assert partial.stats.interrupted
+        assert not partial.complete
+        assert partial.stats.completed == 2
+        monkeypatch.setattr(sweep_module, "_measure_point", real)
+
+        resumed = run_sweep(
+            PARAMETERS,
+            metric,
+            repetitions=2,
+            seed=5,
+            checkpoint=ckpt,
+            resume=True,
+        )
+        assert resumed.stats.skipped == 2
+        assert resumed.complete
+        assert _values(resumed.points) == _values(serial)

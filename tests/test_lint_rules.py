@@ -520,6 +520,92 @@ class TestRobustnessRules:
         config = LintConfig(broad_except_allowed=frozenset({"repro.sim"}))
         assert _only(lint_file(path, config), "R501") == []
 
+    def test_r503_raw_writes_in_durable_module(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/io.py",
+            """\
+            import json
+            from pathlib import Path
+
+            def save(path, payload):
+                with open(path, "w") as handle:
+                    json.dump(payload, handle)
+
+            def save_method(path, text):
+                with Path(path).open(mode="wb") as handle:
+                    handle.write(text.encode())
+
+            def save_text(path, text):
+                Path(path).write_text(text)
+            """,
+        )
+        violations = sorted(_only(lint_file(path), "R503"))
+        assert [v.line for v in violations] == [5, 9, 13]
+        assert "crash-safe" in violations[0].message
+
+    def test_r503_reads_appends_and_atomic_writes_pass(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/obs/registry.py",
+            """\
+            from repro.utils.atomic import atomic_write_text
+
+            def load(path):
+                with open(path) as handle:
+                    return handle.read()
+
+            def append_line(path, line):
+                with open(path, "a") as handle:
+                    handle.write(line + "\\n")
+
+            def save(path, text):
+                atomic_write_text(path, text)
+            """,
+        )
+        assert _only(lint_file(path), "R503") == []
+
+    def test_r503_silent_outside_durable_modules(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/sim/scratch.py",
+            """\
+            def save(path, text):
+                with open(path, "w") as handle:
+                    handle.write(text)
+            """,
+        )
+        assert _only(lint_file(path), "R503") == []
+
+    def test_r503_pragma_waives_a_line(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/io.py",
+            """\
+            def save(path, text):
+                with open(path, "w") as handle:  # lint: allow[R503]
+                    handle.write(text)
+            """,
+        )
+        assert _only(lint_file(path), "R503") == []
+
+    def test_r503_custom_module_set(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/sim/durable.py",
+            """\
+            def save(path, text):
+                with open(path, "x") as handle:
+                    handle.write(text)
+            """,
+        )
+        config = LintConfig(
+            durable_write_modules=frozenset({"repro.sim"})
+        )
+        violations = _only(lint_file(path, config), "R503")
+        assert len(violations) == 1
+        assert "'x'" in violations[0].message
+
 
 class TestPerfRules:
     def test_r601_counting_loop_accumulation(self, tmp_path):

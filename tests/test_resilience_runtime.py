@@ -1,0 +1,226 @@
+"""Tests for the durable runtime (``repro.resilience.runtime``).
+
+The supervised-pool tests spawn real worker processes and sabotage
+them for real — SIGKILL, hangs, injected chaos — so they assert both
+sides of the contract: the *results* are exactly what a clean serial
+run produces, and the *stats* ledger records what supervision had to
+do to get them.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.errors import ConfigurationError, ValidationError
+from repro.resilience import (
+    CHAOS_ACTIONS,
+    ChaosPlan,
+    CheckpointStore,
+    QuarantinedTask,
+    RunStats,
+    RuntimePolicy,
+    SupervisedPool,
+)
+
+# -- picklable worker functions (module level for process pools) ------------
+
+
+def square(x):
+    return x * x
+
+
+def flaky(args):
+    """Raise once per value, using a flag file as cross-process memory."""
+    x, flag_dir = args
+    flag = Path(flag_dir) / f"seen-{x}"
+    if x == 3 and not flag.exists():
+        flag.write_text("seen")
+        raise ValueError("transient glitch")
+    return x * x
+
+
+def always_raises(x):
+    raise ValueError(f"hopeless {x}")
+
+
+def killer(x):
+    if x == 2:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x + 100
+
+
+def sleeper(x):
+    if x == 1:
+        time.sleep(60)
+    return x
+
+
+class TestRuntimePolicy:
+    def test_defaults_are_valid(self):
+        policy = RuntimePolicy()
+        assert policy.task_timeout is None
+        assert policy.max_point_retries == 2
+        assert policy.quarantine_after == 3
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            RuntimePolicy(task_timeout=0.0)
+        with pytest.raises(ConfigurationError):
+            RuntimePolicy(max_point_retries=-1)
+        with pytest.raises(ConfigurationError):
+            RuntimePolicy(quarantine_after=0)
+
+    def test_backoff_is_seeded_and_bounded(self):
+        policy = RuntimePolicy(backoff_base=0.05, backoff_cap=0.2)
+        first = policy.backoff_delay(3, 0)
+        assert first == policy.backoff_delay(3, 0)
+        assert first != policy.backoff_delay(3, 1)
+        for attempt in range(8):
+            assert 0 < policy.backoff_delay(3, attempt) <= 0.2
+
+
+class TestChaosPlan:
+    def test_rates_validated(self):
+        with pytest.raises(ConfigurationError):
+            ChaosPlan(kill_rate=0.8, hang_rate=0.3)
+        with pytest.raises(ConfigurationError):
+            ChaosPlan(kill_rate=-0.1)
+        with pytest.raises(ConfigurationError):
+            ChaosPlan(slow_rate=0.1, slow_seconds=-1.0)
+
+    def test_decisions_deterministic(self):
+        plan = ChaosPlan(seed=7, kill_rate=0.5)
+        decisions = [plan.decision(i, 0) for i in range(20)]
+        assert decisions == [plan.decision(i, 0) for i in range(20)]
+        assert any(d == "kill" for d in decisions)
+        assert all(d in CHAOS_ACTIONS or d is None for d in decisions)
+
+    def test_injection_budget_exhausts(self):
+        plan = ChaosPlan(seed=7, kill_rate=1.0, max_injections_per_task=1)
+        assert all(plan.decision(i, 0) == "kill" for i in range(5))
+        assert all(plan.decision(i, 1) is None for i in range(5))
+
+    def test_injects_anything(self):
+        assert not ChaosPlan().injects_anything
+        assert ChaosPlan(slow_rate=0.1).injects_anything
+
+
+class TestCheckpointStore:
+    def test_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt", {"kind": "t", "seed": 0})
+        key = store.key_for(["point", 1])
+        assert not store.has(key)
+        store.store(key, {"value": 1.5})
+        assert store.has(key)
+        assert store.load(key) == {"value": 1.5}
+        assert store.keys() == {key}
+
+    def test_reopen_same_fingerprint(self, tmp_path):
+        root = tmp_path / "ckpt"
+        CheckpointStore(root, {"seed": 0}).store("abc", {"v": 1})
+        again = CheckpointStore(root, {"seed": 0})
+        assert again.load("abc") == {"v": 1}
+
+    def test_mismatched_fingerprint_refused(self, tmp_path):
+        root = tmp_path / "ckpt"
+        CheckpointStore(root, {"seed": 0})
+        with pytest.raises(ValidationError, match="fingerprint"):
+            CheckpointStore(root, {"seed": 1})
+
+    def test_bad_key_refused(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt", {"seed": 0})
+        with pytest.raises(ValidationError):
+            store.store("../escape", {"v": 1})
+
+    def test_corrupt_manifest_refused(self, tmp_path):
+        root = tmp_path / "ckpt"
+        store = CheckpointStore(root, {"seed": 0})
+        store.manifest_path.write_text("{}")
+        with pytest.raises(ValidationError):
+            CheckpointStore(root, {"seed": 0})
+
+    def test_key_is_content_addressed(self):
+        assert CheckpointStore.key_for(["a", 1]) == obs.content_id(["a", 1])
+
+
+class TestSupervisedPool:
+    def test_plain_success(self):
+        results, stats = SupervisedPool(3).run(square, list(range(6)))
+        assert results == {i: i * i for i in range(6)}
+        assert stats.completed == 6
+        assert not stats.quarantined
+        assert not stats.interrupted
+
+    def test_soft_failure_retried(self, tmp_path):
+        tasks = [(i, str(tmp_path)) for i in range(6)]
+        pool = SupervisedPool(3, RuntimePolicy(backoff_base=0.01))
+        results, stats = pool.run(flaky, tasks)
+        assert results == {i: i * i for i in range(6)}
+        assert stats.retries >= 1
+
+    def test_hopeless_task_quarantined(self):
+        pool = SupervisedPool(
+            2, RuntimePolicy(backoff_base=0.01, max_point_retries=1)
+        )
+        results, stats = pool.run(always_raises, [0, 1])
+        assert results == {}
+        assert {q.position for q in stats.quarantined} == {0, 1}
+        assert all(q.errors == 2 for q in stats.quarantined)
+
+    def test_sigkilled_worker_recovers_and_quarantines(self):
+        pool = SupervisedPool(
+            3, RuntimePolicy(backoff_base=0.01, quarantine_after=2)
+        )
+        results, stats = pool.run(killer, list(range(5)))
+        assert set(results) == {0, 1, 3, 4}
+        assert all(results[i] == i + 100 for i in results)
+        assert stats.worker_restarts >= 1
+        assert [q.position for q in stats.quarantined] == [2]
+        assert stats.quarantined[0].crashes >= 2
+
+    def test_hung_worker_times_out(self):
+        pool = SupervisedPool(
+            2,
+            RuntimePolicy(
+                task_timeout=1.0, backoff_base=0.01, quarantine_after=2
+            ),
+        )
+        results, stats = pool.run(sleeper, list(range(4)))
+        assert set(results) == {0, 2, 3}
+        assert stats.timeouts >= 2
+        assert [q.position for q in stats.quarantined] == [1]
+
+    def test_chaos_kills_do_not_change_results(self):
+        plan = ChaosPlan(seed=7, kill_rate=0.5)
+        pool = SupervisedPool(
+            3, RuntimePolicy(backoff_base=0.01), chaos=plan
+        )
+        results, stats = pool.run(square, list(range(8)))
+        assert results == {i: i * i for i in range(8)}
+        assert stats.worker_restarts >= 1
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ConfigurationError):
+            SupervisedPool(0)
+
+
+class TestStatsShapes:
+    def test_run_stats_to_dict_round_trips_quarantine(self):
+        stats = RunStats(
+            completed=2,
+            quarantined=[
+                QuarantinedTask(
+                    position=3, reason="task timeout", crashes=2, errors=0
+                )
+            ],
+        )
+        payload = stats.to_dict()
+        assert payload["completed"] == 2
+        assert payload["quarantined"][0]["position"] == 3
+        assert stats.failed == 1

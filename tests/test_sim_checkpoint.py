@@ -1,0 +1,141 @@
+"""Checkpoint/resume tests for the round-based simulation engine.
+
+The engine's durability contract: a run assembled from any sequence of
+interrupts and resumes produces round metrics bit-identical to one
+uninterrupted run (wall-clock timings excepted), and a checkpoint
+directory written by a different configuration is refused outright.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.datagen import SyntheticConfig, generate_market
+from repro.errors import ValidationError
+from repro.sim.engine import Simulation
+from repro.sim.scenario import Scenario
+
+
+@pytest.fixture(scope="module")
+def market():
+    return generate_market(SyntheticConfig(n_workers=12, n_tasks=8), seed=1)
+
+
+def _comparable(rounds):
+    """Round metrics minus the only field allowed to vary: wall time."""
+    out = []
+    for r in rounds:
+        d = dict(r.__dict__)
+        d.pop("solver_wall_time", None)
+        out.append(d)
+    return out
+
+
+def _assert_rounds_equal(a, b):
+    assert len(a) == len(b)
+    for x, y in zip(_comparable(a), _comparable(b)):
+        assert x.keys() == y.keys()
+        for key in x:
+            vx, vy = x[key], y[key]
+            if isinstance(vx, float) and math.isnan(vx):
+                assert math.isnan(vy), key
+            else:
+                assert vx == vy, (key, vx, vy)
+
+
+class TestResumeBitIdentity:
+    def test_resume_extends_horizon_identically(self, market, tmp_path):
+        straight = Simulation(
+            Scenario(market=market, solver_name="greedy", n_rounds=6)
+        ).run(seed=42)
+
+        ckpt = tmp_path / "ckpt"
+        Simulation(
+            Scenario(market=market, solver_name="greedy", n_rounds=3)
+        ).run(seed=42, checkpoint=ckpt)
+        resumed = Simulation(
+            Scenario(market=market, solver_name="greedy", n_rounds=6)
+        ).run(seed=42, checkpoint=ckpt, resume=True)
+
+        _assert_rounds_equal(straight.rounds, resumed.rounds)
+
+    def test_resume_into_shorter_horizon_clips(self, market, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        full = Simulation(
+            Scenario(market=market, solver_name="greedy", n_rounds=5)
+        ).run(seed=42, checkpoint=ckpt)
+        clipped = Simulation(
+            Scenario(market=market, solver_name="greedy", n_rounds=2)
+        ).run(seed=42, checkpoint=ckpt, resume=True)
+        assert len(clipped.rounds) == 2
+        _assert_rounds_equal(full.rounds[:2], clipped.rounds)
+
+    def test_resume_without_snapshot_starts_fresh(self, market, tmp_path):
+        # Resuming against a directory with no snapshot yet (the run
+        # died before round 1 finished) is a fresh start, not an error.
+        scenario = Scenario(market=market, solver_name="greedy", n_rounds=3)
+        straight = Simulation(scenario).run(seed=42)
+        resumed = Simulation(scenario).run(
+            seed=42, checkpoint=tmp_path / "empty", resume=True
+        )
+        _assert_rounds_equal(straight.rounds, resumed.rounds)
+
+    def test_interrupt_flushes_state_and_resumes(self, market, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        scenario = Scenario(market=market, solver_name="greedy", n_rounds=6)
+        straight = Simulation(scenario).run(seed=42)
+
+        sim = Simulation(scenario)
+        real = sim._solve_round
+        calls = {"n": 0}
+
+        def interrupting(*args, **kwargs):
+            if calls["n"] == 3:
+                raise KeyboardInterrupt
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        sim._solve_round = interrupting
+        # checkpoint_every far beyond the horizon: only the interrupt
+        # flush (and the final-round write) can persist state.
+        with pytest.raises(KeyboardInterrupt):
+            sim.run(seed=42, checkpoint=ckpt, checkpoint_every=100)
+        assert (ckpt / "state.pkl").exists()
+
+        resumed = Simulation(scenario).run(
+            seed=42, checkpoint=ckpt, resume=True
+        )
+        _assert_rounds_equal(straight.rounds, resumed.rounds)
+
+
+class TestCheckpointGuards:
+    def test_different_seed_refused(self, market, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        scenario = Scenario(market=market, solver_name="greedy", n_rounds=3)
+        Simulation(scenario).run(seed=42, checkpoint=ckpt)
+        with pytest.raises(ValidationError, match="fingerprint"):
+            Simulation(scenario).run(seed=43, checkpoint=ckpt)
+
+    def test_different_solver_refused(self, market, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        Simulation(
+            Scenario(market=market, solver_name="greedy", n_rounds=3)
+        ).run(seed=42, checkpoint=ckpt)
+        with pytest.raises(ValidationError, match="fingerprint"):
+            Simulation(
+                Scenario(market=market, solver_name="flow", n_rounds=3)
+            ).run(seed=42, checkpoint=ckpt)
+
+    def test_resume_requires_checkpoint(self, market):
+        scenario = Scenario(market=market, solver_name="greedy", n_rounds=2)
+        with pytest.raises(ValidationError, match="resume"):
+            Simulation(scenario).run(seed=42, resume=True)
+
+    def test_checkpoint_every_validated(self, market, tmp_path):
+        scenario = Scenario(market=market, solver_name="greedy", n_rounds=2)
+        with pytest.raises(ValidationError, match="checkpoint_every"):
+            Simulation(scenario).run(
+                seed=42, checkpoint=tmp_path / "c", checkpoint_every=0
+            )

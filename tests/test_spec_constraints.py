@@ -193,6 +193,27 @@ class TestC207NoDoubleResilience:
         assert "C207" not in codes(result)
 
 
+class TestC208ResumeNeedsCheckpointDir:
+    def test_fires_on_resume_without_checkpoint_dir(self, view):
+        result = check_spec(
+            payload(runtime={"resume": True}), view=view
+        )
+        assert "C208" in codes(result)
+
+    def test_silent_with_checkpoint_dir(self, view):
+        result = check_spec(
+            payload(
+                runtime={"resume": True, "checkpoint_dir": "ckpt/run1"}
+            ),
+            view=view,
+        )
+        assert "C208" not in codes(result)
+
+    def test_silent_without_resume(self, view):
+        result = check_spec(payload(), view=view)
+        assert "C208" not in codes(result)
+
+
 class TestWarnings:
     def test_w301_nonlinear_combiner_with_edge_solver(self, view):
         result = check_spec(

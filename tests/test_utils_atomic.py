@@ -1,0 +1,63 @@
+"""Tests for the crash-safe write helpers (``repro.utils.atomic``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.io import atomic_write_json
+from repro.utils.atomic import atomic_write_bytes, atomic_write_text
+
+
+class TestAtomicWrites:
+    def test_bytes_round_trip(self, tmp_path):
+        target = tmp_path / "artifact.bin"
+        returned = atomic_write_bytes(target, b"\x00payload\xff")
+        assert returned == target
+        assert target.read_bytes() == b"\x00payload\xff"
+
+    def test_text_round_trip(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        atomic_write_text(target, "héllo\n")
+        assert target.read_text(encoding="utf-8") == "héllo\n"
+
+    def test_creates_missing_parents(self, tmp_path):
+        target = tmp_path / "a" / "b" / "artifact.txt"
+        atomic_write_text(target, "deep")
+        assert target.read_text() == "deep"
+
+    def test_replaces_existing_contents(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        atomic_write_text(target, "old " * 100)
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_leaves_no_temp_files(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        for _ in range(3):
+            atomic_write_text(target, "x")
+        assert [p.name for p in tmp_path.iterdir()] == ["artifact.txt"]
+
+    def test_failed_write_preserves_destination(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        atomic_write_text(target, "precious")
+        with pytest.raises(TypeError):
+            atomic_write_bytes(target, "not bytes")  # type: ignore[arg-type]
+        assert target.read_text() == "precious"
+        assert [p.name for p in tmp_path.iterdir()] == ["artifact.txt"]
+
+
+class TestAtomicJson:
+    def test_writes_strict_json_with_trailing_newline(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        atomic_write_json(target, {"b": 1, "a": [1.5, None]}, sort_keys=True)
+        text = target.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == {"a": [1.5, None], "b": 1}
+        assert text.index('"a"') < text.index('"b"')
+
+    def test_rejects_nan(self, tmp_path):
+        with pytest.raises(ValueError):
+            atomic_write_json(tmp_path / "bad.json", {"x": float("nan")})
+        assert not (tmp_path / "bad.json").exists()
