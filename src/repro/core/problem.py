@@ -51,6 +51,32 @@ class MBAProblem:
             worker_model=worker_model,
         )
         self._active = np.array([w.active for w in market.workers], dtype=bool)
+        self._candidate_masks: dict[int, np.ndarray] = {}
+        # Memo slot for repro.core.solvers.state.problem_fingerprint:
+        # the benefit matrices are immutable for the problem's
+        # lifetime, so its content hash is too.
+        self._fingerprint: bytes | None = None
+
+    # -- candidate pruning ----------------------------------------------
+
+    def top_k_candidates(self, k: int) -> np.ndarray:
+        """Memoized top-``k`` candidate-edge mask (row ∪ column union).
+
+        The benefit matrices are immutable for the lifetime of a
+        problem, so the pruning mask is a pure function of ``k`` — but
+        the pruned solver and the sharded solver's boundary-refinement
+        pass both need it, and recomputing the double ``argpartition``
+        per call dominates their runtime at scale.  Cached per ``k``;
+        callers must treat the returned mask as read-only.
+        """
+        mask = self._candidate_masks.get(k)
+        if mask is None:
+            from repro.core.solvers.pruned import top_k_edge_mask
+
+            mask = top_k_edge_mask(self.benefits.combined, k)
+            mask.setflags(write=False)
+            self._candidate_masks[k] = mask
+        return mask
 
     # -- capacities ------------------------------------------------------
 

@@ -23,6 +23,12 @@ Registered names (use :func:`get_solver`):
 ``resilient``             deadline/retry/fallback wrapper around any other
                           solver (lazily loaded from
                           :mod:`repro.resilience`)
+``sharded``               partition-by-category solve (optionally on a
+                          supervised process pool) with cross-shard
+                          refinement and a provable objective-gap report
+``warm``                  warm-start wrapper: fingerprint replay, dual-state
+                          delta-solves (auction prices / Hungarian
+                          potentials), cold fallback
 ``quality-only``          baseline: requester side only (λ=1)
 ``worker-only``           baseline: worker side only (λ=0)
 ``random``                baseline: random feasible positive edges
@@ -57,7 +63,21 @@ from repro.core.solvers.incremental import IncrementalFlowSolver
 from repro.core.solvers.local_search import LocalSearchSolver
 from repro.core.solvers.online import OnlineGreedySolver, OnlineTwoPhaseSolver
 from repro.core.solvers.pruned import PrunedGreedySolver
+from repro.core.solvers.sharded import (
+    Shard,
+    ShardPlan,
+    ShardReport,
+    ShardedSolver,
+    plan_shards,
+)
 from repro.core.solvers.stable import StableMatchingSolver
+from repro.core.solvers.state import (
+    WarmState,
+    edge_ids,
+    problem_fingerprint,
+    retention_overlap,
+)
+from repro.core.solvers.warm import WarmStartSolver
 
 __all__ = [
     "AuctionSolver",
@@ -76,9 +96,19 @@ __all__ = [
     "RandomSolver",
     "RoundRobinSolver",
     "SOLVER_REGISTRY",
+    "Shard",
+    "ShardPlan",
+    "ShardReport",
+    "ShardedSolver",
     "Solver",
     "StableMatchingSolver",
+    "WarmState",
+    "WarmStartSolver",
     "WorkerOnlySolver",
+    "edge_ids",
+    "plan_shards",
+    "problem_fingerprint",
+    "retention_overlap",
     "accepted_solver_kwargs",
     "get_solver",
     "list_solvers",

@@ -61,6 +61,23 @@ class AuctionSolver(Solver):
         self.mode = mode
 
     def solve(self, problem: MBAProblem, seed: SeedLike = None) -> Assignment:
+        assignment, _prices = self.solve_with_prices(problem)
+        return assignment
+
+    def solve_with_prices(
+        self,
+        problem: MBAProblem,
+        start_task_prices: np.ndarray | None = None,
+    ) -> tuple[Assignment, np.ndarray]:
+        """Solve and expose per-task auction prices for warm starts.
+
+        ``start_task_prices`` is a length-``n_tasks`` vector broadcast
+        to every slot copy of a task on entry; the returned vector is
+        the per-task *maximum* over its slot copies' final prices (the
+        binding one).  Any finite starting prices are correct — see
+        :func:`repro.matching.auction.auction_assignment` — so callers
+        may feed prices recorded under a previous market snapshot.
+        """
         caps_w = problem.worker_capacities()
         caps_t = problem.task_capacities()
 
@@ -71,13 +88,13 @@ class AuctionSolver(Solver):
             np.arange(problem.n_tasks), caps_t.astype(int)
         ).tolist()
         if not bidders or not slots:
-            return self._finish(problem, [])
+            return self._finish(problem, []), np.zeros(problem.n_tasks)
 
         clipped = np.maximum(problem.benefits.combined, 0.0)
         values = clipped[np.ix_(bidders, slots)].astype(float)
         # Clipped values are >= 0, so "no positive edge" is max <= 0.
         if float(values.max()) <= 0.0:
-            return self._finish(problem, [])
+            return self._finish(problem, []), np.zeros(problem.n_tasks)
 
         # Auction needs n_rows <= n_cols; pad with zero-value dummy
         # slots (meaning "stay unassigned") when bidders outnumber
@@ -88,13 +105,23 @@ class AuctionSolver(Solver):
             padded[:, :n_s] = values
             values = padded
 
+        start_prices = None
+        if start_task_prices is not None:
+            per_slot = np.asarray(start_task_prices, dtype=float)[
+                np.asarray(slots, dtype=int)
+            ]
+            start_prices = np.zeros(values.shape[1])
+            start_prices[:n_s] = per_slot
+
         try:
-            assignment, _total = auction_assignment(
+            assignment, _total, slot_prices = auction_assignment(
                 values,
                 epsilon_start=self.epsilon_start,
                 scaling=self.scaling,
                 max_rounds=self.max_rounds,
                 mode=self.mode,
+                start_prices=start_prices,
+                return_state=True,
             )
         except ConvergenceError as error:
             # Translate the matching-level partial (bidder copy ->
@@ -111,7 +138,11 @@ class AuctionSolver(Solver):
         edges = self._collect_edges(
             problem, pairs, bidders, slots, values, n_s
         )
-        return self._finish(problem, edges)
+        task_prices = np.zeros(problem.n_tasks)
+        np.maximum.at(
+            task_prices, np.asarray(slots, dtype=int), slot_prices[:n_s]
+        )
+        return self._finish(problem, edges), task_prices
 
     @staticmethod
     def _collect_edges(

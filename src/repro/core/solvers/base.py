@@ -131,10 +131,22 @@ class Solver(abc.ABC):
     """Produces an :class:`Assignment` for an :class:`MBAProblem`.
 
     Solvers must be stateless across calls (construct-once, solve-many)
-    and deterministic given the same ``seed``.
+    and deterministic given the same ``seed``.  Two sanctioned
+    exceptions carry *explicit* state: history observed through
+    :meth:`observe_round`, and warm-start state declared via
+    ``carries_warm_state`` — in both cases determinism holds given the
+    same history/state, and the state must live on the solver object so
+    it rides simulation checkpoints (the engine pickles the solver).
     """
 
     name: str = "unnamed"
+
+    #: True for solvers that thread cross-round warm-start state
+    #: (auction prices, Hungarian potentials, replayable edge sets).
+    #: Such solvers MUST accept a ``warm_state`` keyword in
+    #: ``__init__`` so the state is injectable/inspectable through the
+    #: registered constructor signature — enforced by lint rule R204.
+    carries_warm_state: bool = False
 
     @abc.abstractmethod
     def solve(self, problem: MBAProblem, seed: SeedLike = None) -> Assignment:

@@ -22,34 +22,22 @@ from __future__ import annotations
 from repro.core.assignment import Assignment
 from repro.core.problem import MBAProblem
 from repro.core.solvers.base import Solver, register_solver
+from repro.core.solvers.state import (
+    edge_ids,
+    index_maps,
+    retention_overlap,
+)
 from repro.matching.b_matching import max_weight_b_matching
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_nonnegative
 
-
-def edge_ids(problem: MBAProblem, assignment: Assignment) -> set[tuple[int, int]]:
-    """(worker_id, task_id) pairs of an assignment, for cross-round reuse."""
-    market = assignment.problem.market
-    return {
-        (market.workers[i].worker_id, market.tasks[j].task_id)
-        for i, j in assignment.edges
-    }
-
-
-def retention_overlap(
-    previous_ids: set[tuple[int, int]],
-    problem: MBAProblem,
-    assignment: Assignment,
-) -> float:
-    """Fraction of the previous edges retained in the new assignment."""
-    if not previous_ids:
-        return 1.0
-    market = problem.market
-    current = {
-        (market.workers[i].worker_id, market.tasks[j].task_id)
-        for i, j in assignment.edges
-    }
-    return len(previous_ids & current) / len(previous_ids)
+__all__ = [
+    "IncrementalFlowSolver",
+    # Historical home of these helpers; canonical versions now live in
+    # repro.core.solvers.state and are re-exported for compatibility.
+    "edge_ids",
+    "retention_overlap",
+]
 
 
 @register_solver("incremental-flow")
@@ -82,10 +70,7 @@ class IncrementalFlowSolver(Solver):
         market = problem.market
         biased = problem.benefits.combined.copy()
         if self.previous_edge_ids and self.stability_bonus > 0:
-            worker_index = {
-                w.worker_id: i for i, w in enumerate(market.workers)
-            }
-            task_index = {t.task_id: j for j, t in enumerate(market.tasks)}
+            worker_index, task_index = index_maps(market)
             for worker_id, task_id in self.previous_edge_ids:
                 i = worker_index.get(worker_id)
                 j = task_index.get(task_id)

@@ -71,7 +71,14 @@ class PrunedGreedySolver(Solver):
 
     def solve(self, problem: MBAProblem, seed: SeedLike = None) -> Assignment:
         combined = problem.benefits.combined
-        mask = top_k_edge_mask(combined, self.k)
+        # Memoized on the problem so repeated solves (and the sharded
+        # solver's boundary refinement) share one pruning pass; duck
+        # problems without the cache fall back to a direct computation.
+        top_k = getattr(problem, "top_k_candidates", None)
+        if top_k is not None:
+            mask = top_k(self.k)
+        else:
+            mask = top_k_edge_mask(combined, self.k)
         caps_w = problem.worker_capacities().copy()
         caps_t = problem.task_capacities().copy()
         rows, cols = np.nonzero(mask & (combined > 0))

@@ -1,0 +1,239 @@
+"""Warm-started solving: replay, delta-solve, or fall back to cold.
+
+Round-over-round markets change slowly — most workers and tasks
+persist — yet the baseline loop re-solves every round from scratch.
+:class:`WarmStartSolver` wraps any supported base solver with a
+three-tier strategy driven by a :class:`~repro.core.solvers.state.WarmState`:
+
+1. **Replay** (exact): when the new round's
+   :func:`~repro.core.solvers.state.problem_fingerprint` equals the
+   recorded one, the previous *planned* edges are, by determinism of
+   the base solver, exactly what a cold solve would produce — return
+   them without solving.  This is the bit-identity guarantee the perf
+   harness and property tests pin.
+2. **Warm delta-solve** (approximate mode only, ``exact=False``): when
+   membership churn since the last record stays at or below
+   ``churn_threshold``, dual state is re-keyed by entity id and fed to
+   the kernel — auction object prices
+   (:meth:`AuctionSolver.solve_with_prices`) or Hungarian potentials
+   (:func:`repro.matching.hungarian.max_weight_assignment`).  Both
+   kernels are *correct for any finite start state* (see their
+   docstrings), so staleness costs bidding rounds / scan steps, never
+   the objective — only tie-breaks may differ from a cold solve, which
+   is why this tier is gated behind ``exact=False``.
+3. **Cold solve**: anything else — and the fresh solution plus its
+   duals become the next round's warm state.
+
+The state lives on the solver object, so it rides simulation
+checkpoints through the engine's solver pickling; a resumed run
+replays/warm-solves exactly as the uninterrupted one would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import obs
+from repro.core.assignment import Assignment
+from repro.core.problem import MBAProblem
+from repro.core.solvers.auction_solver import AuctionSolver
+from repro.core.solvers.base import Solver, get_solver, register_solver
+from repro.core.solvers.state import WarmState, problem_fingerprint
+from repro.errors import ValidationError
+from repro.matching.hungarian import max_weight_assignment
+from repro.utils.rng import SeedLike
+
+#: Bases the warm wrapper may delegate to.  All are deterministic and
+#: seed-ignoring, which is what makes the replay tier *exact*.
+SUPPORTED_BASES: tuple[str, ...] = (
+    "auction",
+    "flow",
+    "greedy",
+    "hungarian",
+    "local-search",
+    "pruned-greedy",
+    "sharded",
+)
+
+#: Bases with a dual-state delta-solve path (tier 2).
+WARM_KERNEL_BASES: tuple[str, ...] = ("auction", "hungarian")
+
+
+@register_solver("warm")
+class WarmStartSolver(Solver):
+    """Replay / delta-solve / cold-solve wrapper around a base solver.
+
+    Parameters
+    ----------
+    base:
+        One of :data:`SUPPORTED_BASES`.  ``"hungarian"`` is implemented
+        internally (capacity expansion + potential-warmed Kuhn–Munkres
+        with the auction solver's dedup/refill repair) — it is not a
+        standalone registry entry.
+    base_kwargs:
+        Constructor kwargs for the base solver.
+    churn_threshold:
+        Maximum membership-churn fraction for the delta-solve tier.
+    exact:
+        ``True`` restricts reuse to the provably bit-identical replay
+        tier; ``False`` additionally enables dual-state delta-solving
+        for the kernels in :data:`WARM_KERNEL_BASES`.
+    warm_state:
+        Injectable state (e.g. restored from a checkpoint); a fresh
+        empty :class:`WarmState` when omitted.
+    """
+
+    carries_warm_state = True
+
+    def __init__(
+        self,
+        base: str = "auction",
+        base_kwargs: dict | None = None,
+        churn_threshold: float = 0.25,
+        exact: bool = True,
+        warm_state: WarmState | None = None,
+    ) -> None:
+        if base not in SUPPORTED_BASES:
+            raise ValidationError(
+                f"warm base must be one of {SUPPORTED_BASES}, got {base!r}"
+            )
+        self.base = base
+        self.base_kwargs = dict(base_kwargs or {})
+        if not 0.0 <= churn_threshold <= 1.0:
+            raise ValidationError(
+                f"churn_threshold must lie in [0, 1], got {churn_threshold}"
+            )
+        self.churn_threshold = churn_threshold
+        self.exact = exact
+        self.warm_state = warm_state if warm_state is not None else WarmState()
+        self.last_warm_outcome: str | None = None
+        self.last_report = None
+
+    # -- solving ---------------------------------------------------------
+
+    def solve(self, problem: MBAProblem, seed: SeedLike = None) -> Assignment:
+        state = self.warm_state
+        fingerprint = problem_fingerprint(problem)
+
+        if state.fingerprint == fingerprint and state.edges is not None:
+            state.replays += 1
+            self.last_warm_outcome = "replay"
+            obs.count("solver.warm.replays")
+            return self._finish(problem, list(state.edges))
+
+        churn = state.churn_fraction(problem.market)
+        use_warm_kernel = (
+            not self.exact
+            and self.base in WARM_KERNEL_BASES
+            and churn <= self.churn_threshold
+        )
+        if self.base == "auction":
+            start = state.price_vector(problem.market) if use_warm_kernel else None
+            assignment, prices = AuctionSolver(
+                **self.base_kwargs
+            ).solve_with_prices(problem, start_task_prices=start)
+            edges = list(assignment.edges)
+            state.task_prices = {
+                task.task_id: float(prices[j])
+                for j, task in enumerate(problem.market.tasks)
+            }
+        elif self.base == "hungarian":
+            start = (
+                state.potential_vectors(problem.market)
+                if use_warm_kernel
+                else None
+            )
+            edges, duals = _hungarian_solve(problem, start)
+            u, v = duals
+            state.worker_potentials = {
+                worker.worker_id: float(u[i])
+                for i, worker in enumerate(problem.market.workers)
+            }
+            state.task_potentials = {
+                task.task_id: float(v[j])
+                for j, task in enumerate(problem.market.tasks)
+            }
+        else:
+            use_warm_kernel = False
+            base_solver = get_solver(self.base, **self.base_kwargs)
+            edges = list(base_solver.solve(problem, seed).edges)
+            self.last_report = getattr(base_solver, "last_report", None)
+
+        assignment = self._finish(problem, edges)
+        state.record(problem, fingerprint, assignment)
+        if use_warm_kernel:
+            state.warm_solves += 1
+            self.last_warm_outcome = "warm"
+            obs.count("solver.warm.warm_solves")
+        else:
+            state.cold_solves += 1
+            self.last_warm_outcome = "cold"
+            obs.count("solver.warm.cold_solves")
+        return assignment
+
+
+def _hungarian_solve(
+    problem: MBAProblem,
+    start_potentials: tuple[np.ndarray, np.ndarray] | None,
+) -> tuple[list[tuple[int, int]], tuple[np.ndarray, np.ndarray]]:
+    """Capacity-expanded Hungarian solve with entity-keyed potentials.
+
+    Mirrors the auction solver's expansion: worker copies per unit of
+    capacity, task slot copies per unit of replication.  Copy-level
+    potentials are broadcast from (and afterwards reduced back to, via
+    the first copy of each entity) entity-level vectors, so they re-key
+    cleanly across membership churn.  The dedup/refill repair is shared
+    with :class:`~repro.core.solvers.auction_solver.AuctionSolver`.
+    """
+    caps_w = problem.worker_capacities()
+    caps_t = problem.task_capacities()
+    n_workers, n_tasks = problem.n_workers, problem.n_tasks
+    bidders = np.repeat(np.arange(n_workers), caps_w.astype(int))
+    slots = np.repeat(np.arange(n_tasks), caps_t.astype(int))
+    if bidders.size == 0 or slots.size == 0:
+        return [], (np.zeros(n_workers), np.zeros(n_tasks))
+
+    clipped = np.maximum(problem.benefits.combined, 0.0)
+    values = clipped[np.ix_(bidders, slots)].astype(float)
+    if float(values.max()) <= 0.0:
+        return [], (np.zeros(n_workers), np.zeros(n_tasks))
+
+    copy_potentials = None
+    if start_potentials is not None:
+        entity_u, entity_v = start_potentials
+        copy_potentials = (
+            np.asarray(entity_u, dtype=float)[bidders],
+            np.asarray(entity_v, dtype=float)[slots],
+        )
+    assignment, _total, (copy_u, copy_v) = max_weight_assignment(
+        values, start_potentials=copy_potentials, return_state=True
+    )
+
+    pairs = [
+        (bidder_position, slot_position)
+        for bidder_position, slot_position in enumerate(assignment)
+        if slot_position >= 0
+    ]
+    edges = AuctionSolver._collect_edges(
+        problem,
+        pairs,
+        bidders.tolist(),
+        slots.tolist(),
+        values,
+        int(slots.size),
+    )
+
+    # First copy of each entity carries its representative potential;
+    # ``np.repeat(arange, caps)`` is sorted, so first-copy positions
+    # are the exclusive prefix sums of the capacities.
+    int_caps_w = caps_w.astype(np.int64)
+    int_caps_t = caps_t.astype(np.int64)
+    offsets_w = np.concatenate(([0], np.cumsum(int_caps_w)[:-1]))
+    offsets_t = np.concatenate(([0], np.cumsum(int_caps_t)[:-1]))
+    # Zero-capacity entities point past the end; clip (they are masked
+    # out by the ``where`` anyway, but both branches are evaluated).
+    offsets_w = np.minimum(offsets_w, bidders.size - 1)
+    offsets_t = np.minimum(offsets_t, slots.size - 1)
+    u = np.where(int_caps_w > 0, copy_u[offsets_w], 0.0)
+    v = np.where(int_caps_t > 0, copy_v[offsets_t], 0.0)
+    return edges, (u, v)

@@ -8,6 +8,13 @@ from the sweep seed, so values never depend on which process — or
 which *run* — computed them).  With ``workers > 1`` the points execute
 under :class:`repro.resilience.runtime.SupervisedPool`, which survives
 worker crashes, hangs, and Ctrl-C; see ``docs/resilience.md``.
+
+Pools never nest: a sweep worker that runs the sharded solver with
+``parallel_workers`` set gets the serial in-process path, because
+:class:`repro.core.solvers.sharded.ShardedSolver` detects it is
+already inside a child process (``multiprocessing.parent_process()``)
+and declines to spawn a second pool.  Shard parallelism is for
+top-level solves; point parallelism belongs to the sweep.
 """
 
 from __future__ import annotations

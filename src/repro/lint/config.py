@@ -72,9 +72,11 @@ DEFAULT_DURABLE_WRITE_MODULES: frozenset[str] = frozenset(
 #: Packages whose inner loops are performance-critical: R601 flags
 #: scalar Python accumulation over array subscripts there, because the
 #: same reduction written as a numpy gather is orders of magnitude
-#: faster and these modules sit inside every solver call.
+#: faster and these modules sit inside every solver call.  The perf
+#: harness is included because its reference reductions time the shard
+#: suites at n=10k, where a scalar loop would dominate the measurement.
 DEFAULT_PERF_HOT_MODULES: frozenset[str] = frozenset(
-    {"repro.matching", "repro.core.solvers", "repro.obs"}
+    {"repro.matching", "repro.core.solvers", "repro.obs", "repro.perf"}
 )
 
 #: Module prefixes inside the hot set where scalar loops are the

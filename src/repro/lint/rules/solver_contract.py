@@ -11,7 +11,12 @@ compared head-to-head in the evaluation tables, so the contract in
 * **R203** — ``solve``/helpers must not mutate the shared problem:
   writes to ``problem.*`` attributes, in-place numpy ops on benefit
   matrices reached through ``problem``, or mutating method calls on
-  such views corrupt every solver run after the first.
+  such views corrupt every solver run after the first;
+* **R204** — a solver that carries warm-start state (sets
+  ``carries_warm_state = True`` or reads ``self.warm_state``) must
+  declare a ``warm_state`` keyword in ``__init__``: hidden state that
+  cannot be injected through the registered constructor signature
+  breaks checkpoint restoration and the spec layer's kwargs checking.
 
 R203 does alias tracking: ``combined = problem.benefits.combined``
 makes ``combined`` a *view*, so ``combined *= mask`` is a write to the
@@ -271,3 +276,75 @@ class SolverMustNotMutateProblem(Rule):
         return isinstance(node, ast.Name) and (
             node.id in roots or node.id in aliases
         )
+
+
+@register_rule
+class WarmStateMustBeDeclared(Rule):
+    id = "R204"
+    family = "solver-contract"
+    summary = "warm-state solvers must accept warm_state in __init__"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not _applies(ctx):
+            return
+        for node in _solver_classes(ctx):
+            if _is_abstract(node):
+                continue
+            if not self._carries_warm_state(node):
+                continue
+            init = next(
+                (
+                    item
+                    for item in node.body
+                    if isinstance(item, ast.FunctionDef)
+                    and item.name == "__init__"
+                ),
+                None,
+            )
+            if init is None or not self._declares_warm_state(init):
+                yield ctx.violation(
+                    node,
+                    self.id,
+                    f"solver class {node.name} carries warm-start state "
+                    "but its __init__ declares no `warm_state` keyword — "
+                    "state that cannot be injected through the "
+                    "registered signature breaks checkpoint restoration "
+                    "and spec-level kwargs checking",
+                )
+
+    @staticmethod
+    def _carries_warm_state(node: ast.ClassDef) -> bool:
+        """``carries_warm_state = True`` in the body, or any method
+        reading/writing ``self.warm_state``."""
+        for item in node.body:
+            targets: list[ast.expr] = []
+            if isinstance(item, ast.Assign):
+                targets = item.targets
+            elif isinstance(item, ast.AnnAssign) and item.target is not None:
+                targets = [item.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "carries_warm_state"
+                    and isinstance(getattr(item, "value", None), ast.Constant)
+                    and item.value.value is True
+                ):
+                    return True
+        for item in ast.walk(node):
+            if (
+                isinstance(item, ast.Attribute)
+                and item.attr == "warm_state"
+                and isinstance(item.value, ast.Name)
+                and item.value.id == "self"
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _declares_warm_state(init: ast.FunctionDef) -> bool:
+        args = init.args
+        names = {
+            a.arg
+            for a in args.posonlyargs + args.args + args.kwonlyargs
+        }
+        return "warm_state" in names

@@ -59,7 +59,9 @@ def auction_assignment(
     scaling: float = 4.0,
     max_rounds: int = 10_000_000,
     mode: str = "gauss-seidel",
-) -> tuple[list[int], float]:
+    start_prices: np.ndarray | None = None,
+    return_state: bool = False,
+) -> tuple[list[int], float] | tuple[list[int], float, np.ndarray]:
     """Maximum-weight perfect assignment via ε-scaling auction.
 
     Parameters
@@ -77,11 +79,21 @@ def auction_assignment(
     mode:
         ``"gauss-seidel"`` for the sequential reference loop,
         ``"jacobi"`` for vectorized batched bidding.
+    start_prices:
+        Optional length-``m`` initial object prices (a warm start from
+        a previous, similar instance).  Any finite vector is *correct*
+        — each ε-phase rebuilds the assignment from scratch and ends in
+        ε-complementary slackness regardless of where prices began — so
+        staleness costs only extra bidding rounds, never optimality.
+    return_state:
+        When true, additionally return the final price vector so
+        callers can warm-start the next round.
 
     Returns
     -------
     (assignment, total) as in :func:`repro.matching.hungarian.hungarian`
-    but maximizing.
+    but maximizing; with ``return_state`` a third element carries the
+    final length-``m`` prices.
     """
     weights = np.asarray(weights, dtype=float)
     if weights.ndim != 2:
@@ -91,7 +103,20 @@ def auction_assignment(
             f"unknown auction mode {mode!r}; expected one of {_MODES}"
         )
     n, m = weights.shape
+    if start_prices is None:
+        initial_prices = np.zeros(m)
+    else:
+        initial_prices = np.asarray(start_prices, dtype=float).copy()
+        if initial_prices.shape != (m,):
+            raise ValidationError(
+                f"start_prices must have shape ({m},), "
+                f"got {initial_prices.shape}"
+            )
+        if not np.all(np.isfinite(initial_prices)):
+            raise ValidationError("start_prices must be finite")
     if n == 0:
+        if return_state:
+            return [], 0.0, initial_prices
         return [], 0.0
     if n > m:
         raise ValidationError(f"need n_rows <= n_cols, got {n} x {m}")
@@ -100,6 +125,8 @@ def auction_assignment(
 
     span = float(np.abs(weights).max())
     if span <= 0.0:
+        if return_state:
+            return list(range(n)), 0.0, initial_prices
         return list(range(n)), 0.0
     if n < m:
         # Pad to a square problem with zero-weight dummy persons: the
@@ -120,8 +147,16 @@ def auction_assignment(
         # instances always take the sequential path; ``mode="jacobi"``
         # still validates and agrees, it just does not batch here.
         try:
-            assignment, _total = auction_assignment(
-                padded, epsilon_start, scaling, max_rounds, "gauss-seidel"
+            # Columns (hence prices) are unchanged by row padding, so a
+            # warm price vector threads straight through the recursion.
+            square = auction_assignment(
+                padded,
+                epsilon_start,
+                scaling,
+                max_rounds,
+                "gauss-seidel",
+                start_prices=start_prices,
+                return_state=return_state,
             )
         except ConvergenceError as error:
             # Re-key the square problem's partial to the real rows so
@@ -131,8 +166,11 @@ def auction_assignment(
                     (i, j) for i, j in error.partial if i < n
                 ]
             raise
+        assignment = square[0]
         real = assignment[:n]
         total = float(weights[np.arange(n), real].sum())
+        if return_state:
+            return real, total, square[2]
         return real, total
     # Optimality requires final epsilon < (min value gap)/n; for float
     # inputs we target a resolution proportional to the value span.
@@ -144,13 +182,21 @@ def auction_assignment(
     epsilon = max(epsilon, epsilon_final)
 
     if mode == "jacobi":
-        assigned = _auction_jacobi(
-            weights, epsilon, epsilon_final, scaling, max_rounds, span
+        assigned, prices = _auction_jacobi(
+            weights,
+            epsilon,
+            epsilon_final,
+            scaling,
+            max_rounds,
+            span,
+            initial_prices,
         )
         total = float(weights[np.arange(n), assigned].sum())
+        if return_state:
+            return assigned.tolist(), total, prices
         return assigned.tolist(), total
 
-    prices = np.zeros(m)
+    prices = initial_prices
     owner = [-1] * m  # column -> row
     assigned = [-1] * n  # row -> column
     rounds = 0
@@ -201,6 +247,8 @@ def auction_assignment(
     obs.count("auction.price_updates", rounds)
     obs.count("auction.phases", phases)
     total = float(weights[np.arange(n), np.asarray(assigned)].sum())
+    if return_state:
+        return assigned, total, prices
     return assigned, total
 
 
@@ -211,7 +259,8 @@ def _auction_jacobi(
     scaling: float,
     max_rounds: int,
     span: float,
-) -> np.ndarray:
+    start_prices: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
     """ε-scaling auction with batched (Jacobi) bidding on a square matrix.
 
     Every unassigned person computes their bid against the *same*
@@ -252,7 +301,7 @@ def _auction_jacobi(
     """
     n, m = weights.shape
     cache_width = min(_JACOBI_CACHE_WIDTH, m)
-    prices = np.zeros(m)
+    prices = start_prices
     candidates = np.empty((n, cache_width), dtype=np.int64)
     thresh = np.empty(n)
     owner = np.full(m, -1, dtype=np.int64)
@@ -411,4 +460,4 @@ def _auction_jacobi(
     obs.count("auction.bids", rounds)
     obs.count("auction.price_updates", price_updates)
     obs.count("auction.phases", phases)
-    return assigned
+    return assigned, prices

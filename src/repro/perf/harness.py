@@ -16,10 +16,20 @@ micro-level tier:
   :func:`repro.crowd.answer_model.simulate_answers` against its
   scalar reference, and :meth:`BenefitMatrices.side_totals` against a
   Python-loop equivalent.
+* ``shard`` — the large-market suite (n=10k workers at the full
+  tier): the sharded solver against a cold full-matrix
+  ``pruned-greedy`` solve, and multi-round warm-started solving
+  against cold per-round re-solving.  The cold side runs on
+  :class:`_UncachedProblemView` so every round re-pays the pruning
+  pass, exactly as the simulation engine does when it rebuilds the
+  planning problem each round.
 
 Every case that has a reference implementation also records both
 checksums, so a bench run doubles as a cross-validation pass: a
 result whose checksums disagree fails the run regardless of timing.
+Approximate cases (the sharded solver trades a bounded objective gap
+for speed) instead record an ``objective_gap`` against the reference
+objective and are validated against a ``gap_tolerance``.
 """
 
 from __future__ import annotations
@@ -47,6 +57,7 @@ from repro.obs.registry import (
 from repro.benefit.mutual import LinearCombiner
 from repro.core.problem import MBAProblem
 from repro.core.solvers import get_solver
+from repro.core.solvers.pruned import top_k_edge_mask
 from repro.crowd.answer_model import simulate_answers, simulate_answers_reference
 from repro.datagen.synthetic import SyntheticConfig, generate_market
 from repro.errors import ValidationError
@@ -55,22 +66,46 @@ from repro.matching.hungarian import hungarian
 from repro.matching.reference import hungarian_reference
 from repro.utils.rng import as_rng
 
-SUITES = ("f7_scale_workers", "f8_scale_tasks", "micro")
+SUITES = ("f7_scale_workers", "f8_scale_tasks", "micro", "shard")
 
 _FULL_SIZES = (200, 400, 800)
 _QUICK_SIZES = (60, 120)
 
 _CHECKSUM_RTOL = 1e-6
 
+#: Shard-suite instance shapes: (n_workers, n_tasks).  The full tier
+#: is the paper-scale target the ISSUE names (n=10k); the quick tier
+#: keeps the same worker:task ratio at CI-smoke cost.
+_SHARD_FULL_SHAPE = (10_000, 2_000)
+_SHARD_QUICK_SHAPE = (1_500, 300)
+_SHARD_CATEGORIES = 16
+_SHARD_COUNT = 8
+#: Sharded solving is gap-gated, not checksum-gated: its objective may
+#: legitimately differ from the cold full-matrix solve, but must not
+#: fall short by more than this fraction.
+_SHARD_GAP_TOLERANCE = 0.05
+#: Rounds per warm-start case — matches the simulation scenario
+#: default (``Scenario.n_rounds``), so the case measures exactly the
+#: round structure the engine drives.
+_WARM_ROUNDS = 10
+
 
 @dataclass(frozen=True)
 class Measurement:
-    """Raw numbers one case runner produced."""
+    """Raw numbers one case runner produced.
+
+    ``objective_gap``/``gap_tolerance`` are set only by approximate
+    cases (the shard suite): the gap is the achieved objective's
+    relative shortfall against the reference solve, and the case
+    passes cross-validation when the gap stays within tolerance.
+    """
 
     wall_time: float
     reference_time: float | None
     checksum: float
     reference_checksum: float | None
+    objective_gap: float | None = None
+    gap_tolerance: float | None = None
 
 
 @dataclass(frozen=True)
@@ -96,6 +131,8 @@ class BenchResult:
     reference_time: float | None
     checksum: float
     reference_checksum: float | None
+    objective_gap: float | None = None
+    gap_tolerance: float | None = None
 
     @property
     def speedup(self) -> float | None:
@@ -108,7 +145,18 @@ class BenchResult:
     @property
     def checksums_match(self) -> bool:
         """Cross-validation verdict; vacuously true without a
-        reference."""
+        reference.
+
+        Gap-gated cases (``gap_tolerance`` set) pass when the recorded
+        objective shortfall stays within tolerance — their checksums
+        are expected to differ because the solver under test is a
+        documented approximation of the reference.
+        """
+        if self.gap_tolerance is not None:
+            return (
+                self.objective_gap is not None
+                and 0.0 <= self.objective_gap <= self.gap_tolerance
+            )
         if self.reference_checksum is None:
             return True
         scale = max(abs(self.checksum), abs(self.reference_checksum), 1.0)
@@ -288,8 +336,8 @@ def _side_totals_case(
         def scalar() -> float:
             req = wrk = 0.0
             for _ in range(iterations):
-                req = sum(matrices.requester[w, t] for w, t in edges)
-                wrk = sum(matrices.worker[w, t] for w, t in edges)
+                req = sum(matrices.requester[w, t] for w, t in edges)  # lint: allow[R601] — the scalar oracle is the point
+                wrk = sum(matrices.worker[w, t] for w, t in edges)  # lint: allow[R601] — the scalar oracle is the point
             return float(req + wrk)
 
         wall, total = _best_of(vectorized, repeats)
@@ -303,6 +351,193 @@ def _side_totals_case(
         solver="side_totals",
         runner=runner,
     )
+
+
+class _UncachedProblemView:
+    """A read-only stand-in for a *fresh* per-round problem.
+
+    The simulation engine rebuilds the planning problem every round,
+    so a cold solver re-pays the full-matrix pruning pass each time.
+    Rebuilding a real :class:`MBAProblem` at n=10k costs far more in
+    benefit-matrix construction than the solve being measured, so the
+    cold reference instead solves through this view: it delegates
+    everything to the underlying problem except the memoized
+    ``top_k_candidates`` cache, forcing each reference round to
+    recompute its candidate mask — the per-round cost warm-started
+    solving exists to avoid.
+    """
+
+    def __init__(self, problem: MBAProblem) -> None:
+        self._problem = problem
+
+    def __getattr__(self, name: str):
+        if name == "top_k_candidates":
+            raise AttributeError(name)
+        return getattr(self._problem, name)
+
+
+def _shard_problem(n_workers: int, n_tasks: int, seed: int) -> MBAProblem:
+    market = generate_market(
+        SyntheticConfig(
+            n_workers=n_workers,
+            n_tasks=n_tasks,
+            n_categories=_SHARD_CATEGORIES,
+        ),
+        seed=seed,
+    )
+    problem = MBAProblem(market, combiner=LinearCombiner(0.5))
+    # Fault the benefit matrices and the allocator's large-block
+    # arenas in before timing starts: at n=10k the *first* full-matrix
+    # argpartition in a process pays several times its steady-state
+    # cost in page faults, and that penalty would land on whichever
+    # side happens to run first.  The throwaway mask (k=2 is never a
+    # real case k, so no solver-visible cache is seeded) makes both
+    # sides measure steady state.
+    top_k_edge_mask(problem.benefits.combined, 2)
+    return problem
+
+
+def _shortfall(achieved: float, reference: float) -> float:
+    """Relative objective shortfall of ``achieved`` vs ``reference``
+    (0 when the solver under test matches or beats the reference)."""
+    scale = max(abs(reference), 1.0)
+    return max(0.0, (reference - achieved) / scale)
+
+
+def _sharded_case(n_workers: int, n_tasks: int) -> BenchCase:
+    def runner(repeats: int) -> Measurement:
+        problem = _shard_problem(n_workers, n_tasks, seed=n_workers)
+        sharded = get_solver(
+            "sharded",
+            base="pruned-greedy",
+            strategy="balanced",
+            n_shards=_SHARD_COUNT,
+        )
+        cold = get_solver("pruned-greedy")
+        cold_view = _UncachedProblemView(problem)
+        # Seconds-long solves; one run each, on caches of equal
+        # temperature (the sharded side computes its boundary mask,
+        # the cold side its pruning mask).
+        wall, total = _best_of(
+            lambda: sharded.solve(problem, seed=0).combined_total(), 1
+        )
+        ref_wall, ref_total = _best_of(
+            lambda: cold.solve(cold_view, seed=0).combined_total(), 1
+        )
+        return Measurement(
+            wall,
+            ref_wall,
+            total,
+            ref_total,
+            objective_gap=_shortfall(total, ref_total),
+            gap_tolerance=_SHARD_GAP_TOLERANCE,
+        )
+
+    return BenchCase(
+        name=f"sharded/n={n_workers}",
+        suite="shard",
+        size=n_workers,
+        solver="sharded",
+        runner=runner,
+    )
+
+
+def _warm_rounds_case(
+    n_workers: int,
+    n_tasks: int,
+    warm_base: str,
+    warm_base_kwargs: dict | None,
+    name: str,
+    solver: str,
+    gap_tolerance: float | None,
+) -> BenchCase:
+    """Warm-started multi-round solving vs cold per-round re-solving.
+
+    The warm side constructs one fresh ``warm`` solver and solves the
+    same problem ``_WARM_ROUNDS`` times — round one pays the real
+    solve, later rounds hit the fingerprint replay path.  The cold
+    side re-solves through :class:`_UncachedProblemView` each round.
+    When ``gap_tolerance`` is ``None`` the case demands bit-identical
+    checksums, pinning replay fidelity end-to-end.
+    """
+
+    def runner(repeats: int) -> Measurement:
+        problem = _shard_problem(n_workers, n_tasks, seed=n_workers)
+        cold_view = _UncachedProblemView(problem)
+
+        def warm_rounds() -> float:
+            solver_obj = get_solver(
+                "warm", base=warm_base, base_kwargs=warm_base_kwargs
+            )
+            return sum(
+                solver_obj.solve(problem, seed=0).combined_total()
+                for _ in range(_WARM_ROUNDS)
+            )
+
+        def cold_rounds() -> float:
+            cold = get_solver("pruned-greedy")
+            return sum(
+                cold.solve(cold_view, seed=0).combined_total()
+                for _ in range(_WARM_ROUNDS)
+            )
+
+        wall, total = _best_of(warm_rounds, 1)
+        ref_wall, ref_total = _best_of(cold_rounds, 1)
+        gap = (
+            _shortfall(total, ref_total)
+            if gap_tolerance is not None
+            else None
+        )
+        return Measurement(
+            wall,
+            ref_wall,
+            total,
+            ref_total,
+            objective_gap=gap,
+            gap_tolerance=gap_tolerance,
+        )
+
+    return BenchCase(
+        name=f"{name}/n={n_workers}",
+        suite="shard",
+        size=n_workers,
+        solver=solver,
+        runner=runner,
+    )
+
+
+def build_shard_suite(quick: bool = False, scale: float = 1.0) -> list[BenchCase]:
+    """The large-market suite: sharded and warm-started solving."""
+    base_workers, base_tasks = (
+        _SHARD_QUICK_SHAPE if quick else _SHARD_FULL_SHAPE
+    )
+    n_workers = max(10, int(round(base_workers * scale)))
+    n_tasks = max(10, int(round(base_tasks * scale)))
+    return [
+        _sharded_case(n_workers, n_tasks),
+        _warm_rounds_case(
+            n_workers,
+            n_tasks,
+            warm_base="sharded",
+            warm_base_kwargs={
+                "base": "pruned-greedy",
+                "strategy": "balanced",
+                "n_shards": _SHARD_COUNT,
+            },
+            name="sharded_warm",
+            solver="warm",
+            gap_tolerance=_SHARD_GAP_TOLERANCE,
+        ),
+        _warm_rounds_case(
+            n_workers,
+            n_tasks,
+            warm_base="pruned-greedy",
+            warm_base_kwargs=None,
+            name="warm_replay",
+            solver="warm",
+            gap_tolerance=None,
+        ),
+    ]
 
 
 def build_suites(
@@ -339,7 +574,12 @@ def build_suites(
         _answers_case(50 if quick else 250, edge_count // (50 if quick else 250)),
         _side_totals_case(500 if quick else 5_000, 5 if quick else 20),
     ]
-    return {"f7_scale_workers": f7, "f8_scale_tasks": f8, "micro": micro}
+    return {
+        "f7_scale_workers": f7,
+        "f8_scale_tasks": f8,
+        "micro": micro,
+        "shard": build_shard_suite(quick, scale),
+    }
 
 
 def register_and_diff(
@@ -418,6 +658,8 @@ def run_cases(
                     reference_time=measurement.reference_time,
                     checksum=measurement.checksum,
                     reference_checksum=measurement.reference_checksum,
+                    objective_gap=measurement.objective_gap,
+                    gap_tolerance=measurement.gap_tolerance,
                 )
             )
     return results

@@ -48,6 +48,8 @@ def bench_payload(
                 "speedup": result.speedup,
                 "checksum": result.checksum,
                 "reference_checksum": result.reference_checksum,
+                "objective_gap": result.objective_gap,
+                "gap_tolerance": result.gap_tolerance,
                 "checksums_match": result.checksums_match,
                 "baseline_time": base,
                 "vs_baseline": (

@@ -202,6 +202,13 @@ class Simulation:
                 assign_span.tag(
                     tier=report.tier, retries=report.retries
                 )
+                # Warm-start-capable solvers report how they served the
+                # round (replay / warm / cold); tag it so obs diffs can
+                # attribute assign-time shifts to warm-hit-rate shifts.
+                warm_outcome = getattr(solver, "last_warm_outcome", None)
+                if warm_outcome is not None:
+                    assign_span.tag(warm=warm_outcome)
+                    obs.count(f"sim.warm.{warm_outcome}")
             obs.count("sim.solver_retries", report.retries)
             if planned is None:
                 # Infeasible round or exhausted solver stack: the
@@ -382,6 +389,10 @@ class Simulation:
             "workers": workers,
             "retention": retention,
             "estimator": estimator,
+            # The whole solver object: history-aware solvers (previous
+            # edges) and warm-start wrappers (WarmState with prices /
+            # potentials / replayable edges) resume bit-identically
+            # because their cross-round state pickles with them.
             "solver": solver,
             "rounds": list(result.rounds),
         }

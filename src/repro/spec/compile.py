@@ -445,10 +445,11 @@ def compile_spec(
         if str(spec["scenario.resilience"]) == "off"
         else str(spec["scenario.resilience"])
     )
+    solver_name, solver_kwargs = _wrap_solver(spec)
     return Scenario(
         market=market,
-        solver_name=str(spec["scenario.solver"]),
-        solver_kwargs=dict(spec["scenario.solver_kwargs"] or {}),  # type: ignore[arg-type]
+        solver_name=solver_name,
+        solver_kwargs=solver_kwargs,
         combiner=make_combiner(
             str(spec["scenario.combiner"]), float(spec["scenario.lam"])  # type: ignore[arg-type]
         ),
@@ -462,6 +463,37 @@ def compile_spec(
         fault_plan=_fault_plan(spec),
         resilience=resilience,
     )
+
+
+def _wrap_solver(spec: NormalizedSpec) -> tuple[str, dict]:
+    """Apply the ``[sharding]`` wrappers to the configured solver.
+
+    ``sharding.enabled`` wraps the base solver in ``sharded`` (the base
+    and its kwargs become the wrapper's ``base``/``base_kwargs``);
+    ``sharding.warm`` then wraps whatever resulted in ``warm``.  With
+    both off this is the identity, so existing specs compile unchanged.
+    """
+    solver_name = str(spec["scenario.solver"])
+    solver_kwargs = dict(spec["scenario.solver_kwargs"] or {})  # type: ignore[arg-type]
+    if spec["sharding.enabled"]:
+        solver_kwargs = {
+            "base": solver_name,
+            "base_kwargs": solver_kwargs,
+            "strategy": str(spec["sharding.strategy"]),
+            "n_shards": int(spec["sharding.shards"]),  # type: ignore[arg-type]
+            "refine": bool(spec["sharding.refine"]),
+            "parallel_workers": int(spec["sharding.parallel_workers"]),  # type: ignore[arg-type]
+        }
+        solver_name = "sharded"
+    if spec["sharding.warm"]:
+        solver_kwargs = {
+            "base": solver_name,
+            "base_kwargs": solver_kwargs,
+            "churn_threshold": float(spec["sharding.churn_threshold"]),  # type: ignore[arg-type]
+            "exact": bool(spec["sharding.exact"]),
+        }
+        solver_name = "warm"
+    return solver_name, solver_kwargs
 
 
 def _fault_plan(spec: NormalizedSpec):

@@ -282,6 +282,77 @@ def _resume_needs_checkpoint_dir(
     )
 
 
+#: Bases the sharded wrapper accepts.  Mirrors
+#: ``repro.core.solvers.sharded.SUPPORTED_BASES`` — duplicated as a
+#: literal because the spec layer must stay importable without the
+#: core (a test pins the two in sync).
+SHARDABLE_SOLVERS = (
+    "auction",
+    "flow",
+    "greedy",
+    "local-search",
+    "pruned-greedy",
+)
+
+#: Bases the warm wrapper accepts when the solver is NOT sharded
+#: (sharded wrapping is composed by the compiler itself).  Mirrors
+#: ``repro.core.solvers.warm.SUPPORTED_BASES`` minus "hungarian"
+#: (internal-only) and "sharded" (composed, not configured).
+WARMABLE_SOLVERS = (
+    "auction",
+    "flow",
+    "greedy",
+    "local-search",
+    "pruned-greedy",
+)
+
+#: Knobs that only matter once sharding.enabled / sharding.warm is on.
+SHARDING_DETAIL_KNOBS = (
+    "sharding.strategy",
+    "sharding.shards",
+    "sharding.refine",
+    "sharding.parallel_workers",
+    "sharding.churn_threshold",
+    "sharding.exact",
+)
+
+
+def _sharding_knobs_need_enable(spec: NormalizedSpec, view: RegistryView):
+    if spec["sharding.enabled"] or spec["sharding.warm"]:
+        return None
+    ignored = [
+        name for name in SHARDING_DETAIL_KNOBS if spec.is_set(name)
+    ]
+    if not ignored:
+        return None
+    return (
+        f"sharding knob(s) {', '.join(ignored)} are set but both "
+        "sharding.enabled and sharding.warm are false — they would be "
+        "silently ignored; enable a wrapper or drop the knobs"
+    )
+
+
+def _sharding_base_supported(spec: NormalizedSpec, view: RegistryView):
+    solver = str(spec["scenario.solver"])
+    if spec["sharding.enabled"] and solver not in SHARDABLE_SOLVERS:
+        return (
+            f"sharding.enabled wraps scenario.solver in the sharded "
+            f"solver, but {solver!r} is not a supported base "
+            f"(supported: {', '.join(SHARDABLE_SOLVERS)})"
+        )
+    if (
+        spec["sharding.warm"]
+        and not spec["sharding.enabled"]
+        and solver not in WARMABLE_SOLVERS
+    ):
+        return (
+            f"sharding.warm wraps scenario.solver in the warm-start "
+            f"solver, but {solver!r} is not a supported base "
+            f"(supported: {', '.join(WARMABLE_SOLVERS)})"
+        )
+    return None
+
+
 def _estimator_without_gold(spec: NormalizedSpec, view: RegistryView):
     if not spec["estimator.enabled"]:
         return None
@@ -354,6 +425,31 @@ CONSTRAINTS: tuple[Constraint, ...] = (
         knobs=("runtime.resume", "runtime.checkpoint_dir"),
         summary="resume requires a checkpoint directory",
         check=_resume_needs_checkpoint_dir,
+    ),
+    Constraint(
+        id="C209",
+        knobs=(
+            "sharding.enabled",
+            "sharding.warm",
+            "sharding.strategy",
+            "sharding.shards",
+            "sharding.refine",
+            "sharding.parallel_workers",
+            "sharding.churn_threshold",
+            "sharding.exact",
+        ),
+        summary="sharding detail knobs require an enabled wrapper",
+        check=_sharding_knobs_need_enable,
+    ),
+    Constraint(
+        id="C210",
+        knobs=(
+            "sharding.enabled",
+            "sharding.warm",
+            "scenario.solver",
+        ),
+        summary="sharding/warm wrappers support specific base solvers",
+        check=_sharding_base_supported,
     ),
     Constraint(
         id="W301",

@@ -456,6 +456,82 @@ SCENARIO_KNOBS: tuple[Knob, ...] = (
         domain=UNIT_INTERVAL,
         description="per-round forced solver-failure probability",
     ),
+    # -- sharding / warm starts ------------------------------------------
+    # These knobs have no scenario_field: the compiler *wraps* the
+    # configured solver (sharded and/or warm) instead of adding engine
+    # fields — the engine stays solver-agnostic.
+    Knob(
+        name="sharding.enabled",
+        type="bool",
+        default=False,
+        description=(
+            "wrap the scenario solver in the sharded partition-solve-"
+            "refine wrapper"
+        ),
+    ),
+    Knob(
+        name="sharding.strategy",
+        type="str",
+        default="category",
+        domain=Domain(
+            kind="choice", choices=("category", "balanced", "none")
+        ),
+        description="shard plan: per-category, balanced k-way, or single",
+    ),
+    Knob(
+        name="sharding.shards",
+        type="int",
+        default=0,
+        domain=NON_NEGATIVE,
+        description=(
+            "shard count for the balanced strategy (0 = sqrt of the "
+            "category count)"
+        ),
+    ),
+    Knob(
+        name="sharding.refine",
+        type="bool",
+        default=True,
+        description="run the cross-shard boundary refinement pass",
+    ),
+    Knob(
+        name="sharding.parallel_workers",
+        type="int",
+        default=0,
+        domain=NON_NEGATIVE,
+        description=(
+            "solve shards on a supervised process pool of this size "
+            "(0/1 = serial; auto-serial inside sweep pool workers)"
+        ),
+    ),
+    Knob(
+        name="sharding.warm",
+        type="bool",
+        default=False,
+        description=(
+            "wrap the (possibly sharded) solver in the warm-start "
+            "wrapper: fingerprint replay + dual-state delta-solving"
+        ),
+    ),
+    Knob(
+        name="sharding.churn_threshold",
+        type="float",
+        default=0.25,
+        domain=UNIT_INTERVAL,
+        description=(
+            "maximum membership-churn fraction for warm delta-solves"
+        ),
+    ),
+    Knob(
+        name="sharding.exact",
+        type="bool",
+        default=True,
+        description=(
+            "restrict warm starts to the bit-identical replay tier "
+            "(False additionally enables approximate dual-state "
+            "delta-solves)"
+        ),
+    ),
 )
 
 #: Name -> knob, the lookup every consumer uses.

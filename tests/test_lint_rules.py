@@ -291,6 +291,79 @@ class TestSolverContractRules:
         violations = _only(lint_file(path), "R203")
         assert [v.line for v in violations] == [8]
 
+    def test_r204_flag_without_warm_state_kwarg(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/core/solvers/bad.py",
+            """\
+            @register_solver("forgetful")
+            class ForgetfulSolver(Solver):
+                carries_warm_state = True
+
+                def __init__(self, base="greedy"):
+                    self.base = base
+
+                def solve(self, problem, seed=None):
+                    return None
+            """,
+        )
+        violations = _only(lint_file(path), "R204")
+        assert len(violations) == 1
+        assert "ForgetfulSolver" in violations[0].message
+
+    def test_r204_hidden_state_attribute(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/core/solvers/bad.py",
+            """\
+            @register_solver("hoarder")
+            class HoarderSolver(Solver):
+                def __init__(self, base="greedy"):
+                    self.base = base
+                    self.warm_state = object()
+
+                def solve(self, problem, seed=None):
+                    return self.warm_state
+            """,
+        )
+        violations = _only(lint_file(path), "R204")
+        assert len(violations) == 1
+
+    def test_r204_declared_kwarg_passes(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/core/solvers/good.py",
+            """\
+            @register_solver("careful")
+            class CarefulSolver(Solver):
+                carries_warm_state = True
+
+                def __init__(self, base="greedy", warm_state=None):
+                    self.base = base
+                    self.warm_state = warm_state
+
+                def solve(self, problem, seed=None):
+                    return self.warm_state
+            """,
+        )
+        assert _only(lint_file(path), "R204") == []
+
+    def test_r204_stateless_solver_silent(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/core/solvers/good.py",
+            """\
+            @register_solver("plain")
+            class PlainSolver(Solver):
+                def __init__(self, base="greedy"):
+                    self.base = base
+
+                def solve(self, problem, seed=None):
+                    return None
+            """,
+        )
+        assert _only(lint_file(path), "R204") == []
+
 
 class TestLayeringRules:
     @pytest.mark.parametrize("layer", ["core", "matching", "benefit"])

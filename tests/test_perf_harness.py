@@ -59,6 +59,37 @@ class TestBenchResult:
         )
         assert not result.checksums_match
 
+    def test_gap_within_tolerance_overrides_checksum(self):
+        # Approximate (gap-gated) cases validate on objective shortfall,
+        # not on bit-equality — differing checksums are expected there.
+        result = BenchResult(
+            name="x", suite="shard", size=1, solver="sharded",
+            wall_time=1.0, reference_time=1.0,
+            checksum=95.0, reference_checksum=100.0,
+            objective_gap=0.03, gap_tolerance=0.05,
+        )
+        assert result.checksums_match
+
+    def test_gap_beyond_tolerance_fails(self):
+        result = BenchResult(
+            name="x", suite="shard", size=1, solver="sharded",
+            wall_time=1.0, reference_time=1.0,
+            checksum=80.0, reference_checksum=100.0,
+            objective_gap=0.2, gap_tolerance=0.05,
+        )
+        assert not result.checksums_match
+
+    def test_missing_gap_with_tolerance_fails(self):
+        # A gap-gated case that never computed its gap must fail loudly,
+        # not fall back to the (meaningless) checksum comparison.
+        result = BenchResult(
+            name="x", suite="shard", size=1, solver="sharded",
+            wall_time=1.0, reference_time=1.0,
+            checksum=100.0, reference_checksum=100.0,
+            objective_gap=None, gap_tolerance=0.05,
+        )
+        assert not result.checksums_match
+
 
 class TestSuites:
     def test_every_declared_suite_built(self):
@@ -89,6 +120,39 @@ class TestSuites:
         assert all(r.wall_time > 0 for r in results)
         assert all(r.checksums_match for r in results)
         assert all(r.speedup is not None for r in results)
+
+
+class TestShardSuite:
+    def test_shard_suite_declared_and_built(self):
+        assert "shard" in SUITES
+        cases = build_suites(quick=True)["shard"]
+        names = [case.name.split("/")[0] for case in cases]
+        assert names == ["sharded", "sharded_warm", "warm_replay"]
+
+    def test_quick_shard_instances_are_smaller(self):
+        quick = build_suites(quick=True)["shard"]
+        full = build_suites(quick=False)["shard"]
+        assert max(c.size for c in quick) < max(c.size for c in full)
+
+    def test_shard_suite_runs_and_validates_at_tiny_scale(self):
+        results = run_cases(
+            build_suites(quick=True, scale=0.05),
+            only=["shard"],
+            repeats=1,
+        )
+        by_name = {r.name.split("/")[0]: r for r in results}
+        assert set(by_name) == {"sharded", "sharded_warm", "warm_replay"}
+        # Gap-gated cases carry their gap; the replay case instead
+        # demands bit-identical checksums.
+        for name in ("sharded", "sharded_warm"):
+            result = by_name[name]
+            assert result.gap_tolerance is not None
+            assert result.objective_gap is not None
+            assert result.checksums_match
+        replay = by_name["warm_replay"]
+        assert replay.gap_tolerance is None
+        assert replay.checksum == replay.reference_checksum
+        assert replay.checksums_match
 
 
 class TestBaseline:

@@ -214,6 +214,90 @@ class TestC208ResumeNeedsCheckpointDir:
         assert "C208" not in codes(result)
 
 
+class TestC209ShardingKnobsNeedEnable:
+    def test_fires_on_detail_knobs_with_no_wrapper(self, view):
+        result = check_spec(
+            payload(sharding={"strategy": "balanced", "shards": 4}),
+            view=view,
+        )
+        assert "C209" in codes(result)
+
+    def test_silent_when_sharding_enabled(self, view):
+        result = check_spec(
+            payload(
+                sharding={
+                    "enabled": True,
+                    "strategy": "balanced",
+                    "shards": 4,
+                }
+            ),
+            view=view,
+        )
+        assert "C209" not in codes(result)
+
+    def test_silent_when_warm_enabled(self, view):
+        result = check_spec(
+            payload(sharding={"warm": True, "churn_threshold": 0.1}),
+            view=view,
+        )
+        assert "C209" not in codes(result)
+
+    def test_silent_when_no_detail_knob_set(self, view):
+        result = check_spec(payload(sharding={}), view=view)
+        assert "C209" not in codes(result)
+
+
+class TestC210ShardingBaseSupported:
+    def test_fires_on_unsupported_sharded_base(self, view):
+        result = check_spec(
+            payload(
+                scenario={"solver": "resilient"},
+                sharding={"enabled": True},
+            ),
+            view=view,
+        )
+        assert "C210" in codes(result)
+
+    def test_fires_on_unsupported_warm_base(self, view):
+        result = check_spec(
+            payload(
+                scenario={"solver": "incremental-flow"},
+                sharding={"warm": True},
+            ),
+            view=view,
+        )
+        assert "C210" in codes(result)
+
+    def test_silent_on_supported_base(self, view):
+        result = check_spec(
+            payload(
+                scenario={"solver": "pruned-greedy"},
+                sharding={"enabled": True, "warm": True},
+            ),
+            view=view,
+        )
+        assert "C210" not in codes(result)
+
+    def test_supported_base_tuples_mirror_the_solvers(self):
+        # The spec layer duplicates the wrappers' SUPPORTED_BASES as
+        # literals (it must stay importable without the core); these
+        # pins are the promised sync check.
+        from repro.core.solvers import sharded, warm
+        from repro.spec.constraints import (
+            SHARDABLE_SOLVERS,
+            WARMABLE_SOLVERS,
+        )
+
+        assert SHARDABLE_SOLVERS == sharded.SUPPORTED_BASES
+        assert set(WARMABLE_SOLVERS) <= set(warm.SUPPORTED_BASES)
+        # The two deliberate exclusions: hungarian is internal to the
+        # warm wrapper, sharded is composed by the spec compiler.
+        assert set(warm.SUPPORTED_BASES) - set(WARMABLE_SOLVERS) == {
+            "hungarian",
+            "sharded",
+        }
+
+
 class TestWarnings:
     def test_w301_nonlinear_combiner_with_edge_solver(self, view):
         result = check_spec(
