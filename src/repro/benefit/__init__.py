@@ -18,6 +18,7 @@ from repro.benefit.mutual import (
 )
 from repro.benefit.normalization import NormalizedBenefit, normalized_problem
 from repro.benefit.requester_benefit import QualityGainBenefit
+from repro.benefit.rows import RowwiseBenefit
 from repro.benefit.worker_benefit import NetRewardBenefit
 
 __all__ = [
@@ -30,6 +31,7 @@ __all__ = [
     "NetRewardBenefit",
     "NormalizedBenefit",
     "QualityGainBenefit",
+    "RowwiseBenefit",
     "build_benefit_matrices",
     "make_combiner",
     "normalized_problem",

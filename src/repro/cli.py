@@ -273,6 +273,33 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_register_arguments(events)
 
+    stream = commands.add_parser(
+        "stream",
+        help="run the streaming dispatch service over a spec's market: "
+        "continuous arrivals, incremental assignment (see "
+        "docs/streaming.md)",
+    )
+    stream.add_argument(
+        "spec", help="spec file (.toml or .json) with a [stream] section"
+    )
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument(
+        "--output", metavar="PATH",
+        help="append assignment records to PATH as JSONL, flushed in "
+        "writer-batch-sized chunks while the market runs",
+    )
+    stream.add_argument(
+        "--trace", metavar="PATH",
+        help="record spans, counters, and latency gauges during the "
+        "dispatch run and export them to PATH as JSONL",
+    )
+    stream.add_argument(
+        "--live", action="store_true",
+        help="print a progress line as assignment records are emitted "
+        "(works with or without --trace)",
+    )
+    _add_register_arguments(stream)
+
     lint = commands.add_parser(
         "lint",
         help="run the repro static-analysis pass (RNG discipline, "
@@ -868,6 +895,95 @@ def _cmd_events(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import contextlib
+
+    from repro.spec import compile_stream
+    from repro.stream import BatchWriter, StreamDispatcher
+
+    compiled = compile_stream(args.spec)
+    dispatcher = StreamDispatcher(
+        compiled.market,
+        compiled.config,
+        combiner=compiled.combiner,
+        scenario=compiled.scenario,
+    )
+
+    emitted = 0
+
+    def make_on_record(writer):
+        def on_record(record) -> None:
+            nonlocal emitted
+            emitted += 1
+            if writer is not None:
+                writer.write(record)
+            if args.live and emitted % 100 == 0:
+                print(
+                    f"[stream] {emitted} assignments "
+                    f"(t={record.time:.2f}, wait={record.wait:.2f})",
+                    flush=True,
+                )
+
+        return on_record
+
+    with contextlib.ExitStack() as stack:
+        writer = None
+        if args.output:
+            writer = stack.enter_context(
+                BatchWriter(
+                    args.output, batch_size=compiled.config.writer_batch
+                )
+            )
+        on_record = make_on_record(writer)
+        if args.trace:
+            tracer = obs.Tracer()
+            with obs.tracing(tracer):
+                result = dispatcher.run(seed=args.seed, on_record=on_record)
+            _finish_trace(
+                tracer, args, tag="stream",
+                scenario=f"{compiled.config.policy}:{args.spec}",
+            )
+        else:
+            result = dispatcher.run(seed=args.seed, on_record=on_record)
+
+    if result.round_result is not None:
+        rounds = result.round_result.rounds
+        print(
+            f"round mode: {len(rounds)} rounds | "
+            f"{result.posted_tasks} assigned edges | combined benefit "
+            f"{result.combined_benefit:.3f}"
+        )
+        return 0
+    print(
+        f"posted {result.posted_tasks} | assigned {result.assignments} "
+        f"({100 * result.fill_rate:.1f}%) | expired {result.expired_tasks}"
+        + (
+            f" | dropped {result.dropped_tasks}"
+            if result.dropped_tasks
+            else ""
+        )
+    )
+    summary = result.latency_summary()
+    if summary:
+        print(
+            "time-to-assignment "
+            + " ".join(
+                f"{key}={summary[key]:.3f}"
+                for key in ("p50", "p95", "p99")
+                if key in summary
+            )
+            + f" | max queue depth {result.max_queue_depth}"
+        )
+    print(
+        f"combined benefit {result.combined_benefit:.3f} | "
+        f"{result.assignments_per_second:.0f} assignments/s "
+        f"({result.wall_time:.2f}s wall)"
+    )
+    if args.output:
+        print(f"wrote {emitted} records to {args.output}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import (
         RULE_REGISTRY,
@@ -1197,6 +1313,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "compare": _cmd_compare,
         "events": _cmd_events,
+        "stream": _cmd_stream,
         "lint": _cmd_lint,
         "spec": _cmd_spec,
         "bench": _cmd_bench,

@@ -24,21 +24,26 @@ from dataclasses import dataclass, field
 #: cycles and drag plotting/IO machinery into every solver import.
 DEFAULT_FORBIDDEN_IMPORTS: Mapping[str, frozenset[str]] = {
     "core": frozenset(
-        {"eval", "sim", "benchmarks", "resilience", "perf", "spec"}
+        {"eval", "sim", "benchmarks", "resilience", "perf", "spec", "stream"}
     ),
     "matching": frozenset(
-        {"eval", "sim", "benchmarks", "resilience", "perf", "spec"}
+        {"eval", "sim", "benchmarks", "resilience", "perf", "spec", "stream"}
     ),
     "benefit": frozenset(
-        {"eval", "sim", "benchmarks", "resilience", "perf", "spec"}
+        {"eval", "sim", "benchmarks", "resilience", "perf", "spec", "stream"}
     ),
+    # ``repro.stream`` sits beside ``repro.sim``: it may use the core,
+    # matching, benefit, market, and (lazily) sim layers, but nothing
+    # operational above it — the CLI drives it, the eval/bench layers
+    # measure it, the lint layer audits it.
+    "stream": frozenset({"eval", "benchmarks", "cli", "lint"}),
     # ``repro.obs`` must be importable from *anywhere* — solvers and
     # simulators alike call into it — so it may depend on nothing above
     # the utils layer: only ``utils``, ``errors``, and itself.
     "obs": frozenset({
         "benchmarks", "benefit", "cli", "core", "crowd", "datagen",
         "eval", "io", "lint", "market", "matching", "perf",
-        "resilience", "sim", "spec", "types",
+        "resilience", "sim", "spec", "stream", "types",
     }),
 }
 
@@ -76,7 +81,15 @@ DEFAULT_DURABLE_WRITE_MODULES: frozenset[str] = frozenset(
 #: harness is included because its reference reductions time the shard
 #: suites at n=10k, where a scalar loop would dominate the measurement.
 DEFAULT_PERF_HOT_MODULES: frozenset[str] = frozenset(
-    {"repro.matching", "repro.core.solvers", "repro.obs", "repro.perf"}
+    {
+        "repro.matching",
+        "repro.core.solvers",
+        "repro.obs",
+        "repro.perf",
+        # The dispatch loop runs per arrival event at |W|,|T| = 1e5;
+        # a scalar accumulation there multiplies by the event count.
+        "repro.stream",
+    }
 )
 
 #: Module prefixes inside the hot set where scalar loops are the

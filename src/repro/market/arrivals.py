@@ -110,4 +110,7 @@ class TraceArrivals(ArrivalProcess):
             )
         for pos, index in enumerate(self._order):
             time = self._times[pos] if self._times is not None else float(pos)
-            yield Arrival(index, time)
+            # Cast like the other processes do: a numpy trace would
+            # otherwise leak np.int64/np.float64 into Arrival, breaking
+            # JSON export of recorded arrival streams.
+            yield Arrival(int(index), float(time))

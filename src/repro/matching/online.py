@@ -156,12 +156,16 @@ def two_phase_matching(
         greedy_step(left, zero_threshold)
 
     # Price each right vertex by its earnings in the optimal assignment
-    # of the sampled left vertices (capacity-expanded columns).
+    # of the sampled left vertices (capacity-expanded columns).  Only
+    # vertices with remaining capacity get slots: an exhausted vertex
+    # can never be taken in phase 2, and a phantom slot for it would
+    # absorb sample rows that should price the live vertices.
     prices = [0.0] * n_right
-    if sample and n_right > 0:
-        slots: list[int] = []
-        for right in range(n_right):
-            slots.extend([right] * max(remaining[right], 1))
+    slots: list[int] = []
+    for right in range(n_right):
+        if remaining[right] > 0:
+            slots.extend([right] * remaining[right])
+    if sample and slots:
         weight_rows = np.zeros((len(sample), len(slots)))
         for si, left in enumerate(sample):
             for ci, right in enumerate(slots):

@@ -23,6 +23,13 @@ micro-level tier:
   :class:`_UncachedProblemView` so every round re-pays the pruning
   pass, exactly as the simulation engine does when it rebuilds the
   planning problem each round.
+* ``stream`` — the streaming dispatch service under a Poisson storm
+  (|W| = |T| = 10^5 at the full tier): arrival-instant greedy
+  dispatch at full scale, and warm-started micro-batch re-solving at
+  a tenth of it.  The case checksum is the realized combined benefit;
+  throughput (``stream.assignments_per_sec``) and the
+  time-to-assignment percentile gauges land in the bench trace, so
+  the BENCH json carries latency percentiles alongside wall time.
 
 Every case that has a reference implementation also records both
 checksums, so a bench run doubles as a cross-validation pass: a
@@ -66,7 +73,7 @@ from repro.matching.hungarian import hungarian
 from repro.matching.reference import hungarian_reference
 from repro.utils.rng import as_rng
 
-SUITES = ("f7_scale_workers", "f8_scale_tasks", "micro", "shard")
+SUITES = ("f7_scale_workers", "f8_scale_tasks", "micro", "shard", "stream")
 
 _FULL_SIZES = (200, 400, 800)
 _QUICK_SIZES = (60, 120)
@@ -88,6 +95,18 @@ _SHARD_GAP_TOLERANCE = 0.05
 #: default (``Scenario.n_rounds``), so the case measures exactly the
 #: round structure the engine drives.
 _WARM_ROUNDS = 10
+
+#: Stream-suite population sizes (|W| = |T|).  The full tier is the
+#: ISSUE's Poisson-storm target (10^5 on each side); the quick tier
+#: keeps CI-smoke cost.  Arrival rates scale with the population so
+#: the simulated span stays ~constant and the *active* sets (open
+#: tasks ~ task_rate x deadline, online workers ~ worker_rate x
+#: session_length) are what grows — the quantity streaming dispatch
+#: must stay robust to.
+_STREAM_FULL_SIZE = 100_000
+_STREAM_QUICK_SIZE = 2_000
+#: Simulated span (time units) the arrival rates are derived from.
+_STREAM_SPAN = 250.0
 
 
 @dataclass(frozen=True)
@@ -540,6 +559,69 @@ def build_shard_suite(quick: bool = False, scale: float = 1.0) -> list[BenchCase
     ]
 
 
+def _stream_case(
+    policy: str, size: int, batch_window: float | None = None
+) -> BenchCase:
+    """One streaming-dispatch storm: |W| = |T| = ``size``.
+
+    Market construction happens outside the timed region; the
+    measured wall time is one full drain of the dispatch loop.  The
+    dispatcher's own obs gauges (``stream.assignments_per_sec``,
+    ``stream.latency.p50/p95/p99``) are emitted inside the enclosing
+    ``bench.case`` span, so the bench trace carries throughput and
+    latency percentiles for every stream case.
+    """
+
+    def runner(repeats: int) -> Measurement:
+        from repro.stream import DispatchConfig, StreamDispatcher
+
+        rate = max(8.0, size / _STREAM_SPAN)
+        market = generate_market(
+            SyntheticConfig(n_workers=size, n_tasks=size), seed=17
+        )
+        kwargs = dict(
+            policy=policy,
+            task_rate=rate,
+            worker_rate=rate,
+            deadline=1.5,
+            session_length=1.0,
+        )
+        if batch_window is not None:
+            kwargs["batch_window"] = batch_window
+
+        def run_once() -> float:
+            dispatcher = StreamDispatcher(market, DispatchConfig(**kwargs))
+            return dispatcher.run(seed=0).combined_benefit
+
+        # A storm drain is seconds-long end to end; one run suffices.
+        wall, total = _best_of(run_once, 1)
+        return Measurement(wall, None, total, None)
+
+    return BenchCase(
+        name=f"stream_{policy.replace('-', '_')}/n={size}",
+        suite="stream",
+        size=size,
+        solver=f"stream:{policy}",
+        runner=runner,
+    )
+
+
+def build_stream_suite(
+    quick: bool = False, scale: float = 1.0
+) -> list[BenchCase]:
+    """The streaming-dispatch suite: greedy storm + micro-batch."""
+    base = _STREAM_QUICK_SIZE if quick else _STREAM_FULL_SIZE
+    size = max(100, int(round(base * scale)))
+    # Micro-batch re-solves windows with a real solver; a tenth of the
+    # storm population keeps the per-window submarkets representative
+    # without turning the suite into a solver benchmark.
+    micro_size = max(100, size // 10)
+    return [
+        _stream_case("greedy", size),
+        _stream_case("micro-batch", micro_size, batch_window=5.0),
+    ]
+
+
 def build_suites(
     quick: bool = False, scale: float = 1.0
 ) -> dict[str, list[BenchCase]]:
@@ -579,6 +661,7 @@ def build_suites(
         "f8_scale_tasks": f8,
         "micro": micro,
         "shard": build_shard_suite(quick, scale),
+        "stream": build_stream_suite(quick, scale),
     }
 
 

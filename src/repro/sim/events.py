@@ -18,6 +18,15 @@ open tasks above zero) and ``threshold`` (take tasks above a price that
 decays as their deadline nears — the continuous-time analogue of
 sample-and-price).  Metrics: fill rate, expired tasks, realized
 benefit, mean time-to-assignment.
+
+The heap is only the *clock*: each popped entry is translated into a
+typed :mod:`repro.stream.events` event and published on an
+:class:`~repro.stream.bus.EventBus`, whose handlers hold all the
+simulation logic.  Worker capacity is session-scoped through a
+:class:`~repro.stream.sessions.SessionLedger`: when a worker's
+sessions overlap, each logout withdraws only its own remaining grant
+(a flat ``online`` dict would let the first logout destroy the
+capacity the second login granted).
 """
 
 from __future__ import annotations
@@ -32,6 +41,14 @@ from repro.benefit.matrices import BenefitMatrices, build_benefit_matrices
 from repro.benefit.mutual import LinearCombiner, MutualCombiner
 from repro.errors import ConfigurationError, ValidationError
 from repro.market.market import LaborMarket
+from repro.stream.bus import EventBus
+from repro.stream.events import (
+    TaskExpired,
+    TaskPosted,
+    WorkerLogin,
+    WorkerLogout,
+)
+from repro.stream.sessions import SessionLedger
 from repro.utils.rng import SeedLike, as_rng
 
 
@@ -187,6 +204,7 @@ class EventSimulation:
         rng = as_rng(seed)
         config = self.config
         result = EventSimResult()
+        bus = EventBus()
 
         counter = itertools.count(10_000_000)
         heap: list[tuple[float, int, str, int]] = []
@@ -195,14 +213,15 @@ class EventSimulation:
 
         # Open task instances: instance_id -> (task_index, posted_at).
         open_tasks: dict[int, tuple[int, float]] = {}
-        expired: set[int] = set()
         instance_counter = itertools.count()
-        # Logged-in workers: worker_index -> remaining capacity.
-        online: dict[int, int] = {}
+        # Session-scoped capacity: overlapping logins of the same
+        # worker each hold their own grant, and a logout withdraws
+        # only its own session's remaining capacity.
+        ledger = SessionLedger()
 
         def offer_tasks(worker_index: int, time: float) -> None:
             """Give an online worker their best open instances."""
-            capacity = online.get(worker_index, 0)
+            capacity = ledger.capacity(worker_index)
             if capacity <= 0:
                 return
             scored = []
@@ -220,7 +239,7 @@ class EventSimulation:
                 :capacity
             ]:
                 del open_tasks[instance_id]
-                online[worker_index] -= 1
+                ledger.consume(worker_index, 1)
                 result.assignments.append((time, worker_index, task_index))
                 result.combined_benefit += benefit
                 result.requester_benefit += float(
@@ -234,47 +253,97 @@ class EventSimulation:
                     EventLogEntry(time, "assigned", task_index,
                                   f"worker={worker_index}")
                 )
-            if online.get(worker_index, 0) <= 0:
-                online.pop(worker_index, None)
 
+        def on_posted(event: TaskPosted) -> None:
+            open_tasks[event.instance_id] = (event.task_index, event.time)
+            result.posted_tasks += 1
+            result.log.append(
+                EventLogEntry(event.time, event.kind, event.task_index)
+            )
+            heapq.heappush(
+                heap,
+                (event.time + config.deadline, next(counter),
+                 "task-deadline", event.instance_id),
+            )
+            # A newly posted task may suit an already-online worker.
+            for worker_index in ledger.online():
+                offer_tasks(worker_index, event.time)
+
+        def on_deadline(event: TaskExpired) -> None:
+            if event.instance_id in open_tasks:
+                del open_tasks[event.instance_id]
+                result.expired_tasks += 1
+                result.log.append(
+                    EventLogEntry(
+                        event.time, event.kind, event.instance_id, "expired"
+                    )
+                )
+
+        def on_login(event: WorkerLogin) -> None:
+            worker = self.market.workers[event.worker_index]
+            if not worker.active:
+                # Inactive logins must leave a trace: a silently
+                # dropped event is indistinguishable from a lost one.
+                result.log.append(
+                    EventLogEntry(
+                        event.time, event.kind, event.worker_index, "skipped"
+                    )
+                )
+                return
+            session_id = ledger.login(
+                event.worker_index,
+                worker.capacity,
+                expires_at=event.time + config.session_length,
+            )
+            result.log.append(
+                EventLogEntry(event.time, event.kind, event.worker_index)
+            )
+            heapq.heappush(
+                heap,
+                (event.time + config.session_length, next(counter),
+                 "worker-logout", session_id),
+            )
+            offer_tasks(event.worker_index, event.time)
+
+        def on_logout(event: WorkerLogout) -> None:
+            ledger.logout(event.session_id)
+            result.log.append(
+                EventLogEntry(event.time, event.kind, event.worker_index)
+            )
+
+        bus.subscribe("task-posted", on_posted)
+        bus.subscribe("task-deadline", on_deadline)
+        bus.subscribe("worker-login", on_login)
+        bus.subscribe("worker-logout", on_logout)
+
+        # The heap is just the clock: pop, translate to a typed event,
+        # publish.  All simulation logic lives in the bus handlers.
         while heap:
             time, _tie, kind, entity = heapq.heappop(heap)
             if time >= config.horizon:
                 break
             if kind == "task-posted":
-                instance_id = next(instance_counter)
-                open_tasks[instance_id] = (entity, time)
-                result.posted_tasks += 1
-                result.log.append(EventLogEntry(time, kind, entity))
-                heapq.heappush(
-                    heap,
-                    (time + config.deadline, next(counter),
-                     "task-deadline", instance_id),
-                )
-                # A newly posted task may suit an already-online worker.
-                for worker_index in list(online):
-                    offer_tasks(worker_index, time)
-            elif kind == "task-deadline":
-                if entity in open_tasks:
-                    del open_tasks[entity]
-                    expired.add(entity)
-                    result.expired_tasks += 1
-                    result.log.append(
-                        EventLogEntry(time, kind, entity, "expired")
+                bus.publish(
+                    TaskPosted(
+                        time=time,
+                        task_index=entity,
+                        instance_id=next(instance_counter),
                     )
-            elif kind == "worker-login":
-                worker = self.market.workers[entity]
-                if not worker.active:
-                    continue
-                online[entity] = online.get(entity, 0) + worker.capacity
-                result.log.append(EventLogEntry(time, kind, entity))
-                heapq.heappush(
-                    heap,
-                    (time + config.session_length, next(counter),
-                     "worker-logout", entity),
                 )
-                offer_tasks(entity, time)
+            elif kind == "task-deadline":
+                bus.publish(TaskExpired(time=time, instance_id=entity))
+            elif kind == "worker-login":
+                bus.publish(
+                    WorkerLogin(time=time, worker_index=entity, session_id=-1)
+                )
             elif kind == "worker-logout":
-                online.pop(entity, None)
-                result.log.append(EventLogEntry(time, kind, entity))
+                # Logout heap entries carry the *session* id.
+                owner = ledger.session_worker(entity)
+                bus.publish(
+                    WorkerLogout(
+                        time=time,
+                        session_id=entity,
+                        worker_index=-1 if owner is None else owner,
+                    )
+                )
         return result

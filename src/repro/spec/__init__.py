@@ -27,9 +27,11 @@ from __future__ import annotations
 
 from repro.spec.compile import (
     CheckResult,
+    CompiledStream,
     SpecError,
     check_spec,
     compile_spec,
+    compile_stream,
     dump_spec,
     load_spec,
     normalize,
@@ -68,6 +70,7 @@ __all__ = [
     "SCENARIO_KNOBS",
     "SPEC_SCHEMA_VERSION",
     "CheckResult",
+    "CompiledStream",
     "Constraint",
     "Domain",
     "DroppedPoint",
@@ -81,6 +84,7 @@ __all__ = [
     "check_spec",
     "cli_flag_map",
     "compile_spec",
+    "compile_stream",
     "defaults",
     "dump_spec",
     "expand",

@@ -465,6 +465,73 @@ def compile_spec(
     )
 
 
+@dataclass(frozen=True)
+class CompiledStream:
+    """A checked spec compiled for the streaming dispatch service.
+
+    ``scenario`` is populated only when ``stream.policy = "round"`` —
+    it is the engine scenario the dispatcher delegates to, built by
+    :func:`compile_spec` on the same source so round mode through the
+    stream CLI is bit-identical to ``simulate`` on that spec.
+    """
+
+    market: object
+    config: object
+    combiner: object
+    scenario: object | None = None
+
+
+def compile_stream(
+    source, view: RegistryView | None = None
+) -> CompiledStream:
+    """Compile a checked spec into streaming-dispatch inputs.
+
+    Reads the ``[market]`` knobs for the population, ``[stream]`` for
+    the :class:`~repro.stream.dispatch.DispatchConfig`, and the shared
+    ``[scenario]`` combiner/lam (and, in round mode, the full scenario
+    via :func:`compile_spec`).
+    """
+    result = check_spec(source, view=view)
+    if not result.ok:
+        name = source if isinstance(source, (str, Path)) else "spec"
+        raise SpecError(result, source=str(name))
+    spec = result.spec
+    assert spec is not None
+
+    from repro.benefit.mutual import make_combiner
+    from repro.datagen.traces import workload_registry
+    from repro.stream.dispatch import DispatchConfig
+
+    workload = workload_registry()[str(spec["market.workload"])]
+    market = workload(
+        int(spec["market.workers"]),  # type: ignore[arg-type]
+        int(spec["market.tasks"]),  # type: ignore[arg-type]
+        seed=int(spec["market.seed"]),  # type: ignore[arg-type]
+    )
+    config = DispatchConfig(
+        policy=str(spec["stream.policy"]),
+        task_rate=float(spec["stream.task_rate"]),  # type: ignore[arg-type]
+        worker_rate=float(spec["stream.worker_rate"]),  # type: ignore[arg-type]
+        deadline=float(spec["stream.deadline"]),  # type: ignore[arg-type]
+        session_length=float(spec["stream.session_length"]),  # type: ignore[arg-type]
+        batch_window=float(spec["stream.batch_window"]),  # type: ignore[arg-type]
+        sample_fraction=float(spec["stream.sample_fraction"]),  # type: ignore[arg-type]
+        max_open_tasks=int(spec["stream.max_open_tasks"]),  # type: ignore[arg-type]
+        writer_batch=int(spec["stream.writer_batch"]),  # type: ignore[arg-type]
+        round_solver=str(spec["scenario.solver"]),
+        round_rounds=int(spec["stream.round_rounds"]),  # type: ignore[arg-type]
+    )
+    combiner = make_combiner(
+        str(spec["scenario.combiner"]), float(spec["scenario.lam"])  # type: ignore[arg-type]
+    )
+    scenario = None
+    if config.policy == "round":
+        scenario = compile_spec(spec, view=view)
+    return CompiledStream(
+        market=market, config=config, combiner=combiner, scenario=scenario
+    )
+
+
 def _wrap_solver(spec: NormalizedSpec) -> tuple[str, dict]:
     """Apply the ``[sharding]`` wrappers to the configured solver.
 

@@ -353,6 +353,36 @@ def _sharding_base_supported(spec: NormalizedSpec, view: RegistryView):
     return None
 
 
+def _batch_window_needs_micro_batch(
+    spec: NormalizedSpec, view: RegistryView
+):
+    if not spec.is_set("stream.batch_window"):
+        return None
+    if str(spec["stream.policy"]) == "micro-batch":
+        return None
+    return (
+        f"stream.batch_window is set but stream.policy is "
+        f"{spec['stream.policy']!r} — only the micro-batch policy "
+        "flushes windows, so the knob would be silently ignored; "
+        "set stream.policy = 'micro-batch' or drop the knob"
+    )
+
+
+def _sample_fraction_needs_sample_price(
+    spec: NormalizedSpec, view: RegistryView
+):
+    if not spec.is_set("stream.sample_fraction"):
+        return None
+    if str(spec["stream.policy"]) == "sample-price":
+        return None
+    return (
+        f"stream.sample_fraction is set but stream.policy is "
+        f"{spec['stream.policy']!r} — only the sample-price policy "
+        "calibrates on a sample, so the knob would be silently "
+        "ignored; set stream.policy = 'sample-price' or drop the knob"
+    )
+
+
 def _estimator_without_gold(spec: NormalizedSpec, view: RegistryView):
     if not spec["estimator.enabled"]:
         return None
@@ -450,6 +480,18 @@ CONSTRAINTS: tuple[Constraint, ...] = (
         ),
         summary="sharding/warm wrappers support specific base solvers",
         check=_sharding_base_supported,
+    ),
+    Constraint(
+        id="C211",
+        knobs=("stream.batch_window", "stream.policy"),
+        summary="batch_window only configures the micro-batch policy",
+        check=_batch_window_needs_micro_batch,
+    ),
+    Constraint(
+        id="C212",
+        knobs=("stream.sample_fraction", "stream.policy"),
+        summary="sample_fraction only configures the sample-price policy",
+        check=_sample_fraction_needs_sample_price,
     ),
     Constraint(
         id="W301",

@@ -532,6 +532,96 @@ SCENARIO_KNOBS: tuple[Knob, ...] = (
             "delta-solves)"
         ),
     ),
+    # -- streaming dispatch ----------------------------------------------
+    # These knobs have no scenario_field: ``python -m repro stream``
+    # compiles them into a DispatchConfig for repro.stream, not into
+    # the round engine's Scenario (round mode builds a Scenario from
+    # stream.round_* plus the shared [scenario] knobs).
+    Knob(
+        name="stream.policy",
+        type="str",
+        default="greedy",
+        domain=Domain(
+            kind="choice",
+            choices=("greedy", "sample-price", "micro-batch", "round"),
+        ),
+        description=(
+            "dispatch policy: arrival-instant greedy, sample-and-"
+            "price, warm-started micro-batch re-solves, or round-"
+            "engine delegation"
+        ),
+    ),
+    Knob(
+        name="stream.task_rate",
+        type="float",
+        default=4.0,
+        domain=POSITIVE,
+        description="Poisson task-posting rate (tasks per time unit)",
+    ),
+    Knob(
+        name="stream.worker_rate",
+        type="float",
+        default=1.0,
+        domain=POSITIVE,
+        description="Poisson worker-login rate (logins per time unit)",
+    ),
+    Knob(
+        name="stream.deadline",
+        type="float",
+        default=10.0,
+        domain=POSITIVE,
+        description="time a posted task stays open before expiring",
+    ),
+    Knob(
+        name="stream.session_length",
+        type="float",
+        default=5.0,
+        domain=POSITIVE,
+        description="duration of each worker login session",
+    ),
+    Knob(
+        name="stream.batch_window",
+        type="float",
+        default=1.0,
+        domain=POSITIVE,
+        description=(
+            "micro-batch flush period (micro-batch policy only)"
+        ),
+    ),
+    Knob(
+        name="stream.sample_fraction",
+        type="float",
+        default=0.2,
+        domain=UNIT_INTERVAL,
+        description=(
+            "fraction of worker arrivals forming the price-"
+            "calibration sample (sample-price policy only)"
+        ),
+    ),
+    Knob(
+        name="stream.max_open_tasks",
+        type="int",
+        default=0,
+        domain=NON_NEGATIVE,
+        description=(
+            "backpressure bound on the open-task queue; arrivals "
+            "beyond it are dropped and counted (0 = unbounded)"
+        ),
+    ),
+    Knob(
+        name="stream.writer_batch",
+        type="int",
+        default=256,
+        domain=AT_LEAST_ONE,
+        description="assignment-record writer flush batch size",
+    ),
+    Knob(
+        name="stream.round_rounds",
+        type="int",
+        default=10,
+        domain=AT_LEAST_ONE,
+        description="round count when policy = 'round'",
+    ),
 )
 
 #: Name -> knob, the lookup every consumer uses.

@@ -1,0 +1,103 @@
+"""Typed events flowing through the streaming dispatch bus.
+
+Every event is a small frozen dataclass with a class-level ``kind``
+string — the bus routes on ``kind``, handlers read the typed fields.
+The same vocabulary serves both the continuous dispatcher
+(:mod:`repro.stream.dispatch`) and the discrete-event simulator
+(:mod:`repro.sim.events`), which publishes these events instead of
+branching on raw heap tuples.
+
+Time semantics: ``time`` is simulated market time (the arrival
+process's clock), never wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """Base event: everything that happens, happens at a time."""
+
+    kind: ClassVar[str] = "event"
+
+    time: float
+
+
+@dataclass(frozen=True)
+class TaskPosted(StreamEvent):
+    """A task instance entered the open pool.
+
+    ``instance_id`` distinguishes repeated postings of the same task
+    index (the discrete-event simulator samples with replacement); the
+    continuous dispatcher posts each task exactly once and uses the
+    task index itself as the instance id.
+    """
+
+    kind: ClassVar[str] = "task-posted"
+
+    task_index: int
+    instance_id: int
+
+
+@dataclass(frozen=True)
+class TaskExpired(StreamEvent):
+    """An open task instance hit its deadline unassigned."""
+
+    kind: ClassVar[str] = "task-deadline"
+
+    instance_id: int
+
+
+@dataclass(frozen=True)
+class WorkerLogin(StreamEvent):
+    """A worker session began; its capacity grant is session-scoped."""
+
+    kind: ClassVar[str] = "worker-login"
+
+    worker_index: int
+    session_id: int
+
+
+@dataclass(frozen=True)
+class WorkerLogout(StreamEvent):
+    """A worker session ended.
+
+    Keyed by ``session_id``, not worker index: with overlapping
+    sessions only *this* session's remaining capacity grant is
+    withdrawn (the bug the session ledger exists to prevent).
+    """
+
+    kind: ClassVar[str] = "worker-logout"
+
+    session_id: int
+    worker_index: int
+
+
+@dataclass(frozen=True)
+class WindowFlush(StreamEvent):
+    """A micro-batch window boundary: time to re-solve the window."""
+
+    kind: ClassVar[str] = "window-flush"
+
+    window_index: int
+
+
+@dataclass(frozen=True)
+class AssignmentEmitted(StreamEvent):
+    """A (worker, task) edge was committed by the dispatch policy."""
+
+    kind: ClassVar[str] = "assignment"
+
+    worker_index: int
+    task_index: int
+    instance_id: int
+    benefit: float
+    posted_at: float
+
+    @property
+    def wait(self) -> float:
+        """Time-to-assignment: how long the task queued."""
+        return self.time - self.posted_at

@@ -1,0 +1,133 @@
+"""Backpressure and latency metrics for the streaming dispatcher.
+
+Two layers of observability, deliberately redundant:
+
+* **obs** — the dispatcher publishes ``stream.*`` counters, gauges,
+  and histograms through :mod:`repro.obs` so traced runs carry the
+  queueing story in the standard trace/report format (and the bench
+  harness ships them inside ``BENCH_*.json``).
+* **StreamResult** — an in-process summary with *exact* latency
+  percentiles.  The obs histogram summary only tracks
+  count/total/min/max (by design — it is O(1) per observation); the
+  dispatcher therefore keeps the raw time-to-assignment samples here
+  and publishes p50/p95/p99 as obs *gauges* at run end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+#: Percentiles published as ``stream.latency.p*`` gauges.
+LATENCY_PERCENTILES: tuple[int, ...] = (50, 95, 99)
+
+
+@dataclass(frozen=True)
+class AssignmentRecord:
+    """One emitted (worker, task) edge, as the writer serializes it."""
+
+    time: float
+    worker_index: int
+    task_index: int
+    benefit: float
+    wait: float
+
+    def to_dict(self) -> dict:
+        return {
+            "time": self.time,
+            "worker": self.worker_index,
+            "task": self.task_index,
+            "benefit": self.benefit,
+            "wait": self.wait,
+        }
+
+
+class LatencyReservoir:
+    """Exact latency sample store with percentile queries.
+
+    Bounded by the number of assignments (one float each), which the
+    population size bounds in turn — at the 10^5-entity bench scale
+    that is under a megabyte, far cheaper than getting approximate
+    quantiles wrong.
+    """
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self._samples.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100); NaN with no samples."""
+        if not 0.0 <= q <= 100.0:
+            raise ValidationError(
+                f"percentile must lie in [0, 100], got {q}"
+            )
+        if not self._samples:
+            return float("nan")
+        return float(np.percentile(np.asarray(self._samples), q))
+
+    def summary(self) -> dict[str, float]:
+        """count/mean/max plus the standard percentile ladder."""
+        if not self._samples:
+            return {"count": 0.0}
+        values = np.asarray(self._samples)
+        out = {
+            "count": float(values.size),
+            "mean": float(values.mean()),
+            "max": float(values.max()),
+        }
+        for q in LATENCY_PERCENTILES:
+            out[f"p{q}"] = float(np.percentile(values, q))
+        return out
+
+
+@dataclass
+class StreamResult:
+    """Aggregate outcome of one streaming dispatch run."""
+
+    policy: str = ""
+    records: list[AssignmentRecord] = field(default_factory=list)
+    posted_tasks: int = 0
+    expired_tasks: int = 0
+    dropped_tasks: int = 0
+    logins: int = 0
+    logouts: int = 0
+    skipped_logins: int = 0
+    combined_benefit: float = 0.0
+    max_queue_depth: int = 0
+    #: Simulated clock value when the run ended.
+    end_time: float = 0.0
+    #: Wall-clock seconds the dispatch loop took (set by ``run``).
+    wall_time: float = 0.0
+    latency: LatencyReservoir = field(default_factory=LatencyReservoir)
+    #: Round-mode only: the delegated engine's full result, kept so
+    #: bit-identity against a direct engine run is checkable.
+    round_result: object | None = None
+
+    @property
+    def assignments(self) -> int:
+        return len(self.records)
+
+    @property
+    def fill_rate(self) -> float:
+        """Fraction of posted tasks assigned before their deadline."""
+        if self.posted_tasks == 0:
+            return 0.0
+        return len(self.records) / self.posted_tasks
+
+    @property
+    def assignments_per_second(self) -> float:
+        """Wall-clock emission throughput; NaN before timing is set."""
+        if self.wall_time <= 0.0:
+            return float("nan")
+        return len(self.records) / self.wall_time
+
+    def latency_summary(self) -> dict[str, float]:
+        return self.latency.summary()

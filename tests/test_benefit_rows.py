@@ -1,0 +1,108 @@
+"""RowwiseBenefit slices must be bit-identical to the full matrices."""
+
+import numpy as np
+
+from repro.benefit import (
+    LinearCombiner,
+    NetRewardBenefit,
+    RowwiseBenefit,
+    build_benefit_matrices,
+)
+from repro.datagen.synthetic import SyntheticConfig, generate_market
+from repro.market.wage import WageModel
+
+
+def _market(seed=0, **kwargs):
+    defaults = dict(n_workers=25, n_tasks=14)
+    defaults.update(kwargs)
+    return generate_market(SyntheticConfig(**defaults), seed=seed)
+
+
+class _QuadraticCost(WageModel):
+    """A wage model outside the vectorized fast path."""
+
+    def cost(self, worker, task):
+        return 0.1 * task.effort**2
+
+
+class TestFastPath:
+    def test_every_row_matches_full_matrix(self):
+        market = _market()
+        rows = RowwiseBenefit(market)
+        matrices = build_benefit_matrices(market)
+        tasks = np.arange(market.n_tasks)
+        for wi in range(market.n_workers):
+            assert np.array_equal(
+                rows.row(wi, tasks), matrices.combined[wi]
+            )
+
+    def test_every_column_matches_full_matrix(self):
+        market = _market()
+        rows = RowwiseBenefit(market)
+        matrices = build_benefit_matrices(market)
+        workers = np.arange(market.n_workers)
+        for tj in range(market.n_tasks):
+            assert np.array_equal(
+                rows.column(tj, workers), matrices.combined[:, tj]
+            )
+
+    def test_subset_slices(self):
+        market = _market(seed=3)
+        rows = RowwiseBenefit(market)
+        matrices = build_benefit_matrices(market)
+        tasks = np.array([4, 1, 9])
+        assert np.array_equal(
+            rows.row(2, tasks), matrices.combined[2, tasks]
+        )
+        workers = np.array([7, 0, 11])
+        assert np.array_equal(
+            rows.column(5, workers), matrices.combined[workers, 5]
+        )
+
+    def test_side_rows_match_per_side_matrices(self):
+        market = _market(seed=1)
+        rows = RowwiseBenefit(market)
+        matrices = build_benefit_matrices(market)
+        tasks = np.arange(market.n_tasks)
+        for wi in range(market.n_workers):
+            req, wrk = rows.side_row(wi, tasks)
+            assert np.array_equal(req, matrices.requester[wi])
+            assert np.array_equal(wrk, matrices.worker[wi])
+
+    def test_edge_scalar(self):
+        market = _market()
+        rows = RowwiseBenefit(market)
+        matrices = build_benefit_matrices(market)
+        assert rows.edge(3, 5) == float(matrices.combined[3, 5])
+
+    def test_empty_selection(self):
+        rows = RowwiseBenefit(_market())
+        assert rows.row(0, np.zeros(0, dtype=np.int64)).size == 0
+        assert rows.column(0, np.zeros(0, dtype=np.int64)).size == 0
+
+    def test_nondefault_combiner(self):
+        market = _market(seed=2)
+        combiner = LinearCombiner(0.8)
+        rows = RowwiseBenefit(market, combiner=combiner)
+        matrices = build_benefit_matrices(market, combiner=combiner)
+        tasks = np.arange(market.n_tasks)
+        assert np.array_equal(rows.row(0, tasks), matrices.combined[0])
+
+
+class TestFallbackPath:
+    def test_custom_wage_model_goes_exact_via_subset(self):
+        market = _market(seed=4)
+        worker_model = NetRewardBenefit(wage_model=_QuadraticCost())
+        rows = RowwiseBenefit(market, worker_model=worker_model)
+        assert not rows._fast
+        matrices = build_benefit_matrices(market, worker_model=worker_model)
+        tasks = np.arange(market.n_tasks)
+        workers = np.arange(market.n_workers)
+        for wi in range(market.n_workers):
+            assert np.allclose(
+                rows.row(wi, tasks), matrices.combined[wi]
+            )
+        for tj in range(market.n_tasks):
+            assert np.allclose(
+                rows.column(tj, workers), matrices.combined[:, tj]
+            )

@@ -240,6 +240,86 @@ class TestEvents:
         assert "combined benefit" in out
 
 
+class TestStream:
+    SPEC = """\
+schema = "repro-spec/1"
+
+[market]
+workload = "synthetic-uniform"
+workers = 25
+tasks = 20
+seed = 0
+
+[stream]
+policy = "greedy"
+task_rate = 8.0
+worker_rate = 3.0
+deadline = 4.0
+session_length = 3.0
+"""
+
+    @pytest.fixture
+    def spec_path(self, tmp_path):
+        path = tmp_path / "stream.toml"
+        path.write_text(self.SPEC)
+        return path
+
+    def test_stream_prints_summary(self, spec_path, capsys):
+        code = main(["stream", str(spec_path), "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "posted" in out
+        assert "time-to-assignment" in out
+
+    def test_stream_writes_batched_records(
+        self, spec_path, tmp_path, capsys
+    ):
+        output = tmp_path / "records.jsonl"
+        code = main([
+            "stream", str(spec_path), "--seed", "3",
+            "--output", str(output),
+        ])
+        assert code == 0
+        rows = [
+            json.loads(line) for line in output.read_text().splitlines()
+        ]
+        assert rows
+        assert {"time", "worker", "task", "benefit", "wait"} <= set(
+            rows[0]
+        )
+
+    def test_stream_round_mode(self, tmp_path, capsys):
+        path = tmp_path / "round.toml"
+        path.write_text(
+            self.SPEC.replace('policy = "greedy"', 'policy = "round"')
+            + "round_rounds = 2\n"
+        )
+        code = main(["stream", str(path), "--seed", "1"])
+        assert code == 0
+        assert "rounds" in capsys.readouterr().out
+
+    def test_stream_traced_run_exports_valid_trace(
+        self, spec_path, tmp_path, capsys
+    ):
+        trace = tmp_path / "trace.jsonl"
+        code = main([
+            "stream", str(spec_path), "--seed", "3",
+            "--trace", str(trace),
+        ])
+        assert code == 0
+        assert trace.exists()
+        assert main(["trace", str(trace)]) == 0
+
+    def test_stream_invalid_spec_rejected(self, tmp_path, capsys):
+        path = tmp_path / "bad.toml"
+        path.write_text(
+            self.SPEC + 'sample_fraction = 0.4\n'
+        )
+        code = main(["stream", str(path)])
+        assert code != 0
+        assert "C212" in capsys.readouterr().err
+
+
 class TestErrors:
     def test_missing_market_file_is_handled(self, capsys, tmp_path):
         # load_market raises FileNotFoundError (not ReproError); the

@@ -69,3 +69,19 @@ class TestTraceArrivals:
     def test_times_length_mismatch(self):
         with pytest.raises(ValidationError):
             TraceArrivals([0, 1], times=[1.0])
+
+    def test_numpy_trace_yields_builtin_types(self):
+        """Regression: a numpy-sourced trace leaked np.int64/np.float64
+        into ``Arrival``, breaking JSON export of recorded streams."""
+        import json
+
+        import numpy as np
+
+        order = np.array([2, 0, 1], dtype=np.int64)
+        times = np.array([0.5, 1.5, 2.5])
+        stream = list(TraceArrivals(order, times=times).stream(3))
+        for arrival in stream:
+            assert type(arrival.index) is int
+            assert type(arrival.time) is float
+        # np.int64 is not JSON-serializable; builtin ints/floats are.
+        json.dumps([[a.index, a.time] for a in stream])

@@ -154,3 +154,46 @@ class TestTwoPhase:
         )
         lefts = [l for l, _r in matches]
         assert len(lefts) == len(set(lefts))
+
+
+class TestTwoPhasePhantomSlots:
+    """Regression: pricing slots for rights with no remaining capacity.
+
+    Phase-2 pricing used to build ``max(remaining[right], 1)`` slots
+    per right vertex, so a vertex exhausted during the sample still
+    got a phantom slot.  The phantom absorbed sample rows that should
+    have priced the *live* vertices, leaving them underpriced and open
+    to exactly the low-value grabs the prices exist to refuse.
+    """
+
+    def test_exhausted_vertex_does_not_leak_a_slot(self):
+        # Sample (workers 0, 1): worker 0 takes right 0 greedily, so
+        # right 0 is exhausted going into pricing.  With phantom slots
+        # the optimal sample assignment put worker 0 (weight 10) on
+        # the phantom and worker 1 (weight 0) on right 1, pricing
+        # right 1 at 0 — so worker 2's weak 0.5 edge got accepted.
+        # Correct pricing assigns worker 0's observed w(0,1)=1 to the
+        # only live slot, and 0.5 < 1 is refused.
+        matrix = np.array([[10.0, 1.0], [8.5, 0.0], [8.0, 0.5]])
+        matches = two_phase_matching(
+            [0, 1, 2], 2, _weight_fn(matrix), sample_fraction=0.67
+        )
+        assert matches == [(0, 0)]
+
+    def test_zero_capacity_vertex_never_priced_or_matched(self):
+        matrix = np.array([[5.0, 9.0], [4.0, 8.0]])
+        matches = two_phase_matching(
+            [0, 1], 2, _weight_fn(matrix),
+            right_capacities=[1, 0], sample_fraction=0.5,
+        )
+        assert all(right != 1 for _left, right in matches)
+        assert matches == [(0, 0)]
+
+    def test_all_capacity_consumed_in_sample_is_safe(self):
+        # Every right vertex exhausted during the sample: pricing has
+        # zero slots and must not build a phantom assignment problem.
+        matrix = np.array([[3.0], [2.0], [1.0]])
+        matches = two_phase_matching(
+            [0, 1, 2], 1, _weight_fn(matrix), sample_fraction=0.34
+        )
+        assert matches == [(0, 0)]

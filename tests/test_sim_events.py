@@ -151,3 +151,82 @@ class TestThresholdPolicy:
     def test_greedy_threshold_is_zero(self):
         sim = EventSimulation(_market(), EventSimConfig(policy="greedy"))
         assert sim._acceptance_threshold(3.0, 0.0) == 0.0
+
+
+class TestOverlappingSessions:
+    """Regression: overlapping logins of the same worker.
+
+    The old accounting kept one flat ``worker -> capacity`` dict and
+    logged out with ``pop(worker, None)``, so when a worker logged in
+    again before their first session ended, the *first* logout
+    destroyed the capacity the *second* login had granted.  The
+    session ledger scopes each grant to its own session.
+    """
+
+    def _scripted_sim(self):
+        market = _market(seed=0, n_workers=3, n_tasks=3)
+        sim = EventSimulation(
+            market,
+            EventSimConfig(
+                horizon=20.0, session_length=5.0, deadline=4.0
+            ),
+        )
+        # Worker 0's best task, guaranteed assignable.
+        task = int(np.argmax(sim.benefits.combined[0]))
+        assert sim.benefits.combined[0, task] > 0
+        # Login at 0.0 (session ends 5.0) and again at 1.0 (ends 6.0);
+        # the task arrives at 5.5 — inside the second session only.
+        sim._schedule_arrivals = lambda rng: [
+            (0.0, 0, "worker-login", 0),
+            (1.0, 1, "worker-login", 0),
+            (5.5, 2, "task-posted", task),
+        ]
+        return sim, task
+
+    def test_second_session_survives_first_logout(self):
+        sim, task = self._scripted_sim()
+        result = sim.run(seed=0)
+        # Before the fix the 5.0 logout wiped all of worker 0's
+        # capacity and the 5.5 posting expired unassigned.
+        assert result.assignments == [(5.5, 0, task)]
+        assert result.expired_tasks == 0
+
+    def test_both_logouts_are_logged(self):
+        sim, _task = self._scripted_sim()
+        result = sim.run(seed=0)
+        logouts = [
+            entry for entry in result.log if entry.kind == "worker-logout"
+        ]
+        assert [entry.time for entry in logouts] == [5.0, 6.0]
+        assert all(entry.entity_id == 0 for entry in logouts)
+
+
+class TestSkippedLoginLogged:
+    """Regression: inactive-worker logins used to vanish without a
+    trace, indistinguishable from a lost event."""
+
+    def test_inactive_login_leaves_skipped_entry(self):
+        market = _market(seed=2, n_workers=2, n_tasks=2)
+        market.workers[0].active = False
+        sim = EventSimulation(market, EventSimConfig(horizon=10.0))
+        sim._schedule_arrivals = lambda rng: [
+            (1.0, 0, "worker-login", 0),
+        ]
+        result = sim.run(seed=0)
+        skipped = [
+            entry for entry in result.log if entry.detail == "skipped"
+        ]
+        assert len(skipped) == 1
+        assert skipped[0].kind == "worker-login"
+        assert skipped[0].entity_id == 0
+        assert skipped[0].time == 1.0
+
+    def test_active_login_has_no_skip_marker(self):
+        result = EventSimulation(
+            _market(), EventSimConfig(horizon=20.0)
+        ).run(seed=3)
+        logins = [
+            entry for entry in result.log if entry.kind == "worker-login"
+        ]
+        assert logins
+        assert all(entry.detail == "" for entry in logins)

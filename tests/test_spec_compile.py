@@ -261,3 +261,62 @@ class TestCommittedCorpus:
         for path in specs:
             result = check_spec(path, view=view)
             assert result.ok, f"{path}: {result.render()}"
+
+
+class TestCompileStream:
+    def test_compiles_market_config_and_combiner(self, view):
+        from repro.spec import compile_stream
+
+        compiled = compile_stream(
+            payload(
+                stream={
+                    "policy": "sample-price",
+                    "task_rate": 7.0,
+                    "sample_fraction": 0.25,
+                }
+            ),
+            view=view,
+        )
+        assert compiled.market.n_workers == 24
+        assert compiled.config.policy == "sample-price"
+        assert compiled.config.task_rate == 7.0
+        assert compiled.config.sample_fraction == 0.25
+        assert isinstance(compiled.combiner, LinearCombiner)
+        # Online policies never compile the full engine scenario.
+        assert compiled.scenario is None
+
+    def test_round_policy_compiles_the_scenario(self, view):
+        from repro.spec import compile_stream
+
+        compiled = compile_stream(
+            payload(
+                scenario={"solver": "greedy", "n_rounds": 2},
+                stream={"policy": "round"},
+            ),
+            view=view,
+        )
+        assert compiled.scenario is not None
+        assert compiled.scenario.solver_name == "greedy"
+        assert compiled.config.round_solver == "greedy"
+
+    def test_invalid_stream_spec_raises(self, view):
+        from repro.spec import compile_stream
+
+        with pytest.raises(SpecError) as excinfo:
+            compile_stream(
+                payload(stream={"batch_window": 2.0}), view=view
+            )
+        assert "C211" in str(excinfo.value)
+
+    def test_compiled_stream_dispatches(self, view):
+        from repro.spec import compile_stream
+        from repro.stream import StreamDispatcher
+
+        compiled = compile_stream(
+            payload(stream={"deadline": 4.0, "session_length": 3.0}),
+            view=view,
+        )
+        result = StreamDispatcher(
+            compiled.market, compiled.config, combiner=compiled.combiner
+        ).run(seed=0)
+        assert result.posted_tasks == 12

@@ -298,6 +298,65 @@ class TestC210ShardingBaseSupported:
         }
 
 
+class TestC211BatchWindowNeedsMicroBatch:
+    def test_fires_on_batch_window_with_other_policy(self, view):
+        result = check_spec(
+            payload(stream={"policy": "greedy", "batch_window": 2.0}),
+            view=view,
+        )
+        assert "C211" in codes(result)
+
+    def test_fires_with_defaulted_policy(self, view):
+        # The default policy is greedy, so an explicit batch_window
+        # alone is still a set-but-ignored knob.
+        result = check_spec(
+            payload(stream={"batch_window": 2.0}), view=view
+        )
+        assert "C211" in codes(result)
+
+    def test_silent_with_micro_batch(self, view):
+        result = check_spec(
+            payload(
+                stream={"policy": "micro-batch", "batch_window": 2.0}
+            ),
+            view=view,
+        )
+        assert "C211" not in codes(result)
+
+    def test_silent_when_unset(self, view):
+        result = check_spec(
+            payload(stream={"policy": "greedy"}), view=view
+        )
+        assert "C211" not in codes(result)
+
+
+class TestC212SampleFractionNeedsSamplePrice:
+    def test_fires_on_sample_fraction_with_other_policy(self, view):
+        result = check_spec(
+            payload(
+                stream={"policy": "micro-batch", "sample_fraction": 0.3}
+            ),
+            view=view,
+        )
+        assert "C212" in codes(result)
+
+    def test_silent_with_sample_price(self, view):
+        result = check_spec(
+            payload(
+                stream={"policy": "sample-price", "sample_fraction": 0.3}
+            ),
+            view=view,
+        )
+        assert "C212" not in codes(result)
+
+    def test_silent_when_unset(self, view):
+        result = check_spec(
+            payload(stream={"policy": "micro-batch", "batch_window": 1.0}),
+            view=view,
+        )
+        assert "C212" not in codes(result)
+
+
 class TestWarnings:
     def test_w301_nonlinear_combiner_with_edge_solver(self, view):
         result = check_spec(

@@ -1,0 +1,66 @@
+"""Tests for the deterministic synchronous event bus."""
+
+import pytest
+
+from repro.stream import EventBus, TaskPosted, WorkerLogin
+
+
+def _posted(time=0.0, task=0):
+    return TaskPosted(time=time, task_index=task, instance_id=task)
+
+
+class TestDelivery:
+    def test_handlers_run_in_subscription_order(self):
+        bus = EventBus()
+        calls = []
+        bus.subscribe("task-posted", lambda e: calls.append("first"))
+        bus.subscribe("task-posted", lambda e: calls.append("second"))
+        bus.subscribe("task-posted", lambda e: calls.append("third"))
+        bus.publish(_posted())
+        assert calls == ["first", "second", "third"]
+
+    def test_routing_by_kind(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("task-posted", lambda e: seen.append(("task", e)))
+        bus.subscribe("worker-login", lambda e: seen.append(("login", e)))
+        event = _posted()
+        bus.publish(event)
+        assert seen == [("task", event)]
+
+    def test_publish_returns_handler_count(self):
+        bus = EventBus()
+        bus.subscribe("task-posted", lambda e: None)
+        bus.subscribe("task-posted", lambda e: None)
+        assert bus.publish(_posted()) == 2
+
+    def test_unsubscribed_kind_is_legal(self):
+        bus = EventBus()
+        assert bus.publish(_posted()) == 0
+
+    def test_counters(self):
+        bus = EventBus()
+        bus.subscribe("task-posted", lambda e: None)
+        bus.subscribe("task-posted", lambda e: None)
+        bus.publish(_posted())
+        bus.publish(WorkerLogin(time=0.0, worker_index=0, session_id=0))
+        assert bus.published == 2
+        assert bus.delivered == 2
+
+    def test_subscribers_query(self):
+        bus = EventBus()
+        assert bus.subscribers("task-posted") == 0
+        bus.subscribe("task-posted", lambda e: None)
+        assert bus.subscribers("task-posted") == 1
+
+
+class TestFailure:
+    def test_handler_exception_propagates(self):
+        bus = EventBus()
+
+        def broken(event):
+            raise RuntimeError("handler failed")
+
+        bus.subscribe("task-posted", broken)
+        with pytest.raises(RuntimeError, match="handler failed"):
+            bus.publish(_posted())

@@ -1,0 +1,68 @@
+"""Tests for stream latency/backpressure metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.stream import AssignmentRecord, LatencyReservoir, StreamResult
+
+
+class TestLatencyReservoir:
+    def test_percentiles_are_exact(self):
+        reservoir = LatencyReservoir()
+        samples = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        for value in samples:
+            reservoir.observe(value)
+        for q in (0, 50, 95, 100):
+            assert reservoir.percentile(q) == pytest.approx(
+                float(np.percentile(np.asarray(samples), q))
+            )
+
+    def test_empty_reservoir_is_nan(self):
+        assert math.isnan(LatencyReservoir().percentile(50))
+
+    def test_summary_keys(self):
+        reservoir = LatencyReservoir()
+        for value in (1.0, 2.0, 3.0):
+            reservoir.observe(value)
+        summary = reservoir.summary()
+        assert summary["count"] == 3.0
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["max"] == 3.0
+        assert {"p50", "p95", "p99"} <= set(summary)
+
+    def test_empty_summary(self):
+        assert LatencyReservoir().summary() == {"count": 0.0}
+
+    def test_len(self):
+        reservoir = LatencyReservoir()
+        reservoir.observe(1.0)
+        assert len(reservoir) == 1
+
+    def test_out_of_range_percentile_raises(self):
+        with pytest.raises(ValidationError):
+            LatencyReservoir().percentile(101)
+
+
+class TestStreamResult:
+    def test_fill_rate(self):
+        result = StreamResult(policy="greedy")
+        result.posted_tasks = 4
+        result.records = [
+            AssignmentRecord(0.0, 0, 0, 1.0, 0.0),
+            AssignmentRecord(1.0, 1, 1, 1.0, 0.5),
+        ]
+        assert result.fill_rate == 0.5
+        assert result.assignments == 2
+
+    def test_fill_rate_with_nothing_posted(self):
+        assert StreamResult().fill_rate == 0.0
+
+    def test_throughput_needs_timing(self):
+        result = StreamResult()
+        result.records = [AssignmentRecord(0.0, 0, 0, 1.0, 0.0)]
+        assert math.isnan(result.assignments_per_second)
+        result.wall_time = 0.5
+        assert result.assignments_per_second == 2.0

@@ -1,0 +1,133 @@
+"""Tests for session-scoped worker capacity accounting."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.stream import SessionLedger
+
+
+class TestLifecycle:
+    def test_login_grants_capacity(self):
+        ledger = SessionLedger()
+        ledger.login(3, capacity=2, expires_at=5.0)
+        assert ledger.capacity(3) == 2
+        assert ledger.online() == [3]
+
+    def test_logout_releases_remaining(self):
+        ledger = SessionLedger()
+        sid = ledger.login(0, capacity=2, expires_at=5.0)
+        assert ledger.logout(sid) == (0, 2)
+        assert ledger.capacity(0) == 0
+        assert ledger.online() == []
+
+    def test_logout_is_idempotent(self):
+        ledger = SessionLedger()
+        sid = ledger.login(0, capacity=1, expires_at=5.0)
+        ledger.logout(sid)
+        assert ledger.logout(sid) == (-1, 0)
+
+    def test_unknown_session_releases_nothing(self):
+        ledger = SessionLedger()
+        assert ledger.logout(99) == (-1, 0)
+
+    def test_negative_capacity_rejected(self):
+        ledger = SessionLedger()
+        with pytest.raises(ValidationError):
+            ledger.login(0, capacity=-1, expires_at=1.0)
+
+    def test_open_sessions_counts_grants(self):
+        ledger = SessionLedger()
+        a = ledger.login(0, capacity=1, expires_at=1.0)
+        ledger.login(1, capacity=1, expires_at=2.0)
+        assert ledger.open_sessions() == 2
+        ledger.logout(a)
+        assert ledger.open_sessions() == 1
+
+    def test_session_worker(self):
+        ledger = SessionLedger()
+        sid = ledger.login(7, capacity=1, expires_at=1.0)
+        assert ledger.session_worker(sid) == 7
+        ledger.logout(sid)
+        assert ledger.session_worker(sid) is None
+
+
+class TestOverlappingSessions:
+    """The bug this ledger exists to fix: a flat ``worker -> capacity``
+    dict whose logout does ``pop(worker)`` lets the *first* logout
+    destroy the capacity the *second* login granted."""
+
+    def test_first_logout_leaves_second_grant(self):
+        ledger = SessionLedger()
+        first = ledger.login(0, capacity=1, expires_at=5.0)
+        ledger.login(0, capacity=1, expires_at=6.0)
+        assert ledger.capacity(0) == 2
+        worker, released = ledger.logout(first)
+        assert (worker, released) == (0, 1)
+        # The second session's grant survives.
+        assert ledger.capacity(0) == 1
+        assert ledger.online() == [0]
+
+    def test_each_logout_withdraws_only_its_own_grant(self):
+        ledger = SessionLedger()
+        a = ledger.login(0, capacity=2, expires_at=5.0)
+        b = ledger.login(0, capacity=3, expires_at=9.0)
+        assert ledger.logout(b) == (0, 3)
+        assert ledger.capacity(0) == 2
+        assert ledger.logout(a) == (0, 2)
+        assert ledger.capacity(0) == 0
+
+
+class TestConsume:
+    def test_earliest_expiring_session_consumed_first(self):
+        ledger = SessionLedger()
+        late = ledger.login(0, capacity=1, expires_at=10.0)
+        early = ledger.login(0, capacity=1, expires_at=2.0)
+        ledger.consume(0, 1)
+        # The soon-to-expire grant is used up; the late one survives.
+        assert ledger.logout(early) == (0, 0)
+        assert ledger.logout(late) == (0, 1)
+
+    def test_consume_spans_sessions(self):
+        ledger = SessionLedger()
+        ledger.login(0, capacity=1, expires_at=1.0)
+        ledger.login(0, capacity=2, expires_at=2.0)
+        ledger.consume(0, 2)
+        assert ledger.capacity(0) == 1
+
+    def test_exhausted_worker_leaves_online_order(self):
+        ledger = SessionLedger()
+        ledger.login(0, capacity=1, expires_at=1.0)
+        ledger.login(1, capacity=1, expires_at=1.0)
+        ledger.consume(0, 1)
+        assert ledger.online() == [1]
+
+    def test_overconsume_raises(self):
+        ledger = SessionLedger()
+        ledger.login(0, capacity=1, expires_at=1.0)
+        with pytest.raises(ValidationError):
+            ledger.consume(0, 2)
+
+    def test_consume_without_session_raises(self):
+        ledger = SessionLedger()
+        with pytest.raises(ValidationError):
+            ledger.consume(0, 1)
+
+    def test_consume_zero_is_noop(self):
+        ledger = SessionLedger()
+        ledger.login(0, capacity=1, expires_at=1.0)
+        ledger.consume(0, 0)
+        assert ledger.capacity(0) == 1
+
+
+class TestOnlineOrder:
+    def test_presence_order_is_first_login_order(self):
+        ledger = SessionLedger()
+        ledger.login(5, capacity=1, expires_at=9.0)
+        ledger.login(2, capacity=1, expires_at=9.0)
+        ledger.login(5, capacity=1, expires_at=9.0)
+        assert ledger.online() == [5, 2]
+
+    def test_zero_capacity_login_not_online(self):
+        ledger = SessionLedger()
+        ledger.login(0, capacity=0, expires_at=1.0)
+        assert ledger.online() == []

@@ -1,0 +1,88 @@
+"""Tests for the batched assignment-record writer."""
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.stream import AssignmentRecord, BatchWriter
+
+
+def _record(task=0):
+    return AssignmentRecord(
+        time=1.5, worker_index=2, task_index=task, benefit=0.7, wait=0.5
+    )
+
+
+def _read_lines(path):
+    with open(path) as handle:
+        return [json.loads(line) for line in handle]
+
+
+class TestBatching:
+    def test_buffers_until_batch_fills(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        writer = BatchWriter(path, batch_size=3)
+        writer.write(_record(0))
+        writer.write(_record(1))
+        assert writer.pending == 2
+        assert not path.exists()
+        writer.write(_record(2))
+        assert writer.pending == 0
+        assert writer.flushes == 1
+        assert [r["task"] for r in _read_lines(path)] == [0, 1, 2]
+        writer.close()
+
+    def test_close_flushes_tail(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        writer = BatchWriter(path, batch_size=100)
+        writer.write(_record(0))
+        writer.close()
+        assert writer.records_written == 1
+        assert len(_read_lines(path)) == 1
+
+    def test_context_manager_closes(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        with BatchWriter(path, batch_size=100) as writer:
+            writer.write(_record(0))
+        assert len(_read_lines(path)) == 1
+
+    def test_flushes_are_appends(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        with BatchWriter(path, batch_size=2) as writer:
+            for task in range(5):
+                writer.write(_record(task))
+        assert [r["task"] for r in _read_lines(path)] == [0, 1, 2, 3, 4]
+
+    def test_record_round_trips_as_json(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        with BatchWriter(path, batch_size=1) as writer:
+            writer.write(_record(4))
+        (row,) = _read_lines(path)
+        assert row == {
+            "time": 1.5,
+            "worker": 2,
+            "task": 4,
+            "benefit": 0.7,
+            "wait": 0.5,
+        }
+
+    def test_empty_flush_writes_nothing(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        writer = BatchWriter(path)
+        assert writer.flush() == 0
+        writer.close()
+        assert writer.flushes == 0
+        assert not path.exists()
+
+
+class TestValidation:
+    def test_write_after_close_raises(self, tmp_path):
+        writer = BatchWriter(tmp_path / "records.jsonl")
+        writer.close()
+        with pytest.raises(ValidationError):
+            writer.write(_record())
+
+    def test_bad_batch_size_raises(self, tmp_path):
+        with pytest.raises(ValidationError):
+            BatchWriter(tmp_path / "records.jsonl", batch_size=0)
