@@ -19,9 +19,13 @@ building a market, ``expand`` enumerates their ``[axes]`` lattice,
 ``schema`` prints the knob catalogue; see ``docs/scenarios.md``),
 ``bench`` (performance suites with baseline regression checks),
 ``trace`` (replay/summarize a JSONL trace exported by a run with
-``--trace``), and ``obs`` (cross-run observability: the run registry,
-``obs diff`` regression detection, and the ``obs report`` HTML
-dashboard; see ``docs/observability.md``).
+``--trace``), ``monitor`` (run a spec under live telemetry and gate
+on its ``[slo]`` burn-rate rules — exit 1 on a page-level alert),
+``profile`` (span-attributed sampling profiler over a bench case;
+``--profile`` also rides on simulate/stream/bench), and ``obs``
+(cross-run observability: the run registry, ``obs diff`` regression
+detection, and the ``obs report`` HTML dashboard; see
+``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -140,6 +144,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--live", action="store_true",
         help="with --trace: stream one span/counter line per round as "
         "it closes, instead of staying silent until the run ends",
+    )
+    simulate.add_argument(
+        "--profile", metavar="PATH",
+        help="sample the run with the span-attributed profiler and "
+        "write collapsed-stack flamegraph lines to PATH",
     )
     _add_register_arguments(simulate)
 
@@ -298,6 +307,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print a progress line as assignment records are emitted "
         "(works with or without --trace)",
     )
+    stream.add_argument(
+        "--profile", metavar="PATH",
+        help="sample the dispatch run with the span-attributed "
+        "profiler and write collapsed-stack flamegraph lines to PATH",
+    )
     _add_register_arguments(stream)
 
     lint = commands.add_parser(
@@ -428,6 +442,65 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-register", action="store_true",
         help="skip archiving this run's trace and the advisory span "
         "diff against the previous run of the same tag",
+    )
+    bench.add_argument(
+        "--profile", metavar="PATH",
+        help="sample the whole bench run with the span-attributed "
+        "profiler and write collapsed-stack flamegraph lines to PATH",
+    )
+
+    monitor = commands.add_parser(
+        "monitor",
+        help="run a spec under live telemetry and gate on its [slo] "
+        "burn-rate rules: exits 1 when any rule pages (see "
+        "docs/observability.md)",
+    )
+    monitor.add_argument(
+        "spec",
+        help="spec file (.toml or .json); [stream] knobs select the "
+        "streaming dispatcher, otherwise the round engine runs",
+    )
+    monitor.add_argument(
+        "--slo", metavar="FILE", default=None,
+        help="TOML/JSON file whose [slo] table overrides the spec's "
+        "own [slo] knobs (shared gate thresholds across specs)",
+    )
+    monitor.add_argument("--seed", type=int, default=0)
+    monitor.add_argument(
+        "--alerts", metavar="PATH", default=None,
+        help="write the JSONL alert log (one line per state "
+        "transition, schema repro-obs-alerts/1) to PATH",
+    )
+
+    profile_cmd = commands.add_parser(
+        "profile",
+        help="run one bench case under the span-attributed sampling "
+        "profiler and write collapsed-stack flamegraph lines "
+        "(flamegraph.pl / speedscope compatible)",
+    )
+    profile_cmd.add_argument(
+        "case", nargs="?", default=None,
+        help="bench case name, e.g. 'flow/n=15' (--list shows names)",
+    )
+    profile_cmd.add_argument(
+        "--list", action="store_true", dest="list_cases",
+        help="list the available case names and exit",
+    )
+    profile_cmd.add_argument(
+        "--output", default="profile.collapsed", metavar="PATH",
+        help="collapsed-stack output path (default: %(default)s)",
+    )
+    profile_cmd.add_argument(
+        "--quick", action="store_true",
+        help="small instances (same sizes as `bench --quick`)",
+    )
+    profile_cmd.add_argument(
+        "--scale", type=float, default=1.0,
+        help="multiply the instance size",
+    )
+    profile_cmd.add_argument(
+        "--interval", type=float, default=obs.DEFAULT_INTERVAL,
+        help="sampling interval in seconds (default: %(default)s)",
     )
 
     trace = commands.add_parser(
@@ -592,6 +665,32 @@ def _finish_trace(
         )
 
 
+def _profiling(args: argparse.Namespace, tracer: obs.Tracer):
+    """A running :class:`~repro.obs.SpanProfiler` context when
+    ``--profile`` was given, else a null context yielding ``None``."""
+    import contextlib
+
+    if not getattr(args, "profile", None):
+        return contextlib.nullcontext(None)
+    return obs.SpanProfiler(tracer=tracer)
+
+
+def _finish_profile(profiler, args: argparse.Namespace) -> None:
+    """Write the ``--profile`` collapsed-stack file and say where the
+    samples landed."""
+    if profiler is None:
+        return
+    path = profiler.write(args.profile)
+    totals = profiler.span_totals()
+    top = sorted(totals.items(), key=lambda item: (-item[1], item[0]))
+    hot = ", ".join(f"{name} ({count})" for name, count in top[:3])
+    print(
+        f"wrote profile ({profiler.n_samples} samples, "
+        f"{len(profiler.samples)} stacks) to {path}"
+        + (f" | hottest spans: {hot}" if hot else "")
+    )
+
+
 def _live_printer(tracer: obs.Tracer):
     """Tracer sink for ``simulate --trace --live``.
 
@@ -669,16 +768,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         seed=args.seed, checkpoint=args.checkpoint, resume=args.resume
     )
     try:
-        if args.trace:
+        if args.trace or args.profile:
             tracer = obs.Tracer()
             if args.live:
                 tracer.sink = _live_printer(tracer)
             with obs.tracing(tracer):
-                result = Simulation(scenario).run(**run_kwargs)
-            _finish_trace(
-                tracer, args, tag="simulate",
-                scenario=f"{args.solver}:{args.market}",
-            )
+                with _profiling(args, tracer) as profiler:
+                    result = Simulation(scenario).run(**run_kwargs)
+            if args.trace:
+                _finish_trace(
+                    tracer, args, tag="simulate",
+                    scenario=f"{args.solver}:{args.market}",
+                )
+            _finish_profile(profiler, args)
         else:
             result = Simulation(scenario).run(**run_kwargs)
     except KeyboardInterrupt:
@@ -935,14 +1037,19 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 )
             )
         on_record = make_on_record(writer)
-        if args.trace:
+        if args.trace or args.profile:
             tracer = obs.Tracer()
             with obs.tracing(tracer):
-                result = dispatcher.run(seed=args.seed, on_record=on_record)
-            _finish_trace(
-                tracer, args, tag="stream",
-                scenario=f"{compiled.config.policy}:{args.spec}",
-            )
+                with _profiling(args, tracer) as profiler:
+                    result = dispatcher.run(
+                        seed=args.seed, on_record=on_record
+                    )
+            if args.trace:
+                _finish_trace(
+                    tracer, args, tag="stream",
+                    scenario=f"{compiled.config.policy}:{args.spec}",
+                )
+            _finish_profile(profiler, args)
         else:
             result = dispatcher.run(seed=args.seed, on_record=on_record)
 
@@ -1152,12 +1259,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     # Overhead is a handful of dict updates per solver call — far
     # below the harness's measurement noise.
     with obs.tracing() as tracer:
-        results = run_cases(
-            suites,
-            only=args.suite,
-            repeats=args.repeats,
-            progress=lambda line: print(f"  running {line}", file=sys.stderr),
-        )
+        with _profiling(args, tracer) as profiler:
+            results = run_cases(
+                suites,
+                only=args.suite,
+                repeats=args.repeats,
+                progress=lambda line: print(
+                    f"  running {line}", file=sys.stderr
+                ),
+            )
+    _finish_profile(profiler, args)
     obs_report = obs.RunReport.from_tracer(tracer).to_dict()
     if args.update_baseline:
         save_baseline(results, args.baseline, tag=args.tag)
@@ -1203,6 +1314,141 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 1
     if regressions and not args.no_fail:
         return 1
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.spec import (
+        check_spec,
+        compile_slo,
+        compile_spec,
+        compile_stream,
+        load_spec,
+    )
+    from repro.spec.constraints import RegistryView
+
+    view = RegistryView.live()
+    payload = load_spec(args.spec)
+    if args.slo:
+        override = load_spec(args.slo)
+        table = override.get("slo")
+        if not isinstance(table, dict) or not table:
+            print(
+                f"error: {args.slo} has no [slo] table to override "
+                "with",
+                file=sys.stderr,
+            )
+            return 2
+        merged = dict(payload.get("slo") or {})
+        merged.update(table)
+        payload = {**payload, "slo": merged}
+    rules, window = compile_slo(payload, view=view)
+    if not rules:
+        print(
+            "error: no [slo] thresholds configured — nothing to "
+            "monitor; set at least one slo.* threshold knob "
+            "(or pass --slo)",
+            file=sys.stderr,
+        )
+        return 2
+    result = check_spec(payload, view=view)
+    assert result.spec is not None  # compile_slo already validated
+    stream_mode = any(
+        name.startswith("stream.") for name in result.spec.explicit
+    )
+
+    # The monitor owns the run, so it installs the store up front:
+    # every scrape site then aggregates into slo.window-wide buckets.
+    tracer = obs.Tracer()
+    tracer.timeseries = obs.TimeseriesStore(window=window)
+    with obs.tracing(tracer):
+        if stream_mode:
+            from repro.stream import StreamDispatcher
+
+            compiled = compile_stream(payload, view=view)
+            StreamDispatcher(
+                compiled.market,
+                compiled.config,
+                combiner=compiled.combiner,
+                scenario=compiled.scenario,
+            ).run(seed=args.seed)
+        else:
+            Simulation(compile_spec(payload, view=view)).run(
+                seed=args.seed
+            )
+
+    monitor = obs.SloMonitor(rules, tracer.timeseries)
+    monitor.run()
+    print(
+        f"{'rule':<16s} {'state':<6s} {'threshold':>10s} "
+        f"{'transitions':>11s}"
+    )
+    for rule in rules:
+        transitions = sum(
+            1 for event in monitor.events if event.rule == rule.name
+        )
+        print(
+            f"{rule.name:<16s} {monitor.states[rule.name]:<6s} "
+            f"{rule.threshold:>10.3f} {transitions:>11d}"
+        )
+    for event in monitor.events:
+        print(
+            f"  [{event.state}] {event.rule} at t={event.time:.2f} "
+            f"value={event.value:.3f} burn short={event.short_burn:.2f} "
+            f"long={event.long_burn:.2f}"
+        )
+    if args.alerts:
+        path = obs.write_alert_log(
+            monitor.events, args.alerts, tag=f"monitor:{args.spec}"
+        )
+        print(f"wrote {len(monitor.events)} alert(s) to {path}")
+    if monitor.paged:
+        print("SLO verdict: PAGE")
+        return 1
+    print(f"SLO verdict: {monitor.worst_state.upper()}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.perf import build_suites
+
+    suites = build_suites(quick=args.quick, scale=args.scale)
+    cases = {
+        case.name: case
+        for suite_cases in suites.values()
+        for case in suite_cases
+    }
+    if args.list_cases:
+        for name in cases:
+            print(name)
+        return 0
+    if args.case is None:
+        print(
+            "error: name a bench case to profile (--list shows names)",
+            file=sys.stderr,
+        )
+        return 2
+    case = cases.get(args.case)
+    if case is None:
+        print(
+            f"error: unknown case {args.case!r}; choose from: "
+            + ", ".join(cases),
+            file=sys.stderr,
+        )
+        return 2
+    tracer = obs.Tracer()
+    profiler = obs.SpanProfiler(tracer=tracer, interval=args.interval)
+    with obs.tracing(tracer):
+        with profiler:
+            with obs.span(
+                "bench.case",
+                name=case.name,
+                suite=case.suite,
+                solver=case.solver,
+            ):
+                case.runner(1)
+    args.profile = args.output  # reuse the shared reporting helper
+    _finish_profile(profiler, args)
     return 0
 
 
@@ -1317,6 +1563,8 @@ def main(argv: list[str] | None = None) -> int:
         "lint": _cmd_lint,
         "spec": _cmd_spec,
         "bench": _cmd_bench,
+        "monitor": _cmd_monitor,
+        "profile": _cmd_profile,
         "trace": _cmd_trace,
         "obs": _cmd_obs,
     }

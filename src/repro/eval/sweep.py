@@ -93,6 +93,14 @@ def _measure_point(
     return point, {
         "spans": [span.to_dict() for span in tracer.spans],
         "metrics": tracer.metrics.snapshot(),
+        # Windowed telemetry scraped inside the worker (e.g. by the
+        # engine's per-round scrape); None when the measure recorded
+        # none.  The parent folds it into its own store on adoption.
+        "timeseries": (
+            tracer.timeseries.to_dict()
+            if tracer.timeseries is not None
+            else None
+        ),
     }
 
 
@@ -291,6 +299,7 @@ def run_sweep(
                         for span in payload["spans"]
                     ],
                     payload["metrics"],
+                    timeseries=payload.get("timeseries"),
                 )
             _record(remaining[index], point)
 

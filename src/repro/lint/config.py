@@ -70,6 +70,10 @@ DEFAULT_DURABLE_WRITE_MODULES: frozenset[str] = frozenset(
         "repro.perf",
         "repro.obs.export",
         "repro.obs.registry",
+        # Alert logs and collapsed-stack profiles are CI artifacts and
+        # monitor-gate evidence; a truncated one reads as "no alerts".
+        "repro.obs.slo",
+        "repro.obs.profile",
         "repro.resilience.runtime",
     }
 )

@@ -51,6 +51,7 @@ from repro.obs.export import (
 )
 from repro.obs.html import render_html
 from repro.obs.metrics import HistogramSummary, Metrics, RunReport
+from repro.obs.profile import DEFAULT_INTERVAL, SpanProfiler
 from repro.obs.registry import (
     DEFAULT_REGISTRY_ROOT,
     RunEntry,
@@ -59,24 +60,44 @@ from repro.obs.registry import (
     current_git_rev,
     resolve_trace,
 )
+from repro.obs.slo import (
+    ALERT_SCHEMA,
+    ALERT_STATES,
+    AlertEvent,
+    SloMonitor,
+    SloRule,
+    default_rules,
+    read_alert_log,
+    write_alert_log,
+)
 from repro.obs.summary import summarize
+from repro.obs.timeseries import TIMESERIES_SCHEMA, TimeseriesStore
 from repro.obs.tracer import SpanRecord, Tracer
 
 __all__ = [
+    "ALERT_SCHEMA",
+    "ALERT_STATES",
     "DEFAULT_DIFF_THRESHOLD",
+    "DEFAULT_INTERVAL",
     "DEFAULT_NOISE_FLOOR",
     "DEFAULT_REGISTRY_ROOT",
+    "TIMESERIES_SCHEMA",
     "TRACE_SCHEMA",
     "WALL_TIME_FIELDS",
+    "AlertEvent",
     "CounterDelta",
     "HistogramSummary",
     "Metrics",
     "RunEntry",
     "RunRegistry",
     "RunReport",
+    "SloMonitor",
+    "SloRule",
     "SpanDelta",
+    "SpanProfiler",
     "SpanRecord",
     "SpanStat",
+    "TimeseriesStore",
     "TraceData",
     "TraceDiff",
     "Tracer",
@@ -84,6 +105,7 @@ __all__ = [
     "content_id",
     "count",
     "current_git_rev",
+    "default_rules",
     "deterministic_events",
     "diff_traces",
     "disable",
@@ -91,7 +113,9 @@ __all__ = [
     "enabled",
     "gauge",
     "observe",
+    "observe_many",
     "qualified_names",
+    "read_alert_log",
     "read_trace",
     "render_diff",
     "render_html",
@@ -100,7 +124,9 @@ __all__ = [
     "span",
     "span_stats",
     "summarize",
+    "timeseries_store",
     "tracing",
+    "write_alert_log",
     "write_trace",
 ]
 
@@ -190,3 +216,32 @@ def observe(name: str, value: float) -> None:
     tracer = _ACTIVE
     if tracer is not None:
         tracer.metrics.observe(name, value)
+
+
+def observe_many(name: str, values) -> None:
+    """Fold a batch of histogram samples (no-op when disabled)."""
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.metrics.observe_many(name, values)
+
+
+def timeseries_store(
+    window: float = 1.0, capacity: int = 512
+) -> TimeseriesStore | None:
+    """Get-or-create the windowed store on the active tracer.
+
+    ``None`` when tracing is disabled — producers guard their scrape
+    with one ``is None`` test, the same near-zero disabled cost as the
+    other helpers.  An existing store is returned as-is (its window
+    wins): whoever owns the run — the monitor CLI, a test — creates
+    the store first to pick the window width, and every scrape site
+    then feeds the same aligned windows.
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return None
+    if tracer.timeseries is None:
+        tracer.timeseries = TimeseriesStore(
+            window=window, capacity=capacity
+        )
+    return tracer.timeseries

@@ -1,16 +1,20 @@
 """JSONL trace export with a stable, validated schema.
 
-A trace file is newline-delimited JSON with three event types::
+A trace file is newline-delimited JSON with four event types::
 
     {"type": "header", "schema": "repro-obs-trace/1", "tag": ...}
     {"type": "span", "index": 0, "parent": null, "depth": 0,
      "name": "round", "tags": {...}, "start": 0.0, "duration": 0.01}
     ...
+    {"type": "timeseries", "schema": "repro-obs-timeseries/1",
+     "window": 1.0, "series": {...}}          # optional, at most one
     {"type": "metrics", "counters": {...}, "gauges": {...},
      "histograms": {...}}
 
 The header is always the first line and the metrics event the last;
-span events appear in span-*enter* order, which is deterministic for a
+runs that scraped live telemetry carry one versioned ``timeseries``
+event just before it (see :mod:`repro.obs.timeseries`).
+Span events appear in span-*enter* order, which is deterministic for a
 seeded run.  Only the fields named in :data:`WALL_TIME_FIELDS` are
 host measurements; every other field of every event is identical
 between two runs of the same seeded workload, which is what
@@ -25,6 +29,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import ValidationError
+from repro.obs.timeseries import TIMESERIES_SCHEMA
 from repro.obs.tracer import SpanRecord, Tracer
 from repro.utils.atomic import atomic_write_text
 
@@ -42,11 +47,17 @@ _SPAN_KEYS = frozenset(
 
 @dataclass
 class TraceData:
-    """A parsed trace file: header + spans + final metric snapshot."""
+    """A parsed trace file: header + spans + final metric snapshot.
+
+    ``timeseries`` holds the optional windowed-telemetry payload
+    (schema ``repro-obs-timeseries/1``) for traces whose run scraped
+    one; ``None`` for traces without live telemetry.
+    """
 
     header: dict
     spans: list[SpanRecord] = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
+    timeseries: dict | None = None
 
     @property
     def tag(self) -> str:
@@ -81,6 +92,16 @@ def write_trace(tracer: Tracer, path: str | Path, tag: str = "run") -> Path:
     for span in tracer.spans:
         lines.append(
             json.dumps({"type": "span", **span.to_dict()}, sort_keys=True)
+        )
+    if tracer.timeseries is not None:
+        # One versioned event, always *before* the final metrics line
+        # so the metrics event stays the trace terminator readers key
+        # truncation detection on.
+        lines.append(
+            json.dumps(
+                {"type": "timeseries", **tracer.timeseries.to_dict()},
+                sort_keys=True,
+            )
         )
     lines.append(
         json.dumps(
@@ -170,6 +191,7 @@ def read_trace(path: str | Path) -> TraceData:
         )
     spans: list[SpanRecord] = []
     metrics: dict = {}
+    timeseries: dict | None = None
     saw_metrics = False
     for line_number, line in enumerate(lines[1:], start=2):
         event = _parse_line(line_number, line)
@@ -181,6 +203,23 @@ def read_trace(path: str | Path) -> TraceData:
             )
         if kind == "span":
             spans.append(_validate_span(line_number, event))
+        elif kind == "timeseries":
+            if timeseries is not None:
+                raise ValidationError(
+                    f"trace line {line_number}: duplicate timeseries "
+                    "event"
+                )
+            schema = event.get("schema")
+            if schema != TIMESERIES_SCHEMA:
+                raise ValidationError(
+                    f"trace line {line_number}: timeseries schema "
+                    f"{schema!r}, expected {TIMESERIES_SCHEMA!r}"
+                )
+            timeseries = {
+                key: value
+                for key, value in event.items()
+                if key != "type"
+            }
         elif kind == "metrics":
             metrics = {
                 key: value
@@ -207,7 +246,12 @@ def read_trace(path: str | Path) -> TraceData:
                 f"{path}: span {span.index} references parent "
                 f"{span.parent}, which is not an earlier span"
             )
-    return TraceData(header=header, spans=spans, metrics=metrics)
+    return TraceData(
+        header=header,
+        spans=spans,
+        metrics=metrics,
+        timeseries=timeseries,
+    )
 
 
 def deterministic_events(trace: TraceData) -> list[dict]:

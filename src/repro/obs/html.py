@@ -18,6 +18,10 @@ Four views:
   flat index/parent/depth records;
 * **sparklines** — per-round series (round duration, per-stage
   durations) plus the counter/gauge/histogram totals table;
+* **windowed telemetry** — when the trace carries a
+  ``repro-obs-timeseries/1`` payload, one sparkline per series charted
+  at its SLO-relevant aggregate (counter rates, gauge last, sample
+  p95);
 * **diff table** — when a baseline is supplied, the side-by-side
   span/counter comparison with regressions flagged by icon + label.
 
@@ -35,6 +39,7 @@ from html import escape
 
 from repro.obs.diff import TraceDiff, _fmt_ratio, span_stats
 from repro.obs.export import TraceData
+from repro.obs.timeseries import TimeseriesStore
 
 #: Categorical slots (light / dark), fixed assignment order.
 _SERIES_LIGHT = (
@@ -429,6 +434,52 @@ def _counters_section(trace: TraceData, order: dict[str, int]) -> str:
     return "".join(parts)
 
 
+#: Aggregate charted per series kind in the timeseries section; picked
+#: to match the SLO rules (rates for counters, last for gauges, tail
+#: latency for samples).
+_TIMESERIES_AGGREGATE = {"counter": "rate", "gauge": "last", "sample": "p95"}
+
+
+def _timeseries_section(trace: TraceData, order: dict[str, int]) -> str:
+    """Sparkline-per-series view of the windowed telemetry payload.
+
+    Series names come from the run's own scrape code, but the payload
+    travels through user-editable JSONL — everything rendered from it
+    is escaped like any other trace-derived string.
+    """
+    if trace.timeseries is None:
+        return ""
+    store = TimeseriesStore.from_dict(trace.timeseries)
+    parts = [
+        '<section id="timeseries"><h2>Windowed telemetry</h2>',
+        f'<p class="note">window {store.window:g}s &#183; '
+        f"{len(store.series_names())} series &#183; "
+        f"{store.dropped} dropped write(s)</p>",
+    ]
+    drawn = 0
+    for name in store.series_names():
+        if not store.buckets(name):
+            continue
+        aggregate = _TIMESERIES_AGGREGATE[store.kind(name)]
+        values = store.series_values(name, aggregate)
+        finite = [v for v in values if v == v]
+        if not finite:
+            continue
+        label = f"{name} ({aggregate})"
+        parts.append(
+            '<div class="spark-row">'
+            f'<div class="spark-label">{escape(label)}</div>'
+            f"{_sparkline(finite, _slot_color(name, order))}"
+            f'<div class="spark-last">last {finite[-1]:.4g}</div>'
+            "</div>"
+        )
+        drawn += 1
+    if not drawn:
+        parts.append('<p class="note">no windowed series recorded</p>')
+    parts.append("</section>")
+    return "".join(parts)
+
+
 def _diff_section(diff: TraceDiff) -> str:
     rows = []
     for delta in diff.spans:
@@ -525,6 +576,9 @@ def render_html(
         _flame_section(trace, order),
         _counters_section(trace, order),
     ]
+    timeseries = _timeseries_section(trace, order)
+    if timeseries:
+        sections.append(timeseries)
     if diff is not None:
         sections.append(_diff_section(diff))
     rounds_note = (

@@ -35,6 +35,24 @@ class HistogramSummary:
         if value > self.max:
             self.max = value
 
+    def observe_many(self, values: list[float]) -> None:
+        """Fold a batch of samples in one pass.
+
+        Batch form for hot paths that buffer samples (the stream
+        dispatcher's bookkeeping): one ``len``/``sum``/``min``/``max``
+        sweep instead of a Python-level call per sample.
+        """
+        if not values:
+            return
+        self.count += len(values)
+        self.total += sum(values)
+        lo = min(values)
+        hi = max(values)
+        if lo < self.min:
+            self.min = lo
+        if hi > self.max:
+            self.max = hi
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else float("nan")
@@ -87,6 +105,16 @@ class Metrics:
         if histogram is None:
             histogram = self.histograms[name] = HistogramSummary()
         histogram.observe(float(value))
+
+    def observe_many(self, name: str, values) -> None:
+        """Fold a batch of samples into histogram ``name``."""
+        values = [float(v) for v in values]
+        if not values:
+            return
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = HistogramSummary()
+        histogram.observe_many(values)
 
     def snapshot(self) -> dict:
         """A plain-dict copy, safe to pickle/JSON/merge elsewhere."""

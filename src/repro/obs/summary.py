@@ -12,11 +12,17 @@ against the schema as a side effect) and prints three views:
   and the durations of its direct children (assign / simulate /
   aggregate / estimate), the drill-down view the simulation engine's
   instrumentation is shaped for.
+
+Traces that carry a ``repro-obs-timeseries/1`` event get a fourth
+view: one line per windowed series with its kind, retained window
+count, and a kind-appropriate summary (counter totals and final rate,
+gauge last/mean, sample count and p95).
 """
 
 from __future__ import annotations
 
 from repro.obs.export import TraceData
+from repro.obs.timeseries import TimeseriesStore
 
 
 def _by_name(trace: TraceData) -> list[tuple[str, int, float, float]]:
@@ -84,6 +90,44 @@ def _round_rows(
     return rows
 
 
+def _timeseries_lines(trace: TraceData) -> list[str]:
+    """The windowed-telemetry view; empty when the trace has none."""
+    if trace.timeseries is None:
+        return []
+    store = TimeseriesStore.from_dict(trace.timeseries)
+    names = store.series_names()
+    lines = [
+        "",
+        f"timeseries (window={store.window:g}s, "
+        f"{len(names)} series, dropped writes={store.dropped}):",
+        f"  {'series':<28s} {'kind':<8s} {'windows':>7s}  summary",
+    ]
+    for name in names:
+        kind = store.kind(name)
+        buckets = store.buckets(name)
+        if not buckets:
+            detail = "(no windows retained)"
+        elif kind == "counter":
+            sums = store.series_values(name, "sum")
+            detail = (
+                f"total={sum(sums):g} "
+                f"last rate={sums[-1] / store.window:g}/s"
+            )
+        elif kind == "gauge":
+            lasts = store.series_values(name, "last")
+            means = store.series_values(name, "mean")
+            mean = sum(means) / len(means) if means else float("nan")
+            detail = f"last={lasts[-1]:.4g} mean={mean:.4g}"
+        else:
+            counts = store.series_values(name, "count")
+            p95 = store.value(name, buckets[-1], "p95")
+            detail = f"count={sum(counts):g} last p95={p95:.4g}"
+        lines.append(
+            f"  {name:<28s} {kind:<8s} {len(buckets):7d}  {detail}"
+        )
+    return lines
+
+
 def summarize(trace: TraceData, top: int = 10) -> str:
     """Render the summary text for one parsed trace."""
     lines = [
@@ -118,6 +162,7 @@ def summarize(trace: TraceData, top: int = 10) -> str:
                 f"{h.get('min', float('nan')):10.4g} "
                 f"{h.get('max', float('nan')):10.4g}"
             )
+    lines += _timeseries_lines(trace)
     rounds = _round_rows(trace)
     if rounds:
         stage_names: list[str] = []

@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.obs.metrics import Metrics
+from repro.obs.timeseries import TimeseriesStore
 
 
 @dataclass
@@ -126,6 +127,11 @@ class Tracer:
     def __init__(self, sink=None) -> None:
         self.metrics = Metrics()
         self.spans: list[SpanRecord] = []
+        #: Optional windowed time-series store; created lazily by
+        #: :func:`repro.obs.timeseries_store` (or installed up front by
+        #: whoever owns the run, e.g. the monitor CLI choosing the
+        #: window width).  ``None`` means no live telemetry collected.
+        self.timeseries: TimeseriesStore | None = None
         self.sink = sink
         self._stack: list[int] = []
         self._origin = time.perf_counter()
@@ -168,6 +174,7 @@ class Tracer:
         self,
         spans: list[SpanRecord],
         snapshot: dict | None = None,
+        timeseries: dict | None = None,
     ) -> None:
         """Merge spans (and a metrics snapshot) from another tracer.
 
@@ -175,7 +182,10 @@ class Tracer:
         adopted spans are re-indexed after the existing ones, their
         roots are parented under the currently open span (if any), and
         their depths shift accordingly.  Counter/histogram snapshots
-        accumulate; gauges take the adopted value.
+        accumulate; gauges take the adopted value.  ``timeseries`` is
+        a :meth:`TimeseriesStore.to_dict` payload scraped in the
+        worker; its windows fold into this tracer's store (created on
+        first adoption if absent).
         """
         offset = len(self.spans)
         base_parent = self._stack[-1] if self._stack else None
@@ -197,3 +207,8 @@ class Tracer:
             self.spans.append(adopted)
         if snapshot is not None:
             self.metrics.merge_snapshot(snapshot)
+        if timeseries is not None:
+            if self.timeseries is None:
+                self.timeseries = TimeseriesStore.from_dict(timeseries)
+            else:
+                self.timeseries.merge(timeseries)

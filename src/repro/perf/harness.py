@@ -30,6 +30,9 @@ micro-level tier:
   throughput (``stream.assignments_per_sec``) and the
   time-to-assignment percentile gauges land in the bench trace, so
   the BENCH json carries latency percentiles alongside wall time.
+* ``obs`` — the telemetry-overhead guard: the same seeded dispatch
+  storm drained with live telemetry on vs off, gap-gated so the
+  overhead ratio stays under 5% (see ``_obs_overhead_case``).
 
 Every case that has a reference implementation also records both
 checksums, so a bench run doubles as a cross-validation pass: a
@@ -73,7 +76,14 @@ from repro.matching.hungarian import hungarian
 from repro.matching.reference import hungarian_reference
 from repro.utils.rng import as_rng
 
-SUITES = ("f7_scale_workers", "f8_scale_tasks", "micro", "shard", "stream")
+SUITES = (
+    "f7_scale_workers",
+    "f8_scale_tasks",
+    "micro",
+    "shard",
+    "stream",
+    "obs",
+)
 
 _FULL_SIZES = (200, 400, 800)
 _QUICK_SIZES = (60, 120)
@@ -622,6 +632,102 @@ def build_stream_suite(
     ]
 
 
+#: Telemetry-overhead population size (|W| = |T|).  Quick-suite sized
+#: on both tiers: the case measures a *ratio*, which is scale-free.
+_OBS_OVERHEAD_SIZE = 1_200
+#: Seconds of simulated arrivals the overhead storm is squeezed into.
+#: Dense on purpose: a storm-rate window carries enough dispatch work
+#: (greedy scoring over a large online pool) for the per-window flush
+#: to amortize the way it does in monitored production runs.
+_OBS_OVERHEAD_SPAN = 7.5
+#: The regression-gated bound: telemetry-on dispatch wall time may
+#: exceed telemetry-off by at most this fraction.
+_OBS_OVERHEAD_TOLERANCE = 0.05
+
+
+def _obs_overhead_case(size: int) -> BenchCase:
+    """Dispatcher throughput with live telemetry on vs off.
+
+    The same seeded greedy storm is drained twice: once under an
+    enabled tracer (so the dispatcher's ``_Telemetry`` scrape — window
+    flushes, per-window Gini, wait samples — is live) and once with
+    tracing disabled (the production fast path: one ``is None`` test
+    per event).  The measurement rides the harness's gap gate:
+    ``objective_gap`` is the relative wall-time overhead and the case
+    fails when it exceeds ``_OBS_OVERHEAD_TOLERANCE`` (5%).  The two
+    drains must also realize the identical combined benefit —
+    telemetry that perturbs dispatch decisions is a bug the checksums
+    would surface.
+    """
+
+    def runner(repeats: int) -> Measurement:
+        from repro.stream import DispatchConfig, StreamDispatcher
+
+        rate = max(8.0, size / _OBS_OVERHEAD_SPAN)
+        market = generate_market(
+            SyntheticConfig(n_workers=size, n_tasks=size), seed=23
+        )
+        config = DispatchConfig(
+            policy="greedy",
+            task_rate=rate,
+            worker_rate=rate,
+            deadline=1.5,
+            session_length=1.0,
+        )
+
+        def run_off() -> float:
+            # The bench harness traces the whole run; drop to the
+            # telemetry-off fast path for the baseline drain only.
+            previous = obs.disable()
+            try:
+                dispatcher = StreamDispatcher(market, config)
+                return dispatcher.run(seed=0).combined_benefit
+            finally:
+                if previous is not None:
+                    obs.enable(previous)
+
+        def run_on() -> float:
+            with obs.tracing(obs.Tracer()):
+                dispatcher = StreamDispatcher(market, config)
+                return dispatcher.run(seed=0).combined_benefit
+
+        # Interleave-free best-of on each side; the off side warms
+        # every cache first so the on side never pays first-touch
+        # costs the off side skipped.
+        ref_wall, ref_total = _best_of(run_off, repeats)
+        wall, total = _best_of(run_on, repeats)
+        overhead = max(0.0, (wall - ref_wall) / max(ref_wall, 1e-9))
+        scale_ = max(abs(total), abs(ref_total), 1.0)
+        if abs(total - ref_total) > _CHECKSUM_RTOL * scale_:
+            # Telemetry perturbed dispatch decisions — fail the gap
+            # gate outright, whatever the timing said.
+            overhead = float("inf")
+        return Measurement(
+            wall,
+            ref_wall,
+            total,
+            ref_total,
+            objective_gap=overhead,
+            gap_tolerance=_OBS_OVERHEAD_TOLERANCE,
+        )
+
+    return BenchCase(
+        name=f"obs_overhead/n={size}",
+        suite="obs",
+        size=size,
+        solver="stream:greedy",
+        runner=runner,
+    )
+
+
+def build_obs_suite(
+    quick: bool = False, scale: float = 1.0
+) -> list[BenchCase]:
+    """The telemetry-overhead suite (quick-sized on every tier)."""
+    size = max(100, int(round(_OBS_OVERHEAD_SIZE * scale)))
+    return [_obs_overhead_case(size)]
+
+
 def build_suites(
     quick: bool = False, scale: float = 1.0
 ) -> dict[str, list[BenchCase]]:
@@ -662,6 +768,7 @@ def build_suites(
         "micro": micro,
         "shard": build_shard_suite(quick, scale),
         "stream": build_stream_suite(quick, scale),
+        "obs": build_obs_suite(quick, scale),
     }
 
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
+import math
 import pickle
 from pathlib import Path
 
@@ -312,6 +313,7 @@ class Simulation:
             for round_index in range(start_round, scenario.n_rounds):
                 with obs.span("round", index=round_index) as round_span:
                     _run_round(round_index, round_span)
+                self._scrape_round(result.rounds[-1])
                 if store is None:
                     continue
                 # Serialize after *every* round (the only moment the
@@ -642,6 +644,38 @@ class Simulation:
         }
         retention.record_round(benefits)
         return len(retention.apply(market, seed=rng))
+
+    @staticmethod
+    def _scrape_round(metrics: RoundMetrics) -> None:
+        """Feed one finished round into the live-telemetry store.
+
+        The engine's logical clock is the round index: round ``i``
+        lands in window ``i`` of the active tracer's store regardless
+        of the configured window width (``bucket_time`` addresses the
+        bucket directly), so the same SLO catalogue that watches a
+        streaming run watches a batch run per-round.  No-op when
+        tracing is off or no store was created.
+        """
+        store = obs.timeseries_store()
+        if store is None:
+            return
+        t = store.bucket_time(metrics.round_index)
+        store.count(
+            "sim.assigned_edges", t, float(metrics.n_assigned_edges)
+        )
+        store.gauge(
+            "market.benefit_gini", t, float(metrics.benefit_gini)
+        )
+        store.gauge(
+            "market.participation", t, float(metrics.participation_rate)
+        )
+        store.gauge(
+            "market.worker_benefit", t, float(metrics.worker_benefit)
+        )
+        if not math.isnan(metrics.aggregated_accuracy):
+            store.gauge(
+                "sim.accuracy", t, float(metrics.aggregated_accuracy)
+            )
 
     @staticmethod
     def _empty_round(

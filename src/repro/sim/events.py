@@ -346,4 +346,5 @@ class EventSimulation:
                         worker_index=-1 if owner is None else owner,
                     )
                 )
+        bus.flush_metrics()
         return result

@@ -30,6 +30,7 @@ from repro.spec.compile import (
     CompiledStream,
     SpecError,
     check_spec,
+    compile_slo,
     compile_spec,
     compile_stream,
     dump_spec,
@@ -83,6 +84,7 @@ __all__ = [
     "SpecError",
     "check_spec",
     "cli_flag_map",
+    "compile_slo",
     "compile_spec",
     "compile_stream",
     "defaults",

@@ -532,6 +532,42 @@ def compile_stream(
     )
 
 
+def compile_slo(source, view: RegistryView | None = None):
+    """Compile the ``[slo]`` knobs into burn-rate rules plus a window.
+
+    Returns ``(rules, window)`` — the :class:`repro.obs.slo.SloRule`
+    catalogue for ``python -m repro monitor`` and the telemetry window
+    width the run's :class:`~repro.obs.timeseries.TimeseriesStore`
+    must use.  Threshold knobs left unset disable their rule, so a
+    spec with no ``[slo]`` section compiles to an empty catalogue.
+    """
+    result = check_spec(source, view=view)
+    if not result.ok:
+        name = source if isinstance(source, (str, Path)) else "spec"
+        raise SpecError(result, source=str(name))
+    spec = result.spec
+    assert spec is not None
+
+    from repro.obs.slo import default_rules
+
+    def threshold(name: str) -> float | None:
+        value = spec[name]
+        return None if value is None else float(value)  # type: ignore[arg-type]
+
+    rules = default_rules(
+        latency_p95=threshold("slo.latency_p95"),
+        latency_p99=threshold("slo.latency_p99"),
+        throughput_floor=threshold("slo.throughput_floor"),
+        drop_rate=threshold("slo.drop_rate"),
+        gini_ceiling=threshold("slo.gini_ceiling"),
+        participation_floor=threshold("slo.participation_floor"),
+        starvation_ceiling=threshold("slo.starvation_ceiling"),
+        short_windows=int(spec["slo.short_windows"]),  # type: ignore[arg-type]
+        long_windows=int(spec["slo.long_windows"]),  # type: ignore[arg-type]
+    )
+    return rules, float(spec["slo.window"])  # type: ignore[arg-type]
+
+
 def _wrap_solver(spec: NormalizedSpec) -> tuple[str, dict]:
     """Apply the ``[sharding]`` wrappers to the configured solver.
 

@@ -383,6 +383,33 @@ def _sample_fraction_needs_sample_price(
     )
 
 
+def _slo_horizons_ordered(spec: NormalizedSpec, view: RegistryView):
+    short = int(spec["slo.short_windows"])  # type: ignore[arg-type]
+    long = int(spec["slo.long_windows"])  # type: ignore[arg-type]
+    if long >= short:
+        return None
+    return (
+        f"slo.long_windows {long} is shorter than slo.short_windows "
+        f"{short} — burn-rate alerting needs the long horizon to "
+        "cover at least the short one"
+    )
+
+
+def _slo_latency_percentiles_ordered(
+    spec: NormalizedSpec, view: RegistryView
+):
+    p95, p99 = spec["slo.latency_p95"], spec["slo.latency_p99"]
+    if p95 is None or p99 is None:
+        return None
+    if float(p99) >= float(p95):  # type: ignore[arg-type]
+        return None
+    return (
+        f"slo.latency_p99 {p99} is below slo.latency_p95 {p95} — p99 "
+        "is never smaller than p95, so the p95 rule could never pass "
+        "while the p99 rule does"
+    )
+
+
 def _estimator_without_gold(spec: NormalizedSpec, view: RegistryView):
     if not spec["estimator.enabled"]:
         return None
@@ -492,6 +519,18 @@ CONSTRAINTS: tuple[Constraint, ...] = (
         knobs=("stream.sample_fraction", "stream.policy"),
         summary="sample_fraction only configures the sample-price policy",
         check=_sample_fraction_needs_sample_price,
+    ),
+    Constraint(
+        id="C213",
+        knobs=("slo.short_windows", "slo.long_windows"),
+        summary="the long burn-rate horizon must cover the short one",
+        check=_slo_horizons_ordered,
+    ),
+    Constraint(
+        id="C214",
+        knobs=("slo.latency_p95", "slo.latency_p99"),
+        summary="latency p99 ceiling must not undercut the p95 ceiling",
+        check=_slo_latency_percentiles_ordered,
     ),
     Constraint(
         id="W301",

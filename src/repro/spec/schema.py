@@ -110,7 +110,7 @@ UNSPECCED_SCENARIO_FIELDS: dict[str, str] = {
 #: ``simulate`` CLI options that configure the *run harness*, not the
 #: scenario; R702 accepts them without a schema binding.
 CLI_OPERATIONAL_FLAGS = frozenset(
-    {"--trace", "--live", "--register", "--registry"}
+    {"--trace", "--live", "--register", "--registry", "--profile"}
 )
 
 SCENARIO_KNOBS: tuple[Knob, ...] = (
@@ -621,6 +621,95 @@ SCENARIO_KNOBS: tuple[Knob, ...] = (
         default=10,
         domain=AT_LEAST_ONE,
         description="round count when policy = 'round'",
+    ),
+    # -- SLO monitoring ---------------------------------------------------
+    # Like the stream knobs these have no scenario_field: ``python -m
+    # repro monitor`` compiles them into the SLO rule catalogue
+    # (repro.obs.slo) evaluated against the run's live telemetry.
+    # Threshold knobs default to None, meaning "rule disabled".
+    Knob(
+        name="slo.window",
+        type="float",
+        default=1.0,
+        domain=POSITIVE,
+        description=(
+            "telemetry aggregation window width (event-time units "
+            "for stream mode, rounds for sim mode)"
+        ),
+    ),
+    Knob(
+        name="slo.latency_p95",
+        type="float",
+        default=None,
+        domain=POSITIVE,
+        description="per-window assignment-wait p95 ceiling",
+    ),
+    Knob(
+        name="slo.latency_p99",
+        type="float",
+        default=None,
+        domain=POSITIVE,
+        description="per-window assignment-wait p99 ceiling",
+    ),
+    Knob(
+        name="slo.throughput_floor",
+        type="float",
+        default=None,
+        domain=POSITIVE,
+        description=(
+            "assignments-per-time-unit floor (counter rate over the "
+            "window)"
+        ),
+    ),
+    Knob(
+        name="slo.drop_rate",
+        type="float",
+        default=None,
+        domain=POSITIVE,
+        description="backpressure drop rate ceiling (drops per time unit)",
+    ),
+    Knob(
+        name="slo.gini_ceiling",
+        type="float",
+        default=None,
+        domain=UNIT_INTERVAL,
+        description=(
+            "per-window worker-benefit Gini coefficient ceiling"
+        ),
+    ),
+    Knob(
+        name="slo.participation_floor",
+        type="float",
+        default=None,
+        domain=UNIT_INTERVAL,
+        description=(
+            "floor on the fraction of online workers assigned work "
+            "per window"
+        ),
+    ),
+    Knob(
+        name="slo.starvation_ceiling",
+        type="float",
+        default=None,
+        domain=UNIT_INTERVAL,
+        description=(
+            "ceiling on the fraction of online workers unassigned "
+            "for two consecutive windows"
+        ),
+    ),
+    Knob(
+        name="slo.short_windows",
+        type="int",
+        default=3,
+        domain=AT_LEAST_ONE,
+        description="short burn-rate horizon (windows)",
+    ),
+    Knob(
+        name="slo.long_windows",
+        type="int",
+        default=6,
+        domain=AT_LEAST_ONE,
+        description="long burn-rate horizon (windows)",
     ),
 )
 

@@ -26,7 +26,7 @@ Handler = Callable[[StreamEvent], None]
 class EventBus:
     """Routes events to handlers by their ``kind`` string."""
 
-    __slots__ = ("_handlers", "published", "delivered")
+    __slots__ = ("_handlers", "published", "delivered", "_counted")
 
     def __init__(self) -> None:
         self._handlers: dict[str, list[Handler]] = {}
@@ -34,6 +34,7 @@ class EventBus:
         #: the ``stream.bus.*`` obs counters.
         self.published = 0
         self.delivered = 0
+        self._counted = 0
 
     def subscribe(self, kind: str, handler: Handler) -> None:
         """Register ``handler`` for events of ``kind``.
@@ -58,5 +59,17 @@ class EventBus:
             handler(event)
         self.published += 1
         self.delivered += len(handlers)
-        obs.count("stream.bus.published")
         return len(handlers)
+
+    def flush_metrics(self) -> None:
+        """Record publishes since the last flush as an obs counter.
+
+        Publishing is the dispatch loop's hottest path, so the
+        ``stream.bus.published`` counter is recorded in one batch at
+        end of run rather than per event.  Delta-based, so repeated
+        flushes never double-count.
+        """
+        delta = self.published - self._counted
+        if delta:
+            obs.count("stream.bus.published", delta)
+            self._counted = self.published

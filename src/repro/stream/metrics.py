@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ValidationError
+from repro.obs.timeseries import exact_percentile
 
 #: Percentiles published as ``stream.latency.p*`` gauges.
 LATENCY_PERCENTILES: tuple[int, ...] = (50, 95, 99)
@@ -48,43 +49,75 @@ class AssignmentRecord:
 class LatencyReservoir:
     """Exact latency sample store with percentile queries.
 
-    Bounded by the number of assignments (one float each), which the
+    Unbounded by default: one float per assignment, which the
     population size bounds in turn — at the 10^5-entity bench scale
     that is under a megabyte, far cheaper than getting approximate
-    quantiles wrong.
+    quantiles wrong.  A ``capacity`` turns it into a ring over the most
+    recent samples for callers that want a sliding view; queries after
+    wraparound cover exactly the last ``capacity`` observations,
+    never the evicted ones.
+
+    Percentiles interpolate linearly via
+    :func:`repro.obs.timeseries.exact_percentile` — the same
+    arithmetic as the windowed store's ``pNN`` aggregates and
+    ``numpy.percentile``'s default method — so p95/p99 are exact even
+    with a handful of samples (no index truncation: 19 samples put
+    p95 between the two largest, not *at* either), and the SLO gauges
+    published from here are bit-identical across identical seeds.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None:
+            capacity = int(capacity)
+            if capacity < 1:
+                raise ValidationError(
+                    f"reservoir capacity must be >= 1 sample, got "
+                    f"{capacity}"
+                )
+        self.capacity = capacity
+        #: Total observations ever made (retained or evicted).
+        self.observed = 0
         self._samples: list[float] = []
+        self._cursor = 0  # oldest slot, once the ring is full
 
     def observe(self, value: float) -> None:
-        self._samples.append(float(value))
+        self.observed += 1
+        if (
+            self.capacity is None
+            or len(self._samples) < self.capacity
+        ):
+            self._samples.append(float(value))
+        else:
+            self._samples[self._cursor] = float(value)
+            self._cursor = (self._cursor + 1) % self.capacity
 
     def __len__(self) -> int:
         return len(self._samples)
 
     def percentile(self, q: float) -> float:
-        """The ``q``-th percentile (0..100); NaN with no samples."""
-        if not 0.0 <= q <= 100.0:
-            raise ValidationError(
-                f"percentile must lie in [0, 100], got {q}"
-            )
+        """The ``q``-th percentile (0..100) of the retained samples;
+        NaN with no samples."""
         if not self._samples:
+            if not 0.0 <= q <= 100.0:
+                raise ValidationError(
+                    f"percentile must lie in [0, 100], got {q}"
+                )
             return float("nan")
-        return float(np.percentile(np.asarray(self._samples), q))
+        return exact_percentile(sorted(self._samples), q)
 
     def summary(self) -> dict[str, float]:
         """count/mean/max plus the standard percentile ladder."""
         if not self._samples:
             return {"count": 0.0}
         values = np.asarray(self._samples)
+        ordered = sorted(self._samples)
         out = {
             "count": float(values.size),
             "mean": float(values.mean()),
-            "max": float(values.max()),
+            "max": float(ordered[-1]),
         }
         for q in LATENCY_PERCENTILES:
-            out[f"p{q}"] = float(np.percentile(values, q))
+            out[f"p{q}"] = exact_percentile(ordered, q)
         return out
 
 

@@ -93,6 +93,37 @@ class TestRenderHtml:
         assert "<title>&lt;run&gt; &amp; friends</title>" in html
         assert "<run> & friends" not in html
 
+    def test_hostile_names_never_reach_the_page_raw(self, tmp_path):
+        # Regression: span names, tag values, metric names, and
+        # windowed-series names are attacker-ish strings (a scenario
+        # name comes straight from a spec file).  None of them may
+        # land in the page as live markup.
+        hostile = "<script>alert(1)</script>"
+        attr = '"><img src=x onerror=alert(2)>'
+        tracer = Tracer()
+        tracer.timeseries = obs.TimeseriesStore(window=1.0)
+        with tracer.span("round", index=0):
+            with tracer.span(hostile, scenario=attr):
+                pass
+        tracer.metrics.count(hostile, 2)
+        tracer.metrics.gauge(attr, 1.0)
+        tracer.metrics.observe(hostile + ".wait", 0.5)
+        tracer.timeseries.gauge(hostile, 0.5, 0.4)
+        tracer.timeseries.count(attr, 0.5)
+        trace = obs.read_trace(
+            write_trace(tracer, tmp_path / "hostile.jsonl", tag=attr)
+        )
+        html = render_html(trace, title=hostile)
+        assert "<script" not in html
+        assert "<img" not in html
+        # The verbatim payloads never appear — every angle bracket
+        # and quote reaches the page entity-encoded.
+        assert hostile not in html
+        assert attr not in html
+        # The names still show up — escaped, not dropped.
+        assert "&lt;script&gt;alert(1)&lt;/script&gt;" in html
+        assert "&lt;img src=x" in html
+
     def test_roundless_trace_says_so(self):
         trace = TraceData(
             header={"schema": TRACE_SCHEMA, "tag": "t", "n_spans": 1},

@@ -1,0 +1,249 @@
+"""SLO rules, burn-rate evaluation, the alert log, and the spec
+``[slo]`` compilation path feeding ``python -m repro monitor``."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs.slo import (
+    ALERT_SCHEMA,
+    AlertEvent,
+    SloMonitor,
+    SloRule,
+    default_rules,
+    read_alert_log,
+    write_alert_log,
+)
+from repro.obs.timeseries import TimeseriesStore
+
+
+def _rule(**kwargs):
+    defaults = dict(
+        name="participation",
+        series="market.participation",
+        aggregate="last",
+        bound="floor",
+        threshold=0.5,
+        short_windows=3,
+        long_windows=6,
+        warn_burn=0.5,
+        page_burn=0.75,
+    )
+    defaults.update(kwargs)
+    return SloRule(**defaults)
+
+
+def _gauge_run(values, window=1.0):
+    """A store with one gauge series, one value per window."""
+    store = TimeseriesStore(window=window)
+    for bucket, value in enumerate(values):
+        store.gauge(
+            "market.participation", store.bucket_time(bucket), value
+        )
+    return store
+
+
+class TestRuleValidation:
+    def test_bad_bound(self):
+        with pytest.raises(ValidationError, match="bound"):
+            _rule(bound="sideways")
+
+    def test_non_finite_threshold(self):
+        with pytest.raises(ValidationError, match="finite"):
+            _rule(threshold=float("inf"))
+
+    def test_horizons(self):
+        with pytest.raises(ValidationError, match="horizons"):
+            _rule(short_windows=0)
+        with pytest.raises(ValidationError, match="cover"):
+            _rule(short_windows=4, long_windows=3)
+
+    def test_burn_fractions(self):
+        with pytest.raises(ValidationError, match="warn_burn"):
+            _rule(warn_burn=0.0)
+        with pytest.raises(ValidationError, match="page_burn"):
+            _rule(page_burn=1.5)
+
+    def test_breached_directions_and_nan(self):
+        floor = _rule(bound="floor", threshold=0.5)
+        assert floor.breached(0.4)
+        assert not floor.breached(0.5)
+        assert not floor.breached(float("nan"))
+        ceiling = _rule(name="gini", bound="ceiling", threshold=0.6)
+        assert ceiling.breached(0.7)
+        assert not ceiling.breached(0.6)
+
+
+class TestBurnRateStateMachine:
+    def test_single_cold_start_breach_does_not_page(self):
+        # Burn fractions divide by the horizon width: the very first
+        # window alone, however bad, is 1/3 of the short horizon and
+        # must not look "sustained".
+        monitor = SloMonitor([_rule()], _gauge_run([0.0]))
+        monitor.evaluate(0)
+        assert monitor.states["participation"] == "ok"
+        assert monitor.events == []
+
+    def test_sustained_breach_walks_warn_then_page(self):
+        store = _gauge_run([0.0] * 8)
+        monitor = SloMonitor([_rule()], store)
+        monitor.run()
+        states = [e.state for e in monitor.events]
+        assert states[0] == "warn"
+        assert "page" in states
+        assert monitor.paged
+        assert monitor.worst_state == "page"
+        # warn precedes page: the ladder is climbed, not jumped.
+        assert states.index("warn") < states.index("page")
+
+    def test_recovery_emits_ok_transition(self):
+        store = _gauge_run([0.0] * 6 + [1.0] * 8)
+        monitor = SloMonitor([_rule()], store)
+        monitor.run()
+        assert monitor.states["participation"] == "ok"
+        assert monitor.events[-1].state == "ok"
+
+    def test_healthy_run_emits_nothing(self):
+        monitor = SloMonitor([_rule()], _gauge_run([1.0] * 10))
+        monitor.run()
+        assert monitor.events == []
+        assert not monitor.paged
+        assert monitor.worst_state == "ok"
+
+    def test_transitions_only_no_repeats(self):
+        store = _gauge_run([0.0] * 10)
+        monitor = SloMonitor([_rule()], store)
+        monitor.run()
+        # One warn, one page — not one event per breached window.
+        assert [e.state for e in monitor.events] == ["warn", "page"]
+
+    def test_evaluation_is_deterministic(self):
+        def run():
+            monitor = SloMonitor(
+                [_rule()], _gauge_run([0.3, 0.9, 0.1, 0.0, 0.0, 0.2])
+            )
+            monitor.run()
+            return [e.to_dict() for e in monitor.events]
+
+        assert run() == run()
+
+    def test_duplicate_rule_names_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            SloMonitor([_rule(), _rule()], TimeseriesStore())
+
+    def test_unobserved_series_stays_silent(self):
+        monitor = SloMonitor(
+            [_rule(series="never.scraped")], _gauge_run([0.0] * 5)
+        )
+        monitor.run()
+        assert monitor.events == []
+
+
+class TestDefaultCatalogue:
+    def test_none_thresholds_disable_rules(self):
+        assert default_rules() == ()
+        only = default_rules(participation_floor=0.5)
+        assert [r.name for r in only] == ["participation"]
+
+    def test_full_catalogue_names_and_bounds(self):
+        rules = default_rules(
+            latency_p95=5.0,
+            latency_p99=10.0,
+            throughput_floor=1.0,
+            drop_rate=0.5,
+            gini_ceiling=0.6,
+            participation_floor=0.4,
+            starvation_ceiling=0.3,
+        )
+        by_name = {r.name: r for r in rules}
+        assert set(by_name) == {
+            "latency-p95", "latency-p99", "throughput", "drop-rate",
+            "benefit-gini", "participation", "starvation",
+        }
+        assert by_name["throughput"].bound == "floor"
+        assert by_name["participation"].bound == "floor"
+        assert by_name["latency-p95"].aggregate == "p95"
+        assert by_name["drop-rate"].aggregate == "rate"
+
+
+class TestAlertLog:
+    def _events(self):
+        store = _gauge_run([0.0] * 10)
+        monitor = SloMonitor([_rule()], store)
+        monitor.run()
+        return monitor.events
+
+    def test_round_trip(self, tmp_path):
+        events = self._events()
+        path = write_alert_log(events, tmp_path / "alerts.jsonl")
+        assert read_alert_log(path) == events
+        header = path.read_text().splitlines()[0]
+        assert ALERT_SCHEMA in header
+
+    def test_event_dict_round_trip(self):
+        event = self._events()[0]
+        assert AlertEvent.from_dict(event.to_dict()) == event
+
+    def test_read_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            read_alert_log(bad)
+        with pytest.raises(ValidationError, match="not found"):
+            read_alert_log(tmp_path / "missing.jsonl")
+
+
+class TestSpecSloCompilation:
+    def _payload(self, **slo):
+        return {
+            "schema": "repro-spec/1",
+            "market": {
+                "workload": "amt-like",
+                "workers": 10,
+                "tasks": 10,
+                "seed": 0,
+            },
+            "scenario": {"solver": "greedy", "lam": 0.5},
+            "slo": slo,
+        }
+
+    def test_compile_slo_builds_rules_and_window(self):
+        from repro.spec import compile_slo
+
+        rules, window = compile_slo(
+            self._payload(window=2.5, participation_floor=0.4)
+        )
+        assert window == 2.5
+        assert [r.name for r in rules] == ["participation"]
+        assert rules[0].threshold == 0.4
+
+    def test_empty_slo_table_compiles_to_no_rules(self):
+        from repro.spec import compile_slo
+
+        rules, window = compile_slo(self._payload())
+        assert rules == ()
+        assert window == 1.0
+
+    def test_c213_rejects_inverted_horizons(self):
+        from repro.spec import check_spec
+
+        result = check_spec(
+            self._payload(short_windows=6, long_windows=3)
+        )
+        assert not result.ok
+        assert any(d.code == "C213" for d in result.diagnostics)
+
+    def test_c214_rejects_p99_below_p95(self):
+        from repro.spec import check_spec
+
+        result = check_spec(
+            self._payload(latency_p95=5.0, latency_p99=2.0)
+        )
+        assert not result.ok
+        assert any(d.code == "C214" for d in result.diagnostics)
+
+    def test_threshold_domains_enforced(self):
+        from repro.spec import check_spec
+
+        assert not check_spec(self._payload(gini_ceiling=1.5)).ok
+        assert not check_spec(self._payload(drop_rate=-1.0)).ok
+        assert check_spec(self._payload(gini_ceiling=0.5)).ok

@@ -1,0 +1,240 @@
+"""The windowed time-series store: bucketing, the three series kinds,
+ring eviction, canonical serialization, and order-independent merge —
+the properties SLO evaluation and the parallel-sweep scrape lean on."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs.timeseries import (
+    TIMESERIES_SCHEMA,
+    TimeseriesStore,
+    exact_percentile,
+)
+
+
+class TestExactPercentile:
+    def test_matches_numpy_linear_interpolation(self):
+        rng = np.random.default_rng(0)
+        for n in (1, 2, 3, 7, 19, 20, 50, 200):
+            values = sorted(rng.uniform(-5.0, 5.0, n).tolist())
+            for q in (0.0, 1.0, 12.5, 50.0, 95.0, 99.0, 100.0):
+                assert exact_percentile(values, q) == pytest.approx(
+                    float(np.percentile(values, q)), abs=1e-12
+                ), (n, q)
+
+    def test_small_sample_p95_interpolates_between_extremes(self):
+        # With two samples p95 must land 95% of the way up, not snap
+        # to either endpoint — the small-sample behavior the stream
+        # reservoir inherits.
+        assert exact_percentile([0.0, 1.0], 95.0) == pytest.approx(0.95)
+
+    def test_empty_and_singleton(self):
+        import math
+
+        assert math.isnan(exact_percentile([], 50.0))
+        assert exact_percentile([3.5], 99.0) == 3.5
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError, match=r"\[0, 100\]"):
+            exact_percentile([1.0], 101.0)
+
+
+class TestBucketing:
+    def test_aligned_windows(self):
+        store = TimeseriesStore(window=2.0)
+        assert store.bucket(0.0) == 0
+        assert store.bucket(1.999) == 0
+        assert store.bucket(2.0) == 1
+        assert store.bucket(-0.5) == -1
+
+    def test_bucket_time_is_the_midpoint(self):
+        store = TimeseriesStore(window=2.0)
+        assert store.bucket(store.bucket_time(7)) == 7
+        assert store.bucket_time(0) == 1.0
+
+    def test_invalid_window_and_capacity(self):
+        with pytest.raises(ValidationError, match="window"):
+            TimeseriesStore(window=0.0)
+        with pytest.raises(ValidationError, match="window"):
+            TimeseriesStore(window=float("nan"))
+        with pytest.raises(ValidationError, match="capacity"):
+            TimeseriesStore(capacity=0)
+
+
+class TestSeriesKinds:
+    def test_counter_sum_and_rate(self):
+        store = TimeseriesStore(window=2.0)
+        store.count("posted", 0.5)
+        store.count("posted", 1.5, 3.0)
+        store.count("posted", 2.5)
+        assert store.value("posted", 0, "sum") == 4.0
+        assert store.value("posted", 0, "rate") == 2.0
+        assert store.value("posted", 1, "sum") == 1.0
+
+    def test_gauge_last_and_mean(self):
+        store = TimeseriesStore(window=1.0)
+        store.gauge("gini", 0.1, 0.2)
+        store.gauge("gini", 0.9, 0.6)
+        assert store.value("gini", 0, "last") == 0.6
+        assert store.value("gini", 0, "mean") == pytest.approx(0.4)
+
+    def test_sample_aggregates_and_percentiles(self):
+        store = TimeseriesStore(window=1.0)
+        for v in (4.0, 1.0, 3.0, 2.0):
+            store.observe("wait", 0.5, v)
+        assert store.value("wait", 0, "count") == 4.0
+        assert store.value("wait", 0, "mean") == 2.5
+        assert store.value("wait", 0, "min") == 1.0
+        assert store.value("wait", 0, "max") == 4.0
+        assert store.value("wait", 0, "p50") == pytest.approx(2.5)
+        assert store.value("wait", 0, "p95") == pytest.approx(
+            float(np.percentile([1.0, 2.0, 3.0, 4.0], 95))
+        )
+
+    def test_extend_matches_repeated_observe(self):
+        a = TimeseriesStore(window=1.0)
+        b = TimeseriesStore(window=1.0)
+        values = [3.0, 1.0, 2.0]
+        for v in values:
+            a.observe("wait", 0.5, v)
+        b.extend("wait", 0.5, values)
+        assert a.to_dict() == b.to_dict()
+
+    def test_missing_window_is_nan(self):
+        import math
+
+        store = TimeseriesStore()
+        store.count("posted", 0.5)
+        assert math.isnan(store.value("posted", 99, "sum"))
+        assert math.isnan(store.value("nothing", 0, "sum"))
+
+    def test_kind_conflict_raises(self):
+        store = TimeseriesStore()
+        store.count("x", 0.5)
+        with pytest.raises(ValidationError, match="is a counter"):
+            store.gauge("x", 0.5, 1.0)
+
+    def test_wrong_aggregate_raises(self):
+        store = TimeseriesStore()
+        store.count("x", 0.5)
+        with pytest.raises(ValidationError, match="does not apply"):
+            store.value("x", 0, "p95")
+
+
+class TestRingEviction:
+    def test_capacity_bounds_retained_windows(self):
+        store = TimeseriesStore(window=1.0, capacity=4)
+        for bucket in range(10):
+            store.count("posted", bucket + 0.5)
+        assert store.buckets("posted") == [6, 7, 8, 9]
+
+    def test_write_into_evicted_window_is_dropped_and_counted(self):
+        store = TimeseriesStore(window=1.0, capacity=4)
+        store.count("posted", 9.5)
+        store.count("posted", 0.5)  # bucket 0 is long gone
+        assert store.dropped == 1
+        assert store.buckets("posted") == [9]
+
+    def test_backfill_inside_the_ring_is_kept(self):
+        store = TimeseriesStore(window=1.0, capacity=4)
+        store.count("posted", 9.5)
+        store.count("posted", 7.5)  # within capacity of newest
+        assert store.dropped == 0
+        assert store.buckets("posted") == [7, 9]
+
+    def test_large_clock_jump_evicts_everything_stale(self):
+        # A jump far past the ring takes the full-scan fallback path;
+        # retained windows must still be exactly the in-range ones.
+        store = TimeseriesStore(window=1.0, capacity=4)
+        for bucket in range(3):
+            store.count("posted", bucket + 0.5)
+        store.count("posted", 1000.5)
+        assert store.buckets("posted") == [1000]
+        # And the lower bound moved: bucket 2 is evicted now.
+        store.count("posted", 2.5)
+        assert store.dropped == 1
+
+    def test_eviction_is_per_series(self):
+        store = TimeseriesStore(window=1.0, capacity=2)
+        store.count("a", 0.5)
+        store.count("b", 10.5)
+        assert store.buckets("a") == [0]
+        assert store.buckets("b") == [10]
+
+
+class TestSerializationAndMerge:
+    def _populated(self):
+        store = TimeseriesStore(window=2.0, capacity=8)
+        store.count("posted", 0.5, 2.0)
+        store.count("posted", 3.0)
+        store.gauge("gini", 1.0, 0.4)
+        store.gauge("gini", 1.5, 0.6)
+        store.observe("wait", 0.5, 2.0)
+        store.observe("wait", 0.9, 1.0)
+        return store
+
+    def test_round_trip_is_identity(self):
+        store = self._populated()
+        payload = store.to_dict()
+        assert payload["schema"] == TIMESERIES_SCHEMA
+        clone = TimeseriesStore.from_dict(payload)
+        assert clone.to_dict() == payload
+
+    def test_samples_serialize_sorted(self):
+        store = self._populated()
+        windows = store.to_dict()["series"]["wait"]["windows"]
+        assert windows["0"] == [1.0, 2.0]
+
+    def test_from_dict_rejects_wrong_schema_and_kind(self):
+        with pytest.raises(ValidationError, match="schema"):
+            TimeseriesStore.from_dict({"schema": "nope/9"})
+        payload = self._populated().to_dict()
+        payload["series"]["posted"]["kind"] = "sketch"
+        with pytest.raises(ValidationError, match="unknown kind"):
+            TimeseriesStore.from_dict(payload)
+
+    def test_merge_window_mismatch_raises(self):
+        with pytest.raises(ValidationError, match="window"):
+            TimeseriesStore(window=1.0).merge(
+                TimeseriesStore(window=2.0)
+            )
+
+    def test_merge_order_does_not_change_the_payload(self):
+        def shard(values):
+            store = TimeseriesStore(window=2.0, capacity=8)
+            for t, v in values:
+                store.count("posted", t, v)
+                store.observe("wait", t, v)
+            return store
+
+        a = shard([(0.5, 2.0), (3.0, 1.0)])
+        b = shard([(0.6, 5.0), (3.2, 4.0)])
+        ab = TimeseriesStore(window=2.0, capacity=8)
+        ab.merge(a)
+        ab.merge(b.to_dict())  # dict payloads fold identically
+        ba = TimeseriesStore(window=2.0, capacity=8)
+        ba.merge(b)
+        ba.merge(a)
+        assert ab.to_dict() == ba.to_dict()
+
+    def test_merge_gauges_accumulate_mean_state(self):
+        a = TimeseriesStore(window=1.0)
+        a.gauge("gini", 0.5, 0.2)
+        b = TimeseriesStore(window=1.0)
+        b.gauge("gini", 0.5, 0.8)
+        a.merge(b)
+        assert a.value("gini", 0, "mean") == pytest.approx(0.5)
+        assert a.value("gini", 0, "last") == 0.8
+
+    def test_writes_after_round_trip_evict_correctly(self):
+        # from_dict must rebuild the newest/oldest ring bookkeeping,
+        # not leave it at the fresh-store defaults.
+        store = TimeseriesStore(window=1.0, capacity=4)
+        for bucket in range(8):
+            store.count("posted", bucket + 0.5)
+        clone = TimeseriesStore.from_dict(store.to_dict())
+        clone.count("posted", 2.5)  # evicted before serialization
+        assert clone.dropped == store.dropped + 1
+        clone.count("posted", 8.5)
+        assert clone.buckets("posted") == [5, 6, 7, 8]

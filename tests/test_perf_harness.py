@@ -122,6 +122,34 @@ class TestSuites:
         assert all(r.speedup is not None for r in results)
 
 
+class TestObsSuite:
+    def test_obs_suite_declared_and_built(self):
+        assert "obs" in SUITES
+        cases = build_suites(quick=True)["obs"]
+        assert len(cases) == 1
+        assert cases[0].name.startswith("obs_overhead/n=")
+        assert cases[0].solver == "stream:greedy"
+
+    def test_obs_overhead_case_is_gap_gated(self):
+        results = run_cases(
+            build_suites(quick=True, scale=0.1),
+            only=["obs"],
+            repeats=1,
+        )
+        assert len(results) == 1
+        result = results[0]
+        assert result.gap_tolerance == 0.05
+        # The overhead ratio itself is wall-clock noisy at tiny scale,
+        # so the test pins the deterministic halves of the gate: the
+        # gap was measured, and the traced drain realized the exact
+        # benefit of the untraced one (telemetry that perturbs
+        # dispatch would blow the checksum, forcing gap=inf).
+        assert result.objective_gap is not None
+        assert result.objective_gap >= 0.0
+        assert result.objective_gap != float("inf")
+        assert result.checksum == result.reference_checksum
+
+
 class TestShardSuite:
     def test_shard_suite_declared_and_built(self):
         assert "shard" in SUITES

@@ -46,6 +46,10 @@ class TestCatalogue:
         for knob in SCENARIO_KNOBS:
             if knob.required or knob.domain.kind != "range":
                 continue
+            if knob.default is None:
+                # Optional knobs (the slo.* thresholds) use None for
+                # "unset"; domain checks apply to explicit values only.
+                continue
             assert knob.domain.low <= knob.default <= knob.domain.high, (
                 knob.name
             )

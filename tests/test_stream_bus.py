@@ -64,3 +64,26 @@ class TestFailure:
         bus.subscribe("task-posted", broken)
         with pytest.raises(RuntimeError, match="handler failed"):
             bus.publish(_posted())
+
+
+class TestFlushMetrics:
+    def test_flush_records_publish_delta_once(self):
+        from repro import obs
+
+        bus = EventBus()
+        bus.subscribe("task-posted", lambda e: None)
+        with obs.tracing() as tracer:
+            bus.publish(_posted())
+            bus.publish(_posted(task=1))
+            bus.flush_metrics()
+            # Repeated flushes with no new publishes add nothing.
+            bus.flush_metrics()
+            bus.publish(_posted(task=2))
+            bus.flush_metrics()
+        assert tracer.metrics.counters["stream.bus.published"] == 3.0
+
+    def test_flush_without_tracing_is_a_noop(self):
+        bus = EventBus()
+        bus.publish(_posted())
+        bus.flush_metrics()  # must not raise, nothing to record into
+        assert bus.published == 1

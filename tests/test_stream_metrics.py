@@ -45,6 +45,66 @@ class TestLatencyReservoir:
         with pytest.raises(ValidationError):
             LatencyReservoir().percentile(101)
 
+    def test_percentiles_match_numpy_at_every_size(self):
+        # Property: for any sample count — including the small ones
+        # where index-truncating estimators collapse p95/p99 onto the
+        # max — every queried percentile interpolates exactly like
+        # numpy's default linear method.
+        rng = np.random.default_rng(7)
+        for n in (1, 2, 3, 5, 19, 20, 21, 100):
+            samples = rng.exponential(2.0, n).tolist()
+            reservoir = LatencyReservoir()
+            for value in samples:
+                reservoir.observe(value)
+            for q in (0, 25, 50, 90, 95, 99, 100):
+                assert reservoir.percentile(q) == pytest.approx(
+                    float(np.percentile(np.asarray(samples), q)),
+                    abs=1e-12,
+                ), (n, q)
+
+    def test_small_sample_p95_is_not_the_max(self):
+        # 19 samples: p95 must land between the two largest values,
+        # not snap to either of them.
+        reservoir = LatencyReservoir()
+        for value in range(1, 20):
+            reservoir.observe(float(value))
+        p95 = reservoir.percentile(95)
+        assert 18.0 < p95 < 19.0
+        assert p95 == pytest.approx(18.1)
+        p99 = reservoir.percentile(99)
+        assert p95 < p99 < 19.0
+
+    def test_bounded_reservoir_covers_exactly_the_recent_tail(self):
+        # After wraparound, queries see the last `capacity` samples
+        # and nothing older.
+        rng = np.random.default_rng(3)
+        samples = rng.uniform(0.0, 10.0, 37).tolist()
+        reservoir = LatencyReservoir(capacity=10)
+        for value in samples:
+            reservoir.observe(value)
+        assert len(reservoir) == 10
+        assert reservoir.observed == 37
+        tail = np.asarray(samples[-10:])
+        for q in (0, 50, 95, 100):
+            assert reservoir.percentile(q) == pytest.approx(
+                float(np.percentile(tail, q))
+            )
+        assert reservoir.summary()["max"] == pytest.approx(
+            float(tail.max())
+        )
+
+    def test_unbounded_reservoir_keeps_everything(self):
+        reservoir = LatencyReservoir()
+        for value in range(1000):
+            reservoir.observe(float(value))
+        assert len(reservoir) == 1000
+        assert reservoir.observed == 1000
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValidationError, match="capacity"):
+            LatencyReservoir(capacity=0)
+        assert LatencyReservoir(capacity=1).capacity == 1
+
 
 class TestStreamResult:
     def test_fill_rate(self):
